@@ -1,0 +1,66 @@
+//! Ablation: HBPS bin width (DESIGN.md §7).
+//!
+//! The paper fixes 32 bins of 1 Ki over the 32 Ki score space, giving a
+//! 3.125 % best-score error. Fewer bins mean cheaper boundary rotation on
+//! list moves but worse pick quality; more bins the reverse. This bench
+//! measures the update-cost side; the error margin is `width / max` by
+//! construction (`HbpsConfig::error_margin`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wafl_bench::random_scores;
+use wafl_core::{Hbps, HbpsConfig};
+use wafl_types::AaScore;
+
+fn bin_sweep(c: &mut Criterion) {
+    let scores = random_scores(500_000, 32_768, 21);
+    let mut g = c.benchmark_group("ablation/hbps_bins");
+    for bins in [8usize, 16, 32, 64, 128] {
+        let cfg = HbpsConfig {
+            max_score: 32_768,
+            bins,
+            list_capacity: 1000,
+        };
+        let mut hbps = Hbps::build(cfg, scores.iter().copied()).unwrap();
+        let mut i = 0usize;
+        g.bench_with_input(
+            BenchmarkId::new("score_change", bins),
+            &bins,
+            |b, _| {
+                b.iter(|| {
+                    let (aa, old) = scores[i % scores.len()];
+                    i += 1;
+                    let new = AaScore((old.get() + 9_000) % 32_769);
+                    hbps.on_score_change(aa, old, new);
+                    hbps.on_score_change(aa, new, old);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn list_capacity_sweep(c: &mut Criterion) {
+    // Smaller lists drain faster and trigger more replenish scans; this
+    // measures the take/replenish cycle at different capacities.
+    let scores = random_scores(200_000, 32_768, 22);
+    let mut g = c.benchmark_group("ablation/hbps_list_capacity");
+    for cap in [100usize, 500, 1000] {
+        let cfg = HbpsConfig {
+            max_score: 32_768,
+            bins: 32,
+            list_capacity: cap,
+        };
+        let mut hbps = Hbps::build(cfg, scores.iter().copied()).unwrap();
+        g.bench_with_input(BenchmarkId::new("take_cycle", cap), &cap, |b, _| {
+            b.iter(|| {
+                if hbps.take_best().is_none() {
+                    hbps.replenish(scores.iter().copied());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bin_sweep, list_capacity_sweep);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation: full-heap versus top-K tracking for the RAID-aware cache
+//! (DESIGN.md §7).
+//!
+//! §3.3.1 argues that storing *all* AAs in the max-heap "justifies the
+//! memory" because selection quality in the physical space has a large
+//! performance impact. The alternative — tracking only the K best, like
+//! the RAID-agnostic design — is cheaper per CP but goes stale as frees
+//! land in untracked AAs. This bench quantifies the per-CP cost side at
+//! 1 M AAs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use wafl_bench::random_scores;
+use wafl_core::{RaidAwareCache, ScoreDeltaBatch};
+use wafl_types::AaId;
+
+const N: u32 = 1_000_000;
+const MAX: u32 = 16_384;
+
+fn batch_cost(c: &mut Criterion) {
+    let scores = random_scores(N, MAX, 41);
+    let mut g = c.benchmark_group("ablation/heap_vs_topk_batch");
+    // Full heap.
+    {
+        let mut full = RaidAwareCache::new_full(
+            scores.iter().map(|&(_, s)| s).collect(),
+            vec![MAX; N as usize],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        g.bench_function("full_1M", |b| {
+            b.iter(|| {
+                let mut batch = ScoreDeltaBatch::new();
+                for _ in 0..256 {
+                    batch.record_freed(AaId(rng.random_range(0..N)), 10);
+                }
+                full.apply_batch(&mut batch);
+            })
+        });
+    }
+    // Top-K truncated heaps (built via the TopAA seeding path, which is
+    // exactly a top-K cache).
+    for k in [512usize, 8192, 65_536] {
+        let full = RaidAwareCache::new_full(
+            scores.iter().map(|&(_, s)| s).collect(),
+            vec![MAX; N as usize],
+        )
+        .unwrap();
+        let top = full.top_k(k);
+        let mut truncated = RaidAwareCache::seeded(vec![MAX; N as usize], &top).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        g.bench_with_input(BenchmarkId::new("topk", k), &k, |b, _| {
+            b.iter(|| {
+                let mut batch = ScoreDeltaBatch::new();
+                for _ in 0..256 {
+                    // Deltas for untracked AAs update scores but skip the
+                    // heap — the cheapness (and staleness) of top-K.
+                    batch.record_freed(AaId(rng.random_range(0..N)), 10);
+                }
+                truncated.apply_batch(&mut batch);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn memory_report(c: &mut Criterion) {
+    // Not a timing bench — emit the memory comparison once so the bench
+    // log records the §3.3.1 tradeoff alongside the timings.
+    let scores = random_scores(N, MAX, 42);
+    let full = RaidAwareCache::new_full(
+        scores.iter().map(|&(_, s)| s).collect(),
+        vec![MAX; N as usize],
+    )
+    .unwrap();
+    let top = full.top_k(512);
+    let truncated = RaidAwareCache::seeded(vec![MAX; N as usize], &top).unwrap();
+    eprintln!(
+        "heap memory: full(1M AAs) = {} KiB, top-512 = {} KiB (scores/max kept for both)",
+        full.memory_bytes() / 1024,
+        truncated.memory_bytes() / 1024
+    );
+    c.bench_function("ablation/heap_memory_noop", |b| b.iter(|| full.len()));
+}
+
+criterion_group!(benches, batch_cost, memory_report);
+criterion_main!(benches);

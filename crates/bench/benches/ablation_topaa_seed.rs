@@ -1,0 +1,46 @@
+//! Ablation: TopAA seed size (DESIGN.md §7).
+//!
+//! The paper stores the 512 best AAs per RAID-aware cache — "enough to
+//! seed the max-heap ... for dozens of seconds" (§3.4). This bench sweeps
+//! the seed size: smaller seeds mount marginally faster but exhaust
+//! sooner; the mount-side costs are what we can measure directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wafl_bench::random_scores;
+use wafl_core::RaidAwareCache;
+
+const N: u32 = 1_000_000;
+const MAX: u32 = 16_384;
+
+fn seed_size_sweep(c: &mut Criterion) {
+    let scores = random_scores(N, MAX, 31);
+    let cache = RaidAwareCache::new_full(
+        scores.iter().map(|&(_, s)| s).collect(),
+        vec![MAX; N as usize],
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("ablation/topaa_seed_size");
+    for k in [64usize, 128, 256, 512] {
+        let entries = cache.top_k(k);
+        g.bench_with_input(BenchmarkId::new("seed_cache", k), &k, |b, _| {
+            b.iter(|| RaidAwareCache::seeded(vec![MAX; N as usize], &entries).unwrap())
+        });
+        // How many CP-sized drains the seed sustains before running dry:
+        // drain-all-then-count, measured as time per full exhaustion.
+        g.bench_with_input(BenchmarkId::new("exhaust_seed", k), &k, |b, _| {
+            b.iter(|| {
+                let mut seeded =
+                    RaidAwareCache::seeded(vec![MAX; N as usize], &entries).unwrap();
+                let mut drains = 0u32;
+                while seeded.take_best().is_some() {
+                    drains += 1;
+                }
+                drains
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, seed_size_sweep);
+criterion_main!(benches);

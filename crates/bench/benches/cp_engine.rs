@@ -1,0 +1,79 @@
+//! Consistency-point engine throughput: how many client overwrites per
+//! second the simulated WAFL stack flushes, with caches on and off. The
+//! paper's motivating number is 256 k free blocks found per second for a
+//! 1 GiB/s overwrite load (§2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use wafl_fs::{Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_media::MediaProfile;
+use wafl_types::VolumeId;
+
+fn build(caches: bool) -> Aggregate {
+    let mut agg = Aggregate::new(
+        AggregateConfig {
+            raid_aware_cache: caches,
+            ..AggregateConfig::single_group(RaidGroupSpec {
+                data_devices: 4,
+                parity_devices: 1,
+                device_blocks: 64 * 4096,
+                profile: MediaProfile::hdd(),
+            })
+        },
+        &[(
+            FlexVolConfig {
+                size_blocks: 16 * 32_768,
+                aa_cache: caches,
+                aa_blocks: None,
+            },
+            200_000,
+        )],
+        1,
+    )
+    .unwrap();
+    // Prime the working set.
+    wafl_fs::aging::fill_volume(&mut agg, VolumeId(0), 8192).unwrap();
+    agg
+}
+
+fn cp_overwrite_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cp/random_overwrite_flush");
+    const OPS: u64 = 8192;
+    g.throughput(Throughput::Elements(OPS));
+    for (label, caches) in [("caches_on", true), ("caches_off", false)] {
+        let mut agg = build(caches);
+        let mut rng = StdRng::seed_from_u64(2);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                for _ in 0..OPS {
+                    agg.client_overwrite(VolumeId(0), rng.random_range(0..200_000))
+                        .unwrap();
+                }
+                agg.run_cp().unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn cp_sequential_fill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cp/sequential_fill");
+    const OPS: u64 = 8192;
+    g.throughput(Throughput::Elements(OPS));
+    let mut agg = build(true);
+    let mut next = 0u64;
+    g.bench_function("caches_on", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                agg.client_overwrite(VolumeId(0), next % 200_000).unwrap();
+                next += 1;
+            }
+            agg.run_cp().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, cp_overwrite_throughput, cp_sequential_fill);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Delayed-free processing benchmarks (§3.3.2's second HBPS use case):
+//! logging cost, and the page-batched application path versus immediate
+//! per-free bitmap updates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use wafl_fs::delayed_free::DelayedFreeLog;
+use wafl_types::Vbn;
+
+const SPACE: u64 = 256 * 32_768;
+
+fn scattered_frees(n: usize, seed: u64) -> Vec<Vbn> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rand::seq::index::sample(&mut rng, SPACE as usize, n)
+        .into_iter()
+        .map(|i| Vbn(i as u64))
+        .collect()
+}
+
+fn log_free_cost(c: &mut Criterion) {
+    let frees = scattered_frees(100_000, 1);
+    let mut g = c.benchmark_group("delayed_free/log");
+    g.throughput(Throughput::Elements(frees.len() as u64));
+    g.bench_function("log_100k_frees", |b| {
+        b.iter_batched(
+            DelayedFreeLog::new,
+            |mut log| {
+                for &v in &frees {
+                    log.log_free(v);
+                }
+                log
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn process_vs_immediate(c: &mut Criterion) {
+    let frees = scattered_frees(50_000, 2);
+    let mut g = c.benchmark_group("delayed_free/apply_50k");
+    g.throughput(Throughput::Elements(frees.len() as u64));
+    g.bench_function("batched_by_page", |b| {
+        b.iter_batched(
+            || {
+                let mut bitmap = wafl_bitmap::Bitmap::new(SPACE);
+                let mut log = DelayedFreeLog::new();
+                for &v in &frees {
+                    bitmap.allocate(v).unwrap();
+                    log.log_free(v);
+                }
+                (bitmap, log)
+            },
+            |(mut bitmap, mut log)| {
+                log.force_drain(&mut bitmap, |_, _| Ok(())).unwrap();
+                bitmap
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("immediate", |b| {
+        b.iter_batched(
+            || {
+                let mut bitmap = wafl_bitmap::Bitmap::new(SPACE);
+                for &v in &frees {
+                    bitmap.allocate(v).unwrap();
+                }
+                bitmap
+            },
+            |mut bitmap| {
+                for &v in &frees {
+                    bitmap.free(v).unwrap();
+                }
+                bitmap
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, log_free_cost, process_vs_immediate);
+criterion_main!(benches);

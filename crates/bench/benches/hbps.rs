@@ -1,0 +1,91 @@
+//! HBPS micro-benchmarks (§3.3.2): the paper's claim is that maintaining
+//! the two-page structure costs ~0.002 % of CPU under heavy load — its
+//! per-operation costs must be tens of nanoseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wafl_bench::random_scores;
+use wafl_core::{Hbps, HbpsConfig};
+use wafl_types::AaScore;
+
+fn build_1m(c: &mut Criterion) {
+    let scores = random_scores(1_000_000, 32_768, 1);
+    c.bench_function("hbps/build_1M_aas", |b| {
+        b.iter(|| {
+            Hbps::build(HbpsConfig::default(), scores.iter().copied()).unwrap()
+        })
+    });
+}
+
+fn score_change(c: &mut Criterion) {
+    let scores = random_scores(1_000_000, 32_768, 2);
+    let mut hbps = Hbps::build(HbpsConfig::default(), scores.iter().copied()).unwrap();
+    let mut i = 0usize;
+    c.bench_function("hbps/on_score_change_1M_tracked", |b| {
+        b.iter(|| {
+            // Move an AA to a different bin and back — two updates, state
+            // restored, costs symmetric.
+            let (aa, old) = scores[i % scores.len()];
+            i += 1;
+            let new = AaScore((old.get() + 5_000) % 32_769);
+            hbps.on_score_change(aa, old, new);
+            hbps.on_score_change(aa, new, old);
+        })
+    });
+}
+
+fn take_and_retrack(c: &mut Criterion) {
+    c.bench_function("hbps/take_best_then_retrack", |b| {
+        let scores = random_scores(100_000, 32_768, 3);
+        let mut hbps = Hbps::build(HbpsConfig::default(), scores.iter().copied()).unwrap();
+        b.iter(|| {
+            if let Some((aa, bound)) = hbps.take_best() {
+                // Simulate the CP-boundary re-entry of the drained AA.
+                hbps.on_score_change(aa, bound, AaScore(0));
+                hbps.on_score_change(aa, AaScore(0), bound);
+            } else {
+                hbps.replenish(scores.iter().copied());
+            }
+        })
+    });
+}
+
+fn serde_pages(c: &mut Criterion) {
+    let scores = random_scores(1_000_000, 32_768, 4);
+    let hbps = Hbps::build(HbpsConfig::default(), scores.iter().copied()).unwrap();
+    c.bench_function("hbps/to_pages", |b| {
+        b.iter(|| black_box(hbps.to_pages()))
+    });
+    let (p1, p2) = hbps.to_pages();
+    c.bench_function("hbps/from_pages", |b| {
+        b.iter(|| Hbps::from_pages(black_box(&p1), black_box(&p2)).unwrap())
+    });
+}
+
+fn peek_vs_full_scan(c: &mut Criterion) {
+    // The point of the structure: O(1) best-AA lookup vs re-deriving the
+    // best from a million scores.
+    let scores = random_scores(1_000_000, 32_768, 5);
+    let hbps = Hbps::build(HbpsConfig::default(), scores.iter().copied()).unwrap();
+    c.bench_function("hbps/peek_best", |b| b.iter(|| black_box(hbps.peek_best())));
+    c.bench_function("hbps/naive_max_of_1M_scores", |b| {
+        b.iter(|| {
+            black_box(
+                scores
+                    .iter()
+                    .max_by_key(|&&(aa, s)| (s, std::cmp::Reverse(aa)))
+                    .copied(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    build_1m,
+    score_change,
+    take_and_retrack,
+    serde_pages,
+    peek_vs_full_scan
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! RAID-aware max-heap micro-benchmarks (§3.3.1): the cache tracking a
+//! million AAs (the paper's 16 TiB-device example) must support per-CP
+//! batched rebalancing and O(1) best-AA queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+use wafl_bench::random_scores;
+use wafl_core::{RaidAwareCache, ScoreDeltaBatch};
+use wafl_types::AaId;
+
+const N: u32 = 1_000_000;
+const MAX: u32 = 16_384;
+
+fn build_cache() -> RaidAwareCache {
+    let scores = random_scores(N, MAX, 7);
+    RaidAwareCache::new_full(
+        scores.into_iter().map(|(_, s)| s).collect(),
+        vec![MAX; N as usize],
+    )
+    .unwrap()
+}
+
+fn build_1m(c: &mut Criterion) {
+    let scores = random_scores(N, MAX, 7);
+    c.bench_function("heap/build_1M_aas", |b| {
+        b.iter(|| {
+            RaidAwareCache::new_full(
+                scores.iter().map(|&(_, s)| s).collect(),
+                vec![MAX; N as usize],
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn best_query(c: &mut Criterion) {
+    let cache = build_cache();
+    c.bench_function("heap/best_peek", |b| b.iter(|| black_box(cache.best())));
+}
+
+fn cp_batch(c: &mut Criterion) {
+    // A CP touches a few hundred AAs: the per-CP rebalance cost.
+    let mut cache = build_cache();
+    let mut rng = StdRng::seed_from_u64(9);
+    c.bench_function("heap/apply_batch_256_aas", |b| {
+        b.iter(|| {
+            let mut batch = ScoreDeltaBatch::new();
+            for _ in 0..256 {
+                let aa = AaId(rng.random_range(0..N));
+                if rng.random_bool(0.5) {
+                    batch.record_freed(aa, rng.random_range(1..100));
+                } else {
+                    batch.record_allocated(aa, rng.random_range(1..100));
+                }
+            }
+            cache.apply_batch(&mut batch);
+        })
+    });
+}
+
+fn top_k_512(c: &mut Criterion) {
+    // The TopAA persistence query, run once per CP (§3.4).
+    let cache = build_cache();
+    c.bench_function("heap/top_k_512_of_1M", |b| {
+        b.iter(|| black_box(cache.top_k(512)))
+    });
+}
+
+fn take_and_reinsert(c: &mut Criterion) {
+    let mut cache = build_cache();
+    c.bench_function("heap/take_best_reinsert", |b| {
+        b.iter(|| {
+            let (aa, score) = cache.take_best().unwrap();
+            cache.insert(aa, score).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, build_1m, best_query, cp_batch, top_k_512, take_and_reinsert);
+criterion_main!(benches);

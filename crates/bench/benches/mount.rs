@@ -1,0 +1,77 @@
+//! Wall-clock analogue of Figure 10: time to make AA caches operational
+//! after a crash, seeding from TopAA metafiles versus walking every
+//! bitmap page. (The harness's `fig10_topaa_mount` reports the *modelled*
+//! metafile I/O; this bench measures our implementation's actual CPU.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wafl_fs::{mount, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_media::MediaProfile;
+use wafl_types::VolumeId;
+
+fn build_aged(vols: usize) -> Aggregate {
+    let mut agg = Aggregate::new(
+        AggregateConfig::single_group(RaidGroupSpec {
+            data_devices: 4,
+            parity_devices: 1,
+            device_blocks: 64 * 4096,
+            profile: MediaProfile::hdd(),
+        }),
+        &vec![
+            (
+                FlexVolConfig {
+                    size_blocks: 8 * 32_768,
+                    aa_cache: true,
+                    aa_blocks: None,
+                },
+                50_000,
+            );
+            vols
+        ],
+        1,
+    )
+    .unwrap();
+    for v in 0..vols {
+        wafl_fs::aging::fill_volume(&mut agg, VolumeId(v as u32), 8192).unwrap();
+    }
+    agg
+}
+
+fn mount_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mount/10_volumes");
+    let agg = build_aged(10);
+    let image = mount::save_topaa(&agg);
+    drop(agg);
+    g.bench_function("with_topaa", |b| {
+        b.iter_batched(
+            || {
+                let mut a = build_aged(10);
+                mount::crash(&mut a);
+                a
+            },
+            |mut a| mount::mount_with_topaa(&mut a, &image).unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("cold_walk", |b| {
+        b.iter_batched(
+            || {
+                let mut a = build_aged(10);
+                mount::crash(&mut a);
+                a
+            },
+            |mut a| mount::mount_cold(&mut a).unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+fn save_topaa(c: &mut Criterion) {
+    let agg = build_aged(10);
+    c.bench_function("mount/save_topaa_image", |b| {
+        b.iter(|| mount::save_topaa(&agg))
+    });
+}
+
+criterion_group!(benches, mount_paths, save_topaa);
+criterion_main!(benches);

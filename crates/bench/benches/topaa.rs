@@ -1,0 +1,62 @@
+//! TopAA metafile benchmarks (§3.4): serializing the 512 best AAs at CP
+//! time and seeding a working cache from the block at mount time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wafl_bench::random_scores;
+use wafl_core::{topaa, RaidAwareCache};
+
+const N: u32 = 1_000_000;
+const MAX: u32 = 16_384;
+
+fn serialize(c: &mut Criterion) {
+    let scores = random_scores(N, MAX, 11);
+    let cache = RaidAwareCache::new_full(
+        scores.into_iter().map(|(_, s)| s).collect(),
+        vec![MAX; N as usize],
+    )
+    .unwrap();
+    c.bench_function("topaa/serialize_512_of_1M", |b| {
+        b.iter(|| black_box(topaa::serialize_raid_aware(&cache)))
+    });
+}
+
+fn deserialize_and_seed(c: &mut Criterion) {
+    let scores = random_scores(N, MAX, 12);
+    let cache = RaidAwareCache::new_full(
+        scores.into_iter().map(|(_, s)| s).collect(),
+        vec![MAX; N as usize],
+    )
+    .unwrap();
+    let block = topaa::serialize_raid_aware(&cache);
+    c.bench_function("topaa/deserialize_block", |b| {
+        b.iter(|| topaa::deserialize_raid_aware(black_box(&block)).unwrap())
+    });
+    let entries = topaa::deserialize_raid_aware(&block).unwrap();
+    c.bench_function("topaa/seed_cache_from_512", |b| {
+        b.iter(|| RaidAwareCache::seeded(vec![MAX; N as usize], black_box(&entries)).unwrap())
+    });
+}
+
+fn background_absorb(c: &mut Criterion) {
+    // Completing the seeded heap with the authoritative 1M-score walk.
+    let scores = random_scores(N, MAX, 13);
+    let cache = RaidAwareCache::new_full(
+        scores.iter().map(|&(_, s)| s).collect(),
+        vec![MAX; N as usize],
+    )
+    .unwrap();
+    let block = topaa::serialize_raid_aware(&cache);
+    let entries = topaa::deserialize_raid_aware(&block).unwrap();
+    c.bench_function("topaa/absorb_rebuild_1M", |b| {
+        b.iter(|| {
+            let mut seeded =
+                RaidAwareCache::seeded(vec![MAX; N as usize], &entries).unwrap();
+            seeded.absorb_rebuild(&scores).unwrap();
+            black_box(seeded.is_complete())
+        })
+    });
+}
+
+criterion_group!(benches, serialize, deserialize_and_seed, background_absorb);
+criterion_main!(benches);

@@ -1,0 +1,515 @@
+//! The whole activemap for one block-number space, with dirty-page
+//! accounting.
+
+use crate::page::BitmapPage;
+use wafl_types::{Vbn, WaflError, WaflResult, BITS_PER_BITMAP_BLOCK};
+
+/// Per-consistency-point accounting of bitmap-metafile I/O.
+///
+/// Paper §2.5: "assigning free VBNs colocated in the number space minimizes
+/// the number of metafile blocks that need to be consulted and updated."
+/// The experiments therefore measure how many distinct metafile blocks each
+/// CP dirties; this struct is that counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirtyStats {
+    /// Distinct metafile pages written since the last
+    /// [`Bitmap::take_dirty_stats`] call.
+    pub pages_dirtied: u64,
+    /// Individual bit flips since the last take (allocations + frees).
+    pub bits_flipped: u64,
+}
+
+/// The activemap of one block-number space: one bit per VBN, grouped into
+/// 4 KiB pages exactly as the on-disk metafile would be.
+///
+/// ```
+/// use wafl_bitmap::Bitmap;
+/// use wafl_types::Vbn;
+///
+/// let mut map = Bitmap::new(100_000);
+/// map.allocate(Vbn(42)).unwrap();
+/// assert!(!map.is_free(Vbn(42)).unwrap());
+/// assert!(map.allocate(Vbn(42)).is_err()); // double allocation caught
+///
+/// // AA scores are range popcounts (§3.3).
+/// assert_eq!(map.free_count_range(Vbn(0), 32_768), 32_767);
+///
+/// // Each CP's metafile I/O is the dirty-page count (§2.5).
+/// assert_eq!(map.take_dirty_stats().pages_dirtied, 1);
+/// ```
+///
+/// Invariants enforced at runtime (not just in debug builds) because the
+/// paper's system treats them as consistency checks:
+/// * allocating an allocated block fails with
+///   [`WaflError::BitmapStateMismatch`];
+/// * freeing a free block fails likewise.
+pub struct Bitmap {
+    pages: Vec<BitmapPage>,
+    /// One flag per page: dirtied since the last `take_dirty_stats`.
+    dirty: Vec<bool>,
+    stats: DirtyStats,
+    space_len: u64,
+    free_blocks: u64,
+}
+
+impl Bitmap {
+    /// An all-free bitmap covering `space_len` VBNs. The final page is
+    /// padded with *allocated* bits past `space_len` so range queries never
+    /// see phantom free space.
+    pub fn new(space_len: u64) -> Bitmap {
+        let page_count = space_len.div_ceil(BITS_PER_BITMAP_BLOCK) as usize;
+        let mut pages = vec![BitmapPage::new_free(); page_count];
+        // Pad the tail of the last page.
+        let tail_start = space_len % BITS_PER_BITMAP_BLOCK;
+        if tail_start != 0 {
+            let last = pages.last_mut().expect("space_len > 0 implies a page");
+            for i in tail_start..BITS_PER_BITMAP_BLOCK {
+                last.set_allocated(i);
+            }
+        }
+        Bitmap {
+            dirty: vec![false; page_count],
+            pages,
+            stats: DirtyStats::default(),
+            space_len,
+            free_blocks: space_len,
+        }
+    }
+
+    /// Number of VBNs in the space.
+    #[inline]
+    pub fn space_len(&self) -> u64 {
+        self.space_len
+    }
+
+    /// Number of 4 KiB metafile pages backing the space.
+    #[inline]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total free blocks in the space (maintained incrementally — O(1)).
+    #[inline]
+    pub fn free_blocks(&self) -> u64 {
+        self.free_blocks
+    }
+
+    /// Fraction of the space that is free.
+    #[inline]
+    pub fn free_fraction(&self) -> f64 {
+        if self.space_len == 0 {
+            0.0
+        } else {
+            self.free_blocks as f64 / self.space_len as f64
+        }
+    }
+
+    #[inline]
+    fn locate(&self, vbn: Vbn) -> WaflResult<(usize, u64)> {
+        if vbn.get() >= self.space_len {
+            return Err(WaflError::VbnOutOfRange {
+                vbn,
+                space_len: self.space_len,
+            });
+        }
+        Ok((
+            (vbn.get() / BITS_PER_BITMAP_BLOCK) as usize,
+            vbn.get() % BITS_PER_BITMAP_BLOCK,
+        ))
+    }
+
+    /// Whether `vbn` is free.
+    pub fn is_free(&self, vbn: Vbn) -> WaflResult<bool> {
+        let (p, i) = self.locate(vbn)?;
+        Ok(self.pages[p].is_free(i))
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, page: usize) {
+        if !self.dirty[page] {
+            self.dirty[page] = true;
+            self.stats.pages_dirtied += 1;
+        }
+        self.stats.bits_flipped += 1;
+    }
+
+    /// Allocate `vbn`. Errors if out of range or already allocated.
+    pub fn allocate(&mut self, vbn: Vbn) -> WaflResult<()> {
+        let (p, i) = self.locate(vbn)?;
+        if !self.pages[p].set_allocated(i) {
+            return Err(WaflError::BitmapStateMismatch {
+                vbn,
+                expected_free: true,
+            });
+        }
+        self.free_blocks -= 1;
+        self.mark_dirty(p);
+        Ok(())
+    }
+
+    /// Free `vbn`. Errors if out of range or already free.
+    pub fn free(&mut self, vbn: Vbn) -> WaflResult<()> {
+        let (p, i) = self.locate(vbn)?;
+        if !self.pages[p].set_free(i) {
+            return Err(WaflError::BitmapStateMismatch {
+                vbn,
+                expected_free: false,
+            });
+        }
+        self.free_blocks += 1;
+        self.mark_dirty(p);
+        Ok(())
+    }
+
+    /// Number of free blocks in `start .. start+len` (clamped to the
+    /// space). This is how an AA score is computed from the metafile
+    /// (§3.3: "computed by consulting bitmap metafiles").
+    pub fn free_count_range(&self, start: Vbn, len: u64) -> u32 {
+        let start = start.get().min(self.space_len);
+        let end = (start + len).min(self.space_len);
+        if start >= end {
+            return 0;
+        }
+        let mut total = 0u32;
+        let mut pos = start;
+        while pos < end {
+            let page = (pos / BITS_PER_BITMAP_BLOCK) as usize;
+            let in_page = pos % BITS_PER_BITMAP_BLOCK;
+            let page_end = ((page as u64 + 1) * BITS_PER_BITMAP_BLOCK).min(end);
+            let in_page_end = in_page + (page_end - pos);
+            total += self.pages[page].free_count_range(in_page, in_page_end);
+            pos = page_end;
+        }
+        total
+    }
+
+    /// First free VBN at or after `from`, or `None`.
+    pub fn first_free_from(&self, from: Vbn) -> Option<Vbn> {
+        if from.get() >= self.space_len {
+            return None;
+        }
+        let mut page = (from.get() / BITS_PER_BITMAP_BLOCK) as usize;
+        let mut in_page = from.get() % BITS_PER_BITMAP_BLOCK;
+        while page < self.pages.len() {
+            if let Some(i) = self.pages[page].first_free_from(in_page) {
+                let vbn = page as u64 * BITS_PER_BITMAP_BLOCK + i;
+                // Tail padding is allocated, so vbn < space_len always holds;
+                // keep the check as a defensive invariant.
+                return (vbn < self.space_len).then_some(Vbn(vbn));
+            }
+            page += 1;
+            in_page = 0;
+        }
+        None
+    }
+
+    /// Iterate free VBNs in `start .. start+len` in ascending order.
+    pub fn iter_free_in_range(
+        &self,
+        start: Vbn,
+        len: u64,
+    ) -> impl Iterator<Item = Vbn> + '_ {
+        let end = (start.get() + len).min(self.space_len);
+        FreeIter {
+            bitmap: self,
+            next: start,
+            end,
+        }
+    }
+
+    /// Longest run of consecutive free VBNs in `start .. start+len`.
+    /// Used by fragmentation diagnostics and the write-chain model.
+    pub fn longest_free_run_in_range(&self, start: Vbn, len: u64) -> u64 {
+        let end = (start.get() + len).min(self.space_len);
+        let mut best = 0u64;
+        let mut run = 0u64;
+        let mut pos = start.get();
+        while pos < end {
+            // Word-grained fast path via first_free_from would complicate
+            // this; ranges here are AA-sized (<= a few MiB of bits), fine.
+            let page = (pos / BITS_PER_BITMAP_BLOCK) as usize;
+            let in_page = pos % BITS_PER_BITMAP_BLOCK;
+            if self.pages[page].is_free(in_page) {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 0;
+            }
+            pos += 1;
+        }
+        best
+    }
+
+    /// Take and reset the dirty-page statistics. Called once per CP by the
+    /// consistency-point engine; the returned counts model that CP's
+    /// metafile-block I/O.
+    pub fn take_dirty_stats(&mut self) -> DirtyStats {
+        let out = self.stats;
+        self.stats = DirtyStats::default();
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        out
+    }
+
+    /// Grow the space to `new_len` VBNs (aggregate growth: §3.1's "RAID
+    /// group creation and growth"). The old tail page's padding becomes
+    /// real free space; new pages arrive free with the new tail padded.
+    /// Shrinking is not supported.
+    pub fn extend(&mut self, new_len: u64) -> WaflResult<()> {
+        if new_len < self.space_len {
+            return Err(WaflError::InvalidConfig {
+                reason: format!(
+                    "cannot shrink a bitmap from {} to {new_len}",
+                    self.space_len
+                ),
+            });
+        }
+        if new_len == self.space_len {
+            return Ok(());
+        }
+        // Unpad the old tail up to the page boundary (or new_len).
+        let old_len = self.space_len;
+        let old_tail = old_len % BITS_PER_BITMAP_BLOCK;
+        if old_tail != 0 {
+            let page = (old_len / BITS_PER_BITMAP_BLOCK) as usize;
+            let unpad_end = (old_len - old_tail + BITS_PER_BITMAP_BLOCK).min(new_len);
+            for v in old_len..unpad_end {
+                let was = self.pages[page].set_free(v % BITS_PER_BITMAP_BLOCK);
+                debug_assert!(was, "tail padding must have been allocated");
+                self.free_blocks += 1;
+            }
+        }
+        // Append whole pages.
+        let new_pages = new_len.div_ceil(BITS_PER_BITMAP_BLOCK) as usize;
+        while self.pages.len() < new_pages {
+            self.pages.push(BitmapPage::new_free());
+            self.dirty.push(false);
+            let page_start = (self.pages.len() as u64 - 1) * BITS_PER_BITMAP_BLOCK;
+            self.free_blocks += BITS_PER_BITMAP_BLOCK.min(new_len - page_start);
+        }
+        // Pad the new tail.
+        let new_tail = new_len % BITS_PER_BITMAP_BLOCK;
+        if new_tail != 0 {
+            let last = self.pages.last_mut().expect("pages exist after extend");
+            for i in new_tail..BITS_PER_BITMAP_BLOCK {
+                last.set_allocated(i);
+            }
+        }
+        self.space_len = new_len;
+        Ok(())
+    }
+
+    /// Read-only access to a page, for scans and serialization.
+    /// `None` if `page` is out of range.
+    pub fn page(&self, page: usize) -> Option<&BitmapPage> {
+        self.pages.get(page)
+    }
+
+    /// All pages, for parallel scans.
+    pub(crate) fn pages(&self) -> &[BitmapPage] {
+        &self.pages
+    }
+}
+
+struct FreeIter<'a> {
+    bitmap: &'a Bitmap,
+    next: Vbn,
+    end: u64,
+}
+
+impl Iterator for FreeIter<'_> {
+    type Item = Vbn;
+
+    fn next(&mut self) -> Option<Vbn> {
+        let vbn = self.bitmap.first_free_from(self.next)?;
+        if vbn.get() >= self.end {
+            return None;
+        }
+        self.next = vbn.next();
+        Some(vbn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_bitmap_is_all_free() {
+        let b = Bitmap::new(100_000);
+        assert_eq!(b.free_blocks(), 100_000);
+        assert_eq!(b.space_len(), 100_000);
+        assert_eq!(b.page_count(), 4); // ceil(100_000 / 32768)
+        assert_eq!(b.free_fraction(), 1.0);
+    }
+
+    #[test]
+    fn tail_padding_is_not_free_space() {
+        // 40_000 VBNs: second page is mostly padding.
+        let b = Bitmap::new(40_000);
+        assert_eq!(b.free_count_range(Vbn(0), u64::MAX), 40_000);
+        assert_eq!(b.first_free_from(Vbn(39_999)), Some(Vbn(39_999)));
+        assert_eq!(b.free_count_range(Vbn(32_768), 32_768), 40_000 - 32_768);
+    }
+
+    #[test]
+    fn allocate_free_round_trip() {
+        let mut b = Bitmap::new(1000);
+        b.allocate(Vbn(10)).unwrap();
+        assert!(!b.is_free(Vbn(10)).unwrap());
+        assert_eq!(b.free_blocks(), 999);
+        b.free(Vbn(10)).unwrap();
+        assert!(b.is_free(Vbn(10)).unwrap());
+        assert_eq!(b.free_blocks(), 1000);
+    }
+
+    #[test]
+    fn double_allocate_and_double_free_fail() {
+        let mut b = Bitmap::new(1000);
+        b.allocate(Vbn(5)).unwrap();
+        assert!(matches!(
+            b.allocate(Vbn(5)),
+            Err(WaflError::BitmapStateMismatch { .. })
+        ));
+        b.free(Vbn(5)).unwrap();
+        assert!(matches!(
+            b.free(Vbn(5)),
+            Err(WaflError::BitmapStateMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut b = Bitmap::new(1000);
+        assert!(matches!(
+            b.allocate(Vbn(1000)),
+            Err(WaflError::VbnOutOfRange { .. })
+        ));
+        assert!(b.is_free(Vbn(1_000_000)).is_err());
+    }
+
+    #[test]
+    fn free_count_range_spans_pages() {
+        let mut b = Bitmap::new(3 * 32768);
+        // Allocate a band straddling the page-0/page-1 boundary.
+        for v in 32_700..32_900 {
+            b.allocate(Vbn(v)).unwrap();
+        }
+        assert_eq!(b.free_count_range(Vbn(32_700), 200), 0);
+        assert_eq!(b.free_count_range(Vbn(0), 3 * 32768), 3 * 32768 - 200);
+        assert_eq!(b.free_count_range(Vbn(32_699), 202), 2);
+    }
+
+    #[test]
+    fn first_free_crosses_page_boundary() {
+        let mut b = Bitmap::new(2 * 32768);
+        for v in 0..32768 {
+            b.allocate(Vbn(v)).unwrap();
+        }
+        assert_eq!(b.first_free_from(Vbn(0)), Some(Vbn(32768)));
+    }
+
+    #[test]
+    fn iter_free_in_range_respects_bounds() {
+        let mut b = Bitmap::new(100);
+        for v in [3u64, 5, 7] {
+            b.allocate(Vbn(v)).unwrap();
+        }
+        let free: Vec<u64> = b.iter_free_in_range(Vbn(2), 8).map(Vbn::get).collect();
+        assert_eq!(free, vec![2, 4, 6, 8, 9]);
+    }
+
+    #[test]
+    fn dirty_stats_count_distinct_pages_once() {
+        let mut b = Bitmap::new(4 * 32768);
+        // Two flips in page 0, one in page 2.
+        b.allocate(Vbn(1)).unwrap();
+        b.allocate(Vbn(2)).unwrap();
+        b.allocate(Vbn(2 * 32768 + 5)).unwrap();
+        let s = b.take_dirty_stats();
+        assert_eq!(s.pages_dirtied, 2);
+        assert_eq!(s.bits_flipped, 3);
+        // Stats reset after take.
+        let s2 = b.take_dirty_stats();
+        assert_eq!(s2, DirtyStats::default());
+        // A page dirtied again counts again in the next window.
+        b.free(Vbn(1)).unwrap();
+        assert_eq!(b.take_dirty_stats().pages_dirtied, 1);
+    }
+
+    #[test]
+    fn colocated_allocations_dirty_fewer_pages() {
+        // The core of paper §2.5, as a unit test: 1000 colocated
+        // allocations touch 1 page; 1000 scattered ones touch many.
+        let mut colocated = Bitmap::new(100 * 32768);
+        for v in 0..1000u64 {
+            colocated.allocate(Vbn(v)).unwrap();
+        }
+        let mut scattered = Bitmap::new(100 * 32768);
+        for i in 0..1000u64 {
+            scattered.allocate(Vbn(i * 3277)).unwrap(); // stride over pages
+        }
+        let c = colocated.take_dirty_stats();
+        let s = scattered.take_dirty_stats();
+        assert_eq!(c.pages_dirtied, 1);
+        assert!(s.pages_dirtied > 90, "scattered dirtied {}", s.pages_dirtied);
+    }
+
+    #[test]
+    fn longest_free_run() {
+        let mut b = Bitmap::new(1000);
+        for v in [100u64, 300, 301, 302] {
+            b.allocate(Vbn(v)).unwrap();
+        }
+        assert_eq!(b.longest_free_run_in_range(Vbn(0), 1000), 1000 - 303);
+        assert_eq!(b.longest_free_run_in_range(Vbn(0), 100), 100);
+        assert_eq!(b.longest_free_run_in_range(Vbn(99), 4), 2); // 101,102
+    }
+
+    #[test]
+    fn extend_grows_free_space_exactly() {
+        // 40_000 -> 100_000: old tail padding becomes free, new pages
+        // arrive free, the new tail is padded.
+        let mut b = Bitmap::new(40_000);
+        for v in 0..100 {
+            b.allocate(Vbn(v)).unwrap();
+        }
+        b.extend(100_000).unwrap();
+        assert_eq!(b.space_len(), 100_000);
+        assert_eq!(b.free_blocks(), 100_000 - 100);
+        assert_eq!(b.page_count(), 4);
+        // The formerly padded region is usable.
+        assert!(b.is_free(Vbn(40_000)).unwrap());
+        b.allocate(Vbn(99_999)).unwrap();
+        assert!(b.allocate(Vbn(100_000)).is_err());
+        // Counting agrees with the incremental tracker.
+        assert_eq!(b.free_count_range(Vbn(0), u64::MAX) as u64, b.free_blocks());
+    }
+
+    #[test]
+    fn extend_is_idempotent_at_same_size_and_rejects_shrink() {
+        let mut b = Bitmap::new(50_000);
+        b.extend(50_000).unwrap();
+        assert_eq!(b.free_blocks(), 50_000);
+        assert!(b.extend(10_000).is_err());
+    }
+
+    #[test]
+    fn extend_within_the_same_page() {
+        let mut b = Bitmap::new(10_000);
+        b.extend(20_000).unwrap();
+        assert_eq!(b.page_count(), 1);
+        assert_eq!(b.free_blocks(), 20_000);
+        assert!(b.is_free(Vbn(15_000)).unwrap());
+        assert!(b.is_free(Vbn(19_999)).unwrap());
+        assert!(b.allocate(Vbn(20_000)).is_err());
+    }
+
+    #[test]
+    fn zero_length_space() {
+        let b = Bitmap::new(0);
+        assert_eq!(b.free_blocks(), 0);
+        assert_eq!(b.page_count(), 0);
+        assert_eq!(b.first_free_from(Vbn(0)), None);
+        assert_eq!(b.free_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Bitmap metafiles (the WAFL *activemap*).
+//!
+//! WAFL stores free-space information in flat internal files indexed by
+//! VBN; the *i*-th bit tracks the state of the *i*-th block (paper §2.5).
+//! This crate reproduces that structure:
+//!
+//! * [`BitmapPage`] — one 4 KiB metafile block holding 32 Ki bits.
+//! * [`Bitmap`] — a whole activemap: allocate/free with consistency checks,
+//!   popcount queries over arbitrary VBN ranges, free-run iteration, and
+//!   **dirty-page accounting**. Dirty pages are the currency of §2.5: every
+//!   metafile block touched during a consistency point is a block that must
+//!   be read, updated, and written back, so the experiments count them.
+//! * [`scan`] — rayon-parallel whole-bitmap scans used to (re)build AA
+//!   caches (§3.4's "background work can rebuild the entire cache").
+//!
+//! A bit value of `1` means **allocated**; `0` means free. A fresh bitmap
+//! is entirely free.
+
+#![warn(missing_docs)]
+
+mod bitmap;
+mod page;
+pub mod scan;
+
+pub use bitmap::{Bitmap, DirtyStats};
+pub use page::BitmapPage;

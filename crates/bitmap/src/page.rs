@@ -1,0 +1,261 @@
+//! A single 4 KiB bitmap-metafile block.
+
+use wafl_types::BITS_PER_BITMAP_BLOCK;
+
+/// Number of 64-bit words in one page: `32 Ki bits / 64 = 512`.
+pub(crate) const WORDS_PER_PAGE: usize = (BITS_PER_BITMAP_BLOCK / 64) as usize;
+
+/// One 4 KiB block of a bitmap metafile: 32 Ki bits, bit `i` tracking the
+/// state of the page's `i`-th VBN (`1` = allocated, `0` = free).
+///
+/// All hot operations (popcount, first-free search, run iteration) work on
+/// whole `u64` words so they compile to `popcnt`/`tzcnt` on x86-64.
+#[derive(Clone)]
+pub struct BitmapPage {
+    words: Box<[u64; WORDS_PER_PAGE]>,
+}
+
+impl Default for BitmapPage {
+    fn default() -> Self {
+        Self::new_free()
+    }
+}
+
+impl BitmapPage {
+    /// A page with every block free.
+    pub fn new_free() -> BitmapPage {
+        BitmapPage {
+            words: Box::new([0u64; WORDS_PER_PAGE]),
+        }
+    }
+
+    /// A page with every block allocated.
+    pub fn new_full() -> BitmapPage {
+        BitmapPage {
+            words: Box::new([u64::MAX; WORDS_PER_PAGE]),
+        }
+    }
+
+    /// Number of bits in a page.
+    #[inline]
+    pub const fn bits() -> u64 {
+        BITS_PER_BITMAP_BLOCK
+    }
+
+    /// Whether bit `i` is free. `i < 32 Ki`.
+    #[inline]
+    pub fn is_free(&self, i: u64) -> bool {
+        debug_assert!(i < Self::bits());
+        self.words[(i / 64) as usize] & (1u64 << (i % 64)) == 0
+    }
+
+    /// Mark bit `i` allocated. Returns `false` if it already was.
+    #[inline]
+    pub fn set_allocated(&mut self, i: u64) -> bool {
+        debug_assert!(i < Self::bits());
+        let w = &mut self.words[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        let was_free = *w & mask == 0;
+        *w |= mask;
+        was_free
+    }
+
+    /// Mark bit `i` free. Returns `false` if it already was.
+    #[inline]
+    pub fn set_free(&mut self, i: u64) -> bool {
+        debug_assert!(i < Self::bits());
+        let w = &mut self.words[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        let was_allocated = *w & mask != 0;
+        *w &= !mask;
+        was_allocated
+    }
+
+    /// Number of free bits in the whole page.
+    #[inline]
+    pub fn free_count(&self) -> u32 {
+        let allocated: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        BITS_PER_BITMAP_BLOCK as u32 - allocated
+    }
+
+    /// Number of free bits in `start..end` (bit indices within the page).
+    pub fn free_count_range(&self, start: u64, end: u64) -> u32 {
+        debug_assert!(start <= end && end <= Self::bits());
+        if start == end {
+            return 0;
+        }
+        let (first_word, last_word) = ((start / 64) as usize, ((end - 1) / 64) as usize);
+        let mut allocated = 0u32;
+        for (wi, &w) in self.words[first_word..=last_word].iter().enumerate() {
+            let wi = wi + first_word;
+            let mut mask = u64::MAX;
+            if wi == first_word {
+                mask &= u64::MAX << (start % 64);
+            }
+            if wi == last_word {
+                let top = end - (last_word as u64) * 64; // 1..=64 bits kept
+                if top < 64 {
+                    mask &= (1u64 << top) - 1;
+                }
+            }
+            allocated += (w & mask).count_ones();
+        }
+        (end - start) as u32 - allocated
+    }
+
+    /// First free bit at or after `from`, or `None`.
+    pub fn first_free_from(&self, from: u64) -> Option<u64> {
+        if from >= Self::bits() {
+            return None;
+        }
+        let mut wi = (from / 64) as usize;
+        // Mask off bits below `from` in the first word.
+        let mut w = !self.words[wi] & (u64::MAX << (from % 64));
+        loop {
+            if w != 0 {
+                return Some(wi as u64 * 64 + w.trailing_zeros() as u64);
+            }
+            wi += 1;
+            if wi == WORDS_PER_PAGE {
+                return None;
+            }
+            w = !self.words[wi];
+        }
+    }
+
+    /// Iterate maximal runs of consecutive free bits as `(start, len)`
+    /// pairs, in ascending order.
+    pub fn free_runs(&self) -> FreeRuns<'_> {
+        FreeRuns { page: self, pos: 0 }
+    }
+
+    /// Length of the longest run of consecutive free bits.
+    pub fn longest_free_run(&self) -> u64 {
+        self.free_runs().map(|(_, len)| len).max().unwrap_or(0)
+    }
+
+    /// Raw words, for serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.words[..]
+    }
+}
+
+/// Iterator over maximal free runs of a page. See [`BitmapPage::free_runs`].
+pub struct FreeRuns<'a> {
+    page: &'a BitmapPage,
+    pos: u64,
+}
+
+impl Iterator for FreeRuns<'_> {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        let start = self.page.first_free_from(self.pos)?;
+        // Scan forward for the end of the run, word-at-a-time.
+        let mut end = start;
+        while end < BitmapPage::bits() && self.page.is_free(end) {
+            // Fast-path whole free words.
+            if end % 64 == 0 {
+                let wi = (end / 64) as usize;
+                if wi < WORDS_PER_PAGE && self.page.words[wi] == 0 {
+                    end += 64;
+                    continue;
+                }
+            }
+            end += 1;
+        }
+        self.pos = end + 1;
+        Some((start, end - start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_page_is_all_free() {
+        let p = BitmapPage::new_free();
+        assert_eq!(p.free_count(), 32768);
+        assert!(p.is_free(0));
+        assert!(p.is_free(32767));
+        assert_eq!(p.first_free_from(0), Some(0));
+        assert_eq!(p.longest_free_run(), 32768);
+    }
+
+    #[test]
+    fn full_page_has_nothing() {
+        let p = BitmapPage::new_full();
+        assert_eq!(p.free_count(), 0);
+        assert_eq!(p.first_free_from(0), None);
+        assert_eq!(p.free_runs().count(), 0);
+    }
+
+    #[test]
+    fn set_and_clear_report_prior_state() {
+        let mut p = BitmapPage::new_free();
+        assert!(p.set_allocated(100));
+        assert!(!p.set_allocated(100), "double allocation detected");
+        assert!(!p.is_free(100));
+        assert!(p.set_free(100));
+        assert!(!p.set_free(100), "double free detected");
+        assert!(p.is_free(100));
+    }
+
+    #[test]
+    fn free_count_range_handles_word_boundaries() {
+        let mut p = BitmapPage::new_free();
+        for i in [0, 63, 64, 65, 127, 128, 200] {
+            p.set_allocated(i);
+        }
+        assert_eq!(p.free_count_range(0, 64), 62); // lost bits 0, 63
+        assert_eq!(p.free_count_range(64, 128), 61); // lost 64, 65, 127
+        assert_eq!(p.free_count_range(63, 66), 0); // 63,64,65 all allocated
+        assert_eq!(p.free_count_range(0, 32768), 32768 - 7);
+        assert_eq!(p.free_count_range(5, 5), 0);
+        assert_eq!(p.free_count_range(32704, 32768), 64);
+    }
+
+    #[test]
+    fn first_free_skips_allocated_prefix() {
+        let mut p = BitmapPage::new_free();
+        for i in 0..130 {
+            p.set_allocated(i);
+        }
+        assert_eq!(p.first_free_from(0), Some(130));
+        assert_eq!(p.first_free_from(130), Some(130));
+        assert_eq!(p.first_free_from(131), Some(131));
+    }
+
+    #[test]
+    fn first_free_from_past_end_is_none() {
+        let p = BitmapPage::new_free();
+        assert_eq!(p.first_free_from(32768), None);
+        assert_eq!(p.first_free_from(32767), Some(32767));
+    }
+
+    #[test]
+    fn free_runs_partition_free_space() {
+        let mut p = BitmapPage::new_free();
+        // Allocate 1000..2000 and 5000..5001.
+        for i in 1000..2000 {
+            p.set_allocated(i);
+        }
+        p.set_allocated(5000);
+        let runs: Vec<_> = p.free_runs().collect();
+        assert_eq!(
+            runs,
+            vec![(0, 1000), (2000, 3000), (5001, 32768 - 5001)]
+        );
+        let total: u64 = runs.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total as u32, p.free_count());
+        assert_eq!(p.longest_free_run(), 32768 - 5001);
+    }
+
+    #[test]
+    fn free_runs_single_trailing_bit() {
+        let mut p = BitmapPage::new_full();
+        p.set_free(32767);
+        assert_eq!(p.free_runs().collect::<Vec<_>>(), vec![(32767, 1)]);
+    }
+}

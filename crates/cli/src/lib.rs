@@ -1,0 +1,492 @@
+//! `wafl-sim` — command-line driver for the WAFL free-block-search
+//! simulator.
+//!
+//! Subcommands:
+//!
+//! * `simulate` — build an aggregate, age it, run a workload, and print
+//!   the §4-style measurements (pick quality, write amplification,
+//!   metafile pages per op, full-stripe fraction, per-op CPU).
+//! * `mount-bench` — the Figure 10 comparison for one configuration.
+//! * `help` — usage.
+//!
+//! Argument parsing is hand-rolled (no CLI dependency); every option has
+//! a default so `wafl-sim simulate` alone produces something meaningful.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use wafl_fs::{aging, iron, mount, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_media::MediaProfile;
+use wafl_types::{MediaType, VolumeId, WaflResult};
+use wafl_workloads::{FileChurn, OltpMix, RandomOverwrite, SequentialWrite, Workload};
+
+/// Parsed options for the `simulate` subcommand.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimulateOpts {
+    /// Media family for every device.
+    pub media: MediaType,
+    /// Data devices in the RAID group.
+    pub devices: u32,
+    /// Parity devices.
+    pub parity: u32,
+    /// Blocks per device.
+    pub device_blocks: u64,
+    /// Fill fraction before measurement.
+    pub fill: f64,
+    /// Churn multiple of the working set applied before measurement.
+    pub churn: f64,
+    /// Workload kind: `overwrite`, `oltp`, `sequential`, `churn`.
+    pub workload: String,
+    /// Measured operations.
+    pub ops: u64,
+    /// Operations per consistency point.
+    pub ops_per_cp: usize,
+    /// Disable the RAID-aware (aggregate) AA cache.
+    pub no_agg_cache: bool,
+    /// Disable the FlexVol (HBPS) AA cache.
+    pub no_vol_cache: bool,
+    /// Route frees through the delayed-free log.
+    pub batched_frees: bool,
+    /// Forward frees to SSD FTLs as TRIMs.
+    pub trim: bool,
+    /// Run the Iron consistency check after the workload.
+    pub check: bool,
+    /// Emit JSON instead of text.
+    pub json: bool,
+}
+
+impl Default for SimulateOpts {
+    fn default() -> SimulateOpts {
+        SimulateOpts {
+            media: MediaType::Ssd,
+            devices: 4,
+            parity: 1,
+            device_blocks: 512 * 120,
+            fill: 0.55,
+            churn: 1.5,
+            workload: "overwrite".into(),
+            ops: 50_000,
+            ops_per_cp: 2048,
+            no_agg_cache: false,
+            no_vol_cache: false,
+            batched_frees: false,
+            trim: false,
+            check: false,
+            json: false,
+        }
+    }
+}
+
+/// Parsed options for `mount-bench`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MountBenchOpts {
+    /// Number of FlexVols.
+    pub vols: u64,
+    /// Virtual blocks per volume.
+    pub vol_blocks: u64,
+    /// Blocks per device of the (HDD) RAID group.
+    pub device_blocks: u64,
+}
+
+impl Default for MountBenchOpts {
+    fn default() -> MountBenchOpts {
+        MountBenchOpts {
+            vols: 10,
+            vol_blocks: 8 * 32768,
+            device_blocks: 64 * 4096,
+        }
+    }
+}
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `simulate` with options.
+    Simulate(SimulateOpts),
+    /// `mount-bench` with options.
+    MountBench(MountBenchOpts),
+    /// `help` (or parse failure, with the message to show).
+    Help(Option<String>),
+}
+
+fn parse_kv(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{a}'"));
+        };
+        // Flags without values.
+        match key {
+            "no-agg-cache" | "no-vol-cache" | "batched-frees" | "trim" | "check"
+            | "json" => {
+                map.insert(key.to_string(), "true".into());
+                i += 1;
+            }
+            _ => {
+                let Some(v) = args.get(i + 1) else {
+                    return Err(format!("--{key} needs a value"));
+                };
+                map.insert(key.to_string(), v.clone());
+                i += 2;
+            }
+        }
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(
+    map: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match map.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+    }
+}
+
+/// Parse a full command line (excluding `argv[0]`).
+pub fn parse(args: &[String]) -> Command {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Command::Help(None);
+    };
+    let parse_result = (|| -> Result<Command, String> {
+        match cmd.as_str() {
+            "simulate" => {
+                let kv = parse_kv(rest)?;
+                let mut o = SimulateOpts::default();
+                o.media = match kv.get("media").map(String::as_str) {
+                    None | Some("ssd") => MediaType::Ssd,
+                    Some("hdd") => MediaType::Hdd,
+                    Some("smr") => MediaType::Smr,
+                    Some("object") => MediaType::ObjectStore,
+                    Some(other) => return Err(format!("unknown media '{other}'")),
+                };
+                o.devices = get(&kv, "devices", o.devices)?;
+                o.parity = get(&kv, "parity", o.parity)?;
+                o.device_blocks = get(&kv, "device-blocks", o.device_blocks)?;
+                o.fill = get(&kv, "fill", o.fill)?;
+                o.churn = get(&kv, "churn", o.churn)?;
+                o.workload = get(&kv, "workload", o.workload.clone())?;
+                o.ops = get(&kv, "ops", o.ops)?;
+                o.ops_per_cp = get(&kv, "ops-per-cp", o.ops_per_cp)?;
+                o.no_agg_cache = kv.contains_key("no-agg-cache");
+                o.no_vol_cache = kv.contains_key("no-vol-cache");
+                o.batched_frees = kv.contains_key("batched-frees");
+                o.trim = kv.contains_key("trim");
+                o.check = kv.contains_key("check");
+                o.json = kv.contains_key("json");
+                if !["overwrite", "oltp", "sequential", "churn"]
+                    .contains(&o.workload.as_str())
+                {
+                    return Err(format!("unknown workload '{}'", o.workload));
+                }
+                Ok(Command::Simulate(o))
+            }
+            "mount-bench" => {
+                let kv = parse_kv(rest)?;
+                let mut o = MountBenchOpts::default();
+                o.vols = get(&kv, "vols", o.vols)?;
+                o.vol_blocks = get(&kv, "vol-blocks", o.vol_blocks)?;
+                o.device_blocks = get(&kv, "device-blocks", o.device_blocks)?;
+                Ok(Command::MountBench(o))
+            }
+            "help" | "--help" | "-h" => Ok(Command::Help(None)),
+            other => Err(format!("unknown command '{other}'")),
+        }
+    })();
+    match parse_result {
+        Ok(c) => c,
+        Err(msg) => Command::Help(Some(msg)),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+wafl-sim — WAFL free-block-search simulator
+
+USAGE:
+  wafl-sim simulate [--media ssd|hdd|smr|object] [--devices N] [--parity N]
+                    [--device-blocks N] [--fill F] [--churn F]
+                    [--workload overwrite|oltp|sequential|churn]
+                    [--ops N] [--ops-per-cp N]
+                    [--no-agg-cache] [--no-vol-cache]
+                    [--batched-frees] [--trim] [--check] [--json]
+  wafl-sim mount-bench [--vols N] [--vol-blocks N] [--device-blocks N]
+  wafl-sim help
+";
+
+/// Results of a `simulate` run (also the JSON shape).
+#[derive(Debug, serde::Serialize)]
+pub struct SimulateReport {
+    /// Operations measured.
+    pub ops: u64,
+    /// Consistency points run.
+    pub cps: u64,
+    /// Mean free fraction of picked physical AAs.
+    pub agg_pick_free: f64,
+    /// Mean free fraction of picked virtual AAs.
+    pub vol_pick_free: f64,
+    /// Aggregate free fraction at measurement time.
+    pub aggregate_free: f64,
+    /// Full-stripe fraction of the measured window.
+    pub full_stripe_fraction: f64,
+    /// Bitmap-metafile pages dirtied per op.
+    pub metafile_pages_per_op: f64,
+    /// Modelled WAFL CPU per op, µs.
+    pub cpu_us_per_op: f64,
+    /// Mean SSD write amplification (1.0 for non-SSD).
+    pub write_amplification: f64,
+    /// SMR drive interventions (0 for non-SMR).
+    pub smr_interventions: u64,
+    /// Iron findings, when `--check` was given.
+    pub iron: Option<wafl_fs::iron::IronReport>,
+}
+
+/// Run the `simulate` subcommand.
+pub fn run_simulate(o: &SimulateOpts) -> WaflResult<SimulateReport> {
+    let profile = match o.media {
+        MediaType::Hdd => MediaProfile::hdd(),
+        MediaType::Ssd => MediaProfile::ssd(),
+        MediaType::Smr => MediaProfile {
+            zone_blocks: 4096,
+            ..MediaProfile::smr()
+        },
+        MediaType::ObjectStore => MediaProfile::object_store(),
+    };
+    let (devices, parity) = if o.media == MediaType::ObjectStore {
+        (1, 0) // native redundancy
+    } else {
+        (o.devices, o.parity)
+    };
+    let spec = RaidGroupSpec {
+        data_devices: devices,
+        parity_devices: parity,
+        device_blocks: o.device_blocks,
+        profile,
+    };
+    let agg_blocks = spec.data_blocks();
+    let cfg = AggregateConfig {
+        raid_aware_cache: !o.no_agg_cache,
+        batched_frees: o.batched_frees,
+        trim_on_free: o.trim,
+        ..AggregateConfig::single_group(spec)
+    };
+    let working = ((agg_blocks as f64 * o.fill) as u64).max(1024);
+    let vol_blocks = (working * 2).div_ceil(32768) * 32768;
+    let mut agg = Aggregate::new(
+        cfg,
+        &[(
+            FlexVolConfig {
+                size_blocks: vol_blocks,
+                aa_cache: !o.no_vol_cache,
+                aa_blocks: None,
+            },
+            working,
+        )],
+        2026,
+    )?;
+    aging::fill_volume(&mut agg, VolumeId(0), o.ops_per_cp)?;
+    if o.churn > 0.0 {
+        aging::random_overwrite_churn(
+            &mut agg,
+            VolumeId(0),
+            (working as f64 * o.churn) as u64,
+            o.ops_per_cp,
+            7,
+        )?;
+    }
+    agg.reset_media_stats();
+    agg.reset_cache_stats();
+
+    let mut workload: Box<dyn Workload> = match o.workload.as_str() {
+        "overwrite" => Box::new(RandomOverwrite::new(VolumeId(0), working, 11)),
+        "oltp" => Box::new(OltpMix::new(vec![(VolumeId(0), working)], 0.5, 11)),
+        "sequential" => Box::new(SequentialWrite::new(VolumeId(0), working)),
+        "churn" => Box::new(FileChurn::new(
+            VolumeId(0),
+            64,
+            (working / 64).max(4),
+            ((working / 64) as usize / 2).max(2),
+            11,
+        )),
+        _ => unreachable!("validated in parse"),
+    };
+    let stats = wafl_workloads::run(&mut agg, workload.as_mut(), o.ops, o.ops_per_cp)?;
+    let iron_report = if o.check {
+        Some(iron::check(&agg)?)
+    } else {
+        None
+    };
+    Ok(SimulateReport {
+        ops: o.ops,
+        cps: stats.cps,
+        agg_pick_free: stats.cp.agg_pick_free_mean(),
+        vol_pick_free: stats.cp.vol_pick_free_mean(),
+        aggregate_free: agg.free_fraction(),
+        full_stripe_fraction: stats.cp.full_stripe_fraction(),
+        metafile_pages_per_op: stats.cp.metafile_pages as f64 / o.ops.max(1) as f64,
+        cpu_us_per_op: stats.cp.cpu_us / o.ops.max(1) as f64,
+        write_amplification: agg.mean_write_amplification(),
+        smr_interventions: agg.groups().iter().map(|g| g.smr_interventions()).sum(),
+        iron: iron_report,
+    })
+}
+
+impl SimulateReport {
+    /// Render as aligned text.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        use std::fmt::Write;
+        let _ = writeln!(s, "ops measured           {:>12}", self.ops);
+        let _ = writeln!(s, "consistency points     {:>12}", self.cps);
+        let _ = writeln!(s, "aggregate free         {:>11.1}%", self.aggregate_free * 100.0);
+        let _ = writeln!(s, "picked physical AA free{:>11.1}%", self.agg_pick_free * 100.0);
+        let _ = writeln!(s, "picked virtual AA free {:>11.1}%", self.vol_pick_free * 100.0);
+        let _ = writeln!(s, "full-stripe writes     {:>11.1}%", self.full_stripe_fraction * 100.0);
+        let _ = writeln!(s, "metafile pages / op    {:>12.4}", self.metafile_pages_per_op);
+        let _ = writeln!(s, "WAFL CPU / op          {:>10.1}µs", self.cpu_us_per_op);
+        let _ = writeln!(s, "write amplification    {:>12.2}", self.write_amplification);
+        let _ = writeln!(s, "SMR interventions      {:>12}", self.smr_interventions);
+        if let Some(iron) = &self.iron {
+            let _ = writeln!(
+                s,
+                "iron check             {:>12}",
+                if iron.is_clean() { "clean" } else { "FINDINGS" }
+            );
+        }
+        s
+    }
+}
+
+/// Run the `mount-bench` subcommand; returns (with-TopAA, cold) stats.
+pub fn run_mount_bench(
+    o: &MountBenchOpts,
+) -> WaflResult<(mount::MountStats, mount::MountStats)> {
+    let spec = RaidGroupSpec {
+        data_devices: 4,
+        parity_devices: 1,
+        device_blocks: o.device_blocks,
+        profile: MediaProfile::hdd(),
+    };
+    let vols: Vec<(FlexVolConfig, u64)> = (0..o.vols)
+        .map(|_| {
+            (
+                FlexVolConfig {
+                    size_blocks: o.vol_blocks,
+                    aa_cache: true,
+                    aa_blocks: None,
+                },
+                1024,
+            )
+        })
+        .collect();
+    let mut agg = Aggregate::new(AggregateConfig::single_group(spec), &vols, 1)?;
+    let image = mount::save_topaa(&agg);
+    mount::crash(&mut agg);
+    let fast = mount::mount_with_topaa(&mut agg, &image)?;
+    mount::crash(&mut agg);
+    let cold = mount::mount_cold(&mut agg)?;
+    Ok((fast, cold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let Command::Simulate(o) = parse(&args("simulate")) else {
+            panic!("expected simulate");
+        };
+        assert_eq!(o, SimulateOpts::default());
+    }
+
+    #[test]
+    fn parse_full_simulate() {
+        let Command::Simulate(o) = parse(&args(
+            "simulate --media hdd --devices 6 --parity 2 --device-blocks 8192 \
+             --fill 0.8 --churn 0 --workload oltp --ops 1000 --ops-per-cp 128 \
+             --no-vol-cache --batched-frees --check --json",
+        )) else {
+            panic!("expected simulate");
+        };
+        assert_eq!(o.media, MediaType::Hdd);
+        assert_eq!(o.devices, 6);
+        assert_eq!(o.parity, 2);
+        assert_eq!(o.device_blocks, 8192);
+        assert_eq!(o.fill, 0.8);
+        assert_eq!(o.workload, "oltp");
+        assert!(o.no_vol_cache && !o.no_agg_cache);
+        assert!(o.batched_frees && o.check && o.json && !o.trim);
+    }
+
+    #[test]
+    fn parse_errors_become_help() {
+        assert!(matches!(parse(&args("simulate --media floppy")), Command::Help(Some(_))));
+        assert!(matches!(parse(&args("simulate --ops nope")), Command::Help(Some(_))));
+        assert!(matches!(parse(&args("frobnicate")), Command::Help(Some(_))));
+        assert!(matches!(parse(&args("simulate --ops")), Command::Help(Some(_))));
+        assert!(matches!(parse(&[]), Command::Help(None)));
+        assert!(matches!(parse(&args("help")), Command::Help(None)));
+    }
+
+    #[test]
+    fn simulate_runs_small() {
+        let o = SimulateOpts {
+            device_blocks: 512 * 40,
+            ops: 5_000,
+            churn: 0.5,
+            check: true,
+            ..SimulateOpts::default()
+        };
+        let r = run_simulate(&o).unwrap();
+        assert_eq!(r.ops, 5_000);
+        assert!(r.cps > 0);
+        assert!(r.write_amplification >= 1.0);
+        assert!(r.iron.as_ref().unwrap().is_clean());
+        let text = r.to_text();
+        assert!(text.contains("write amplification"));
+        assert!(text.contains("clean"));
+    }
+
+    #[test]
+    fn simulate_runs_each_workload_and_media() {
+        for (media, workload) in [
+            ("hdd", "oltp"),
+            ("smr", "sequential"),
+            ("object", "overwrite"),
+            ("ssd", "churn"),
+        ] {
+            let Command::Simulate(o) = parse(&args(&format!(
+                "simulate --media {media} --workload {workload} --ops 2000 \
+                 --device-blocks 16384 --churn 0.2"
+            ))) else {
+                panic!("parse failed for {media}");
+            };
+            let r = run_simulate(&o)
+                .unwrap_or_else(|e| panic!("{media}/{workload} failed: {e}"));
+            assert_eq!(r.ops, 2000);
+        }
+    }
+
+    #[test]
+    fn mount_bench_runs() {
+        let (fast, cold) = run_mount_bench(&MountBenchOpts {
+            vols: 3,
+            vol_blocks: 2 * 32768,
+            device_blocks: 8 * 4096,
+        })
+        .unwrap();
+        assert_eq!(fast.metafile_blocks_read, 1 + 3 * 2);
+        assert!(cold.metafile_blocks_read > fast.metafile_blocks_read);
+    }
+}

@@ -1,0 +1,58 @@
+//! `wafl-sim` binary entry point.
+
+use wafl_cli::{parse, run_mount_bench, run_simulate, Command, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Command::Help(None) => print!("{USAGE}"),
+        Command::Help(Some(err)) => {
+            eprintln!("error: {err}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+        Command::Simulate(opts) => match run_simulate(&opts) {
+            Ok(report) => {
+                if opts.json {
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&report)
+                            .expect("report serializes")
+                    );
+                } else {
+                    print!("{}", report.to_text());
+                }
+                if let Some(iron) = &report.iron {
+                    if !iron.is_clean() {
+                        eprintln!("iron findings: {iron:?}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("simulate failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Command::MountBench(opts) => match run_mount_bench(&opts) {
+            Ok((fast, cold)) => {
+                println!(
+                    "TopAA mount : {:>6} metafile blocks, {:>10.0} µs modelled",
+                    fast.metafile_blocks_read, fast.first_cp_ready_us
+                );
+                println!(
+                    "cold walk   : {:>6} metafile blocks, {:>10.0} µs modelled",
+                    cold.metafile_blocks_read, cold.first_cp_ready_us
+                );
+                println!(
+                    "speedup     : {:>6.1}x",
+                    cold.first_cp_ready_us / fast.first_cp_ready_us.max(1e-9)
+                );
+            }
+            Err(e) => {
+                eprintln!("mount-bench failed: {e}");
+                std::process::exit(1);
+            }
+        },
+    }
+}

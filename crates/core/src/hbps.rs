@@ -1,0 +1,681 @@
+//! The histogram-based partial sort (HBPS) — §3.3.2's novel data
+//! structure.
+//!
+//! Two 4 KiB pages track millions of allocation areas:
+//!
+//! * The **histogram page** counts *all* AAs in fixed-width score bins
+//!   (default: 32 bins of 1 Ki over the 0..=32 Ki score space).
+//! * The **list page** holds up to 1,000 AA ids from the best bins,
+//!   grouped contiguously by bin, *unsorted within a bin* (sorting inside
+//!   a 1 Ki-wide range "was found to be negligible" — the partial sort).
+//!
+//! The write allocator takes the first list entry, which is guaranteed to
+//! come from the best populated bin in the list, giving a score within one
+//! bin width of the true maximum (3.125 % = 1k/32k for the defaults).
+//!
+//! Moving an AA between bins costs O(1) histogram updates plus, when the
+//! AA is in the list, at most one element move per deeper bin — the
+//! boundary-rotation trick enabled by in-bin disorder ("only one AA needs
+//! to be moved down from each bin present in the list").
+
+use bytes::{Buf, BufMut};
+use wafl_types::{
+    AaId, AaScore, WaflError, WaflResult, BLOCK_SIZE, HBPS_BINS, HBPS_LIST_CAPACITY,
+    RAID_AGNOSTIC_MAX_SCORE,
+};
+
+const MAGIC: u32 = 0x4842_5053; // "HBPS"
+const VERSION: u32 = 1;
+
+/// Shape of an HBPS instance. The defaults reproduce the paper's
+/// RAID-agnostic AA cache; other uses (e.g. delayed-free scores, §3.3.2)
+/// pick their own score space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HbpsConfig {
+    /// Highest possible score (an empty AA). Must be a positive multiple
+    /// of `bins`.
+    pub max_score: u32,
+    /// Number of histogram bins.
+    pub bins: usize,
+    /// List-page capacity in entries. At most 1024 (one 4 KiB page of
+    /// `u32` ids).
+    pub list_capacity: usize,
+}
+
+impl Default for HbpsConfig {
+    fn default() -> Self {
+        HbpsConfig {
+            max_score: RAID_AGNOSTIC_MAX_SCORE,
+            bins: HBPS_BINS,
+            list_capacity: HBPS_LIST_CAPACITY,
+        }
+    }
+}
+
+impl HbpsConfig {
+    fn validate(&self) -> WaflResult<()> {
+        if self.bins == 0 || self.max_score == 0 {
+            return Err(WaflError::InvalidConfig {
+                reason: "HBPS needs nonzero bins and max_score".into(),
+            });
+        }
+        if !(self.max_score as usize).is_multiple_of(self.bins) {
+            return Err(WaflError::InvalidConfig {
+                reason: format!(
+                    "max_score {} not a multiple of bin count {}",
+                    self.max_score, self.bins
+                ),
+            });
+        }
+        if self.list_capacity == 0 || self.list_capacity * 4 > BLOCK_SIZE {
+            return Err(WaflError::InvalidConfig {
+                reason: format!(
+                    "list capacity {} does not fit one 4 KiB page",
+                    self.list_capacity
+                ),
+            });
+        }
+        if self.bins * 8 + 24 > BLOCK_SIZE {
+            return Err(WaflError::InvalidConfig {
+                reason: format!("{} bins do not fit the histogram page", self.bins),
+            });
+        }
+        Ok(())
+    }
+
+    /// Width of one score bin.
+    pub fn bin_width(&self) -> u32 {
+        self.max_score / self.bins as u32
+    }
+
+    /// The worst-case relative error of the best-AA query: one bin width
+    /// over the score space (3.125 % for the defaults).
+    pub fn error_margin(&self) -> f64 {
+        self.bin_width() as f64 / self.max_score as f64
+    }
+}
+
+/// The two-page histogram-based partial sort. See the module docs.
+///
+/// ```
+/// use wafl_core::{Hbps, HbpsConfig};
+/// use wafl_types::{AaId, AaScore};
+///
+/// // Track a million AAs in two pages of memory.
+/// let mut hbps = Hbps::build(
+///     HbpsConfig::default(),
+///     (0..1_000_000).map(|i| (AaId(i), AaScore((i * 7) % 32_769))),
+/// ).unwrap();
+/// assert_eq!(hbps.memory_bytes(), 2 * 4096);
+///
+/// // The first list entry always comes from the best populated bin:
+/// // within 3.125 % of the true maximum score.
+/// let (_aa, bound) = hbps.take_best().unwrap();
+/// assert!(bound.get() >= 32_768 - 1024);
+///
+/// // Score changes are O(bins): histogram count moves plus at most one
+/// // list element per deeper bin.
+/// hbps.on_score_change(AaId(3), AaScore(21), AaScore(30_000));
+/// ```
+pub struct Hbps {
+    cfg: HbpsConfig,
+    /// AAs per bin, counting *every* tracked AA (bin 0 = best scores).
+    counts: Vec<u32>,
+    /// List-page entries, grouped by bin, best bins first.
+    list: Vec<AaId>,
+    /// Entries in `list` belonging to each bin.
+    seg_len: Vec<u32>,
+}
+
+impl Hbps {
+    /// An empty structure (no AAs tracked).
+    pub fn new(cfg: HbpsConfig) -> WaflResult<Hbps> {
+        cfg.validate()?;
+        Ok(Hbps {
+            counts: vec![0; cfg.bins],
+            list: Vec::with_capacity(cfg.list_capacity),
+            seg_len: vec![0; cfg.bins],
+            cfg,
+        })
+    }
+
+    /// Build from a full set of `(aa, score)` pairs (a bitmap walk).
+    pub fn build(
+        cfg: HbpsConfig,
+        scores: impl IntoIterator<Item = (AaId, AaScore)>,
+    ) -> WaflResult<Hbps> {
+        let mut h = Hbps::new(cfg)?;
+        for (aa, score) in scores {
+            h.track_new(aa, score);
+        }
+        Ok(h)
+    }
+
+    /// This instance's configuration.
+    pub fn config(&self) -> HbpsConfig {
+        self.cfg
+    }
+
+    /// The bin holding `score`. Bin 0 covers `(max - width, max]`; the
+    /// last bin additionally covers score 0.
+    #[inline]
+    pub fn bin_of(&self, score: AaScore) -> usize {
+        let s = score.get().min(self.cfg.max_score);
+        (((self.cfg.max_score - s) / self.cfg.bin_width()) as usize).min(self.cfg.bins - 1)
+    }
+
+    /// Total AAs tracked by the histogram.
+    pub fn tracked(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Current list occupancy.
+    pub fn list_len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Histogram counts per bin (all AAs, listed or not).
+    pub fn bin_counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Start index of `bin`'s segment in the list.
+    fn seg_start(&self, bin: usize) -> usize {
+        self.seg_len[..bin].iter().map(|&l| l as usize).sum()
+    }
+
+    /// Deepest (worst) bin with list entries, if any.
+    fn deepest_listed_bin(&self) -> Option<usize> {
+        (0..self.cfg.bins).rev().find(|&b| self.seg_len[b] > 0)
+    }
+
+    /// Begin tracking a new AA with the given score (histogram count plus
+    /// list insertion if it qualifies).
+    pub fn track_new(&mut self, aa: AaId, score: AaScore) {
+        let bin = self.bin_of(score);
+        self.counts[bin] += 1;
+        self.try_insert_listed(aa, bin);
+    }
+
+    /// Apply a score change for `aa`. The caller supplies the old score
+    /// (derivable from the bitmap and the CP's delta); the structure
+    /// itself stores no per-AA state — that is what keeps it two pages.
+    pub fn on_score_change(&mut self, aa: AaId, old: AaScore, new: AaScore) {
+        let (ob, nb) = (self.bin_of(old), self.bin_of(new));
+        if ob == nb {
+            return; // same bin: counts unchanged, in-bin order irrelevant
+        }
+        // Saturate rather than assert: a TopAA image written less often
+        // than every CP restores counts that lag the bitmaps. Histogram
+        // drift degrades pick quality, never allocation correctness (the
+        // bitmap is authoritative), and the §3.3.2 replenish scan restores
+        // exact counts.
+        self.counts[ob] = self.counts[ob].saturating_sub(1);
+        self.counts[nb] += 1;
+        if self.remove_listed(aa, ob) {
+            self.try_insert_listed(aa, nb);
+        } else {
+            // Not in the list; it may now qualify (freed into a top bin).
+            self.try_insert_listed(aa, nb);
+        }
+    }
+
+    /// Stop tracking `aa` entirely (e.g. the FlexVol shrank).
+    pub fn untrack(&mut self, aa: AaId, score: AaScore) {
+        let bin = self.bin_of(score);
+        self.counts[bin] = self.counts[bin].saturating_sub(1);
+        self.remove_listed(aa, bin);
+    }
+
+    /// The best available AA: the first list entry, which belongs to the
+    /// best listed bin. Returns the AA and the *upper bound* of its bin's
+    /// score range. `None` when the list is empty (trigger a replenish).
+    pub fn peek_best(&self) -> Option<(AaId, AaScore)> {
+        let &aa = self.list.first()?;
+        let bin = (0..self.cfg.bins).find(|&b| self.seg_len[b] > 0)?;
+        Some((aa, AaScore(self.cfg.max_score - bin as u32 * self.cfg.bin_width())))
+    }
+
+    /// Remove and return the best AA (the write allocator claiming it for
+    /// a CP). Histogram counts are untouched — the AA still has its score
+    /// until its blocks are consumed and the CP-boundary update arrives.
+    pub fn take_best(&mut self) -> Option<(AaId, AaScore)> {
+        let out = self.peek_best()?;
+        let bin = (0..self.cfg.bins)
+            .find(|&b| self.seg_len[b] > 0)
+            .expect("nonempty list has a first bin");
+        self.remove_at(0, bin);
+        Some(out)
+    }
+
+    /// Whether the background replenish scan should run (§3.3.2: "in the
+    /// rare case that the write allocator consumes more AAs than are being
+    /// inserted due to freeing of blocks, a background scan replenishes
+    /// the list"). Two triggers:
+    ///
+    /// * the list drained below `low_water` while the histogram knows of
+    ///   unlisted AAs; or
+    /// * *quality degradation*: the best populated bin has no listed
+    ///   entries (takes emptied its segment while same-bin score changes
+    ///   were rejected against a then-full list), so picks would silently
+    ///   come from a worse bin than the error-margin guarantee allows.
+    pub fn needs_replenish(&self, low_water: usize) -> bool {
+        let unlisted = self.tracked() > self.list.len() as u64;
+        if self.list.len() < low_water && unlisted {
+            return true;
+        }
+        // Best populated bin vs best listed bin.
+        let best_counted = (0..self.cfg.bins).find(|&b| self.counts[b] > 0);
+        let best_listed = (0..self.cfg.bins).find(|&b| self.seg_len[b] > 0);
+        match (best_counted, best_listed) {
+            (Some(c), Some(l)) => c < l,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+
+    /// Rebuild from an authoritative full scan (the background replenish).
+    /// Resets both pages.
+    pub fn replenish(&mut self, scores: impl IntoIterator<Item = (AaId, AaScore)>) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.seg_len.iter_mut().for_each(|l| *l = 0);
+        self.list.clear();
+        for (aa, score) in scores {
+            self.track_new(aa, score);
+        }
+    }
+
+    /// Constant memory: exactly two metafile pages (§3.3.2: "this AA cache
+    /// uses exactly two pages of memory"), independent of how many AAs the
+    /// histogram tracks.
+    pub fn memory_bytes(&self) -> usize {
+        2 * BLOCK_SIZE
+    }
+
+    // ----- list maintenance -------------------------------------------
+
+    /// Insert `aa` into `bin`'s segment if it qualifies: room in the list,
+    /// or better than the deepest listed bin (whose boundary entry is then
+    /// evicted).
+    fn try_insert_listed(&mut self, aa: AaId, bin: usize) {
+        if self.list.len() >= self.cfg.list_capacity {
+            match self.deepest_listed_bin() {
+                Some(deepest) if bin < deepest => {
+                    // Evict the last entry (end of the deepest segment).
+                    self.list.pop();
+                    self.seg_len[deepest] -= 1;
+                }
+                _ => return, // not better than anything listed
+            }
+        }
+        // Open a hole at the end of the list, then walk it up to the end
+        // of `bin`'s segment by moving one boundary element per deeper
+        // nonempty segment.
+        self.list.push(aa); // placeholder; will be overwritten unless hole stays last
+        let mut hole = self.list.len() - 1;
+        for b in (bin + 1..self.cfg.bins).rev() {
+            if self.seg_len[b] == 0 {
+                continue;
+            }
+            let start = self.seg_start(b);
+            if start == hole {
+                continue;
+            }
+            self.list[hole] = self.list[start];
+            hole = start;
+        }
+        self.list[hole] = aa;
+        self.seg_len[bin] += 1;
+    }
+
+    /// Remove `aa` from `bin`'s segment if present. Returns whether it was.
+    fn remove_listed(&mut self, aa: AaId, bin: usize) -> bool {
+        if self.seg_len[bin] == 0 {
+            return false;
+        }
+        let start = self.seg_start(bin);
+        let end = start + self.seg_len[bin] as usize;
+        let Some(idx) = self.list[start..end].iter().position(|&e| e == aa) else {
+            return false;
+        };
+        self.remove_at(start + idx, bin);
+        true
+    }
+
+    /// Remove the entry at `idx` inside `bin`'s segment, closing the gap
+    /// with one boundary move per deeper nonempty segment.
+    fn remove_at(&mut self, idx: usize, bin: usize) {
+        let start = self.seg_start(bin);
+        let end = start + self.seg_len[bin] as usize;
+        debug_assert!((start..end).contains(&idx));
+        // Move the segment's last element into the vacated slot; the hole
+        // is now at the segment boundary (end - 1).
+        self.list[idx] = self.list[end - 1];
+        let mut hole = end - 1;
+        // Walk the hole to the end of the list: each deeper nonempty
+        // segment donates its *last* element into the hole just before its
+        // start, shifting the segment's footprint left by one.
+        let mut next_seg_start = end;
+        for b in bin + 1..self.cfg.bins {
+            let l = self.seg_len[b] as usize;
+            if l == 0 {
+                continue;
+            }
+            let last = next_seg_start + l - 1;
+            self.list[hole] = self.list[last];
+            hole = last;
+            next_seg_start = last + 1;
+        }
+        debug_assert_eq!(hole, self.list.len() - 1);
+        self.list.pop();
+        self.seg_len[bin] -= 1;
+    }
+
+    // ----- persistence (§3.4: the RAID-agnostic TopAA metafile embeds
+    // these two pages directly) ----------------------------------------
+
+    /// Serialize into the two exact 4 KiB block images stored in the
+    /// TopAA metafile.
+    pub fn to_pages(&self) -> ([u8; BLOCK_SIZE], [u8; BLOCK_SIZE]) {
+        let mut hist = [0u8; BLOCK_SIZE];
+        {
+            let mut w = &mut hist[..];
+            w.put_u32_le(MAGIC);
+            w.put_u32_le(VERSION);
+            w.put_u32_le(self.cfg.max_score);
+            w.put_u32_le(self.cfg.bins as u32);
+            w.put_u32_le(self.cfg.list_capacity as u32);
+            w.put_u32_le(self.list.len() as u32);
+            for b in 0..self.cfg.bins {
+                w.put_u32_le(self.counts[b]);
+                w.put_u32_le(self.seg_len[b]);
+            }
+        }
+        let mut list = [0u8; BLOCK_SIZE];
+        {
+            let mut w = &mut list[..];
+            for &aa in &self.list {
+                w.put_u32_le(aa.get());
+            }
+        }
+        (hist, list)
+    }
+
+    /// Deserialize from the two TopAA block images, validating every
+    /// structural invariant (a damaged metafile must fail loudly and fall
+    /// back to the bitmap walk, per §3.4's corruption discussion).
+    pub fn from_pages(hist: &[u8; BLOCK_SIZE], list: &[u8; BLOCK_SIZE]) -> WaflResult<Hbps> {
+        let mut r = &hist[..];
+        let corrupt = |reason: String| WaflError::CorruptMetafile { reason };
+        if r.get_u32_le() != MAGIC {
+            return Err(corrupt("bad HBPS magic".into()));
+        }
+        if r.get_u32_le() != VERSION {
+            return Err(corrupt("unsupported HBPS version".into()));
+        }
+        let cfg = HbpsConfig {
+            max_score: r.get_u32_le(),
+            bins: r.get_u32_le() as usize,
+            list_capacity: r.get_u32_le() as usize,
+        };
+        cfg.validate().map_err(|e| corrupt(format!("bad HBPS config: {e}")))?;
+        let list_len = r.get_u32_le() as usize;
+        if list_len > cfg.list_capacity {
+            return Err(corrupt(format!(
+                "list length {list_len} exceeds capacity {}",
+                cfg.list_capacity
+            )));
+        }
+        let mut h = Hbps::new(cfg)?;
+        for b in 0..cfg.bins {
+            h.counts[b] = r.get_u32_le();
+            h.seg_len[b] = r.get_u32_le();
+            if h.seg_len[b] > h.counts[b] {
+                return Err(corrupt(format!(
+                    "bin {b} lists {} entries but counts {}",
+                    h.seg_len[b], h.counts[b]
+                )));
+            }
+        }
+        let seg_total: usize = h.seg_len.iter().map(|&l| l as usize).sum();
+        if seg_total != list_len {
+            return Err(corrupt(format!(
+                "segment lengths sum to {seg_total}, header says {list_len}"
+            )));
+        }
+        let mut r = &list[..];
+        for _ in 0..list_len {
+            h.list.push(AaId(r.get_u32_le()));
+        }
+        Ok(h)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn assert_invariants(&self) {
+        assert!(self.list.len() <= self.cfg.list_capacity);
+        let seg_total: usize = self.seg_len.iter().map(|&l| l as usize).sum();
+        assert_eq!(seg_total, self.list.len(), "segments must tile the list");
+        for b in 0..self.cfg.bins {
+            assert!(
+                self.seg_len[b] <= self.counts[b],
+                "bin {b}: listed {} > counted {}",
+                self.seg_len[b],
+                self.counts[b]
+            );
+        }
+        // No duplicate AAs in the list.
+        let mut seen: Vec<u32> = self.list.iter().map(|a| a.get()).collect();
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(before, seen.len(), "duplicate AA in list");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> HbpsConfig {
+        HbpsConfig {
+            max_score: 320,
+            bins: 32,
+            list_capacity: 10,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(HbpsConfig::default().validate().is_ok());
+        assert!(HbpsConfig { max_score: 0, ..small_cfg() }.validate().is_err());
+        assert!(HbpsConfig { bins: 0, ..small_cfg() }.validate().is_err());
+        assert!(HbpsConfig { max_score: 33, bins: 32, list_capacity: 10 }
+            .validate()
+            .is_err());
+        assert!(HbpsConfig { list_capacity: 2000, ..HbpsConfig::default() }
+            .validate()
+            .is_err());
+        assert!((HbpsConfig::default().error_margin() - 0.03125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_mapping_matches_paper_ranges() {
+        let h = Hbps::new(HbpsConfig::default()).unwrap();
+        // "The first bin tracks AAs with scores in 31K-32K, the second in
+        // 30K-31K, and so on."
+        assert_eq!(h.bin_of(AaScore(32 * 1024)), 0);
+        assert_eq!(h.bin_of(AaScore(31 * 1024 + 1)), 0);
+        assert_eq!(h.bin_of(AaScore(31 * 1024)), 1);
+        assert_eq!(h.bin_of(AaScore(30 * 1024 + 1)), 1);
+        assert_eq!(h.bin_of(AaScore(1)), 31);
+        assert_eq!(h.bin_of(AaScore(0)), 31);
+        // Scores above max clamp into bin 0 rather than panic.
+        assert_eq!(h.bin_of(AaScore(u32::MAX)), 0);
+    }
+
+    #[test]
+    fn best_comes_from_best_bin() {
+        let mut h = Hbps::new(small_cfg()).unwrap();
+        h.track_new(AaId(1), AaScore(50));
+        h.track_new(AaId(2), AaScore(315)); // bin 0
+        h.track_new(AaId(3), AaScore(200));
+        let (aa, bound) = h.peek_best().unwrap();
+        assert_eq!(aa, AaId(2));
+        assert_eq!(bound, AaScore(320));
+        h.assert_invariants();
+    }
+
+    #[test]
+    fn take_best_drains_in_bin_order() {
+        let mut h = Hbps::new(small_cfg()).unwrap();
+        h.track_new(AaId(1), AaScore(5)); // worst bin
+        h.track_new(AaId(2), AaScore(315)); // bin 0
+        h.track_new(AaId(3), AaScore(305)); // bin 1 (301..=310)
+        let first = h.take_best().unwrap().0;
+        assert_eq!(first, AaId(2));
+        let second = h.take_best().unwrap().0;
+        assert_eq!(second, AaId(3));
+        let third = h.take_best().unwrap().0;
+        assert_eq!(third, AaId(1));
+        assert!(h.take_best().is_none());
+        // Counts were never touched by take.
+        assert_eq!(h.tracked(), 3);
+        h.assert_invariants();
+    }
+
+    #[test]
+    fn eviction_keeps_only_best_when_full() {
+        let mut h = Hbps::new(small_cfg()).unwrap();
+        // 10-entry capacity; insert 20 mediocre then 10 great AAs.
+        for i in 0..20 {
+            h.track_new(AaId(i), AaScore(100)); // bin 21
+        }
+        assert_eq!(h.list_len(), 10);
+        for i in 20..30 {
+            h.track_new(AaId(i), AaScore(315)); // bin 0 evicts mediocre
+        }
+        h.assert_invariants();
+        assert_eq!(h.list_len(), 10);
+        assert_eq!(h.tracked(), 30);
+        // All ten listed entries are now the great ones.
+        for _ in 0..10 {
+            let (aa, bound) = h.take_best().unwrap();
+            assert!(aa.get() >= 20, "expected a bin-0 AA, got {aa}");
+            assert_eq!(bound, AaScore(320));
+        }
+    }
+
+    #[test]
+    fn score_change_moves_between_bins() {
+        let mut h = Hbps::new(small_cfg()).unwrap();
+        h.track_new(AaId(1), AaScore(100));
+        h.track_new(AaId(2), AaScore(200));
+        // AA 1 gets lots of frees: moves to bin 0.
+        h.on_score_change(AaId(1), AaScore(100), AaScore(320));
+        assert_eq!(h.peek_best().unwrap().0, AaId(1));
+        // AA 1 gets consumed: drops to the worst bin.
+        h.on_score_change(AaId(1), AaScore(320), AaScore(0));
+        assert_eq!(h.peek_best().unwrap().0, AaId(2));
+        h.assert_invariants();
+        // Same-bin movement is a no-op (bin width 10: 200 and 199 share
+        // the (190, 200] bin).
+        let counts_before = h.bin_counts().to_vec();
+        h.on_score_change(AaId(2), AaScore(200), AaScore(199));
+        assert_eq!(h.bin_counts(), &counts_before[..]);
+    }
+
+    #[test]
+    fn unlisted_aa_joins_list_when_freed_into_top_bins() {
+        let mut h = Hbps::new(small_cfg()).unwrap();
+        for i in 0..10 {
+            h.track_new(AaId(i), AaScore(250));
+        }
+        // AA 100 starts poor and unlisted (list is full of 250s).
+        h.track_new(AaId(100), AaScore(10));
+        assert_eq!(h.list_len(), 10);
+        // Frees push it into bin 0: it must displace a 250.
+        h.on_score_change(AaId(100), AaScore(10), AaScore(319));
+        assert_eq!(h.peek_best().unwrap().0, AaId(100));
+        h.assert_invariants();
+    }
+
+    #[test]
+    fn needs_replenish_when_list_drains() {
+        let mut h = Hbps::new(small_cfg()).unwrap();
+        for i in 0..5 {
+            h.track_new(AaId(i), AaScore(300));
+        }
+        assert!(!h.needs_replenish(3));
+        h.take_best();
+        h.take_best();
+        h.take_best();
+        assert!(h.needs_replenish(3));
+        // Replenish from a fresh scan restores the full picture.
+        h.replenish((0..5).map(|i| (AaId(i), AaScore(300))));
+        assert_eq!(h.list_len(), 5);
+        assert!(!h.needs_replenish(3));
+        h.assert_invariants();
+    }
+
+    #[test]
+    fn round_trip_through_pages() {
+        let mut h = Hbps::new(HbpsConfig::default()).unwrap();
+        for i in 0..5000u32 {
+            h.track_new(AaId(i), AaScore((i * 7) % 32769));
+        }
+        let (p1, p2) = h.to_pages();
+        let h2 = Hbps::from_pages(&p1, &p2).unwrap();
+        assert_eq!(h.bin_counts(), h2.bin_counts());
+        assert_eq!(h.list, h2.list);
+        assert_eq!(h.seg_len, h2.seg_len);
+        assert_eq!(h.config(), h2.config());
+        h2.assert_invariants();
+    }
+
+    #[test]
+    fn corrupt_pages_fail_loudly() {
+        let h = Hbps::build(
+            HbpsConfig::default(),
+            (0..100u32).map(|i| (AaId(i), AaScore(i * 300))),
+        )
+        .unwrap();
+        let (mut p1, p2) = h.to_pages();
+        p1[0] ^= 0xff; // break the magic
+        assert!(matches!(
+            Hbps::from_pages(&p1, &p2),
+            Err(WaflError::CorruptMetafile { .. })
+        ));
+        let (mut p1, p2) = h.to_pages();
+        p1[20] = 0xff; // absurd list length
+        p1[21] = 0xff;
+        assert!(Hbps::from_pages(&p1, &p2).is_err());
+    }
+
+    #[test]
+    fn memory_is_two_pages_regardless_of_scale() {
+        let small = Hbps::build(
+            HbpsConfig::default(),
+            (0..10u32).map(|i| (AaId(i), AaScore(100))),
+        )
+        .unwrap();
+        let large = Hbps::build(
+            HbpsConfig::default(),
+            (0..1_000_000u32).map(|i| (AaId(i), AaScore(i % 32769))),
+        )
+        .unwrap();
+        assert_eq!(small.memory_bytes(), 2 * 4096);
+        assert_eq!(large.memory_bytes(), 2 * 4096);
+        assert_eq!(large.tracked(), 1_000_000);
+    }
+
+    #[test]
+    fn untrack_removes_everywhere() {
+        let mut h = Hbps::new(small_cfg()).unwrap();
+        h.track_new(AaId(1), AaScore(300));
+        h.track_new(AaId(2), AaScore(100));
+        h.untrack(AaId(1), AaScore(300));
+        assert_eq!(h.tracked(), 1);
+        assert_eq!(h.peek_best().unwrap().0, AaId(2));
+        h.assert_invariants();
+    }
+}

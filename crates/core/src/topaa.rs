@@ -1,0 +1,158 @@
+//! The TopAA metafile (§3.4): persisting AA caches across unmounts.
+//!
+//! * Each **RAID-aware** cache persists one 4 KiB block holding its 512
+//!   best `(AA, score)` pairs — enough to seed the max-heap and sustain
+//!   CPs for dozens of seconds while a background walk rebuilds the rest.
+//! * Each **RAID-agnostic** cache persists its two HBPS pages verbatim
+//!   (see [`crate::RaidAgnosticCache::to_topaa`]); nothing to do here.
+//!
+//! Block format (exactly one 4 KiB block, no header — 512 × 8 B fills it):
+//! entries are `(u32 aa, u32 score)` little-endian, sorted by descending
+//! score; unused slots carry the sentinel AA `u32::MAX`. Deserialization
+//! validates the sort order and sentinel placement so that a scribbled
+//! block fails loudly (the paper's §3.4 corruption story: fall back to
+//! WAFL Iron / a full bitmap walk).
+
+use crate::heap_cache::RaidAwareCache;
+use bytes::{Buf, BufMut};
+use wafl_types::{AaId, AaScore, WaflError, WaflResult, BLOCK_SIZE, TOPAA_RAID_AWARE_ENTRIES};
+
+/// Sentinel marking an unused entry slot.
+const SENTINEL: u32 = u32::MAX;
+
+/// Serialize the 512 best AAs of a RAID-aware cache into its TopAA block.
+pub fn serialize_raid_aware(cache: &RaidAwareCache) -> [u8; BLOCK_SIZE] {
+    let top = cache.top_k(TOPAA_RAID_AWARE_ENTRIES);
+    let mut block = [0u8; BLOCK_SIZE];
+    let mut w = &mut block[..];
+    for &(aa, score) in &top {
+        w.put_u32_le(aa.get());
+        w.put_u32_le(score.get());
+    }
+    for _ in top.len()..TOPAA_RAID_AWARE_ENTRIES {
+        w.put_u32_le(SENTINEL);
+        w.put_u32_le(0);
+    }
+    block
+}
+
+/// Decode a TopAA block into seed entries for [`RaidAwareCache::seeded`].
+pub fn deserialize_raid_aware(block: &[u8; BLOCK_SIZE]) -> WaflResult<Vec<(AaId, AaScore)>> {
+    let mut r = &block[..];
+    let mut out = Vec::new();
+    let mut prev_score: Option<u32> = None;
+    let mut in_tail = false;
+    for i in 0..TOPAA_RAID_AWARE_ENTRIES {
+        let aa = r.get_u32_le();
+        let score = r.get_u32_le();
+        if aa == SENTINEL {
+            if score != 0 {
+                return Err(WaflError::CorruptMetafile {
+                    reason: format!("TopAA entry {i}: sentinel with nonzero score"),
+                });
+            }
+            in_tail = true;
+            continue;
+        }
+        if in_tail {
+            return Err(WaflError::CorruptMetafile {
+                reason: format!("TopAA entry {i}: live entry after sentinel tail"),
+            });
+        }
+        if let Some(prev) = prev_score {
+            if score > prev {
+                return Err(WaflError::CorruptMetafile {
+                    reason: format!(
+                        "TopAA entry {i}: score {score} exceeds predecessor {prev} \
+                         (block not sorted)"
+                    ),
+                });
+            }
+        }
+        prev_score = Some(score);
+        out.push((AaId(aa), AaScore(score)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_with(scores: &[u32]) -> RaidAwareCache {
+        RaidAwareCache::new_full(
+            scores.iter().map(|&s| AaScore(s)).collect(),
+            vec![u32::MAX; scores.len()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_small_cache() {
+        let cache = cache_with(&[5, 9, 3, 7]);
+        let block = serialize_raid_aware(&cache);
+        let entries = deserialize_raid_aware(&block).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                (AaId(1), AaScore(9)),
+                (AaId(3), AaScore(7)),
+                (AaId(0), AaScore(5)),
+                (AaId(2), AaScore(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn truncates_to_512_best() {
+        let scores: Vec<u32> = (0..2000).collect();
+        let cache = cache_with(&scores);
+        let block = serialize_raid_aware(&cache);
+        let entries = deserialize_raid_aware(&block).unwrap();
+        assert_eq!(entries.len(), 512);
+        assert_eq!(entries[0].1, AaScore(1999));
+        assert_eq!(entries[511].1, AaScore(1999 - 511));
+        // Descending throughout.
+        assert!(entries.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn seeds_a_working_cache() {
+        let scores: Vec<u32> = (0..2000).collect();
+        let cache = cache_with(&scores);
+        let block = serialize_raid_aware(&cache);
+        let entries = deserialize_raid_aware(&block).unwrap();
+        let seeded = RaidAwareCache::seeded(vec![u32::MAX; 2000], &entries).unwrap();
+        assert_eq!(seeded.best(), Some((AaId(1999), AaScore(1999))));
+        assert!(!seeded.is_complete());
+        assert_eq!(seeded.len(), 512);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let cache = cache_with(&[5, 9, 3, 7]);
+        // Unsorted scores.
+        let mut block = serialize_raid_aware(&cache);
+        block[4..8].copy_from_slice(&1u32.to_le_bytes()); // first score 9 -> 1
+        assert!(matches!(
+            deserialize_raid_aware(&block),
+            Err(WaflError::CorruptMetafile { .. })
+        ));
+        // Sentinel with nonzero score.
+        let mut block = serialize_raid_aware(&cache);
+        block[4 * 8 + 4..4 * 8 + 8].copy_from_slice(&7u32.to_le_bytes());
+        assert!(deserialize_raid_aware(&block).is_err());
+        // Live entry after the sentinel tail.
+        let mut block = serialize_raid_aware(&cache);
+        block[5 * 8..5 * 8 + 4].copy_from_slice(&2u32.to_le_bytes());
+        assert!(deserialize_raid_aware(&block).is_err());
+    }
+
+    #[test]
+    fn empty_cache_serializes_to_all_sentinels() {
+        let cache = cache_with(&[]);
+        let block = serialize_raid_aware(&cache);
+        let entries = deserialize_raid_aware(&block).unwrap();
+        assert!(entries.is_empty());
+    }
+}

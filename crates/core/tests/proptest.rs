@@ -1,0 +1,204 @@
+//! Property-based tests for the AA caches against shadow models.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wafl_core::{topaa, Hbps, HbpsConfig, RaidAwareCache, ScoreDeltaBatch};
+use wafl_types::{AaId, AaScore};
+
+// ---------------------------------------------------------------------
+// RAID-aware max-heap vs a naive shadow map
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum HeapOp {
+    Delta(u32, i32),
+    TakeBestAndReinsert,
+}
+
+fn heap_op(n: u32) -> impl Strategy<Value = HeapOp> {
+    prop_oneof![
+        (0..n, -500i32..500).prop_map(|(aa, d)| HeapOp::Delta(aa, d)),
+        Just(HeapOp::TakeBestAndReinsert),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn heap_matches_shadow(
+        init in proptest::collection::vec(0u32..=1000, 50..200),
+        ops in proptest::collection::vec(heap_op(50), 1..200),
+    ) {
+        let n = init.len().min(50);
+        let init = &init[..n];
+        let max = 1000u32;
+        let mut cache = RaidAwareCache::new_full(
+            init.iter().map(|&s| AaScore(s)).collect(),
+            vec![max; n],
+        ).unwrap();
+        let mut shadow: Vec<u32> = init.to_vec();
+        for op in ops {
+            match op {
+                HeapOp::Delta(aa, d) => {
+                    let aa = aa % n as u32;
+                    let mut batch = ScoreDeltaBatch::new();
+                    if d >= 0 {
+                        batch.record_freed(AaId(aa), d as u32);
+                        shadow[aa as usize] = (shadow[aa as usize] + d as u32).min(max);
+                    } else {
+                        batch.record_allocated(AaId(aa), (-d) as u32);
+                        shadow[aa as usize] =
+                            shadow[aa as usize].saturating_sub((-d) as u32);
+                    }
+                    cache.apply_batch(&mut batch);
+                }
+                HeapOp::TakeBestAndReinsert => {
+                    let (aa, score) = cache.take_best().unwrap();
+                    prop_assert_eq!(score.get(), shadow[aa.index()]);
+                    cache.insert(aa, score).unwrap();
+                }
+            }
+            // The heap's best always carries the max shadow score.
+            let best = cache.best().unwrap();
+            let max_shadow = shadow.iter().copied().max().unwrap();
+            prop_assert_eq!(best.1.get(), max_shadow);
+        }
+        // Every score agrees.
+        for (i, &s) in shadow.iter().enumerate() {
+            prop_assert_eq!(cache.score_of(AaId(i as u32)).get(), s);
+        }
+    }
+
+    #[test]
+    fn top_k_is_truly_the_top(
+        scores in proptest::collection::vec(0u32..=5000, 1..600),
+        k in 1usize..700,
+    ) {
+        let n = scores.len();
+        let cache = RaidAwareCache::new_full(
+            scores.iter().map(|&s| AaScore(s)).collect(),
+            vec![5000; n],
+        ).unwrap();
+        let top = cache.top_k(k);
+        prop_assert_eq!(top.len(), k.min(n));
+        // Descending, and no excluded AA beats an included one.
+        prop_assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+        if let Some(&(_, cutoff)) = top.last() {
+            let included: std::collections::HashSet<u32> =
+                top.iter().map(|&(aa, _)| aa.get()).collect();
+            for (i, &s) in scores.iter().enumerate() {
+                if !included.contains(&(i as u32)) {
+                    prop_assert!(AaScore(s) <= cutoff);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topaa_round_trip_any_cache(
+        scores in proptest::collection::vec(0u32..=100_000, 1..2000),
+    ) {
+        let n = scores.len();
+        let cache = RaidAwareCache::new_full(
+            scores.iter().map(|&s| AaScore(s)).collect(),
+            vec![u32::MAX; n],
+        ).unwrap();
+        let block = topaa::serialize_raid_aware(&cache);
+        let entries = topaa::deserialize_raid_aware(&block).unwrap();
+        prop_assert_eq!(entries.len(), n.min(512));
+        // Entries descend and match top_k.
+        let expect = cache.top_k(512);
+        prop_assert_eq!(entries, expect);
+    }
+}
+
+// ---------------------------------------------------------------------
+// HBPS vs a shadow multiset of scores
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum HbpsOp {
+    ScoreChange(u32, u32),
+    TakeBest,
+}
+
+fn hbps_op(n: u32, max: u32) -> impl Strategy<Value = HbpsOp> {
+    prop_oneof![
+        3 => (0..n, 0..=max).prop_map(|(aa, s)| HbpsOp::ScoreChange(aa, s)),
+        1 => Just(HbpsOp::TakeBest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hbps_histogram_tracks_all_aas_and_picks_within_one_bin(
+        init in proptest::collection::vec(0u32..=3200, 20..300),
+        ops in proptest::collection::vec(hbps_op(300, 3200), 1..300),
+    ) {
+        let cfg = HbpsConfig { max_score: 3200, bins: 32, list_capacity: 64 };
+        let width = cfg.bin_width();
+        let n = init.len() as u32;
+        let mut hbps = Hbps::build(
+            cfg,
+            init.iter().enumerate().map(|(i, &s)| (AaId(i as u32), AaScore(s))),
+        ).unwrap();
+        let mut shadow: HashMap<u32, u32> = init
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u32, s))
+            .collect();
+        // AAs taken from the list but still tracked by the histogram.
+        let mut taken: std::collections::HashSet<u32> = Default::default();
+        for op in ops {
+            match op {
+                HbpsOp::ScoreChange(aa, new) => {
+                    let aa = aa % n;
+                    let old = shadow[&aa];
+                    hbps.on_score_change(AaId(aa), AaScore(old), AaScore(new));
+                    shadow.insert(aa, new);
+                    // A score change may re-list a previously taken AA.
+                    taken.remove(&aa);
+                }
+                HbpsOp::TakeBest => {
+                    // The §3.3.2 background scan runs when takes have
+                    // degraded the list; with it in the loop the error-
+                    // margin guarantee must hold on every pick.
+                    if hbps.needs_replenish(4) {
+                        hbps.replenish(
+                            shadow.iter().map(|(&k, &v)| (AaId(k), AaScore(v))),
+                        );
+                        taken.clear();
+                    }
+                    if let Some((aa, bound)) = hbps.take_best() {
+                        let actual = shadow[&aa.get()];
+                        // The bound is the upper edge of the AA's bin, and
+                        // the pick is within one bin width of the true
+                        // best among AAs not already handed out.
+                        prop_assert!(actual <= bound.get());
+                        let best_untaken = shadow
+                            .iter()
+                            .filter(|(k, _)| !taken.contains(k))
+                            .map(|(_, &v)| v)
+                            .max()
+                            .unwrap_or(0);
+                        prop_assert!(
+                            actual + width >= best_untaken,
+                            "picked {actual}, best untaken {best_untaken}"
+                        );
+                        taken.insert(aa.get());
+                    }
+                }
+            }
+            // Histogram counts all AAs regardless of list membership.
+            prop_assert_eq!(hbps.tracked(), n as u64);
+        }
+        // Serialization round-trips whatever state we ended in.
+        let (p1, p2) = hbps.to_pages();
+        let back = Hbps::from_pages(&p1, &p2).unwrap();
+        prop_assert_eq!(back.bin_counts(), hbps.bin_counts());
+        prop_assert_eq!(back.list_len(), hbps.list_len());
+    }
+}

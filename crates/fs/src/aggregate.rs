@@ -1,0 +1,688 @@
+//! The aggregate: physical storage, RAID groups, hosted volumes.
+
+use crate::config::{AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use crate::delayed_free::DelayedFreeLog;
+use crate::volume::FlexVol;
+use std::collections::HashSet;
+use wafl_bitmap::Bitmap;
+use wafl_core::{AaTopology, Hbps, HbpsConfig, RaidAwareCache, ScoreDeltaBatch};
+use wafl_media::{HddModel, MediaProfile, ObjectStoreModel, SmrModel, SsdFtl};
+use wafl_raid::RaidGeometry;
+use wafl_types::{
+    AaSizingPolicy, ChecksumStyle, MediaType, RaidGroupId, Vbn, VolumeId, WaflError,
+    WaflResult, DEFAULT_STRIPES_PER_AA,
+};
+
+/// Per-device media model instance.
+pub(crate) enum DeviceMedia {
+    /// Conventional hard drive (stateless cost model).
+    Hdd(HddModel),
+    /// SSD with its own FTL state.
+    Ssd(Box<SsdFtl>),
+    /// Drive-managed SMR disk with zone state.
+    Smr(Box<SmrModel>),
+    /// Object store endpoint (only used for RAID-agnostic physical ranges;
+    /// kept here so every device slot has a priced backend).
+    Object(ObjectStoreModel),
+}
+
+impl DeviceMedia {
+    /// `device_blocks` counts PVBN-addressable (data) blocks. With AZCS,
+    /// the physical device also holds one checksum block per 63 data
+    /// blocks (§3.2.4), so SMR zone accounting sizes the drive in
+    /// physical blocks.
+    fn for_profile(
+        profile: &MediaProfile,
+        device_blocks: u64,
+        checksum: ChecksumStyle,
+    ) -> WaflResult<DeviceMedia> {
+        let physical_blocks = match checksum {
+            ChecksumStyle::Sector520 => device_blocks,
+            ChecksumStyle::Azcs => {
+                device_blocks.div_ceil(wafl_types::AZCS_DATA_BLOCKS)
+                    * wafl_types::AZCS_REGION_BLOCKS
+            }
+        };
+        Ok(match profile.media {
+            MediaType::Hdd => DeviceMedia::Hdd(HddModel::sas_10k()),
+            MediaType::Ssd => DeviceMedia::Ssd(Box::new(SsdFtl::new(
+                physical_blocks as u32,
+                profile.erase_block_blocks as u32,
+                profile.over_provisioning,
+            )?)),
+            MediaType::Smr => {
+                let zones = physical_blocks.div_ceil(profile.zone_blocks);
+                DeviceMedia::Smr(Box::new(SmrModel::new(zones, profile.zone_blocks)?))
+            }
+            MediaType::ObjectStore => DeviceMedia::Object(ObjectStoreModel::s3_class()),
+        })
+    }
+}
+
+/// The AA cache guiding a physical VBN range (§3.3): RAID groups get the
+/// max-heap; natively redundant storage (object stores) gets the
+/// two-page HBPS, exactly like FlexVols.
+pub(crate) enum GroupCache {
+    /// §3.3.1: max-heap over all AAs of a RAID group.
+    Heap(RaidAwareCache),
+    /// §3.3.2: histogram-based partial sort for storage with built-in
+    /// redundancy, where tracking every AA "is not worth the memory".
+    Hbps(Box<Hbps>),
+}
+
+/// Runtime state of one RAID group (or natively redundant range).
+pub struct RaidGroupState {
+    /// Geometry (device counts, capacity, PVBN base).
+    pub geometry: RaidGeometry,
+    /// AA tiling (consecutive stripes).
+    pub(crate) topology: AaTopology,
+    /// AA cache; `None` when the aggregate AA cache is disabled.
+    pub(crate) cache: Option<GroupCache>,
+    /// Media description.
+    pub profile: MediaProfile,
+    /// Per-device media state: `data_devices` entries then
+    /// `parity_devices` entries.
+    pub(crate) media: Vec<DeviceMedia>,
+    /// AA height in stripes (after sizing policy).
+    pub stripes_per_aa: u64,
+    /// Score deltas accumulated during the current CP.
+    pub(crate) batch: ScoreDeltaBatch,
+    /// The AA currently being drained. WAFL assigns *all* free VBNs of a
+    /// picked AA in sequential order (§3.1) — the AA stays the active
+    /// allocation context across CPs until exhausted, and stays out of
+    /// the max-heap meanwhile.
+    pub(crate) active_aa: Option<wafl_types::AaId>,
+    /// Per-device AZCS stream state: the next data DBN expected to extend
+    /// each device's open checksum region (`u64::MAX` = no open stream).
+    /// Indexed like `media` (data devices then parity).
+    pub(crate) azcs_next: Vec<u64>,
+}
+
+impl RaidGroupState {
+    /// The group's AA topology.
+    pub fn topology(&self) -> &AaTopology {
+        &self.topology
+    }
+
+    /// The group's max-heap cache, if enabled and RAID-backed. `None`
+    /// for natively redundant (HBPS-cached) ranges.
+    pub fn cache(&self) -> Option<&RaidAwareCache> {
+        match self.cache.as_ref() {
+            Some(GroupCache::Heap(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The group's HBPS cache, if enabled and natively redundant.
+    pub fn hbps_cache(&self) -> Option<&Hbps> {
+        match self.cache.as_ref() {
+            Some(GroupCache::Hbps(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Mean write amplification across this group's SSDs (1.0 for
+    /// non-SSD groups or before any writes).
+    pub fn mean_write_amplification(&self) -> f64 {
+        let was: Vec<f64> = self
+            .media
+            .iter()
+            .filter_map(|m| match m {
+                DeviceMedia::Ssd(ftl) => Some(ftl.write_amplification()),
+                _ => None,
+            })
+            .collect();
+        if was.is_empty() {
+            1.0
+        } else {
+            was.iter().sum::<f64>() / was.len() as f64
+        }
+    }
+
+    /// Total SMR drive interventions across this group's devices.
+    pub fn smr_interventions(&self) -> u64 {
+        self.media
+            .iter()
+            .map(|m| match m {
+                DeviceMedia::Smr(s) => s.stats().interventions,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Reset media counters (after aging, before measurement).
+    pub fn reset_media_stats(&mut self) {
+        for m in &mut self.media {
+            match m {
+                DeviceMedia::Ssd(ftl) => ftl.reset_stats(),
+                DeviceMedia::Smr(s) => s.reset_stats(),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// A client write queued for the next CP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct DirtyBlock {
+    pub vol: VolumeId,
+    pub logical: u64,
+}
+
+/// The aggregate: the physical WAFL instance hosting FlexVols (§2.1).
+pub struct Aggregate {
+    pub(crate) cfg: AggregateConfig,
+    /// Physical activemap over the whole PVBN space.
+    pub(crate) bitmap: Bitmap,
+    pub(crate) groups: Vec<RaidGroupState>,
+    pub(crate) vols: Vec<FlexVol>,
+    /// Client writes since the last CP, in arrival order, deduplicated
+    /// (WAFL coalesces repeated overwrites of a block within one CP).
+    pub(crate) dirty: Vec<DirtyBlock>,
+    pub(crate) dirty_set: HashSet<DirtyBlock>,
+    /// Deletions queued for the next CP (logical blocks to unmap).
+    pub(crate) pending_deletes: Vec<DirtyBlock>,
+    /// PVBNs freed by overwrites, applied at the CP boundary (§3.3's
+    /// delayed frees).
+    pub(crate) delayed_pvbn_frees: Vec<Vbn>,
+    /// Reverse ownership map: pvbn -> packed (volume, vvbn), or one of the
+    /// sentinels below. WAFL keeps equivalent owner metadata in container
+    /// files; segment cleaning needs it to redirect relocated blocks.
+    pub(crate) pvbn_owner: Vec<u64>,
+    /// Pending physical frees when `batched_frees` is configured.
+    pub(crate) free_log: DelayedFreeLog,
+    /// Completed CPs.
+    pub(crate) cp_count: u64,
+}
+
+/// Owner sentinel: block free / untracked.
+pub(crate) const OWNER_NONE: u64 = u64::MAX;
+/// Owner sentinel: block allocated by an aging seed with no volume owner.
+pub(crate) const OWNER_ORPHAN: u64 = u64::MAX - 1;
+
+/// Pack a (volume, vvbn) owner reference.
+pub(crate) fn pack_owner(vol: VolumeId, vvbn: Vbn) -> u64 {
+    ((vol.get() as u64) << 40) | vvbn.get()
+}
+
+/// Unpack an owner reference (must not be a sentinel).
+pub(crate) fn unpack_owner(packed: u64) -> (VolumeId, Vbn) {
+    (VolumeId((packed >> 40) as u32), Vbn(packed & ((1 << 40) - 1)))
+}
+
+/// Build the appropriate cache for a physical range from its bitmap state:
+/// max-heap for RAID groups, HBPS for natively redundant storage.
+pub(crate) fn build_group_cache(
+    g: &RaidGroupState,
+    bitmap: &Bitmap,
+) -> WaflResult<GroupCache> {
+    if g.profile.media == MediaType::ObjectStore {
+        let max_score = g.topology.max_score();
+        let cfg = HbpsConfig {
+            max_score,
+            ..HbpsConfig::default()
+        };
+        let hbps = Hbps::build(cfg, g.topology.all_scores(bitmap))?;
+        Ok(GroupCache::Hbps(Box::new(hbps)))
+    } else {
+        let scores = g.topology.all_scores(bitmap);
+        let max: Vec<u32> = (0..g.topology.aa_count())
+            .map(|a| g.topology.aa_blocks(wafl_types::AaId(a)) as u32)
+            .collect();
+        Ok(GroupCache::Heap(RaidAwareCache::new_full(
+            scores.into_iter().map(|(_, s)| s).collect(),
+            max,
+        )?))
+    }
+}
+
+impl Aggregate {
+    /// Build an aggregate and its volumes. `vols` pairs each volume's
+    /// config with its client-addressable (logical) size.
+    pub fn new(
+        cfg: AggregateConfig,
+        vols: &[(FlexVolConfig, u64)],
+        _seed: u64,
+    ) -> WaflResult<Aggregate> {
+        if cfg.raid_groups.is_empty() {
+            return Err(WaflError::InvalidConfig {
+                reason: "aggregate needs at least one RAID group".into(),
+            });
+        }
+        let mut groups = Vec::with_capacity(cfg.raid_groups.len());
+        let mut base = 0u64;
+        for (i, spec) in cfg.raid_groups.iter().enumerate() {
+            let geometry = RaidGeometry::new(
+                RaidGroupId(i as u32),
+                spec.data_devices,
+                spec.parity_devices,
+                spec.device_blocks,
+                Vbn(base),
+            )?;
+            base += spec.data_blocks();
+            let policy = cfg.aa_policy_override.unwrap_or_else(|| {
+                AaSizingPolicy::for_media(
+                    spec.profile.media,
+                    cfg.checksum,
+                    spec.profile.device_unit_blocks(),
+                )
+            });
+            if spec.profile.media == MediaType::ObjectStore
+                && (spec.parity_devices != 0 || spec.data_devices != 1)
+            {
+                return Err(WaflError::InvalidConfig {
+                    reason: format!(
+                        "object-store range {i} provides native redundancy: \
+                         configure it as 1 data device, 0 parity"
+                    ),
+                });
+            }
+            // RAID-agnostic policies size AAs in consecutive blocks; with
+            // a single logical device, stripes == blocks, so the same
+            // stripe-based topology machinery serves both shapes.
+            let stripes_per_aa = policy
+                .stripes_per_aa()
+                .or(policy.blocks_per_aa())
+                .unwrap_or(DEFAULT_STRIPES_PER_AA)
+                .min(spec.device_blocks);
+            let topology = AaTopology::raid_aware(
+                geometry.clone(),
+                AaSizingPolicy::Stripes {
+                    stripes: stripes_per_aa,
+                },
+            )?;
+            let mut media = Vec::new();
+            for _ in 0..spec.data_devices + spec.parity_devices {
+                media.push(DeviceMedia::for_profile(
+                    &spec.profile,
+                    spec.device_blocks,
+                    cfg.checksum,
+                )?);
+            }
+            let device_count = (spec.data_devices + spec.parity_devices) as usize;
+            groups.push(RaidGroupState {
+                geometry,
+                topology,
+                cache: None, // built below once the bitmap exists
+                profile: spec.profile.clone(),
+                media,
+                stripes_per_aa,
+                batch: ScoreDeltaBatch::new(),
+                active_aa: None,
+                azcs_next: vec![u64::MAX; device_count],
+            });
+        }
+        let bitmap = Bitmap::new(base);
+        if cfg.raid_aware_cache {
+            for g in &mut groups {
+                g.cache = Some(build_group_cache(g, &bitmap)?);
+            }
+        }
+        let vols = vols
+            .iter()
+            .enumerate()
+            .map(|(i, &(vcfg, logical))| FlexVol::new(VolumeId(i as u32), vcfg, logical))
+            .collect::<WaflResult<Vec<_>>>()?;
+        let space = bitmap.space_len() as usize;
+        Ok(Aggregate {
+            cfg,
+            bitmap,
+            groups,
+            vols,
+            dirty: Vec::new(),
+            dirty_set: HashSet::new(),
+            pending_deletes: Vec::new(),
+            delayed_pvbn_frees: Vec::new(),
+            pvbn_owner: vec![OWNER_NONE; space],
+            free_log: DelayedFreeLog::new(),
+            cp_count: 0,
+        })
+    }
+
+    /// Grow the aggregate by one RAID group (§3.1: "On RAID group
+    /// creation and growth, WAFL maintains the mapping of physical VBN
+    /// ranges to storage devices" — and §4.2: "customers increase the
+    /// storage capacity of an aggregate over time by adding discrete RAID
+    /// groups"). The new group's PVBN range starts where the aggregate
+    /// currently ends; its AA cache is built immediately (everything is
+    /// free, so no bitmap walk is needed in spirit — we build from the
+    /// extended bitmap).
+    pub fn add_raid_group(&mut self, spec: RaidGroupSpec) -> WaflResult<RaidGroupId> {
+        let base = self.bitmap.space_len();
+        let id = RaidGroupId(self.groups.len() as u32);
+        let geometry = RaidGeometry::new(
+            id,
+            spec.data_devices,
+            spec.parity_devices,
+            spec.device_blocks,
+            Vbn(base),
+        )?;
+        if spec.profile.media == MediaType::ObjectStore
+            && (spec.parity_devices != 0 || spec.data_devices != 1)
+        {
+            return Err(WaflError::InvalidConfig {
+                reason: "object-store range provides native redundancy: \
+                         configure it as 1 data device, 0 parity"
+                    .into(),
+            });
+        }
+        let policy = self.cfg.aa_policy_override.unwrap_or_else(|| {
+            AaSizingPolicy::for_media(
+                spec.profile.media,
+                self.cfg.checksum,
+                spec.profile.device_unit_blocks(),
+            )
+        });
+        let stripes_per_aa = policy
+            .stripes_per_aa()
+            .or(policy.blocks_per_aa())
+            .unwrap_or(DEFAULT_STRIPES_PER_AA)
+            .min(spec.device_blocks);
+        let topology = AaTopology::raid_aware(
+            geometry.clone(),
+            AaSizingPolicy::Stripes {
+                stripes: stripes_per_aa,
+            },
+        )?;
+        let mut media = Vec::new();
+        for _ in 0..spec.data_devices + spec.parity_devices {
+            media.push(DeviceMedia::for_profile(
+                &spec.profile,
+                spec.device_blocks,
+                self.cfg.checksum,
+            )?);
+        }
+        let device_count = (spec.data_devices + spec.parity_devices) as usize;
+        self.bitmap.extend(base + spec.data_blocks())?;
+        self.pvbn_owner
+            .resize(self.bitmap.space_len() as usize, OWNER_NONE);
+        let mut g = RaidGroupState {
+            geometry,
+            topology,
+            cache: None,
+            profile: spec.profile.clone(),
+            media,
+            stripes_per_aa,
+            batch: ScoreDeltaBatch::new(),
+            active_aa: None,
+            azcs_next: vec![u64::MAX; device_count],
+        };
+        if self.cfg.raid_aware_cache {
+            g.cache = Some(build_group_cache(&g, &self.bitmap)?);
+        }
+        self.groups.push(g);
+        self.cfg.raid_groups.push(spec);
+        Ok(id)
+    }
+
+    /// Queue a client overwrite of `logical` in `vol` for the next CP.
+    /// Repeated writes to the same block within one CP coalesce (§2.1).
+    pub fn client_overwrite(&mut self, vol: VolumeId, logical: u64) -> WaflResult<()> {
+        let v = self.vols.get(vol.index()).ok_or(WaflError::InvalidConfig {
+            reason: format!("no volume {vol}"),
+        })?;
+        if logical >= v.logical_blocks() {
+            return Err(WaflError::VbnOutOfRange {
+                vbn: Vbn(logical),
+                space_len: v.logical_blocks(),
+            });
+        }
+        let d = DirtyBlock { vol, logical };
+        if self.dirty_set.insert(d) {
+            self.dirty.push(d);
+        }
+        Ok(())
+    }
+
+    /// Queue a deletion of `logical` in `vol`: the block's virtual and
+    /// physical VBNs are freed at the next CP boundary (file deletions are
+    /// one of the §2.2 fragmentation sources). Deleting an unmapped block
+    /// is a no-op, matching hole-punching semantics.
+    pub fn client_delete(&mut self, vol: VolumeId, logical: u64) -> WaflResult<()> {
+        let v = self.vols.get(vol.index()).ok_or(WaflError::InvalidConfig {
+            reason: format!("no volume {vol}"),
+        })?;
+        if logical >= v.logical_blocks() {
+            return Err(WaflError::VbnOutOfRange {
+                vbn: Vbn(logical),
+                space_len: v.logical_blocks(),
+            });
+        }
+        self.pending_deletes.push(DirtyBlock { vol, logical });
+        Ok(())
+    }
+
+    /// Cost (µs) of reading `logical` from `vol` at the media layer.
+    /// Unmapped blocks read as zeroes for free.
+    pub fn client_read(&self, vol: VolumeId, logical: u64) -> WaflResult<f64> {
+        let v = self.vols.get(vol.index()).ok_or(WaflError::InvalidConfig {
+            reason: format!("no volume {vol}"),
+        })?;
+        let Some(vvbn) = v.lookup_logical(logical) else {
+            return Ok(0.0);
+        };
+        let Some(pvbn) = v.lookup_vvbn(vvbn) else {
+            return Ok(0.0);
+        };
+        let g = self
+            .groups
+            .iter()
+            .find(|g| g.geometry.contains(pvbn))
+            .ok_or(WaflError::VbnOutOfRange {
+                vbn: pvbn,
+                space_len: self.bitmap.space_len(),
+            })?;
+        let loc = g.geometry.vbn_to_loc(pvbn)?;
+        Ok(match &g.media[loc.device.index()] {
+            DeviceMedia::Hdd(h) => h.random_read_cost_us(1),
+            DeviceMedia::Ssd(s) => s.random_read_cost_us(1),
+            DeviceMedia::Smr(s) => s.position_us + s.transfer_us,
+            DeviceMedia::Object(o) => o.random_read_cost_us(1),
+        })
+    }
+
+    /// Number of client writes waiting for the next CP.
+    pub fn pending_ops(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Completed consistency points.
+    pub fn cp_count(&self) -> u64 {
+        self.cp_count
+    }
+
+    /// The aggregate's physical activemap.
+    pub fn bitmap(&self) -> &Bitmap {
+        &self.bitmap
+    }
+
+    /// Hosted volumes.
+    pub fn volumes(&self) -> &[FlexVol] {
+        &self.vols
+    }
+
+    /// Mutable volume access (workload helpers).
+    pub fn volume_mut(&mut self, vol: VolumeId) -> Option<&mut FlexVol> {
+        self.vols.get_mut(vol.index())
+    }
+
+    /// RAID groups.
+    pub fn groups(&self) -> &[RaidGroupState] {
+        &self.groups
+    }
+
+    /// Mutable group access (experiments resetting media stats).
+    pub fn groups_mut(&mut self) -> &mut [RaidGroupState] {
+        &mut self.groups
+    }
+
+    /// Aggregate configuration.
+    pub fn config(&self) -> &AggregateConfig {
+        &self.cfg
+    }
+
+    /// Fraction of the physical space free.
+    pub fn free_fraction(&self) -> f64 {
+        self.bitmap.free_fraction()
+    }
+
+    /// Mean write amplification across all SSDs in the aggregate.
+    pub fn mean_write_amplification(&self) -> f64 {
+        let was: Vec<f64> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.media.iter())
+            .filter_map(|m| match m {
+                DeviceMedia::Ssd(ftl) => Some(ftl.write_amplification()),
+                _ => None,
+            })
+            .collect();
+        if was.is_empty() {
+            1.0
+        } else {
+            was.iter().sum::<f64>() / was.len() as f64
+        }
+    }
+
+    /// Reset every media model's counters (post-aging).
+    pub fn reset_media_stats(&mut self) {
+        for g in &mut self.groups {
+            g.reset_media_stats();
+        }
+    }
+
+    /// Clear accumulated bitmap dirty-page statistics without running a
+    /// CP (post-setup, pre-measurement).
+    pub fn bitmapless_dirty_reset(&mut self) {
+        self.bitmap.take_dirty_stats();
+        for v in &mut self.vols {
+            v.bitmap.take_dirty_stats();
+        }
+    }
+
+    /// The delayed-free log (empty unless `batched_frees` is configured).
+    pub fn free_log(&self) -> &DelayedFreeLog {
+        &self.free_log
+    }
+
+    /// Reset AA-cache pick statistics on all volumes (post-aging).
+    pub fn reset_cache_stats(&mut self) {
+        for v in &mut self.vols {
+            if let Some(c) = v.cache.as_mut() {
+                c.reset_stats();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RaidGroupSpec;
+
+    fn small_cfg() -> AggregateConfig {
+        AggregateConfig::single_group(RaidGroupSpec {
+            data_devices: 3,
+            parity_devices: 1,
+            device_blocks: 4096,
+            profile: MediaProfile::hdd(),
+        })
+    }
+
+    #[test]
+    fn construction_wires_groups_and_vols() {
+        let agg = Aggregate::new(
+            small_cfg(),
+            &[(
+                FlexVolConfig {
+                    size_blocks: 32768,
+                    aa_cache: true,
+                    aa_blocks: None,
+                },
+                1000,
+            )],
+            1,
+        )
+        .unwrap();
+        assert_eq!(agg.groups().len(), 1);
+        assert_eq!(agg.volumes().len(), 1);
+        assert_eq!(agg.bitmap().space_len(), 3 * 4096);
+        assert_eq!(agg.free_fraction(), 1.0);
+        assert!(agg.groups()[0].cache().is_some());
+    }
+
+    #[test]
+    fn empty_aggregate_rejected() {
+        let cfg = AggregateConfig {
+            raid_groups: vec![],
+            ..small_cfg()
+        };
+        assert!(Aggregate::new(cfg, &[], 1).is_err());
+    }
+
+    #[test]
+    fn overwrites_coalesce_within_a_cp() {
+        let mut agg = Aggregate::new(
+            small_cfg(),
+            &[(
+                FlexVolConfig {
+                    size_blocks: 32768,
+                    aa_cache: true,
+                    aa_blocks: None,
+                },
+                1000,
+            )],
+            1,
+        )
+        .unwrap();
+        agg.client_overwrite(VolumeId(0), 5).unwrap();
+        agg.client_overwrite(VolumeId(0), 5).unwrap();
+        agg.client_overwrite(VolumeId(0), 6).unwrap();
+        assert_eq!(agg.pending_ops(), 2);
+        assert!(agg.client_overwrite(VolumeId(0), 1000).is_err());
+        assert!(agg.client_overwrite(VolumeId(9), 0).is_err());
+    }
+
+    #[test]
+    fn reads_of_unwritten_blocks_are_free() {
+        let agg = Aggregate::new(
+            small_cfg(),
+            &[(
+                FlexVolConfig {
+                    size_blocks: 32768,
+                    aa_cache: true,
+                    aa_blocks: None,
+                },
+                1000,
+            )],
+            1,
+        )
+        .unwrap();
+        assert_eq!(agg.client_read(VolumeId(0), 7).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cache_disabled_leaves_none() {
+        let cfg = AggregateConfig {
+            raid_aware_cache: false,
+            ..small_cfg()
+        };
+        let agg = Aggregate::new(cfg, &[], 1).unwrap();
+        assert!(agg.groups()[0].cache().is_none());
+    }
+
+    #[test]
+    fn ssd_groups_get_ftl_per_device() {
+        let cfg = AggregateConfig::single_group(RaidGroupSpec {
+            data_devices: 2,
+            parity_devices: 1,
+            device_blocks: 64 * 100,
+            profile: MediaProfile::ssd(),
+        });
+        let agg = Aggregate::new(cfg, &[], 1).unwrap();
+        assert_eq!(agg.groups()[0].media.len(), 3);
+        assert_eq!(agg.mean_write_amplification(), 1.0);
+        // SSD default policy: AA column is a multiple of the erase block.
+        assert_eq!(agg.groups()[0].stripes_per_aa % 512, 0);
+    }
+}

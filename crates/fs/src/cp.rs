@@ -1,0 +1,1136 @@
+//! The consistency point: flush everything collected since the last CP as
+//! one transaction (§2.1), allocating virtual + physical VBNs from the
+//! emptiest AAs and batching all score updates at the boundary (§3.3).
+
+use crate::aggregate::{
+    pack_owner, Aggregate, DeviceMedia, DirtyBlock, GroupCache, OWNER_NONE,
+};
+use crate::allocator::{allocate_vvbns, plan_raid_group, AllocOutcome, AllocatorMode};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use wafl_raid::analyze_cp_write;
+use wafl_types::{
+    ChecksumStyle, Vbn, WaflError, WaflResult, AZCS_DATA_BLOCKS, AZCS_REGION_BLOCKS,
+};
+
+/// Per-RAID-group results of one CP.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RgCpStats {
+    /// Data blocks written to this group.
+    pub blocks: u64,
+    /// Tetrises (64-stripe RAID I/O units) issued.
+    pub tetrises: u64,
+    /// Full-stripe writes.
+    pub full_stripes: u64,
+    /// Partial-stripe writes.
+    pub partial_stripes: u64,
+    /// Blocks read for parity computation.
+    pub parity_reads: u64,
+    /// Parity blocks written.
+    pub parity_writes: u64,
+    /// Data blocks per data device.
+    pub per_device_blocks: Vec<u64>,
+    /// Write chains per data device.
+    pub per_device_chains: Vec<u64>,
+    /// Media time for this group (max across its devices — they operate
+    /// in parallel), µs.
+    pub media_us: f64,
+}
+
+/// Results of one consistency point.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpStats {
+    /// CP sequence number.
+    pub cp_index: u64,
+    /// Client write operations flushed.
+    pub ops: u64,
+    /// Data blocks written (= ops for 4 KiB ops).
+    pub blocks_written: u64,
+    /// Distinct bitmap-metafile pages dirtied (aggregate + volumes) —
+    /// the §2.5 currency.
+    pub metafile_pages: u64,
+    /// Per-group breakdown.
+    pub per_rg: Vec<RgCpStats>,
+    /// Media time of the CP: max across groups (all devices work in
+    /// parallel), µs.
+    pub media_us: f64,
+    /// Sum of device time across all devices, µs (for utilisation math).
+    pub media_us_total: f64,
+    /// Modelled CPU time consumed by this CP, µs.
+    pub cpu_us: f64,
+    /// CPU time spent purely on AA-cache maintenance, µs (the §4.1.2
+    /// "0.002 % of CPU" measurement).
+    pub cache_maintenance_us: f64,
+    /// Candidate block positions examined by the allocator (the §4.1.2
+    /// CPU effect: fuller AAs force ~1/f candidates per allocation).
+    pub blocks_examined: u64,
+    /// AAs picked for physical allocation: count and summed free fraction.
+    pub agg_picks: u64,
+    /// Sum over picked physical AAs of (score / AA blocks).
+    pub agg_pick_free_sum: f64,
+    /// AAs picked for virtual allocation: count and summed free fraction.
+    pub vol_picks: u64,
+    /// Sum over picked virtual AAs of (score / AA blocks).
+    pub vol_pick_free_sum: f64,
+    /// Bitmap pages scanned by replenish walks during this CP.
+    pub replenish_pages: u64,
+    /// Delayed frees applied by the background processor this CP (only
+    /// with `batched_frees`).
+    pub delayed_frees_applied: u64,
+    /// Metafile pages the delayed-free processor wrote this CP.
+    pub delayed_free_pages: u64,
+}
+
+impl CpStats {
+    /// Mean free fraction of the physical AAs picked this CP.
+    pub fn agg_pick_free_mean(&self) -> f64 {
+        if self.agg_picks == 0 {
+            0.0
+        } else {
+            self.agg_pick_free_sum / self.agg_picks as f64
+        }
+    }
+
+    /// Mean free fraction of the virtual AAs picked this CP.
+    pub fn vol_pick_free_mean(&self) -> f64 {
+        if self.vol_picks == 0 {
+            0.0
+        } else {
+            self.vol_pick_free_sum / self.vol_picks as f64
+        }
+    }
+
+    /// Fraction of written stripes that were full.
+    pub fn full_stripe_fraction(&self) -> f64 {
+        let (f, p): (u64, u64) = self
+            .per_rg
+            .iter()
+            .fold((0, 0), |(f, p), rg| (f + rg.full_stripes, p + rg.partial_stripes));
+        if f + p == 0 {
+            0.0
+        } else {
+            f as f64 / (f + p) as f64
+        }
+    }
+
+    /// Merge a CP into an accumulator (used by measurement windows).
+    pub fn accumulate(&mut self, other: &CpStats) {
+        self.ops += other.ops;
+        self.blocks_written += other.blocks_written;
+        self.blocks_examined += other.blocks_examined;
+        self.metafile_pages += other.metafile_pages;
+        self.media_us += other.media_us;
+        self.media_us_total += other.media_us_total;
+        self.cpu_us += other.cpu_us;
+        self.cache_maintenance_us += other.cache_maintenance_us;
+        self.agg_picks += other.agg_picks;
+        self.agg_pick_free_sum += other.agg_pick_free_sum;
+        self.vol_picks += other.vol_picks;
+        self.vol_pick_free_sum += other.vol_pick_free_sum;
+        self.replenish_pages += other.replenish_pages;
+        self.delayed_frees_applied += other.delayed_frees_applied;
+        self.delayed_free_pages += other.delayed_free_pages;
+        if self.per_rg.len() < other.per_rg.len() {
+            self.per_rg
+                .resize(other.per_rg.len(), RgCpStats::default());
+        }
+        for (acc, rg) in self.per_rg.iter_mut().zip(&other.per_rg) {
+            acc.blocks += rg.blocks;
+            acc.tetrises += rg.tetrises;
+            acc.full_stripes += rg.full_stripes;
+            acc.partial_stripes += rg.partial_stripes;
+            acc.parity_reads += rg.parity_reads;
+            acc.parity_writes += rg.parity_writes;
+            acc.media_us += rg.media_us;
+            if acc.per_device_blocks.len() < rg.per_device_blocks.len() {
+                acc.per_device_blocks.resize(rg.per_device_blocks.len(), 0);
+                acc.per_device_chains.resize(rg.per_device_chains.len(), 0);
+            }
+            for (a, b) in acc.per_device_blocks.iter_mut().zip(&rg.per_device_blocks) {
+                *a += b;
+            }
+            for (a, b) in acc.per_device_chains.iter_mut().zip(&rg.per_device_chains) {
+                *a += b;
+            }
+        }
+    }
+}
+
+impl Aggregate {
+    /// Run one consistency point over every operation collected since the
+    /// last. Returns the CP's cost and layout statistics.
+    pub fn run_cp(&mut self) -> WaflResult<CpStats> {
+        let dirty = std::mem::take(&mut self.dirty);
+        self.dirty_set.clear();
+        let n = dirty.len();
+        let mut stats = CpStats {
+            cp_index: self.cp_count,
+            ops: n as u64,
+            blocks_written: n as u64,
+            ..CpStats::default()
+        };
+        if n == 0
+            && self.pending_deletes.is_empty()
+            && self.free_log.pending() == 0
+            && self.delayed_pvbn_frees.is_empty()
+            && self.vols.iter().all(|v| v.delayed_vvbn_frees.is_empty())
+        {
+            self.cp_count += 1;
+            return Ok(stats);
+        }
+
+        // ---- 1. group dirtied blocks by volume ------------------------
+        let mut per_vol: Vec<Vec<u64>> = vec![Vec::new(); self.vols.len()];
+        for DirtyBlock { vol, logical } in &dirty {
+            per_vol[vol.index()].push(*logical);
+        }
+
+        // ---- 2. virtual allocation, parallel across volumes -----------
+        let cp_seed = self.cp_count.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let vol_outcomes: Vec<WaflResult<AllocOutcome>> = self
+            .vols
+            .par_iter_mut()
+            .zip(per_vol.par_iter())
+            .enumerate()
+            .map(|(i, (vol, logicals))| {
+                if logicals.is_empty() {
+                    return Ok(AllocOutcome::default());
+                }
+                let mode = if vol.config().aa_cache {
+                    AllocatorMode::CacheGuided
+                } else {
+                    AllocatorMode::RandomAa
+                };
+                allocate_vvbns(vol, logicals.len(), cp_seed ^ i as u64, mode)
+            })
+            .collect();
+        let mut vol_outcomes = vol_outcomes.into_iter().collect::<WaflResult<Vec<_>>>()?;
+        for out in &vol_outcomes {
+            stats.vol_picks += out.picked.len() as u64;
+            stats.replenish_pages += out.replenish_pages;
+            stats.blocks_examined += out.blocks_examined;
+        }
+        for (vol, out) in self.vols.iter().zip(&vol_outcomes) {
+            for &(aa, score) in &out.picked {
+                let max = vol.topology.aa_blocks(aa) as f64;
+                stats.vol_pick_free_sum += score.get() as f64 / max.max(1.0);
+            }
+        }
+
+        // ---- 3. physical allocation: quotas, then parallel plans ------
+        let mode = if self.cfg.raid_aware_cache {
+            AllocatorMode::CacheGuided
+        } else {
+            AllocatorMode::RandomAa
+        };
+        let quotas = self.rg_quotas(n);
+        let bitmap = &self.bitmap;
+        let plans: Vec<AllocOutcome> = self
+            .groups
+            .par_iter_mut()
+            .zip(quotas.par_iter())
+            .enumerate()
+            .map(|(i, (g, &quota))| {
+                plan_raid_group(g, bitmap, quota, mode, cp_seed ^ (0xABCD + i as u64))
+            })
+            .collect();
+        // Apply the plans to the shared bitmap (serial, cheap bit sets).
+        let mut pvbns: Vec<Vbn> = Vec::with_capacity(n);
+        let mut per_rg_vbns: Vec<Vec<Vbn>> = Vec::with_capacity(self.groups.len());
+        for plan in &plans {
+            for &vbn in &plan.vbns {
+                self.bitmap.allocate(vbn)?;
+            }
+            pvbns.extend_from_slice(&plan.vbns);
+            per_rg_vbns.push(plan.vbns.clone());
+        }
+        for (g, plan) in self.groups.iter().zip(&plans) {
+            stats.agg_picks += plan.picked.len() as u64;
+            stats.blocks_examined += plan.blocks_examined;
+            for &(aa, score) in &plan.picked {
+                let max = g.topology.aa_blocks(aa) as f64;
+                stats.agg_pick_free_sum += score.get() as f64 / max.max(1.0);
+            }
+        }
+        // Shortfall: serial second round against the updated bitmap.
+        let mut drained_late: Vec<(usize, wafl_types::AaId)> = Vec::new();
+        let mut shortfall = n.saturating_sub(pvbns.len());
+        while shortfall > 0 {
+            let mut progressed = false;
+            for (i, g) in self.groups.iter_mut().enumerate() {
+                if shortfall == 0 {
+                    break;
+                }
+                let plan = plan_raid_group(
+                    g,
+                    &self.bitmap,
+                    shortfall,
+                    mode,
+                    cp_seed ^ (0xF00D + i as u64),
+                );
+                if plan.vbns.is_empty() {
+                    continue;
+                }
+                progressed = true;
+                for &vbn in &plan.vbns {
+                    self.bitmap.allocate(vbn)?;
+                }
+                shortfall -= plan.vbns.len();
+                stats.agg_picks += plan.picked.len() as u64;
+                stats.blocks_examined += plan.blocks_examined;
+                for &(aa, score) in &plan.picked {
+                    let max = g.topology.aa_blocks(aa) as f64;
+                    stats.agg_pick_free_sum += score.get() as f64 / max.max(1.0);
+                }
+                pvbns.extend_from_slice(&plan.vbns);
+                per_rg_vbns[i].extend_from_slice(&plan.vbns);
+                for &aa in &plan.drained {
+                    drained_late.push((i, aa));
+                }
+            }
+            if !progressed {
+                if self.free_log.pending() > 0 {
+                    // Space pressure: pull the logged frees forward (the
+                    // [18]-style reclamation path racing the allocator).
+                    let Aggregate {
+                        bitmap,
+                        groups,
+                        pvbn_owner,
+                        free_log,
+                        ..
+                    } = &mut *self;
+                    let dstats = free_log.force_drain(bitmap, |pvbn, _| {
+                        pvbn_owner[pvbn.index()] = OWNER_NONE;
+                        let g = groups
+                            .iter_mut()
+                            .find(|g| g.geometry.contains(pvbn))
+                            .expect("freed pvbn belongs to a group");
+                        let aa = g.topology.aa_of_vbn(pvbn)?;
+                        g.batch.record_freed(aa, 1);
+                        Ok(())
+                    })?;
+                    stats.delayed_frees_applied += dstats.frees_applied;
+                    stats.delayed_free_pages += dstats.pages_processed;
+                    // The heaps still carry pre-free scores mid-CP; that
+                    // only costs pick quality. Retry the plans.
+                    continue;
+                }
+                return Err(WaflError::SpaceExhausted);
+            }
+        }
+
+        // ---- 4. bind logical -> virtual -> physical; collect frees ----
+        let mut pvbn_iter = pvbns.iter().copied();
+        for (vol_idx, logicals) in per_vol.iter().enumerate() {
+            let outcome = std::mem::take(&mut vol_outcomes[vol_idx]);
+            let vol = &mut self.vols[vol_idx];
+            debug_assert_eq!(outcome.vbns.len(), logicals.len());
+            for (&logical, &vvbn) in logicals.iter().zip(&outcome.vbns) {
+                let pvbn = pvbn_iter.next().expect("pvbn count == vvbn count");
+                self.pvbn_owner[pvbn.index()] = pack_owner(vol.id, vvbn);
+                if let Some((old_v, old_p)) = vol.remap(logical, vvbn, pvbn) {
+                    vol.delayed_vvbn_frees.push(old_v);
+                    self.delayed_pvbn_frees.push(old_p);
+                }
+            }
+        }
+
+        // ---- 4b. deletions queued since the last CP --------------------
+        for DirtyBlock { vol, logical } in std::mem::take(&mut self.pending_deletes) {
+            let v = &mut self.vols[vol.index()];
+            if let Some((old_v, old_p)) = v.unmap(logical) {
+                v.delayed_vvbn_frees.push(old_v);
+                self.delayed_pvbn_frees.push(old_p);
+            }
+        }
+
+        // ---- 5. delayed frees at the CP boundary (§3.3) ---------------
+        for vol in &mut self.vols {
+            for vvbn in std::mem::take(&mut vol.delayed_vvbn_frees) {
+                vol.bitmap.free(vvbn)?;
+                let aa = vol.topology.aa_of_vbn(vvbn)?;
+                vol.batch.record_freed(aa, 1);
+            }
+        }
+        let trim = self.cfg.trim_on_free;
+        if self.cfg.batched_frees {
+            // §3.3.2's second HBPS use: log the frees; the background
+            // processor applies them below, fullest page first.
+            for pvbn in std::mem::take(&mut self.delayed_pvbn_frees) {
+                self.free_log.log_free(pvbn);
+            }
+            let budget = self.cfg.free_pages_per_cp;
+            let Aggregate {
+                bitmap,
+                groups,
+                pvbn_owner,
+                free_log,
+                ..
+            } = self;
+            let dstats = free_log.process(bitmap, budget, |pvbn, _| {
+                pvbn_owner[pvbn.index()] = OWNER_NONE;
+                let g = groups
+                    .iter_mut()
+                    .find(|g| g.geometry.contains(pvbn))
+                    .expect("freed pvbn belongs to a group");
+                let aa = g.topology.aa_of_vbn(pvbn)?;
+                g.batch.record_freed(aa, 1);
+                if trim {
+                    let loc = g.geometry.vbn_to_loc(pvbn)?;
+                    if let DeviceMedia::Ssd(ftl) = &mut g.media[loc.device.index()] {
+                        ftl.trim(loc.dbn.get() as u32)?;
+                    }
+                }
+                Ok(())
+            })?;
+            stats.delayed_frees_applied = dstats.frees_applied;
+            stats.delayed_free_pages = dstats.pages_processed;
+        } else {
+            for pvbn in std::mem::take(&mut self.delayed_pvbn_frees) {
+                self.bitmap.free(pvbn)?;
+                self.pvbn_owner[pvbn.index()] = OWNER_NONE;
+                let g = self
+                    .groups
+                    .iter_mut()
+                    .find(|g| g.geometry.contains(pvbn))
+                    .expect("freed pvbn belongs to a group");
+                let aa = g.topology.aa_of_vbn(pvbn)?;
+                g.batch.record_freed(aa, 1);
+                if trim {
+                    let loc = g.geometry.vbn_to_loc(pvbn)?;
+                    if let DeviceMedia::Ssd(ftl) = &mut g.media[loc.device.index()] {
+                        ftl.trim(loc.dbn.get() as u32)?;
+                    }
+                }
+            }
+        }
+
+        // ---- 6. metafile I/O accounting (§2.5) -------------------------
+        let mut pages = self.bitmap.take_dirty_stats().pages_dirtied;
+        for vol in &mut self.vols {
+            pages += vol.bitmap.take_dirty_stats().pages_dirtied;
+        }
+        stats.metafile_pages = pages;
+
+        // ---- 7. media costing, parallel per group ----------------------
+        let checksum = self.cfg.checksum;
+        let rg_stats: Vec<WaflResult<RgCpStats>> = self
+            .groups
+            .par_iter_mut()
+            .zip(per_rg_vbns.par_iter())
+            .map(|(g, vbns)| cost_raid_group(g, vbns, checksum))
+            .collect();
+        let mut cache_ops = 0u64;
+        for rg in rg_stats {
+            let rg = rg?;
+            stats.media_us = stats.media_us.max(rg.media_us);
+            stats.media_us_total += rg.media_us;
+            stats.per_rg.push(rg);
+        }
+
+        // ---- 8. CP-boundary cache rebalance (§3.3) ----------------------
+        let bitmap_ref = &self.bitmap;
+        for g in &mut self.groups {
+            match g.cache.as_mut() {
+                Some(GroupCache::Heap(cache)) => {
+                    cache_ops += g.batch.touched_aas() as u64;
+                    cache.apply_batch(&mut g.batch);
+                    // Drained AAs are reinserted below, post-batch.
+                }
+                Some(GroupCache::Hbps(hbps)) => {
+                    // Like the volume path: derive old scores from the
+                    // post-CP bitmap and the batched delta; no per-AA
+                    // score array exists (§3.3.2).
+                    cache_ops += g.batch.touched_aas() as u64;
+                    for (aa, delta) in g.batch.drain() {
+                        let new = g.topology.score_from_bitmap(bitmap_ref, aa);
+                        let max = g.topology.aa_blocks(aa) as u32;
+                        let old = new.apply(wafl_types::ScoreDelta(-delta.0), max);
+                        hbps.on_score_change(aa, old, new);
+                    }
+                }
+                None => {
+                    let _ = g.batch.drain().count();
+                }
+            }
+        }
+        // Re-insert AAs fully drained this CP with their post-batch scores
+        // (frees during the same CP may have given them a head start).
+        for (g, plan) in self.groups.iter_mut().zip(&plans) {
+            if let Some(GroupCache::Heap(cache)) = g.cache.as_mut() {
+                for &aa in &plan.drained {
+                    let score = cache.score_of(aa);
+                    cache.insert(aa, score)?;
+                    cache_ops += 1;
+                }
+            }
+            // HBPS-cached ranges: drained AAs re-enter via the batched
+            // score change above (the histogram never stopped counting
+            // them).
+        }
+        for (i, aa) in drained_late {
+            if let Some(GroupCache::Heap(cache)) = self.groups[i].cache.as_mut() {
+                let score = cache.score_of(aa);
+                cache.insert(aa, score)?;
+                cache_ops += 1;
+            }
+        }
+        let (vol_cache_ops, vol_replenish_pages) = self
+            .vols
+            .par_iter_mut()
+            .map(|vol| {
+                if let Some(cache) = vol.cache.as_mut() {
+                    let touched = vol.batch.touched_aas() as u64;
+                    cache.apply_cp_batch(&mut vol.batch, &vol.bitmap);
+                    // §3.3.2's background scan: if takes have drained the
+                    // list faster than frees re-populate it — or quality
+                    // degraded — walk the bitmap and rebuild.
+                    let pages = if cache.maybe_replenish(&vol.bitmap) {
+                        vol.bitmap.page_count() as u64
+                    } else {
+                        0
+                    };
+                    (touched, pages)
+                } else {
+                    let _ = vol.batch.drain().count();
+                    (0, 0)
+                }
+            })
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        cache_ops += vol_cache_ops;
+        stats.replenish_pages += vol_replenish_pages;
+
+        // ---- 9. CPU model (§4.1.2) --------------------------------------
+        let cpu = self.cfg.cpu;
+        stats.cache_maintenance_us = cache_ops as f64 * cpu.us_per_cache_op;
+        stats.cpu_us = n as f64 * cpu.base_us_per_op
+            + pages as f64 * cpu.us_per_metafile_page
+            + n as f64 * cpu.us_per_block
+            + stats.blocks_examined as f64 * cpu.us_per_alloc_candidate
+            + stats.cache_maintenance_us
+            + stats.replenish_pages as f64 * cpu.us_per_scan_page;
+
+        self.cp_count += 1;
+        stats.cp_index = self.cp_count - 1;
+        Ok(stats)
+    }
+
+    /// Physical-allocation quotas per RAID group for `n` blocks. With the
+    /// cache enabled, weight each group by its best AA score — the §4.2
+    /// bias that sends more blocks to emptier groups; apply the §3.3.1
+    /// back-off threshold. Without the cache, weight by raw free space.
+    fn rg_quotas(&self, n: usize) -> Vec<usize> {
+        let weights: Vec<f64> = self
+            .groups
+            .iter()
+            .map(|g| {
+                if let Some(cache) = g.cache.as_ref() {
+                    // The active AA is out of the cache while draining;
+                    // the group's quality is the better of it and the
+                    // cache's best.
+                    let cache_best = match cache {
+                        GroupCache::Heap(h) => {
+                            h.best().map(|(_, s)| s.get()).unwrap_or(0)
+                        }
+                        GroupCache::Hbps(h) => {
+                            h.peek_best().map(|(_, s)| s.get()).unwrap_or(0)
+                        }
+                    };
+                    let active = g
+                        .active_aa
+                        .map(|aa| g.topology.score_from_bitmap(&self.bitmap, aa).get())
+                        .unwrap_or(0);
+                    let best = cache_best.max(active) as f64;
+                    let max = (g.stripes_per_aa * g.geometry.data_devices as u64) as f64;
+                    let frac = best / max.max(1.0);
+                    if frac < self.cfg.rg_backoff_threshold {
+                        0.0
+                    } else if g.profile.media == wafl_types::MediaType::Ssd {
+                        best * self.cfg.ssd_tier_bias
+                    } else {
+                        best
+                    }
+                } else {
+                    self.bitmap
+                        .free_count_range(g.geometry.base_vbn, g.geometry.data_blocks())
+                        as f64
+                }
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            // Everything backed off or empty: spread evenly; the shortfall
+            // loop in run_cp deals with reality.
+            let per = n / self.groups.len().max(1);
+            let mut q = vec![per; self.groups.len()];
+            if let Some(first) = q.first_mut() {
+                *first += n - per * self.groups.len();
+            }
+            return q;
+        }
+        let mut quotas: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total) * n as f64).floor() as usize)
+            .collect();
+        let assigned: usize = quotas.iter().sum();
+        // Hand out the rounding remainder to the heaviest groups.
+        let mut order: Vec<usize> = (0..quotas.len()).collect();
+        order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]));
+        for i in 0..n - assigned {
+            quotas[order[i % order.len()]] += 1;
+        }
+        quotas
+    }
+}
+
+/// Cost one CP's writes to a group against its media models.
+fn cost_raid_group(
+    g: &mut crate::aggregate::RaidGroupState,
+    vbns: &[Vbn],
+    checksum: ChecksumStyle,
+) -> WaflResult<RgCpStats> {
+    let analysis = analyze_cp_write(&g.geometry, vbns)?;
+    let mut rg = RgCpStats {
+        blocks: analysis.data_blocks,
+        tetrises: analysis.tetrises,
+        full_stripes: analysis.full_stripes,
+        partial_stripes: analysis.partial_stripes,
+        parity_reads: analysis.parity_reads,
+        parity_writes: analysis.parity_writes,
+        per_device_blocks: analysis.per_device_blocks.clone(),
+        per_device_chains: analysis.per_device_chains.clone(),
+        media_us: 0.0,
+    };
+    if vbns.is_empty() {
+        return Ok(rg);
+    }
+    // Per-device DBN lists.
+    let d = g.geometry.data_devices as usize;
+    let mut per_device: Vec<Vec<u64>> = vec![Vec::new(); d];
+    for &vbn in vbns {
+        let loc = g.geometry.vbn_to_loc(vbn)?;
+        per_device[loc.device.index()].push(loc.dbn.get());
+    }
+    for dev in per_device.iter_mut() {
+        dev.sort_unstable();
+    }
+    // Written stripes, for parity-device traffic.
+    let mut stripes: Vec<u64> = vbns
+        .iter()
+        .map(|&v| g.geometry.vbn_to_loc(v).map(|l| l.dbn.get()))
+        .collect::<WaflResult<_>>()?;
+    stripes.sort_unstable();
+    stripes.dedup();
+
+    let parity_per_dev = if g.geometry.parity_devices > 0 {
+        // Each parity device writes one block per written stripe.
+        stripes.clone()
+    } else {
+        Vec::new()
+    };
+
+    let mut dev_times: Vec<f64> = Vec::with_capacity(g.media.len());
+    let azcs_next = &mut g.azcs_next;
+    for (i, media) in g.media.iter_mut().enumerate() {
+        let dbns: &[u64] = if i < d {
+            &per_device[i]
+        } else {
+            &parity_per_dev
+        };
+        if dbns.is_empty() {
+            dev_times.push(0.0);
+            continue;
+        }
+        let chains = dbns_to_chains(dbns);
+        let us = match media {
+            DeviceMedia::Hdd(h) => {
+                let blocks: u64 = chains.iter().map(|&(_, l)| l).sum();
+                h.write_cost_us(chains.len() as u64, blocks)
+            }
+            DeviceMedia::Ssd(ftl) => {
+                ftl.write_batch(dbns.iter().map(|&b| b as u32))?
+            }
+            DeviceMedia::Smr(smr) => {
+                let phys = match checksum {
+                    ChecksumStyle::Azcs => {
+                        azcs_physical_chains(&mut azcs_next[i], &chains)
+                    }
+                    ChecksumStyle::Sector520 => chains.clone(),
+                };
+                let mut t = 0.0;
+                for (start, len) in phys {
+                    t += smr.write_chain(start, len)?;
+                }
+                t
+            }
+            DeviceMedia::Object(o) => o.write_cost_us(&chains),
+        };
+        dev_times.push(us);
+    }
+    // Parity reads hit the devices too; charge them to the slowest device
+    // as random reads (a simplification that keeps the penalty monotone in
+    // partial-stripe count).
+    let parity_read_us = match g.media.first() {
+        Some(DeviceMedia::Hdd(h)) => h.random_read_cost_us(analysis.parity_reads),
+        // Batched parity reads pipeline across the SSD's channels like
+        // programs do; single-read latency (client_read) stays undivided.
+        Some(DeviceMedia::Ssd(s)) => {
+            s.random_read_cost_us(analysis.parity_reads) / s.channels.max(1.0)
+        }
+        Some(DeviceMedia::Smr(s)) => {
+            analysis.parity_reads as f64 * (s.position_us + s.transfer_us)
+        }
+        Some(DeviceMedia::Object(o)) => o.random_read_cost_us(analysis.parity_reads),
+        None => 0.0,
+    };
+    rg.media_us = dev_times.iter().copied().fold(0.0, f64::max) + parity_read_us;
+    Ok(rg)
+}
+
+/// Collapse a sorted DBN list into maximal `(start, len)` chains.
+fn dbns_to_chains(dbns: &[u64]) -> Vec<(u64, u64)> {
+    let mut chains = Vec::new();
+    let mut iter = dbns.iter().copied();
+    let Some(first) = iter.next() else {
+        return chains;
+    };
+    let (mut start, mut len) = (first, 1u64);
+    for dbn in iter {
+        if dbn == start + len {
+            len += 1;
+        } else {
+            chains.push((start, len));
+            start = dbn;
+            len = 1;
+        }
+    }
+    chains.push((start, len));
+    chains
+}
+
+/// No open AZCS stream on the device.
+const AZCS_IDLE: u64 = u64::MAX;
+
+/// Translate data-space chains into physical chains on an AZCS device
+/// (§3.2.4): every 63 data blocks are followed by their checksum block.
+///
+/// Stateful per device: `next` is the data DBN expected to extend the
+/// device's open region. A chain continuing at `next` streams on; its
+/// regions get their checksum blocks written in-line as each completes,
+/// and an incomplete tail region stays *open* (its checksum is buffered —
+/// the next CP continues the same AA sequentially). A chain that *jumps*
+/// (AA switch) first flushes the open region's checksum block as a
+/// separate write — random, and behind the zone write pointer once later
+/// writes fill the region — which is exactly the Fig 9 penalty that
+/// AZCS-aligned AA sizing eliminates (aligned AAs always end on a region
+/// boundary, so no region is ever left open at a switch).
+fn azcs_physical_chains(next: &mut u64, data_chains: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let phys = |d: u64| d + d / AZCS_DATA_BLOCKS;
+    let mut out = Vec::new();
+    for &(start, len) in data_chains {
+        let end = start + len; // exclusive, data space
+        if *next != AZCS_IDLE && start != *next && !(*next).is_multiple_of(AZCS_DATA_BLOCKS) {
+            // Abandoning an open region: flush its checksum block.
+            let open_region = (*next - 1) / AZCS_DATA_BLOCKS;
+            out.push((open_region * AZCS_REGION_BLOCKS + AZCS_DATA_BLOCKS, 1));
+        }
+        let first_region = start / AZCS_DATA_BLOCKS;
+        let last_region = (end - 1) / AZCS_DATA_BLOCKS;
+        for r in first_region..=last_region {
+            let r_data_start = r * AZCS_DATA_BLOCKS;
+            let r_data_end = r_data_start + AZCS_DATA_BLOCKS;
+            let seg_start = start.max(r_data_start);
+            let seg_end = end.min(r_data_end);
+            let p_start = phys(seg_start);
+            let p_len = seg_end - seg_start;
+            if seg_end == r_data_end {
+                // Region completes: its checksum block streams in-line.
+                out.push((p_start, p_len + 1));
+            } else {
+                // Region left open; checksum buffered until it completes
+                // or the stream jumps away.
+                out.push((p_start, p_len));
+            }
+        }
+        *next = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AggregateConfig, FlexVolConfig, RaidGroupSpec};
+    use wafl_media::MediaProfile;
+    use wafl_types::VolumeId;
+
+    fn agg(raid_cache: bool, vol_cache: bool) -> Aggregate {
+        let cfg = AggregateConfig {
+            raid_aware_cache: raid_cache,
+            ..AggregateConfig::single_group(RaidGroupSpec {
+                data_devices: 4,
+                parity_devices: 1,
+                device_blocks: 16 * 4096,
+                profile: MediaProfile::hdd(),
+            })
+        };
+        Aggregate::new(
+            cfg,
+            &[(
+                FlexVolConfig {
+                    size_blocks: 8 * 32768,
+                    aa_cache: vol_cache,
+                    aa_blocks: None,
+                },
+                50_000,
+            )],
+            42,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_cp_is_a_noop() {
+        let mut a = agg(true, true);
+        let s = a.run_cp().unwrap();
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.blocks_written, 0);
+        assert_eq!(a.cp_count(), 1);
+    }
+
+    #[test]
+    fn first_writes_allocate_both_vbn_spaces() {
+        let mut a = agg(true, true);
+        for l in 0..1000 {
+            a.client_overwrite(VolumeId(0), l).unwrap();
+        }
+        let s = a.run_cp().unwrap();
+        assert_eq!(s.ops, 1000);
+        assert_eq!(s.blocks_written, 1000);
+        // 1000 virtual + 1000 physical blocks allocated.
+        assert_eq!(a.volumes()[0].free_blocks(), 8 * 32768 - 1000);
+        assert_eq!(a.bitmap().free_blocks(), 4 * 16 * 4096 - 1000);
+        // Fresh FS: everything lands in empty AAs, colocated — few pages.
+        assert!(s.metafile_pages <= 6, "pages {}", s.metafile_pages);
+        assert!(s.media_us > 0.0);
+        assert!(s.cpu_us > 0.0);
+        // The logical blocks are mapped.
+        let vol = &a.volumes()[0];
+        assert!(vol.lookup_logical(0).is_some());
+        assert!(vol.lookup_logical(999).is_some());
+        assert!(vol.lookup_logical(1000).is_none());
+    }
+
+    #[test]
+    fn overwrites_free_old_blocks_at_cp_boundary() {
+        let mut a = agg(true, true);
+        for l in 0..500 {
+            a.client_overwrite(VolumeId(0), l).unwrap();
+        }
+        a.run_cp().unwrap();
+        let free_v = a.volumes()[0].free_blocks();
+        let free_p = a.bitmap().free_blocks();
+        // Overwrite the same logical blocks: COW allocates new, frees old.
+        for l in 0..500 {
+            a.client_overwrite(VolumeId(0), l).unwrap();
+        }
+        a.run_cp().unwrap();
+        // Net occupancy unchanged: 500 new allocated, 500 old freed.
+        assert_eq!(a.volumes()[0].free_blocks(), free_v);
+        assert_eq!(a.bitmap().free_blocks(), free_p);
+    }
+
+    #[test]
+    fn fresh_fs_writes_full_stripes() {
+        let mut a = agg(true, true);
+        // Enough blocks to fill whole stripes (4 data devices).
+        for l in 0..4096 {
+            a.client_overwrite(VolumeId(0), l).unwrap();
+        }
+        let s = a.run_cp().unwrap();
+        let rg = &s.per_rg[0];
+        assert!(
+            rg.full_stripes > 0,
+            "a fresh AA drain must produce full stripes"
+        );
+        assert!(rg.full_stripes * 4 >= rg.blocks * 9 / 10);
+    }
+
+    #[test]
+    fn cp_works_without_caches() {
+        let mut a = agg(false, false);
+        for l in 0..2000 {
+            a.client_overwrite(VolumeId(0), l).unwrap();
+        }
+        let s = a.run_cp().unwrap();
+        assert_eq!(s.blocks_written, 2000);
+        assert_eq!(a.bitmap().free_blocks(), 4 * 16 * 4096 - 2000);
+        // No cache maintenance happened... but batches still drained.
+        assert!(a.groups()[0].batch.is_empty());
+    }
+
+    #[test]
+    fn quotas_follow_best_scores() {
+        // Two groups; one aged. More blocks should go to the fresh one.
+        let cfg = AggregateConfig {
+            raid_groups: vec![
+                RaidGroupSpec {
+                    data_devices: 2,
+                    parity_devices: 1,
+                    device_blocks: 8 * 4096,
+                    profile: MediaProfile::hdd(),
+                },
+                RaidGroupSpec {
+                    data_devices: 2,
+                    parity_devices: 1,
+                    device_blocks: 8 * 4096,
+                    profile: MediaProfile::hdd(),
+                },
+            ],
+            ..AggregateConfig::single_group(RaidGroupSpec {
+                data_devices: 1,
+                parity_devices: 0,
+                device_blocks: 1,
+                profile: MediaProfile::hdd(),
+            })
+        };
+        let mut a = Aggregate::new(
+            cfg,
+            &[(
+                FlexVolConfig {
+                    size_blocks: 16 * 32768,
+                    aa_cache: true,
+                    aa_blocks: None,
+                },
+                100_000,
+            )],
+            7,
+        )
+        .unwrap();
+        // Age group 0 by allocating half its blocks randomly.
+        crate::aging::seed_rg_random_occupancy(&mut a, 0, 0.5, 123).unwrap();
+        for l in 0..10_000 {
+            a.client_overwrite(VolumeId(0), l).unwrap();
+        }
+        let s = a.run_cp().unwrap();
+        assert!(
+            s.per_rg[1].blocks > s.per_rg[0].blocks,
+            "fresh group {} vs aged {}",
+            s.per_rg[1].blocks,
+            s.per_rg[0].blocks
+        );
+    }
+
+    #[test]
+    fn dbn_chain_collapse() {
+        assert_eq!(dbns_to_chains(&[]), vec![]);
+        assert_eq!(dbns_to_chains(&[5]), vec![(5, 1)]);
+        assert_eq!(
+            dbns_to_chains(&[1, 2, 3, 7, 8, 20]),
+            vec![(1, 3), (7, 2), (20, 1)]
+        );
+    }
+
+    #[test]
+    fn azcs_chain_translation() {
+        let mut st = AZCS_IDLE;
+        // A chain covering exactly one region (63 data blocks from 0):
+        // physical 0..63 plus the checksum block at 63, in-line -> (0, 64).
+        assert_eq!(azcs_physical_chains(&mut st, &[(0, 63)]), vec![(0, 64)]);
+        assert_eq!(st, 63);
+        // A continuing chain leaves the next region open — no checksum
+        // emitted yet (it is buffered until the region completes).
+        assert_eq!(azcs_physical_chains(&mut st, &[(63, 10)]), vec![(64, 10)]);
+        assert_eq!(st, 73);
+        // A jump (AA switch) flushes the open region's checksum block as a
+        // separate write, then streams the new chain.
+        let chains = azcs_physical_chains(&mut st, &[(630, 5)]);
+        assert_eq!(chains, vec![(127, 1), (640, 5)]);
+        // Continuing the new position to the region's end absorbs its
+        // checksum in-line: region 10 is data 630..693.
+        let chains = azcs_physical_chains(&mut st, &[(635, 58)]);
+        assert_eq!(chains, vec![(645, 59)]); // 58 data + 1 checksum
+        // A chain spanning two regions from a fresh stream, ending
+        // mid-second-region: first region in-line, second left open.
+        let mut st2 = AZCS_IDLE;
+        let chains = azcs_physical_chains(&mut st2, &[(0, 70)]);
+        assert_eq!(chains, vec![(0, 64), (64, 7)]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut acc = CpStats::default();
+        let mut a = agg(true, true);
+        for round in 0..3 {
+            for l in 0..100 {
+                a.client_overwrite(VolumeId(0), l + round * 100).unwrap();
+            }
+            let s = a.run_cp().unwrap();
+            acc.accumulate(&s);
+        }
+        assert_eq!(acc.ops, 300);
+        assert_eq!(acc.blocks_written, 300);
+        assert!(acc.cpu_us > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod trim_tests {
+    use crate::aggregate::Aggregate;
+    use crate::aging;
+    use crate::config::{AggregateConfig, FlexVolConfig, RaidGroupSpec};
+    use wafl_media::MediaProfile;
+    use wafl_types::VolumeId;
+
+    fn ssd_agg(trim: bool) -> Aggregate {
+        Aggregate::new(
+            AggregateConfig {
+                trim_on_free: trim,
+                ..AggregateConfig::single_group(RaidGroupSpec {
+                    data_devices: 2,
+                    parity_devices: 1,
+                    device_blocks: 128 * 120,
+                    profile: MediaProfile {
+                        erase_block_blocks: 128,
+                        ..MediaProfile::ssd()
+                    },
+                })
+            },
+            &[(
+                FlexVolConfig {
+                    size_blocks: 2 * 32768,
+                    aa_cache: true,
+                    aa_blocks: Some(2048),
+                },
+                20_000,
+            )],
+            6,
+        )
+        .unwrap()
+    }
+
+    /// Extension beyond the paper: forwarding WAFL's delayed frees to the
+    /// FTL as TRIMs lets garbage collection skip dead-but-unoverwritten
+    /// pages, lowering write amplification further.
+    #[test]
+    fn trim_on_free_reduces_write_amplification() {
+        let measure = |trim: bool| {
+            let mut agg = ssd_agg(trim);
+            aging::fill_volume(&mut agg, VolumeId(0), 2048).unwrap();
+            agg.reset_media_stats();
+            aging::random_overwrite_churn(&mut agg, VolumeId(0), 60_000, 2048, 11)
+                .unwrap();
+            agg.mean_write_amplification()
+        };
+        let (without, with) = (measure(false), measure(true));
+        assert!(
+            with <= without,
+            "TRIM must not worsen WA: with {with} vs without {without}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod batched_free_tests {
+    use crate::aggregate::Aggregate;
+    use crate::aging;
+    use crate::config::{AggregateConfig, FlexVolConfig, RaidGroupSpec};
+    use wafl_media::MediaProfile;
+    use wafl_types::VolumeId;
+
+    fn agg(batched: bool) -> Aggregate {
+        Aggregate::new(
+            AggregateConfig {
+                batched_frees: batched,
+                free_pages_per_cp: 2,
+                ..AggregateConfig::single_group(RaidGroupSpec {
+                    data_devices: 4,
+                    parity_devices: 1,
+                    device_blocks: 16 * 4096,
+                    profile: MediaProfile::hdd(),
+                })
+            },
+            &[(
+                FlexVolConfig {
+                    size_blocks: 8 * 32768,
+                    aa_cache: true,
+                    aa_blocks: None,
+                },
+                60_000,
+            )],
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batched_frees_eventually_reclaim_everything() {
+        let mut a = agg(true);
+        aging::fill_volume(&mut a, VolumeId(0), 4096).unwrap();
+        aging::random_overwrite_churn(&mut a, VolumeId(0), 60_000, 4096, 3).unwrap();
+        // Idle CPs let the background processor drain the log.
+        while a.free_log().pending() > 0 {
+            a.run_cp().unwrap();
+        }
+        // Net occupancy identical to the immediate-free world.
+        assert_eq!(
+            a.bitmap().space_len() - a.bitmap().free_blocks(),
+            60_000
+        );
+    }
+
+    #[test]
+    fn space_pressure_force_drains_the_log() {
+        // A volume nearly as large as the aggregate: overwrites quickly
+        // exhaust fresh space, so allocation succeeds only by pulling
+        // logged frees forward.
+        let mut a = Aggregate::new(
+            AggregateConfig {
+                batched_frees: true,
+                free_pages_per_cp: 1,
+                ..AggregateConfig::single_group(RaidGroupSpec {
+                    data_devices: 2,
+                    parity_devices: 1,
+                    device_blocks: 8 * 4096,
+                    profile: MediaProfile::hdd(),
+                })
+            },
+            &[(
+                FlexVolConfig {
+                    size_blocks: 4 * 32768,
+                    aa_cache: true,
+                    aa_blocks: None,
+                },
+                55_000, // ~84 % of the 65,536-block aggregate
+            )],
+            8,
+        )
+        .unwrap();
+        aging::fill_volume(&mut a, VolumeId(0), 4096).unwrap();
+        // Several full overwrite passes cannot fit without reclaiming.
+        aging::random_overwrite_churn(&mut a, VolumeId(0), 120_000, 4096, 5).unwrap();
+        assert_eq!(
+            a.bitmap().space_len() - a.bitmap().free_blocks(),
+            55_000 + a.free_log().pending()
+        );
+    }
+
+    #[test]
+    fn batched_mode_touches_fewer_free_pages_per_cp() {
+        let run = |batched: bool| {
+            let mut a = agg(batched);
+            aging::fill_volume(&mut a, VolumeId(0), 4096).unwrap();
+            a.bitmapless_dirty_reset();
+            let stats =
+                aging::random_overwrite_churn(&mut a, VolumeId(0), 30_000, 1024, 9)
+                    .unwrap();
+            stats.metafile_pages
+        };
+        let immediate = run(false);
+        let batched = run(true);
+        assert!(
+            batched < immediate,
+            "batched {batched} pages vs immediate {immediate}"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Batched delayed-free processing — the second HBPS use case.
+//!
+//! §3.3.2 closes with: "The HBPS data structure has other uses in WAFL
+//! when millions of items need to be sorted in close-to-optimal order and
+//! with minimal memory usage. For example, it is used to track
+//! *delayed-free scores*." The underlying machinery comes from the
+//! paper's companion work on free-space reclamation (its references
+//! \[17\]/\[18\]): instead of clearing each freed block's bitmap bit
+//! immediately — dirtying whatever metafile page it lands on — frees are
+//! *logged*, and a background processor applies them page by page,
+//! picking the page with the most pending frees first so each metafile
+//! write retires as many frees as possible.
+//!
+//! The "score" of a metafile page is its pending-free count (0..=32 Ki,
+//! the page's bit capacity), so the default HBPS geometry fits exactly.
+//!
+//! [`DelayedFreeLog`] is that log + HBPS; [`crate::Aggregate`] routes
+//! physical frees through it when [`crate::AggregateConfig::batched_frees`]
+//! is set, and processes a budgeted number of pages at each CP boundary.
+
+use std::collections::HashMap;
+use wafl_bitmap::Bitmap;
+use wafl_core::{Hbps, HbpsConfig};
+use wafl_types::{AaId, AaScore, Vbn, WaflResult, BITS_PER_BITMAP_BLOCK};
+
+/// Results of one processing pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DelayedFreeStats {
+    /// Metafile pages written.
+    pub pages_processed: u64,
+    /// Frees applied to the bitmap.
+    pub frees_applied: u64,
+}
+
+/// A log of pending physical frees, indexed by the bitmap-metafile page
+/// each free will dirty, with an HBPS ranking pages by pending count.
+pub struct DelayedFreeLog {
+    /// Pending frees per metafile page.
+    per_page: HashMap<u64, Vec<Vbn>>,
+    /// Pages ranked by pending-free count. Page index stands in for the
+    /// "AA" id; the score is the pending count.
+    hbps: Hbps,
+    total_pending: u64,
+}
+
+impl Default for DelayedFreeLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DelayedFreeLog {
+    /// An empty log.
+    pub fn new() -> DelayedFreeLog {
+        DelayedFreeLog {
+            per_page: HashMap::new(),
+            // Score space = frees pending against one 32 Ki-bit page.
+            // 256 bins (width 128) — finer than the AA cache's 32,
+            // because pending counts cluster in the low thousands and the
+            // processor wants real discrimination there. Still two pages.
+            hbps: Hbps::new(HbpsConfig {
+                max_score: 32_768,
+                bins: 256,
+                list_capacity: 1000,
+            })
+            .expect("geometry fits two pages"),
+            total_pending: 0,
+        }
+    }
+
+    /// Frees waiting to be applied.
+    pub fn pending(&self) -> u64 {
+        self.total_pending
+    }
+
+    /// Distinct metafile pages with pending frees.
+    pub fn pending_pages(&self) -> usize {
+        self.per_page.len()
+    }
+
+    /// Log a freed VBN. The block stays allocated in the bitmap (and thus
+    /// invisible to the allocator) until a processing pass applies it.
+    pub fn log_free(&mut self, vbn: Vbn) {
+        let page = vbn.get() / BITS_PER_BITMAP_BLOCK;
+        let entry = self.per_page.entry(page).or_default();
+        let old = entry.len() as u32;
+        entry.push(vbn);
+        if old == 0 {
+            self.hbps.track_new(AaId(page as u32), AaScore(1));
+        } else {
+            self.hbps
+                .on_score_change(AaId(page as u32), AaScore(old), AaScore(old + 1));
+        }
+        self.total_pending += 1;
+    }
+
+    /// Apply the pending frees of up to `page_budget` pages — best
+    /// (fullest) pages first, so each metafile-page write retires the
+    /// most frees. `record` runs once per applied VBN (the CP engine uses
+    /// it to update owner maps, AA-score batches, and TRIM).
+    pub fn process(
+        &mut self,
+        bitmap: &mut Bitmap,
+        page_budget: usize,
+        mut record: impl FnMut(Vbn, &mut Bitmap) -> WaflResult<()>,
+    ) -> WaflResult<DelayedFreeStats> {
+        let mut stats = DelayedFreeStats::default();
+        for _ in 0..page_budget {
+            // If the list drained while pages remain, rebuild it.
+            if self.hbps.needs_replenish(1) {
+                let scores: Vec<(AaId, AaScore)> = self
+                    .per_page
+                    .iter()
+                    .map(|(&p, v)| (AaId(p as u32), AaScore(v.len() as u32)))
+                    .collect();
+                self.hbps.replenish(scores);
+            }
+            let Some((page, _bound)) = self.hbps.take_best() else {
+                break;
+            };
+            let Some(frees) = self.per_page.remove(&(page.get() as u64)) else {
+                continue; // stale entry from a replenish race
+            };
+            let count = frees.len() as u32;
+            for vbn in frees {
+                bitmap.free(vbn)?;
+                record(vbn, bitmap)?;
+                stats.frees_applied += 1;
+            }
+            self.total_pending -= count as u64;
+            self.hbps.untrack(page, AaScore(count));
+            stats.pages_processed += 1;
+        }
+        Ok(stats)
+    }
+
+    /// Drain everything regardless of budget (space pressure: the
+    /// allocator needs those blocks back *now*).
+    pub fn force_drain(
+        &mut self,
+        bitmap: &mut Bitmap,
+        record: impl FnMut(Vbn, &mut Bitmap) -> WaflResult<()>,
+    ) -> WaflResult<DelayedFreeStats> {
+        let pages = self.per_page.len();
+        self.process(bitmap, pages + 1, record)
+    }
+
+    /// Memory used by the ranking structure — two pages, per the §3.3.2
+    /// claim, regardless of how many frees are pending. (The log entries
+    /// themselves model the on-disk delayed-free metafiles of \[18\].)
+    pub fn ranking_memory_bytes(&self) -> usize {
+        self.hbps.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frees_stay_invisible_until_processed() {
+        let mut bitmap = Bitmap::new(4 * 32768);
+        for v in 0..1000 {
+            bitmap.allocate(Vbn(v)).unwrap();
+        }
+        let mut log = DelayedFreeLog::new();
+        for v in 0..500 {
+            log.log_free(Vbn(v));
+        }
+        assert_eq!(log.pending(), 500);
+        assert_eq!(bitmap.free_blocks(), 4 * 32768 - 1000, "not yet applied");
+        let stats = log
+            .process(&mut bitmap, 10, |_, _| Ok(()))
+            .unwrap();
+        assert_eq!(stats.frees_applied, 500);
+        assert_eq!(stats.pages_processed, 1, "all 500 shared one page");
+        assert_eq!(bitmap.free_blocks(), 4 * 32768 - 500);
+        assert_eq!(log.pending(), 0);
+    }
+
+    #[test]
+    fn fullest_pages_process_first() {
+        let mut bitmap = Bitmap::new(8 * 32768);
+        // Allocate candidates on three pages.
+        let pages = [0u64, 3, 6];
+        for &p in &pages {
+            for i in 0..1000 {
+                bitmap.allocate(Vbn(p * 32768 + i)).unwrap();
+            }
+        }
+        let mut log = DelayedFreeLog::new();
+        // Page 3 has the most pending frees, page 0 the fewest.
+        for i in 0..10 {
+            log.log_free(Vbn(i));
+        }
+        for i in 0..900 {
+            log.log_free(Vbn(3 * 32768 + i));
+        }
+        for i in 0..300 {
+            log.log_free(Vbn(6 * 32768 + i));
+        }
+        let mut order = Vec::new();
+        log.process(&mut bitmap, 1, |v, _| {
+            if order.last() != Some(&(v.get() / 32768)) {
+                order.push(v.get() / 32768);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(order, vec![3], "fullest page first");
+        log.process(&mut bitmap, 1, |v, _| {
+            if order.last() != Some(&(v.get() / 32768)) {
+                order.push(v.get() / 32768);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(order, vec![3, 6]);
+        assert_eq!(log.pending(), 10);
+    }
+
+    #[test]
+    fn force_drain_empties_everything() {
+        let mut bitmap = Bitmap::new(32 * 32768);
+        let mut log = DelayedFreeLog::new();
+        for p in 0..32u64 {
+            for i in 0..5 {
+                bitmap.allocate(Vbn(p * 32768 + i)).unwrap();
+                log.log_free(Vbn(p * 32768 + i));
+            }
+        }
+        assert_eq!(log.pending_pages(), 32);
+        let stats = log.force_drain(&mut bitmap, |_, _| Ok(())).unwrap();
+        assert_eq!(stats.frees_applied, 160);
+        assert_eq!(stats.pages_processed, 32);
+        assert_eq!(log.pending(), 0);
+        assert_eq!(bitmap.free_blocks(), 32 * 32768);
+    }
+
+    #[test]
+    fn ranking_memory_constant() {
+        let mut log = DelayedFreeLog::new();
+        let mut bitmap = Bitmap::new(1024 * 32768);
+        for p in 0..1024u64 {
+            bitmap.allocate(Vbn(p * 32768)).unwrap();
+            log.log_free(Vbn(p * 32768));
+        }
+        assert_eq!(log.ranking_memory_bytes(), 2 * 4096);
+    }
+
+    #[test]
+    fn batching_reduces_pages_dirtied_per_free() {
+        // The point of the design (§2.5): N frees scattered over K pages
+        // cost K page writes when batched, but up to N when immediate.
+        let space = 16 * 32768u64;
+        let mut immediate = Bitmap::new(space);
+        let mut batched = Bitmap::new(space);
+        // Scatter the frees uniformly so every immediate "CP" chunk
+        // touches many pages (the aged-COW overwrite pattern).
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let frees: Vec<Vbn> = rand::seq::index::sample(&mut rng, space as usize, 1600)
+            .into_iter()
+            .map(|i| Vbn(i as u64))
+            .collect();
+        for &v in &frees {
+            immediate.allocate(v).unwrap();
+            batched.allocate(v).unwrap();
+        }
+        immediate.take_dirty_stats();
+        batched.take_dirty_stats();
+
+        // Immediate: free as they arrive, taking dirty stats per "CP" of 100.
+        let mut immediate_pages = 0;
+        for chunk in frees.chunks(100) {
+            for &v in chunk {
+                immediate.free(v).unwrap();
+            }
+            immediate_pages += immediate.take_dirty_stats().pages_dirtied;
+        }
+        // Batched: log everything, then process page-at-a-time.
+        let mut log = DelayedFreeLog::new();
+        for &v in &frees {
+            log.log_free(v);
+        }
+        let mut batched_pages = 0;
+        while log.pending() > 0 {
+            log.process(&mut batched, 1, |_, _| Ok(())).unwrap();
+            batched_pages += batched.take_dirty_stats().pages_dirtied;
+        }
+        assert!(
+            batched_pages <= 16,
+            "batched path touches each page once: {batched_pages}"
+        );
+        assert!(
+            immediate_pages >= 10 * batched_pages,
+            "immediate {immediate_pages} vs batched {batched_pages}"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! A copy-on-write file-system simulator reproducing the WAFL structures
+//! the paper's evaluation exercises.
+//!
+//! ONTAP nests two WAFL layers: FlexVol volumes (virtual VBNs) inside an
+//! aggregate (physical VBNs); write allocation assigns both numbers for
+//! every dirtied block (§2.1). This crate simulates that machinery at the
+//! block-number level:
+//!
+//! * [`Aggregate`] — the physical layer: RAID groups with per-device media
+//!   models, the physical activemap, RAID-aware AA caches, and hosted
+//!   [`FlexVol`]s with their virtual activemaps and HBPS caches.
+//! * [`CpStats`] / [`Aggregate::run_cp`] — the consistency point: collect
+//!   dirtied logical blocks, allocate virtual + physical VBNs from the
+//!   emptiest AAs, apply the delayed frees of overwritten blocks, dirty
+//!   bitmap-metafile pages, cost the resulting RAID tetrises against the
+//!   media models, and batch-update every AA cache (§3.3).
+//! * [`mount`] — unmount/mount with and without TopAA metafiles (§3.4),
+//!   measuring the metafile I/O each path needs before the first CP.
+//! * [`aging`] — fill/fragment recipes that reproduce the paper's aged
+//!   file systems (§4.1's "thoroughly fragmented by applying heavy random
+//!   write traffic").
+//! * [`cleaning`] — just-in-time segment cleaning of top-of-heap AAs
+//!   (§3.3.1), the paper's defragmentation hook.
+//!
+//! Client operations arrive via [`Aggregate::client_overwrite`] /
+//! [`Aggregate::client_read`]; a CP flushes everything collected since the
+//! previous one, exactly like WAFL's delayed batched flushing (§2.1).
+
+#![warn(missing_docs)]
+
+pub mod aging;
+mod aggregate;
+mod allocator;
+pub mod cleaning;
+mod config;
+pub mod delayed_free;
+mod cp;
+pub mod iron;
+pub mod mount;
+pub mod snapshot;
+mod volume;
+
+pub use aggregate::{Aggregate, RaidGroupState};
+pub use allocator::AllocatorMode;
+pub use config::{AggregateConfig, CpuModel, FlexVolConfig, RaidGroupSpec};
+pub use cp::CpStats;
+pub use volume::FlexVol;

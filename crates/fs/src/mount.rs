@@ -1,0 +1,300 @@
+//! Unmount/mount with and without TopAA metafiles (§3.4).
+//!
+//! After a failover or reboot, write allocation cannot begin until an AA
+//! can be selected, which requires operational AA caches. The slow path
+//! walks every bitmap-metafile block; the fast path reads the fixed-size
+//! TopAA metafile: one block per RAID-aware cache (512 best AAs) and two
+//! blocks (the embedded HBPS pages) per RAID-agnostic cache. Figure 10
+//! measures exactly this difference, and [`MountStats`] carries the
+//! numbers the harness plots.
+
+use crate::aggregate::{Aggregate, GroupCache};
+use serde::{Deserialize, Serialize};
+use wafl_core::{topaa, Hbps, RaidAgnosticCache, RaidAwareCache};
+use wafl_types::{AaId, WaflResult, BLOCK_SIZE};
+
+/// Persisted form of one physical range's AA cache.
+#[allow(clippy::large_enum_variant)] // both variants are page images
+pub enum RgTopAa {
+    /// One 4 KiB block: the 512 best AAs of a RAID-aware max-heap (§3.4).
+    Heap([u8; BLOCK_SIZE]),
+    /// Two 4 KiB blocks: the HBPS pages of a natively redundant range,
+    /// embedded verbatim like a FlexVol cache.
+    Hbps([u8; BLOCK_SIZE], [u8; BLOCK_SIZE]),
+}
+
+/// The persisted TopAA metafile image of a whole aggregate: one block per
+/// RAID group (two for HBPS-cached ranges) plus two per FlexVol.
+pub struct TopAaImage {
+    /// Per-group cache image (index = RAID group).
+    pub rg_blocks: Vec<Option<RgTopAa>>,
+    /// Two 4 KiB blocks per volume cache (index = volume).
+    pub vol_pages: Vec<Option<([u8; BLOCK_SIZE], [u8; BLOCK_SIZE])>>,
+}
+
+impl TopAaImage {
+    /// Metafile blocks this image occupies on storage.
+    pub fn block_count(&self) -> u64 {
+        let rg: u64 = self
+            .rg_blocks
+            .iter()
+            .flatten()
+            .map(|b| match b {
+                RgTopAa::Heap(_) => 1,
+                RgTopAa::Hbps(..) => 2,
+            })
+            .sum();
+        let vol = self.vol_pages.iter().flatten().count() as u64 * 2;
+        rg + vol
+    }
+}
+
+/// What a mount path cost and left behind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MountStats {
+    /// Metafile blocks read before the first CP could run.
+    pub metafile_blocks_read: u64,
+    /// Modelled time until the first CP can start, µs (reads + processing).
+    pub first_cp_ready_us: f64,
+    /// Bitmap pages a background walk must still scan to complete the
+    /// caches (zero for the cold path, which scans everything up front).
+    pub background_pages_remaining: u64,
+}
+
+/// Serialize every cache's TopAA state — what WAFL persists at each CP so
+/// a crash loses nothing (§3.4).
+pub fn save_topaa(agg: &Aggregate) -> TopAaImage {
+    TopAaImage {
+        rg_blocks: agg
+            .groups
+            .iter()
+            .map(|g| {
+                g.cache.as_ref().map(|c| match c {
+                    GroupCache::Heap(h) => RgTopAa::Heap(topaa::serialize_raid_aware(h)),
+                    GroupCache::Hbps(h) => {
+                        let (a, b) = h.to_pages();
+                        RgTopAa::Hbps(a, b)
+                    }
+                })
+            })
+            .collect(),
+        vol_pages: agg
+            .volumes()
+            .iter()
+            .map(|v| v.cache().map(RaidAgnosticCache::to_topaa))
+            .collect(),
+    }
+}
+
+/// Simulate a crash/reboot: all in-memory AA caches and allocator context
+/// (active AAs, device stream state) are lost. Bitmaps, volume maps and
+/// snapshots — the persistent state — survive.
+pub fn crash(agg: &mut Aggregate) {
+    for g in agg.groups.iter_mut() {
+        g.cache = None;
+        g.active_aa = None;
+        g.azcs_next.iter_mut().for_each(|n| *n = u64::MAX);
+    }
+    for v in agg.vols.iter_mut() {
+        v.cache = None;
+        v.active_aa = None;
+    }
+}
+
+/// Fast mount: seed every cache from the TopAA image (§3.4). Reads a
+/// fixed number of metafile blocks regardless of file-system size; the
+/// max-heaps start partial and [`complete_background_rebuild`] finishes
+/// them later.
+pub fn mount_with_topaa(agg: &mut Aggregate, image: &TopAaImage) -> WaflResult<MountStats> {
+    let cpu = agg.config().cpu;
+    let mut blocks_read = 0u64;
+    let mut background_pages = 0u64;
+    for (i, block) in image.rg_blocks.iter().enumerate() {
+        let g = &mut agg.groups[i];
+        match block {
+            Some(RgTopAa::Heap(block)) => {
+                blocks_read += 1;
+                let entries = topaa::deserialize_raid_aware(block)?;
+                let max: Vec<u32> = (0..g.topology.aa_count())
+                    .map(|a| g.topology.aa_blocks(AaId(a)) as u32)
+                    .collect();
+                g.cache = Some(GroupCache::Heap(RaidAwareCache::seeded(max, &entries)?));
+            }
+            Some(RgTopAa::Hbps(hist, list)) => {
+                blocks_read += 2;
+                // HBPS restores complete — like a volume cache.
+                g.cache = Some(GroupCache::Hbps(Box::new(Hbps::from_pages(hist, list)?)));
+            }
+            None => {}
+        }
+    }
+    // The background walk still owes a pass over the physical bitmap.
+    background_pages += agg.bitmap.page_count() as u64;
+    for (i, pages) in image.vol_pages.iter().enumerate() {
+        let Some((hist, list)) = pages else { continue };
+        blocks_read += 2;
+        let v = &mut agg.vols[i];
+        v.cache = Some(RaidAgnosticCache::from_topaa(
+            v.topology.clone(),
+            hist,
+            list,
+        )?);
+        // HBPS restores complete — no background debt for volumes.
+    }
+    Ok(MountStats {
+        metafile_blocks_read: blocks_read,
+        first_cp_ready_us: blocks_read as f64
+            * (cpu.us_per_metafile_read + cpu.us_per_scan_page),
+        background_pages_remaining: background_pages,
+    })
+}
+
+/// Cold mount: no TopAA metafile — walk every bitmap page of the
+/// aggregate and of every volume to compute all AA scores (§3.4's
+/// "linear walk of the bitmap metafiles ... may take multiple seconds").
+pub fn mount_cold(agg: &mut Aggregate) -> WaflResult<MountStats> {
+    let cpu = agg.config().cpu;
+    let mut pages = agg.bitmap.page_count() as u64;
+    for i in 0..agg.groups.len() {
+        crate::aging::rebuild_rg_cache(agg, i)?;
+    }
+    for v in agg.vols.iter_mut() {
+        pages += v.bitmap.page_count() as u64;
+        v.cache = Some(RaidAgnosticCache::build(v.topology.clone(), &v.bitmap)?);
+    }
+    Ok(MountStats {
+        metafile_blocks_read: pages,
+        first_cp_ready_us: pages as f64 * (cpu.us_per_metafile_read + cpu.us_per_scan_page),
+        background_pages_remaining: 0,
+    })
+}
+
+/// Finish a TopAA-seeded mount: the background walk that completes every
+/// RAID-aware max-heap with authoritative scores. Returns the pages
+/// scanned (its cost runs behind client traffic, not in front of it).
+pub fn complete_background_rebuild(agg: &mut Aggregate) -> WaflResult<u64> {
+    let bitmap = &agg.bitmap;
+    let mut scanned = 0u64;
+    for g in agg.groups.iter_mut() {
+        let Some(GroupCache::Heap(cache)) = g.cache.as_mut() else {
+            continue; // HBPS ranges restore complete from their two pages
+        };
+        if cache.is_complete() {
+            continue;
+        }
+        let scores = g.topology.all_scores(bitmap);
+        cache.absorb_rebuild(&scores)?;
+        scanned += bitmap.page_count() as u64;
+    }
+    Ok(scanned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aging;
+    use crate::config::{AggregateConfig, FlexVolConfig, RaidGroupSpec};
+    use wafl_media::MediaProfile;
+    use wafl_types::VolumeId;
+
+    fn aged_agg(vols: usize) -> Aggregate {
+        let mut a = Aggregate::new(
+            AggregateConfig {
+                // 64-stripe AAs -> 2048 AAs per group, so the 512-entry
+                // TopAA seed is a strict subset and the background rebuild
+                // has real work to do.
+                aa_policy_override: Some(wafl_types::AaSizingPolicy::Stripes {
+                    stripes: 64,
+                }),
+                ..AggregateConfig::single_group(RaidGroupSpec {
+                    data_devices: 4,
+                    parity_devices: 1,
+                    device_blocks: 32 * 4096,
+                    profile: MediaProfile::hdd(),
+                })
+            },
+            &vec![
+                (
+                    FlexVolConfig {
+                        size_blocks: 8 * 32768,
+                        aa_cache: true,
+                    aa_blocks: None,
+                },
+                    40_000,
+                );
+                vols
+            ],
+            3,
+        )
+        .unwrap();
+        for v in 0..vols {
+            aging::fill_volume(&mut a, VolumeId(v as u32), 8192).unwrap();
+            aging::random_overwrite_churn(&mut a, VolumeId(v as u32), 20_000, 8192, v as u64)
+                .unwrap();
+        }
+        a
+    }
+
+    #[test]
+    fn topaa_mount_reads_fixed_blocks() {
+        let mut a = aged_agg(2);
+        let image = save_topaa(&a);
+        assert_eq!(image.block_count(), 1 + 2 * 2);
+        crash(&mut a);
+        assert!(a.groups()[0].cache().is_none());
+        let stats = mount_with_topaa(&mut a, &image).unwrap();
+        assert_eq!(stats.metafile_blocks_read, 5);
+        assert!(stats.background_pages_remaining > 0);
+        assert!(a.groups()[0].cache().is_some());
+        assert!(!a.groups()[0].cache().unwrap().is_complete());
+        // Volume caches are fully operational immediately.
+        assert!(a.volumes()[0].cache().is_some());
+    }
+
+    #[test]
+    fn cold_mount_scales_with_size() {
+        let mut a = aged_agg(1);
+        crash(&mut a);
+        let cold = mount_cold(&mut a).unwrap();
+        // Cold mount reads every bitmap page: aggregate (16 pages for
+        // 4*32*4096 blocks) + volume (8 pages).
+        assert_eq!(cold.metafile_blocks_read, 16 + 8);
+        assert_eq!(cold.background_pages_remaining, 0);
+        assert!(a.groups()[0].cache().unwrap().is_complete());
+    }
+
+    #[test]
+    fn seeded_mount_can_run_cps_then_rebuild() {
+        let mut a = aged_agg(1);
+        let image = save_topaa(&a);
+        crash(&mut a);
+        mount_with_topaa(&mut a, &image).unwrap();
+        // Client traffic works on the seeded caches.
+        for l in 0..2000 {
+            a.client_overwrite(VolumeId(0), l).unwrap();
+        }
+        let s = a.run_cp().unwrap();
+        assert_eq!(s.blocks_written, 2000);
+        // Background rebuild completes the heap.
+        let scanned = complete_background_rebuild(&mut a).unwrap();
+        assert!(scanned > 0);
+        assert!(a.groups()[0].cache().unwrap().is_complete());
+        // Idempotent.
+        assert_eq!(complete_background_rebuild(&mut a).unwrap(), 0);
+    }
+
+    #[test]
+    fn seeded_and_cold_mounts_agree_on_best_aas() {
+        let mut a = aged_agg(1);
+        let image = save_topaa(&a);
+        let best_before = a.groups()[0].cache().unwrap().best().unwrap();
+        crash(&mut a);
+        mount_with_topaa(&mut a, &image).unwrap();
+        let best_seeded = a.groups()[0].cache().unwrap().best().unwrap();
+        assert_eq!(best_before, best_seeded, "seed preserves the best AA");
+        crash(&mut a);
+        mount_cold(&mut a).unwrap();
+        let best_cold = a.groups()[0].cache().unwrap().best().unwrap();
+        assert_eq!(best_before.1, best_cold.1, "cold rebuild agrees on score");
+    }
+}

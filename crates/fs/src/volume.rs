@@ -1,0 +1,302 @@
+//! FlexVol state: virtual VBN space, logical→virtual→physical mappings,
+//! and the volume's RAID-agnostic AA cache.
+
+use crate::config::FlexVolConfig;
+use crate::snapshot::{Snapshot, SnapshotId};
+use std::collections::{HashMap, HashSet};
+use wafl_bitmap::Bitmap;
+use wafl_core::{AaTopology, RaidAgnosticCache, ScoreDeltaBatch};
+use wafl_types::{
+    AaSizingPolicy, Vbn, VolumeId, WaflError, WaflResult, RAID_AGNOSTIC_AA_BLOCKS,
+};
+
+/// Sentinel for "no mapping".
+const UNMAPPED: u64 = u64::MAX;
+
+/// One FlexVol volume hosted in the aggregate.
+///
+/// Three layers of numbering meet here (§2.1):
+/// * *logical blocks* — the client-visible file/LUN offsets;
+/// * *virtual VBNs* — the volume's own block-number space, tracked by the
+///   volume's activemap and AA cache;
+/// * *physical VBNs* — owned by the aggregate; the volume only remembers
+///   the virtual→physical map.
+///
+/// Copy-on-write: every overwrite of a logical block gets a fresh virtual
+/// and physical VBN; the old pair is freed *at the CP boundary* (delayed
+/// frees, §3.3).
+pub struct FlexVol {
+    /// This volume's id within the aggregate.
+    pub id: VolumeId,
+    cfg: FlexVolConfig,
+    /// Virtual activemap.
+    pub(crate) bitmap: Bitmap,
+    /// AA tiling of the virtual space (32 Ki consecutive VBNs by default).
+    pub(crate) topology: AaTopology,
+    /// HBPS-backed cache; `None` when the volume's AA cache is disabled.
+    pub(crate) cache: Option<RaidAgnosticCache>,
+    /// Logical block → virtual VBN.
+    logical_map: Vec<u64>,
+    /// Virtual VBN → physical VBN. Sparse: virtual spaces are thin-
+    /// provisioned and can dwarf the live data, so this maps only mapped
+    /// VBNs (memory proportional to live blocks, not volume size).
+    vvbn_map: HashMap<u64, u64>,
+    /// Score deltas accumulated during the current CP.
+    pub(crate) batch: ScoreDeltaBatch,
+    /// Virtual VBNs freed by overwrites, applied at the CP boundary.
+    pub(crate) delayed_vvbn_frees: Vec<Vbn>,
+    /// The AA currently being drained (kept across CPs until exhausted,
+    /// §3.1 — all free VBNs of a picked AA are assigned in order).
+    pub(crate) active_aa: Option<wafl_types::AaId>,
+    /// Snapshots pinning old block versions (see [`crate::snapshot`]).
+    pub(crate) snapshots: Vec<Snapshot>,
+    /// vvbn -> number of snapshots pinning it.
+    pub(crate) snap_refs: HashMap<u64, u32>,
+    /// Pinned vvbns no longer in the active file system (freed when their
+    /// last snapshot goes).
+    pub(crate) detached: HashSet<u64>,
+    pub(crate) next_snapshot_id: u64,
+    pub(crate) snapshot_id_cache: Vec<SnapshotId>,
+}
+
+impl FlexVol {
+    /// Create an empty volume with `logical_blocks` of client-addressable
+    /// space. The virtual space (`cfg.size_blocks`) must be at least as
+    /// large.
+    pub fn new(id: VolumeId, cfg: FlexVolConfig, logical_blocks: u64) -> WaflResult<FlexVol> {
+        if cfg.size_blocks < logical_blocks {
+            return Err(WaflError::InvalidConfig {
+                reason: format!(
+                    "volume {id}: virtual space {} smaller than logical space \
+                     {logical_blocks}",
+                    cfg.size_blocks
+                ),
+            });
+        }
+        let aa_blocks = cfg.aa_blocks.unwrap_or(RAID_AGNOSTIC_AA_BLOCKS);
+        if aa_blocks == 0 || !aa_blocks.is_multiple_of(32) {
+            return Err(WaflError::InvalidConfig {
+                reason: format!(
+                    "volume {id}: AA size {aa_blocks} must be a positive \
+                     multiple of the HBPS bin count (32)"
+                ),
+            });
+        }
+        let topology = AaTopology::raid_agnostic(
+            cfg.size_blocks,
+            AaSizingPolicy::ConsecutiveVbns { blocks: aa_blocks },
+        )?;
+        let bitmap = Bitmap::new(cfg.size_blocks);
+        let cache = if cfg.aa_cache {
+            Some(RaidAgnosticCache::build(topology.clone(), &bitmap)?)
+        } else {
+            None
+        };
+        Ok(FlexVol {
+            id,
+            cfg,
+            bitmap,
+            topology,
+            cache,
+            logical_map: vec![UNMAPPED; logical_blocks as usize],
+            vvbn_map: HashMap::new(),
+            batch: ScoreDeltaBatch::new(),
+            delayed_vvbn_frees: Vec::new(),
+            active_aa: None,
+            snapshots: Vec::new(),
+            snap_refs: HashMap::new(),
+            detached: HashSet::new(),
+            next_snapshot_id: 0,
+            snapshot_id_cache: Vec::new(),
+        })
+    }
+
+    /// Volume configuration.
+    pub fn config(&self) -> FlexVolConfig {
+        self.cfg
+    }
+
+    /// Client-addressable blocks.
+    pub fn logical_blocks(&self) -> u64 {
+        self.logical_map.len() as u64
+    }
+
+    /// Virtual space size.
+    pub fn size_blocks(&self) -> u64 {
+        self.cfg.size_blocks
+    }
+
+    /// Free virtual VBNs.
+    pub fn free_blocks(&self) -> u64 {
+        self.bitmap.free_blocks()
+    }
+
+    /// Current virtual VBN of a logical block (`None` if never written).
+    pub fn lookup_logical(&self, logical: u64) -> Option<Vbn> {
+        let v = *self.logical_map.get(logical as usize)?;
+        (v != UNMAPPED).then_some(Vbn(v))
+    }
+
+    /// Physical VBN backing a virtual VBN.
+    pub fn lookup_vvbn(&self, vvbn: Vbn) -> Option<Vbn> {
+        self.vvbn_map.get(&vvbn.get()).map(|&p| Vbn(p))
+    }
+
+    /// Record that `logical` now lives at (`vvbn`, `pvbn`). Returns the
+    /// *previous* (vvbn, pvbn) pair if the block was mapped and no
+    /// snapshot pins it — those become delayed frees; pinned pairs detach
+    /// instead and free when their last snapshot goes. Called by the CP
+    /// engine only.
+    pub(crate) fn remap(
+        &mut self,
+        logical: u64,
+        vvbn: Vbn,
+        pvbn: Vbn,
+    ) -> Option<(Vbn, Vbn)> {
+        let old_v = self.logical_map[logical as usize];
+        self.logical_map[logical as usize] = vvbn.get();
+        self.vvbn_map.insert(vvbn.get(), pvbn.get());
+        if old_v == UNMAPPED {
+            return None;
+        }
+        self.release_or_detach(Vbn(old_v))
+    }
+
+    /// Remove `logical`'s mapping entirely (file deletion / hole punch),
+    /// returning the freed (vvbn, pvbn) pair for the delayed-free path
+    /// (or `None` when a snapshot pins it).
+    pub(crate) fn unmap(&mut self, logical: u64) -> Option<(Vbn, Vbn)> {
+        let old_v = self.logical_map[logical as usize];
+        if old_v == UNMAPPED {
+            return None;
+        }
+        self.logical_map[logical as usize] = UNMAPPED;
+        self.release_or_detach(Vbn(old_v))
+    }
+
+    /// The active file system no longer references `old_v`: free it now,
+    /// or keep it (detached) for the snapshots that pin it.
+    fn release_or_detach(&mut self, old_v: Vbn) -> Option<(Vbn, Vbn)> {
+        if self.vvbn_pinned(old_v) {
+            self.detach_pinned(old_v);
+            return None;
+        }
+        let old_p = self
+            .vvbn_map
+            .remove(&old_v.get())
+            .expect("mapped vvbn lacked a pvbn");
+        Some((old_v, Vbn(old_p)))
+    }
+
+    /// Remove and return `vvbn`'s physical mapping (snapshot release).
+    pub(crate) fn take_vvbn_mapping(&mut self, vvbn: Vbn) -> Option<Vbn> {
+        self.vvbn_map.remove(&vvbn.get()).map(Vbn)
+    }
+
+    /// All referenced (vvbn, pvbn) pairs: the active file system plus
+    /// snapshot-pinned blocks. This is what the aggregate's owner map
+    /// mirrors.
+    pub(crate) fn vvbn_entries(&self) -> impl Iterator<Item = (Vbn, Vbn)> + '_ {
+        self.vvbn_map.iter().map(|(&v, &p)| (Vbn(v), Vbn(p)))
+    }
+
+    /// Point an existing virtual VBN at a new physical location (segment
+    /// cleaning relocated the block). The virtual VBN itself is unchanged,
+    /// so logical mappings and the volume's activemap are untouched.
+    pub(crate) fn redirect_vvbn(&mut self, vvbn: Vbn, new_pvbn: Vbn) {
+        let slot = self
+            .vvbn_map
+            .get_mut(&vvbn.get())
+            .expect("redirected vvbn must be mapped");
+        *slot = new_pvbn.get();
+    }
+
+    /// Read access to the volume's activemap (diagnostics, scans).
+    pub fn bitmap(&self) -> &Bitmap {
+        &self.bitmap
+    }
+
+    /// The volume's AA topology.
+    pub fn topology(&self) -> &AaTopology {
+        &self.topology
+    }
+
+    /// The volume's AA cache, if enabled.
+    pub fn cache(&self) -> Option<&RaidAgnosticCache> {
+        self.cache.as_ref()
+    }
+
+    /// Fraction of the virtual space in use.
+    pub fn used_fraction(&self) -> f64 {
+        1.0 - self.bitmap.free_fraction()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol() -> FlexVol {
+        FlexVol::new(
+            VolumeId(0),
+            FlexVolConfig {
+                size_blocks: 4 * RAID_AGNOSTIC_AA_BLOCKS,
+                aa_cache: true,
+                    aa_blocks: None,
+                },
+            1000,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_sizes() {
+        assert!(FlexVol::new(
+            VolumeId(0),
+            FlexVolConfig {
+                size_blocks: 10,
+                aa_cache: true,
+                aa_blocks: None,
+            },
+            100
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn remap_returns_previous_pair_for_cow_frees() {
+        let mut v = vol();
+        assert_eq!(v.remap(5, Vbn(100), Vbn(9000)), None);
+        assert_eq!(v.lookup_logical(5), Some(Vbn(100)));
+        assert_eq!(v.lookup_vvbn(Vbn(100)), Some(Vbn(9000)));
+        // Overwrite: new location, old pair handed back for delayed free.
+        assert_eq!(v.remap(5, Vbn(200), Vbn(9500)), Some((Vbn(100), Vbn(9000))));
+        assert_eq!(v.lookup_logical(5), Some(Vbn(200)));
+        assert_eq!(v.lookup_vvbn(Vbn(100)), None);
+    }
+
+    #[test]
+    fn unwritten_blocks_have_no_mapping() {
+        let v = vol();
+        assert_eq!(v.lookup_logical(0), None);
+        assert_eq!(v.lookup_logical(10_000_000), None);
+        assert_eq!(v.lookup_vvbn(Vbn(0)), None);
+    }
+
+    #[test]
+    fn cache_presence_follows_config() {
+        let v = vol();
+        assert!(v.cache().is_some());
+        let v2 = FlexVol::new(
+            VolumeId(1),
+            FlexVolConfig {
+                size_blocks: RAID_AGNOSTIC_AA_BLOCKS,
+                aa_cache: false,
+                    aa_blocks: None,
+                },
+            100,
+        )
+        .unwrap();
+        assert!(v2.cache().is_none());
+    }
+}

@@ -1,0 +1,13 @@
+//! Extension experiments: delayed-free batching (the §3.3.2 second HBPS
+//! use case) and snapshot-deletion free-space nonuniformity (§4.1.1).
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin ext_reclamation
+//!         [--scale small|paper] [--json out.json]`
+
+fn main() {
+    let (scale, json) = wafl_harness::cli_scale();
+    let result = wafl_harness::experiments::ext_reclamation::run_experiment(scale)
+        .expect("ext_reclamation failed");
+    println!("{}", result.to_markdown());
+    wafl_harness::maybe_write_json(&json, &result);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 10 (§4.4): first-CP time after boot with and
+//! without TopAA metafiles, against volume size (A) and count (B).
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin fig10_topaa_mount
+//!         [--scale small|paper] [--json out.json]`
+
+fn main() {
+    let (scale, json) = wafl_harness::cli_scale();
+    let result = wafl_harness::experiments::fig10::run(scale).expect("fig10 failed");
+    println!("{}", result.to_markdown());
+    wafl_harness::maybe_write_json(&json, &result);
+}

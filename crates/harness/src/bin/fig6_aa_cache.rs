@@ -1,0 +1,12 @@
+//! Regenerates Figure 6 (§4.1): latency vs throughput with the AA caches
+//! enabled per space, plus the in-text pick-quality and WA numbers.
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin fig6_aa_cache
+//!         [--scale small|paper] [--json out.json]`
+
+fn main() {
+    let (scale, json) = wafl_harness::cli_scale();
+    let result = wafl_harness::experiments::fig6::run(scale).expect("fig6 failed");
+    println!("{}", result.to_markdown());
+    wafl_harness::maybe_write_json(&json, &result);
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 7 (§4.2): per-disk blocks/s and per-group tetris
+//! rates across differently aged RAID groups under an OLTP workload.
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin fig7_imbalanced_aging
+//!         [--scale small|paper] [--json out.json] [--backoff]`
+
+fn main() {
+    let (scale, json) = wafl_harness::cli_scale();
+    let backoff = std::env::args().any(|a| a == "--backoff");
+    let result = wafl_harness::experiments::fig7::run_with_backoff(scale, backoff)
+        .expect("fig7 failed");
+    println!("{}", result.to_markdown());
+    wafl_harness::maybe_write_json(&json, &result);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 8 (§4.3): HDD-sized vs erase-block-multiple AAs on
+//! an aged all-SSD system, including the write-amplification comparison.
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin fig8_ssd_aa_sizing
+//!         [--scale small|paper] [--json out.json]`
+
+fn main() {
+    let (scale, json) = wafl_harness::cli_scale();
+    let result = wafl_harness::experiments::fig8::run(scale).expect("fig8 failed");
+    println!("{}", result.to_markdown());
+    wafl_harness::maybe_write_json(&json, &result);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 9 (§4.3): HDD-sized vs zone-sized AZCS-aligned AAs
+//! on drive-managed SMR under sequential writes.
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin fig9_smr_aa_sizing
+//!         [--scale small|paper] [--json out.json]`
+
+fn main() {
+    let (scale, json) = wafl_harness::cli_scale();
+    let result = wafl_harness::experiments::fig9::run(scale).expect("fig9 failed");
+    println!("{}", result.to_markdown());
+    wafl_harness::maybe_write_json(&json, &result);
+}

@@ -1,0 +1,32 @@
+//! Runs every experiment in sequence and prints the full EXPERIMENTS
+//! report (the generator behind EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin run_all
+//!         [--scale small|paper]`
+
+use wafl_harness::experiments::{ext_reclamation, fig10, fig6, fig7, fig8, fig9, table_cpu};
+
+fn main() {
+    let (scale, _) = wafl_harness::cli_scale();
+    eprintln!("running Figure 6 (AA caches)...");
+    let f6 = fig6::run(scale).expect("fig6");
+    eprintln!("running Figure 7 (imbalanced aging)...");
+    let f7 = fig7::run(scale).expect("fig7");
+    eprintln!("running Figure 8 (SSD AA sizing)...");
+    let f8 = fig8::run(scale).expect("fig8");
+    eprintln!("running Figure 9 (SMR AA sizing)...");
+    let f9 = fig9::run(scale).expect("fig9");
+    eprintln!("running Figure 10 (TopAA mount)...");
+    let f10 = fig10::run(scale).expect("fig10");
+    eprintln!("running extension experiments (reclamation)...");
+    let ext = ext_reclamation::run_experiment(scale).expect("ext_reclamation");
+    let tc = table_cpu::from_fig6(&f6);
+    println!("# Reproduction report ({:?} scale)\n", scale);
+    println!("{}\n", f6.to_markdown());
+    println!("{}\n", tc.to_markdown());
+    println!("{}\n", f7.to_markdown());
+    println!("{}\n", f8.to_markdown());
+    println!("{}\n", f9.to_markdown());
+    println!("{}\n", f10.to_markdown());
+    println!("{}\n", ext.to_markdown());
+}

@@ -1,0 +1,14 @@
+//! Regenerates the §4.1.2 in-text table: per-operation CPU overhead with
+//! and without the FlexVol (HBPS) AA cache, and the AA-cache maintenance
+//! CPU share.
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin table_cpu_overhead
+//!         [--scale small|paper] [--json out.json]`
+
+fn main() {
+    let (scale, json) = wafl_harness::cli_scale();
+    let result =
+        wafl_harness::experiments::table_cpu::run(scale).expect("table_cpu failed");
+    println!("{}", result.to_markdown());
+    wafl_harness::maybe_write_json(&json, &result);
+}

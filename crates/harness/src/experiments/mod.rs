@@ -1,0 +1,47 @@
+//! One module per table/figure of the paper's §4 evaluation.
+//!
+//! Every experiment is `run(scale) -> Result` (serializable, renderable as
+//! markdown) so tests can assert the paper's *shape* claims at
+//! `Scale::Small` and the binaries can record `Scale::Paper` numbers.
+
+pub mod ext_reclamation;
+pub mod fig10;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table_cpu;
+
+use crate::latency::WindowCost;
+use wafl_fs::{Aggregate, CpStats};
+use wafl_types::WaflResult;
+use wafl_workloads::Workload;
+
+/// Run a measurement window and convert the accumulated costs into the
+/// queueing model's inputs. `read_parallelism` is the number of devices
+/// concurrently serving random reads.
+pub(crate) fn measure_window(
+    agg: &mut Aggregate,
+    workload: &mut dyn Workload,
+    ops: u64,
+    ops_per_cp: usize,
+    read_parallelism: f64,
+) -> WaflResult<(WindowCost, CpStats)> {
+    let stats = wafl_workloads::run(agg, workload, ops, ops_per_cp)?;
+    let cost = WindowCost {
+        ops,
+        cpu_us: stats.cp.cpu_us,
+        media_us: stats.cp.media_us,
+        read_us: stats.read_us,
+        read_parallelism,
+    };
+    Ok((cost, stats.cp))
+}
+
+/// Offered-load sweep (total ops/s) reaching past `cap` so curves show
+/// their saturation knee.
+pub(crate) fn load_sweep(cap: f64, points: usize) -> Vec<f64> {
+    (1..=points)
+        .map(|i| cap * 1.3 * i as f64 / points as f64)
+        .collect()
+}

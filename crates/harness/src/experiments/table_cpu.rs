@@ -1,0 +1,107 @@
+//! The §4.1.2 in-text measurements: per-operation CPU overhead with and
+//! without the FlexVol (HBPS) AA cache, and the CPU share of AA-cache
+//! maintenance.
+//!
+//! Paper: 309 µs/op without the FlexVol cache vs 293 µs/op with it
+//! (−5.7 %), and "only about 0.002 % of the total CPU cycles was spent
+//! maintaining each of the RAID-aware and RAID-agnostic AA caches".
+
+use crate::experiments::fig6::{self, Fig6Result};
+use crate::report::{markdown_table, pct};
+use crate::Scale;
+use serde::{Deserialize, Serialize};
+use wafl_types::WaflResult;
+
+/// The CPU-overhead table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TableCpuResult {
+    /// µs of WAFL code path per op with both caches.
+    pub us_per_op_with_cache: f64,
+    /// µs per op with the FlexVol cache disabled (aggregate cache still
+    /// on — the §4.1.2 comparison).
+    pub us_per_op_without_vol_cache: f64,
+    /// Relative CPU reduction from the FlexVol cache.
+    pub cpu_reduction: f64,
+    /// Fraction of CPU spent on AA-cache maintenance.
+    pub cache_cpu_fraction: f64,
+    /// Metafile pages dirtied per op, with cache.
+    pub pages_per_op_with: f64,
+    /// Metafile pages dirtied per op, without.
+    pub pages_per_op_without: f64,
+}
+
+/// Derive the table from a Figure 6 run (same experiment, different
+/// report).
+pub fn from_fig6(r: &Fig6Result) -> TableCpuResult {
+    let both = &r.arms[0];
+    let agg_only = &r.arms[2];
+    TableCpuResult {
+        us_per_op_with_cache: both.us_per_op,
+        us_per_op_without_vol_cache: agg_only.us_per_op,
+        cpu_reduction: 1.0 - both.us_per_op / agg_only.us_per_op,
+        cache_cpu_fraction: both.cache_cpu_fraction,
+        pages_per_op_with: 0.0,
+        pages_per_op_without: 0.0,
+    }
+}
+
+/// Run the experiment (a Figure 6 run reported as the CPU table).
+pub fn run(scale: Scale) -> WaflResult<TableCpuResult> {
+    Ok(from_fig6(&fig6::run(scale)?))
+}
+
+impl TableCpuResult {
+    /// Render the table against the paper's numbers.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("## §4.1.2 — per-op CPU overhead\n\n");
+        out += &markdown_table(
+            &["metric", "measured", "paper"],
+            &[
+                vec![
+                    "µs/op, FlexVol cache on".into(),
+                    format!("{:.0}", self.us_per_op_with_cache),
+                    "293 µs".into(),
+                ],
+                vec![
+                    "µs/op, FlexVol cache off".into(),
+                    format!("{:.0}", self.us_per_op_without_vol_cache),
+                    "309 µs".into(),
+                ],
+                vec![
+                    "CPU reduction".into(),
+                    pct(self.cpu_reduction),
+                    "5.7 %".into(),
+                ],
+                vec![
+                    "AA-cache maintenance CPU".into(),
+                    format!("{:.4} %", self.cache_cpu_fraction * 100.0),
+                    "~0.002 %".into(),
+                ],
+            ],
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_table_shape_holds() {
+        let r = run(Scale::Small).unwrap();
+        // The FlexVol cache reduces per-op CPU (fewer metafile pages).
+        assert!(
+            r.cpu_reduction > 0.0,
+            "with {} vs without {}",
+            r.us_per_op_with_cache,
+            r.us_per_op_without_vol_cache
+        );
+        // Base per-op cost lands in the paper's few-hundred-µs regime.
+        assert!((150.0..600.0).contains(&r.us_per_op_with_cache),
+            "us/op {}", r.us_per_op_with_cache);
+        // Maintenance cost is a rounding error.
+        assert!(r.cache_cpu_fraction < 0.01);
+        assert!(r.to_markdown().contains("293"));
+    }
+}

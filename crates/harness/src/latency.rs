@@ -1,0 +1,207 @@
+//! Closed-loop latency-versus-throughput modelling.
+//!
+//! The paper's Figures 6, 8 and 9 plot client latency against achieved
+//! per-client throughput at increasing offered load on real hardware. We
+//! reproduce the curve shape with a two-station queueing model:
+//!
+//! * a **CPU station** with `cores` parallel servers — per-op demand is
+//!   the measured WAFL code-path cost (§4.1.2's µs/op);
+//! * a **media station** whose per-op demand is the measured CP media
+//!   time (devices within a CP already run in parallel, so the CP elapsed
+//!   time *is* the station demand) plus read service spread across
+//!   devices.
+//!
+//! At offered load λ the bottleneck utilisation is ρ = λ·max(demands);
+//! response time follows the M/M/1-style `s / (1 − ρ)` blow-up, and
+//! achieved throughput saturates at the bottleneck capacity. Absolute
+//! values depend on the simulator's cost constants; the comparisons the
+//! paper makes (which configuration's curve sits lower/righter, and by
+//! roughly what factor) depend only on the measured per-op demands.
+
+use serde::{Deserialize, Serialize};
+
+/// Measured resource demands of a workload window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowCost {
+    /// Client operations in the window.
+    pub ops: u64,
+    /// Total modelled CPU time, µs.
+    pub cpu_us: f64,
+    /// Total CP media time (already device-parallel within a CP), µs.
+    pub media_us: f64,
+    /// Total read media time, µs (spread across `read_parallelism`).
+    pub read_us: f64,
+    /// Effective number of devices serving random reads concurrently.
+    pub read_parallelism: f64,
+}
+
+impl WindowCost {
+    /// Per-op CPU demand across `cores`, µs.
+    pub fn cpu_demand_us(&self, cores: f64) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.cpu_us / self.ops as f64 / cores.max(1.0)
+    }
+
+    /// Per-op media demand, µs.
+    pub fn media_demand_us(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        (self.media_us + self.read_us / self.read_parallelism.max(1.0)) / self.ops as f64
+    }
+
+    /// Per-op service time actually experienced (sum of stations), µs.
+    pub fn service_us(&self, cores: f64) -> f64 {
+        self.cpu_demand_us(cores) + self.media_demand_us()
+    }
+
+    /// Bottleneck demand: the station limiting throughput, µs/op.
+    pub fn bottleneck_us(&self, cores: f64) -> f64 {
+        self.cpu_demand_us(cores).max(self.media_demand_us())
+    }
+
+    /// Saturation throughput in ops/s.
+    pub fn capacity_ops_s(&self, cores: f64) -> f64 {
+        let b = self.bottleneck_us(cores);
+        if b <= 0.0 {
+            0.0
+        } else {
+            1e6 / b
+        }
+    }
+}
+
+/// One point of a latency-versus-throughput curve.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Offered load, ops/s (per client × clients).
+    pub offered_ops_s: f64,
+    /// Achieved throughput, ops/s.
+    pub achieved_ops_s: f64,
+    /// Mean latency, ms.
+    pub latency_ms: f64,
+}
+
+/// Sweep offered loads over a measured window. `loads` are total offered
+/// ops/s; clamp utilisation below 1 so the closed-loop saturation shows
+/// as flat throughput with climbing latency (the paper's hockey stick).
+pub fn latency_curve(cost: &WindowCost, cores: f64, loads: &[f64]) -> Vec<LoadPoint> {
+    let s = cost.service_us(cores);
+    let b = cost.bottleneck_us(cores);
+    let cap = cost.capacity_ops_s(cores);
+    loads
+        .iter()
+        .map(|&offered| {
+            let achieved = offered.min(cap * 0.995);
+            let rho = (achieved * b / 1e6).min(0.995);
+            let latency_us = s / (1.0 - rho);
+            LoadPoint {
+                offered_ops_s: offered,
+                achieved_ops_s: achieved,
+                latency_ms: latency_us / 1e3,
+            }
+        })
+        .collect()
+}
+
+/// Peak-load comparison of two configurations (the paper's "X % better
+/// throughput with Y % lower latency under peak load" summaries).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PeakComparison {
+    /// Throughput gain of `better` over `baseline` at saturation
+    /// (e.g. 0.24 = 24 % higher).
+    pub throughput_gain: f64,
+    /// Latency reduction of `better` vs `baseline` at the baseline's peak
+    /// achieved throughput (e.g. 0.18 = 18 % lower).
+    pub latency_reduction: f64,
+}
+
+/// Compare two measured windows at peak load.
+pub fn compare_peak(better: &WindowCost, baseline: &WindowCost, cores: f64) -> PeakComparison {
+    let cap_better = better.capacity_ops_s(cores);
+    let cap_base = baseline.capacity_ops_s(cores);
+    // Latency of each system when both run at 80 % of the *baseline's*
+    // capacity — high load, but short of the saturation knee, where the
+    // closed-loop model's latency is hypersensitive to capacity gaps.
+    // (The paper reads latencies off measured curves at peak; its FC
+    // testbed saturates far more gently than an M/M/1 knee.)
+    let load = cap_base * 0.8;
+    let lat = |c: &WindowCost| {
+        let rho = (load * c.bottleneck_us(cores) / 1e6).min(0.995);
+        c.service_us(cores) / (1.0 - rho)
+    };
+    PeakComparison {
+        throughput_gain: cap_better / cap_base - 1.0,
+        latency_reduction: 1.0 - lat(better) / lat(baseline),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(cpu: f64, media: f64) -> WindowCost {
+        WindowCost {
+            ops: 1000,
+            cpu_us: cpu * 1000.0,
+            media_us: media * 1000.0,
+            read_us: 0.0,
+            read_parallelism: 1.0,
+        }
+    }
+
+    #[test]
+    fn demands_divide_by_ops_and_cores() {
+        let c = cost(300.0, 50.0);
+        assert!((c.cpu_demand_us(20.0) - 15.0).abs() < 1e-9);
+        assert!((c.media_demand_us() - 50.0).abs() < 1e-9);
+        assert!((c.bottleneck_us(20.0) - 50.0).abs() < 1e-9);
+        assert!((c.capacity_ops_s(20.0) - 20_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn curve_is_a_hockey_stick() {
+        let c = cost(300.0, 50.0);
+        let loads: Vec<f64> = (1..=30).map(|i| i as f64 * 1000.0).collect();
+        let pts = latency_curve(&c, 20.0, &loads);
+        // Monotone non-decreasing latency; achieved saturates.
+        for w in pts.windows(2) {
+            assert!(w[1].latency_ms >= w[0].latency_ms - 1e-12);
+            assert!(w[1].achieved_ops_s >= w[0].achieved_ops_s - 1e-12);
+        }
+        let last = pts.last().unwrap();
+        assert!(last.achieved_ops_s < 20_000.0);
+        assert!(last.latency_ms > 10.0 * pts[0].latency_ms);
+    }
+
+    #[test]
+    fn peak_comparison_orders_configs() {
+        let fast = cost(300.0, 40.0);
+        let slow = cost(300.0, 50.0);
+        let cmp = compare_peak(&fast, &slow, 20.0);
+        assert!((cmp.throughput_gain - 0.25).abs() < 0.01, "{cmp:?}");
+        assert!(cmp.latency_reduction > 0.0);
+        // Self-comparison is a wash.
+        let same = compare_peak(&slow, &slow, 20.0);
+        assert!(same.throughput_gain.abs() < 1e-9);
+        assert!(same.latency_reduction.abs() < 1e-9);
+    }
+
+    #[test]
+    fn reads_spread_across_devices() {
+        let mut c = cost(10.0, 10.0);
+        c.read_us = 20_000.0; // 20 µs/op of read service
+        c.read_parallelism = 20.0;
+        assert!((c.media_demand_us() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_safe() {
+        let c = WindowCost::default();
+        assert_eq!(c.service_us(20.0), 0.0);
+        assert_eq!(c.capacity_ops_s(20.0), 0.0);
+        assert!(latency_curve(&c, 20.0, &[1000.0])[0].latency_ms.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! Table and series rendering shared by the experiment binaries.
+
+use crate::latency::LoadPoint;
+use std::fmt::Write as _;
+
+/// Render a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Render one latency-vs-throughput series (per-client units, matching the
+/// paper's figures).
+pub fn curve_rows(label: &str, points: &[LoadPoint], clients: f64) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|p| {
+            vec![
+                label.to_string(),
+                format!("{:.0}", p.offered_ops_s / clients),
+                format!("{:.0}", p.achieved_ops_s / clients),
+                format!("{:.3}", p.latency_ms),
+            ]
+        })
+        .collect()
+}
+
+/// Format a ratio as a signed percentage, e.g. `+24.0 %`.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1} %", x * 100.0)
+}
+
+/// Format a fraction as a percentage, e.g. `61.2 %`.
+pub fn frac(x: f64) -> String {
+    format!("{:.1} %", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("|---|---|"));
+        assert!(t.contains("| 3 | 4 |"));
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(pct(0.24), "+24.0 %");
+        assert_eq!(pct(-0.186), "-18.6 %");
+        assert_eq!(frac(0.615), "61.5 %");
+    }
+
+    #[test]
+    fn curve_rows_per_client() {
+        let pts = [LoadPoint {
+            offered_ops_s: 24_000.0,
+            achieved_ops_s: 20_000.0,
+            latency_ms: 1.5,
+        }];
+        let rows = curve_rows("x", &pts, 2.0);
+        assert_eq!(rows[0], vec!["x", "12000", "10000", "1.500"]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Conventional hard-drive cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// A conventional (non-shingled) hard drive.
+///
+/// The only structure the free-space experiments need is the §2.4 effect:
+/// a write *chain* (maximal run of consecutive DBNs) costs one positioning
+/// delay regardless of length, plus per-block transfer time. Fragmented
+/// free space shortens chains, multiplying positioning cost.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HddModel {
+    /// Average positioning (seek + rotational) delay per discontiguous
+    /// access, microseconds.
+    pub position_us: f64,
+    /// Transfer time per 4 KiB block, microseconds.
+    pub transfer_us: f64,
+}
+
+impl HddModel {
+    /// A 10k-RPM SAS-class profile: ~4 ms positioning, ~200 MB/s media
+    /// rate (≈ 20 µs per 4 KiB block).
+    pub fn sas_10k() -> HddModel {
+        HddModel {
+            position_us: 4000.0,
+            transfer_us: 20.0,
+        }
+    }
+
+    /// Cost of writing `chains` discontiguous runs totalling `blocks`
+    /// blocks, microseconds.
+    pub fn write_cost_us(&self, chains: u64, blocks: u64) -> f64 {
+        chains as f64 * self.position_us + blocks as f64 * self.transfer_us
+    }
+
+    /// Cost of `blocks` random single-block reads, microseconds.
+    pub fn random_read_cost_us(&self, blocks: u64) -> f64 {
+        blocks as f64 * (self.position_us + self.transfer_us)
+    }
+
+    /// Effective write throughput in blocks per second for a workload with
+    /// mean chain length `chain_len`.
+    pub fn throughput_blocks_per_s(&self, chain_len: f64) -> f64 {
+        if chain_len <= 0.0 {
+            return 0.0;
+        }
+        let us_per_block = self.position_us / chain_len + self.transfer_us;
+        1e6 / us_per_block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_dominate_fragmented_cost() {
+        let h = HddModel::sas_10k();
+        // 1000 blocks in 1 chain vs 1000 chains of 1 block.
+        let contiguous = h.write_cost_us(1, 1000);
+        let fragmented = h.write_cost_us(1000, 1000);
+        assert!(fragmented > 50.0 * contiguous);
+    }
+
+    #[test]
+    fn throughput_improves_with_chain_length() {
+        let h = HddModel::sas_10k();
+        let t1 = h.throughput_blocks_per_s(1.0);
+        let t64 = h.throughput_blocks_per_s(64.0);
+        assert!(t64 > 10.0 * t1);
+        assert_eq!(h.throughput_blocks_per_s(0.0), 0.0);
+        // Infinite-chain asymptote is the media rate.
+        let cap = h.throughput_blocks_per_s(1e12);
+        assert!((cap - 1e6 / h.transfer_us).abs() / cap < 1e-6);
+    }
+
+    #[test]
+    fn random_reads_pay_full_positioning() {
+        let h = HddModel::sas_10k();
+        assert_eq!(
+            h.random_read_cost_us(10),
+            10.0 * (h.position_us + h.transfer_us)
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Storage-media cost models: HDD, SSD (with a page-mapped FTL), drive-
+//! managed SMR, and object store.
+//!
+//! The paper's experiments run on real NetApp hardware; none is available
+//! here, so each media type is modelled by the mechanism the paper's
+//! argument depends on (DESIGN.md §4 documents each substitution):
+//!
+//! * [`HddModel`] — positioning + transfer. Long write chains (§2.4)
+//!   amortise positioning, fragmented writes pay one seek per chain.
+//! * [`SsdFtl`] — a page-mapped flash translation layer with erase blocks,
+//!   greedy garbage collection, and configurable over-provisioning. Write
+//!   amplification (§3.2.2) *emerges* from the write pattern: writes that
+//!   cluster invalidations into whole erase blocks let GC pick empty
+//!   victims; scattered writes force GC to relocate live pages.
+//! * [`SmrModel`] — shingle zones with per-zone write pointers. Writes at
+//!   the pointer are cheap and sequential; writes behind it (mid-zone)
+//!   need drive intervention (§3.2.3), modelled as out-of-place remapping
+//!   with cleaning debt.
+//! * [`ObjectStoreModel`] — natively redundant storage with flat per-PUT
+//!   cost; exists so RAID-agnostic physical ranges have a priced backend.
+//!
+//! All costs are in **microseconds** (`f64`); callers aggregate them into
+//! per-CP service times.
+
+#![warn(missing_docs)]
+
+mod hdd;
+mod object;
+mod profile;
+mod smr;
+mod ssd;
+
+pub use hdd::HddModel;
+pub use object::ObjectStoreModel;
+pub use profile::MediaProfile;
+pub use smr::{SmrModel, SmrStats};
+pub use ssd::{SsdFtl, SsdStats};

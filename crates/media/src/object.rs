@@ -1,0 +1,82 @@
+//! Object-store backend model.
+
+use serde::{Deserialize, Serialize};
+
+/// An on-premises or cloud object store (the Fabric Pool capacity tier).
+///
+/// Provides native redundancy, so ONTAP uses no RAID layer and AAs are
+/// plain consecutive-VBN ranges (§3.1). The performance structure relevant
+/// to free-space search is only that PUTs aggregate many blocks: writing
+/// colocated VBNs lets WAFL pack fewer, larger objects.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObjectStoreModel {
+    /// Blocks packed per object PUT.
+    pub blocks_per_object: u64,
+    /// Fixed request overhead per PUT, µs.
+    pub put_overhead_us: f64,
+    /// Per-block streaming cost, µs.
+    pub per_block_us: f64,
+    /// Fixed request overhead per GET, µs.
+    pub get_overhead_us: f64,
+}
+
+impl ObjectStoreModel {
+    /// An S3-class profile: 4 MiB objects (1024 blocks), ~20 ms per
+    /// request, ~2 µs/block streaming.
+    pub fn s3_class() -> ObjectStoreModel {
+        ObjectStoreModel {
+            blocks_per_object: 1024,
+            put_overhead_us: 20_000.0,
+            per_block_us: 2.0,
+            get_overhead_us: 15_000.0,
+        }
+    }
+
+    /// Cost of writing `blocks` blocks spread across `distinct_ranges`
+    /// colocated runs. Each run is packed into `ceil(len/blocks_per_object)`
+    /// objects; fragmentation increases the object count.
+    pub fn write_cost_us(&self, runs: &[(u64, u64)]) -> f64 {
+        let mut objects = 0u64;
+        let mut blocks = 0u64;
+        for &(_, len) in runs {
+            objects += len.div_ceil(self.blocks_per_object).max(1);
+            blocks += len;
+        }
+        objects as f64 * self.put_overhead_us + blocks as f64 * self.per_block_us
+    }
+
+    /// Cost of `n` random single-block reads (each a GET), µs.
+    pub fn random_read_cost_us(&self, n: u64) -> f64 {
+        n as f64 * (self.get_overhead_us + self.per_block_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colocated_runs_need_fewer_puts() {
+        let o = ObjectStoreModel::s3_class();
+        // 4096 blocks in one run vs 4096 runs of one block.
+        let packed = o.write_cost_us(&[(0, 4096)]);
+        let scattered: Vec<(u64, u64)> = (0..4096).map(|i| (i * 10, 1)).collect();
+        let sprayed = o.write_cost_us(&scattered);
+        assert!(sprayed > 100.0 * packed / 4.0_f64.max(1.0));
+        assert!(packed < sprayed);
+    }
+
+    #[test]
+    fn empty_write_is_free() {
+        let o = ObjectStoreModel::s3_class();
+        assert_eq!(o.write_cost_us(&[]), 0.0);
+    }
+
+    #[test]
+    fn object_rounding() {
+        let o = ObjectStoreModel::s3_class();
+        // 1025 blocks -> 2 objects.
+        let c = o.write_cost_us(&[(0, 1025)]);
+        assert!((c - (2.0 * o.put_overhead_us + 1025.0 * o.per_block_us)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,227 @@
+//! Drive-managed shingled-magnetic-recording model.
+
+use serde::{Deserialize, Serialize};
+use wafl_types::{WaflError, WaflResult};
+
+/// Cumulative SMR counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmrStats {
+    /// Blocks written sequentially at a zone's write pointer.
+    pub sequential_blocks: u64,
+    /// Write chains that appended at a write pointer (cheap path).
+    pub sequential_chains: u64,
+    /// Drive interventions: writes landing *behind* a zone's write pointer,
+    /// forcing the drive to update out of place (§3.2.3).
+    pub interventions: u64,
+    /// Blocks the drive had to rewrite/relocate to service interventions —
+    /// its internal cleaning debt.
+    pub relocated_blocks: u64,
+    /// Chains that skipped ahead of the write pointer (allowed; abandons
+    /// the gap until the zone is reset).
+    pub forward_jumps: u64,
+}
+
+/// One drive-managed SMR disk: shingle zones with per-zone write pointers.
+///
+/// Writes appended at a zone's write pointer stream at media rate. Writes
+/// behind the pointer would overwrite shingled neighbours, so the drive
+/// intervenes: it services the write out of place and takes on cleaning
+/// debt proportional to the data it must eventually rewrite. The model
+/// charges that debt immediately (pessimistic but monotone, which is all
+/// the Figure 9 comparison needs).
+pub struct SmrModel {
+    zone_blocks: u64,
+    zones: u64,
+    /// Next sequential offset expected per zone.
+    write_pointer: Vec<u64>,
+    stats: SmrStats,
+    /// Positioning delay per discontiguous chain, µs.
+    pub position_us: f64,
+    /// Per-block transfer time, µs.
+    pub transfer_us: f64,
+    /// Per-block cost of out-of-place remapping (read + rewrite + map
+    /// update), µs.
+    pub intervention_us_per_block: f64,
+}
+
+impl SmrModel {
+    /// A drive of `zones` shingle zones of `zone_blocks` blocks each.
+    pub fn new(zones: u64, zone_blocks: u64) -> WaflResult<SmrModel> {
+        if zones == 0 || zone_blocks == 0 {
+            return Err(WaflError::InvalidConfig {
+                reason: "SMR drive needs nonzero zones and zone size".into(),
+            });
+        }
+        Ok(SmrModel {
+            zone_blocks,
+            zones,
+            write_pointer: vec![0; zones as usize],
+            stats: SmrStats::default(),
+            position_us: 4000.0,
+            transfer_us: 20.0,
+            intervention_us_per_block: 80.0,
+        })
+    }
+
+    /// Blocks per shingle zone.
+    pub fn zone_blocks(&self) -> u64 {
+        self.zone_blocks
+    }
+
+    /// Device capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.zones * self.zone_blocks
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> SmrStats {
+        self.stats
+    }
+
+    /// Reset counters without touching zone state.
+    pub fn reset_stats(&mut self) {
+        self.stats = SmrStats::default();
+    }
+
+    /// Reset a zone's write pointer (models the FS reclaiming the zone —
+    /// e.g. after segment cleaning empties the covering AA).
+    pub fn reset_zone(&mut self, zone: u64) -> WaflResult<()> {
+        if zone >= self.zones {
+            return Err(WaflError::InvalidConfig {
+                reason: format!("zone {zone} out of {}", self.zones),
+            });
+        }
+        self.write_pointer[zone as usize] = 0;
+        Ok(())
+    }
+
+    /// Write one contiguous chain of `len` blocks starting at `dbn`.
+    /// Returns the cost in µs. Chains must not cross zone boundaries to
+    /// keep accounting exact; the caller splits (the write allocator's
+    /// chains come from AA drains, which §3.2.3's sizing keeps inside
+    /// zones — misaligned configurations split here and pay for it).
+    pub fn write_chain(&mut self, dbn: u64, len: u64) -> WaflResult<f64> {
+        if len == 0 {
+            return Ok(0.0);
+        }
+        let end = dbn + len;
+        if end > self.capacity_blocks() {
+            return Err(WaflError::VbnOutOfRange {
+                vbn: wafl_types::Vbn(dbn),
+                space_len: self.capacity_blocks(),
+            });
+        }
+        let zone = dbn / self.zone_blocks;
+        let last_zone = (end - 1) / self.zone_blocks;
+        if zone != last_zone {
+            // Split at the zone boundary and recurse (at most a few levels:
+            // chains are AA-column sized).
+            let split = (zone + 1) * self.zone_blocks;
+            let first = self.write_chain(dbn, split - dbn)?;
+            let rest = self.write_chain(split, end - split)?;
+            return Ok(first + rest);
+        }
+        let off = dbn % self.zone_blocks;
+        let wp = &mut self.write_pointer[zone as usize];
+        let mut cost = self.position_us + len as f64 * self.transfer_us;
+        if off == *wp {
+            // Clean append.
+            *wp += len;
+            self.stats.sequential_blocks += len;
+            self.stats.sequential_chains += 1;
+        } else if off > *wp {
+            // Skipping ahead is safe (nothing shingled beyond the pointer
+            // yet) but abandons the gap.
+            *wp = off + len;
+            self.stats.forward_jumps += 1;
+            self.stats.sequential_blocks += len;
+        } else {
+            // Rewrite behind the pointer: drive intervention. The drive
+            // services it out of place and must eventually rewrite the
+            // overlapped shingled data; charge the chain itself at the
+            // intervention rate.
+            self.stats.interventions += 1;
+            self.stats.relocated_blocks += len;
+            cost += len as f64 * self.intervention_us_per_block;
+            // Write pointer unchanged: the zone's sequential frontier is
+            // still where it was.
+        }
+        Ok(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(SmrModel::new(0, 100).is_err());
+        assert!(SmrModel::new(10, 0).is_err());
+        assert!(SmrModel::new(10, 100).is_ok());
+    }
+
+    #[test]
+    fn sequential_fill_never_intervenes() {
+        let mut smr = SmrModel::new(4, 1000).unwrap();
+        let mut dbn = 0;
+        while dbn < smr.capacity_blocks() {
+            smr.write_chain(dbn, 250).unwrap();
+            dbn += 250;
+        }
+        let s = smr.stats();
+        assert_eq!(s.interventions, 0);
+        assert_eq!(s.sequential_blocks, 4000);
+    }
+
+    #[test]
+    fn rewrite_behind_pointer_is_an_intervention() {
+        let mut smr = SmrModel::new(2, 1000).unwrap();
+        smr.write_chain(0, 500).unwrap();
+        let clean = smr.write_chain(500, 100).unwrap();
+        let dirty = smr.write_chain(100, 100).unwrap();
+        assert!(dirty > clean);
+        assert_eq!(smr.stats().interventions, 1);
+        assert_eq!(smr.stats().relocated_blocks, 100);
+    }
+
+    #[test]
+    fn forward_jump_is_cheap_but_tracked() {
+        let mut smr = SmrModel::new(2, 1000).unwrap();
+        smr.write_chain(0, 10).unwrap();
+        smr.write_chain(500, 10).unwrap(); // jump over 10..500
+        assert_eq!(smr.stats().forward_jumps, 1);
+        assert_eq!(smr.stats().interventions, 0);
+        // The abandoned gap is now behind the pointer.
+        smr.write_chain(20, 5).unwrap();
+        assert_eq!(smr.stats().interventions, 1);
+    }
+
+    #[test]
+    fn chains_split_across_zones() {
+        let mut smr = SmrModel::new(3, 100).unwrap();
+        // 250-block chain from 0 crosses two boundaries.
+        smr.write_chain(0, 250).unwrap();
+        let s = smr.stats();
+        assert_eq!(s.sequential_blocks, 250);
+        assert_eq!(s.sequential_chains, 3);
+        assert_eq!(s.interventions, 0);
+    }
+
+    #[test]
+    fn zone_reset_allows_clean_rewrite() {
+        let mut smr = SmrModel::new(2, 100).unwrap();
+        smr.write_chain(0, 100).unwrap();
+        smr.reset_zone(0).unwrap();
+        smr.write_chain(0, 100).unwrap();
+        assert_eq!(smr.stats().interventions, 0);
+        assert!(smr.reset_zone(2).is_err());
+    }
+
+    #[test]
+    fn capacity_bounds_enforced() {
+        let mut smr = SmrModel::new(2, 100).unwrap();
+        assert!(smr.write_chain(150, 100).is_err());
+        assert!(smr.write_chain(0, 0).unwrap() == 0.0);
+    }
+}

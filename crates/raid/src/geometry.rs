@@ -1,0 +1,274 @@
+//! PVBN ↔ device mapping for one RAID group.
+
+use serde::{Deserialize, Serialize};
+use wafl_types::{
+    AaId, DeviceId, Dbn, RaidGroupId, StripeId, Vbn, WaflError, WaflResult,
+};
+
+/// A block's physical location: which device of the group, and where on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeviceLoc {
+    /// Data device index within the group (`0..data_devices`). Parity
+    /// devices never appear here — parity blocks are not addressable by
+    /// PVBN.
+    pub device: DeviceId,
+    /// Block offset on that device; equals the stripe index.
+    pub dbn: Dbn,
+}
+
+/// Geometry of one RAID group.
+///
+/// Layout follows WAFL: the group owns the contiguous PVBN range
+/// `base_vbn .. base_vbn + data_devices * device_blocks`, and **each data
+/// device owns a contiguous sub-range** (`device d` holds
+/// `base + d*device_blocks ..`). A stripe is the set of blocks at the same
+/// DBN across all devices; the parity device(s) hold the stripe's parity
+/// and consume no PVBNs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaidGeometry {
+    /// Identifier of this group within the aggregate.
+    pub id: RaidGroupId,
+    /// Number of data devices (Figure 2 uses 3; real deployments more).
+    pub data_devices: u32,
+    /// Number of parity devices (RAID 4 = 1, RAID-DP = 2, RTP = 3).
+    pub parity_devices: u32,
+    /// Blocks per device — also the number of stripes in the group.
+    pub device_blocks: u64,
+    /// First PVBN owned by this group in the aggregate's space.
+    pub base_vbn: Vbn,
+}
+
+impl RaidGeometry {
+    /// Validated constructor.
+    pub fn new(
+        id: RaidGroupId,
+        data_devices: u32,
+        parity_devices: u32,
+        device_blocks: u64,
+        base_vbn: Vbn,
+    ) -> WaflResult<RaidGeometry> {
+        if data_devices == 0 || device_blocks == 0 {
+            return Err(WaflError::InvalidConfig {
+                reason: format!(
+                    "RAID group {id} needs >=1 data device and >=1 block \
+                     (got {data_devices} devices x {device_blocks} blocks)"
+                ),
+            });
+        }
+        Ok(RaidGeometry {
+            id,
+            data_devices,
+            parity_devices,
+            device_blocks,
+            base_vbn,
+        })
+    }
+
+    /// Number of PVBNs (data blocks) owned by the group.
+    #[inline]
+    pub fn data_blocks(&self) -> u64 {
+        self.data_devices as u64 * self.device_blocks
+    }
+
+    /// Number of stripes in the group.
+    #[inline]
+    pub fn stripes(&self) -> u64 {
+        self.device_blocks
+    }
+
+    /// One-past-the-last PVBN of this group.
+    #[inline]
+    pub fn end_vbn(&self) -> Vbn {
+        Vbn(self.base_vbn.get() + self.data_blocks())
+    }
+
+    /// Whether `vbn` falls inside this group's PVBN range.
+    #[inline]
+    pub fn contains(&self, vbn: Vbn) -> bool {
+        vbn >= self.base_vbn && vbn < self.end_vbn()
+    }
+
+    /// Map a PVBN to its device location.
+    pub fn vbn_to_loc(&self, vbn: Vbn) -> WaflResult<DeviceLoc> {
+        if !self.contains(vbn) {
+            return Err(WaflError::VbnOutOfRange {
+                vbn,
+                space_len: self.data_blocks(),
+            });
+        }
+        let rel = vbn.get() - self.base_vbn.get();
+        Ok(DeviceLoc {
+            device: DeviceId((rel / self.device_blocks) as u32),
+            dbn: Dbn(rel % self.device_blocks),
+        })
+    }
+
+    /// Map a device location back to its PVBN.
+    pub fn loc_to_vbn(&self, loc: DeviceLoc) -> WaflResult<Vbn> {
+        if loc.device.get() >= self.data_devices || loc.dbn.get() >= self.device_blocks {
+            return Err(WaflError::InvalidConfig {
+                reason: format!(
+                    "location {:?} outside group of {} devices x {} blocks",
+                    loc, self.data_devices, self.device_blocks
+                ),
+            });
+        }
+        Ok(Vbn(
+            self.base_vbn.get()
+                + loc.device.get() as u64 * self.device_blocks
+                + loc.dbn.get(),
+        ))
+    }
+
+    /// The stripe containing a PVBN (the stripe index equals the DBN).
+    pub fn stripe_of(&self, vbn: Vbn) -> WaflResult<StripeId> {
+        Ok(StripeId(self.vbn_to_loc(vbn)?.dbn.get()))
+    }
+
+    /// Number of AAs when each AA is `stripes_per_aa` consecutive stripes
+    /// (§3.1). The trailing partial AA counts.
+    pub fn aa_count(&self, stripes_per_aa: u64) -> u32 {
+        self.stripes().div_ceil(stripes_per_aa) as u32
+    }
+
+    /// Stripe range `[start, end)` covered by AA `aa`.
+    pub fn aa_stripe_range(&self, aa: AaId, stripes_per_aa: u64) -> (u64, u64) {
+        let start = aa.get() as u64 * stripes_per_aa;
+        let end = (start + stripes_per_aa).min(self.stripes());
+        (start, end)
+    }
+
+    /// Total data blocks in AA `aa` (accounts for a short trailing AA).
+    pub fn aa_blocks(&self, aa: AaId, stripes_per_aa: u64) -> u64 {
+        let (s, e) = self.aa_stripe_range(aa, stripes_per_aa);
+        (e - s) * self.data_devices as u64
+    }
+
+    /// The VBN ranges making up AA `aa`: one `(first_vbn, len)` pair per
+    /// data device, in device order. Because devices own contiguous PVBN
+    /// sub-ranges, a consecutive-stripe AA is D disjoint runs.
+    pub fn aa_vbn_ranges(
+        &self,
+        aa: AaId,
+        stripes_per_aa: u64,
+    ) -> impl Iterator<Item = (Vbn, u64)> + '_ {
+        let (start, end) = self.aa_stripe_range(aa, stripes_per_aa);
+        let len = end - start;
+        let base = self.base_vbn.get();
+        let dev_blocks = self.device_blocks;
+        (0..self.data_devices).map(move |d| {
+            (Vbn(base + d as u64 * dev_blocks + start), len)
+        })
+    }
+
+    /// The AA containing `vbn` for the given AA height.
+    pub fn aa_of_vbn(&self, vbn: Vbn, stripes_per_aa: u64) -> WaflResult<AaId> {
+        let loc = self.vbn_to_loc(vbn)?;
+        Ok(AaId((loc.dbn.get() / stripes_per_aa) as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> RaidGeometry {
+        // 3 data + 1 parity, 1000 blocks/device, based at PVBN 5000.
+        RaidGeometry::new(RaidGroupId(0), 3, 1, 1000, Vbn(5000)).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(RaidGeometry::new(RaidGroupId(0), 0, 1, 10, Vbn(0)).is_err());
+        assert!(RaidGeometry::new(RaidGroupId(0), 3, 1, 0, Vbn(0)).is_err());
+    }
+
+    #[test]
+    fn vbn_loc_round_trip() {
+        let g = g();
+        for vbn in [5000u64, 5999, 6000, 7999] {
+            let loc = g.vbn_to_loc(Vbn(vbn)).unwrap();
+            assert_eq!(g.loc_to_vbn(loc).unwrap(), Vbn(vbn));
+        }
+        // First block of each device.
+        assert_eq!(
+            g.vbn_to_loc(Vbn(5000)).unwrap(),
+            DeviceLoc { device: DeviceId(0), dbn: Dbn(0) }
+        );
+        assert_eq!(
+            g.vbn_to_loc(Vbn(6000)).unwrap(),
+            DeviceLoc { device: DeviceId(1), dbn: Dbn(0) }
+        );
+        assert_eq!(
+            g.vbn_to_loc(Vbn(7000)).unwrap(),
+            DeviceLoc { device: DeviceId(2), dbn: Dbn(0) }
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let g = g();
+        assert!(g.vbn_to_loc(Vbn(4999)).is_err());
+        assert!(g.vbn_to_loc(Vbn(8000)).is_err());
+        assert!(g
+            .loc_to_vbn(DeviceLoc { device: DeviceId(3), dbn: Dbn(0) })
+            .is_err());
+        assert!(g
+            .loc_to_vbn(DeviceLoc { device: DeviceId(0), dbn: Dbn(1000) })
+            .is_err());
+    }
+
+    #[test]
+    fn stripe_groups_same_dbn() {
+        let g = g();
+        // Blocks at DBN 7 on all three devices share stripe 7.
+        for dev in 0..3u32 {
+            let vbn = g
+                .loc_to_vbn(DeviceLoc { device: DeviceId(dev), dbn: Dbn(7) })
+                .unwrap();
+            assert_eq!(g.stripe_of(vbn).unwrap(), StripeId(7));
+        }
+    }
+
+    #[test]
+    fn aa_partition_covers_group() {
+        let g = g();
+        let spa = 256;
+        assert_eq!(g.aa_count(spa), 4); // ceil(1000/256)
+        let total: u64 = (0..4).map(|a| g.aa_blocks(AaId(a), spa)).sum();
+        assert_eq!(total, g.data_blocks());
+        // Trailing AA is short: 1000 - 3*256 = 232 stripes.
+        assert_eq!(g.aa_stripe_range(AaId(3), spa), (768, 1000));
+        assert_eq!(g.aa_blocks(AaId(3), spa), 232 * 3);
+    }
+
+    #[test]
+    fn aa_vbn_ranges_are_disjoint_per_device() {
+        let g = g();
+        let ranges: Vec<_> = g.aa_vbn_ranges(AaId(1), 256).collect();
+        assert_eq!(
+            ranges,
+            vec![
+                (Vbn(5000 + 256), 256),
+                (Vbn(6000 + 256), 256),
+                (Vbn(7000 + 256), 256),
+            ]
+        );
+        // Every VBN in those ranges maps back into AA 1.
+        for &(start, len) in &ranges {
+            for v in start.get()..start.get() + len {
+                assert_eq!(g.aa_of_vbn(Vbn(v), 256).unwrap(), AaId(1));
+            }
+        }
+    }
+
+    #[test]
+    fn aa_of_vbn_boundaries() {
+        let g = g();
+        assert_eq!(g.aa_of_vbn(Vbn(5000), 256).unwrap(), AaId(0));
+        assert_eq!(g.aa_of_vbn(Vbn(5000 + 255), 256).unwrap(), AaId(0));
+        assert_eq!(g.aa_of_vbn(Vbn(5000 + 256), 256).unwrap(), AaId(1));
+        // Device 1's first block is stripe 0 -> AA 0 again.
+        assert_eq!(g.aa_of_vbn(Vbn(6000), 256).unwrap(), AaId(0));
+    }
+}

@@ -1,0 +1,25 @@
+//! RAID group geometry and the stripe-level write cost model.
+//!
+//! The aggregate's physical VBN space is carved into RAID groups; WAFL
+//! "maintains the mapping of physical VBN ranges to storage devices based
+//! on their RAID topology" (paper §3.1). This crate owns that mapping:
+//!
+//! * [`RaidGeometry`] — data/parity device counts, per-device capacity, and
+//!   the PVBN ↔ (device, DBN) mapping. As in WAFL, each device owns a
+//!   contiguous PVBN range, so an *allocation area* (a run of consecutive
+//!   stripes, §3.1 Figure 2) is one VBN range **per data device**.
+//! * [`CpWriteAnalysis`] — given the set of blocks a consistency point
+//!   writes to a group, classifies every stripe as a *full stripe write*
+//!   (parity computed without reads) or a *partial stripe write*
+//!   (read-modify-write or reconstruct write, whichever reads less, §2.3),
+//!   groups stripes into *tetrises* (64 consecutive stripes, the RAID I/O
+//!   unit, §4.2), and accounts per-device writes and write-chain lengths
+//!   (§2.4).
+
+#![warn(missing_docs)]
+
+mod geometry;
+mod write_analysis;
+
+pub use geometry::{DeviceLoc, RaidGeometry};
+pub use write_analysis::{analyze_cp_write, CpWriteAnalysis};

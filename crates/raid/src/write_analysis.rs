@@ -1,0 +1,264 @@
+//! Classification of one consistency point's writes to a RAID group.
+
+use crate::geometry::RaidGeometry;
+use serde::{Deserialize, Serialize};
+use wafl_types::{Vbn, WaflResult, TETRIS_STRIPES};
+
+/// What one CP's writes to a RAID group cost, in RAID terms.
+///
+/// Produced by [`analyze_cp_write`]. The media layer turns the I/O counts
+/// into time; the harness reports `tetrises` and per-device blocks for
+/// Figure 7 and uses full/partial stripe ratios everywhere latency is
+/// modelled.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpWriteAnalysis {
+    /// Data blocks written.
+    pub data_blocks: u64,
+    /// Stripes with every data block written — parity computed with no
+    /// reads (§2.3).
+    pub full_stripes: u64,
+    /// Stripes with only some data blocks written.
+    pub partial_stripes: u64,
+    /// Parity blocks written: `(full + partial) * parity_devices`.
+    pub parity_writes: u64,
+    /// Blocks read to compute parity for partial stripes. Per stripe WAFL's
+    /// RAID layer picks the cheaper of read-modify-write (read the old data
+    /// plus old parity of the written blocks) and reconstruct-write (read
+    /// the unwritten data blocks).
+    pub parity_reads: u64,
+    /// Tetrises (64-stripe RAID I/O units) that contained at least one
+    /// written stripe.
+    pub tetrises: u64,
+    /// Data blocks written per device, indexed by data-device id.
+    pub per_device_blocks: Vec<u64>,
+    /// Number of contiguous write chains per device (a chain is a maximal
+    /// run of consecutive DBNs written on one device, §2.4 — fewer chains
+    /// for the same block count means longer sequential writes).
+    pub per_device_chains: Vec<u64>,
+}
+
+impl CpWriteAnalysis {
+    /// Fraction of written stripes that were full.
+    pub fn full_stripe_fraction(&self) -> f64 {
+        let total = self.full_stripes + self.partial_stripes;
+        if total == 0 {
+            0.0
+        } else {
+            self.full_stripes as f64 / total as f64
+        }
+    }
+
+    /// Mean write-chain length across devices (blocks per chain).
+    pub fn mean_chain_len(&self) -> f64 {
+        let chains: u64 = self.per_device_chains.iter().sum();
+        if chains == 0 {
+            0.0
+        } else {
+            self.data_blocks as f64 / chains as f64
+        }
+    }
+
+    /// Total device I/O operations implied: one per chain per device plus
+    /// parity traffic (reads and writes are both I/Os). A coarse but
+    /// monotone proxy used by the HDD cost model.
+    pub fn device_ios(&self) -> u64 {
+        let chain_ios: u64 = self.per_device_chains.iter().sum();
+        chain_ios + self.parity_writes + self.parity_reads
+    }
+}
+
+/// Analyze the set of PVBNs one CP writes to `geometry`'s group.
+///
+/// `blocks` need not be sorted; duplicates are an error upstream (a VBN is
+/// allocated once per CP) and are debug-asserted here.
+pub fn analyze_cp_write(
+    geometry: &RaidGeometry,
+    blocks: &[Vbn],
+) -> WaflResult<CpWriteAnalysis> {
+    let d = geometry.data_devices as usize;
+    let mut per_device: Vec<Vec<u64>> = vec![Vec::new(); d];
+    // Blocks written per stripe, keyed densely by stripe id. A CP writes a
+    // tiny fraction of the group's stripes, so use a sorted-vec approach:
+    // collect (stripe, device) pairs, sort, then run-length scan.
+    let mut stripe_hits: Vec<u64> = Vec::with_capacity(blocks.len());
+    for &vbn in blocks {
+        let loc = geometry.vbn_to_loc(vbn)?;
+        per_device[loc.device.index()].push(loc.dbn.get());
+        stripe_hits.push(loc.dbn.get());
+    }
+
+    let mut analysis = CpWriteAnalysis {
+        data_blocks: blocks.len() as u64,
+        per_device_blocks: per_device.iter().map(|v| v.len() as u64).collect(),
+        per_device_chains: vec![0; d],
+        ..CpWriteAnalysis::default()
+    };
+
+    // Stripe classification.
+    stripe_hits.sort_unstable();
+    let p = geometry.parity_devices as u64;
+    let mut tetrises: Vec<u64> = Vec::new();
+    let mut i = 0;
+    while i < stripe_hits.len() {
+        let stripe = stripe_hits[i];
+        let mut k = 0u64;
+        while i < stripe_hits.len() && stripe_hits[i] == stripe {
+            k += 1;
+            i += 1;
+        }
+        debug_assert!(k <= d as u64, "more writes than devices in stripe {stripe}");
+        if k == d as u64 {
+            analysis.full_stripes += 1;
+        } else {
+            analysis.partial_stripes += 1;
+            // RMW reads k old-data + p old-parity; reconstruct reads the
+            // d-k untouched data blocks. Take the cheaper.
+            let rmw = k + p;
+            let reconstruct = d as u64 - k;
+            analysis.parity_reads += rmw.min(reconstruct);
+        }
+        analysis.parity_writes += p;
+        tetrises.push(stripe / TETRIS_STRIPES);
+    }
+    tetrises.dedup();
+    analysis.tetrises = tetrises.len() as u64;
+
+    // Write chains per device.
+    for (dev, dbns) in per_device.iter_mut().enumerate() {
+        dbns.sort_unstable();
+        debug_assert!(
+            dbns.windows(2).all(|w| w[0] != w[1]),
+            "duplicate block written on device {dev}"
+        );
+        let mut chains = 0u64;
+        let mut prev: Option<u64> = None;
+        for &dbn in dbns.iter() {
+            if prev != Some(dbn.wrapping_sub(1)) {
+                chains += 1;
+            }
+            prev = Some(dbn);
+        }
+        analysis.per_device_chains[dev] = chains;
+    }
+
+    Ok(analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wafl_types::{DeviceId, Dbn, RaidGroupId};
+
+    fn g() -> RaidGeometry {
+        RaidGeometry::new(RaidGroupId(0), 4, 1, 10_000, Vbn(0)).unwrap()
+    }
+
+    fn vbn(g: &RaidGeometry, dev: u32, dbn: u64) -> Vbn {
+        g.loc_to_vbn(crate::geometry::DeviceLoc {
+            device: DeviceId(dev),
+            dbn: Dbn(dbn),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_write_is_zero_cost() {
+        let a = analyze_cp_write(&g(), &[]).unwrap();
+        assert_eq!(a, CpWriteAnalysis {
+            per_device_blocks: vec![0; 4],
+            per_device_chains: vec![0; 4],
+            ..CpWriteAnalysis::default()
+        });
+        assert_eq!(a.full_stripe_fraction(), 0.0);
+        assert_eq!(a.mean_chain_len(), 0.0);
+    }
+
+    #[test]
+    fn full_stripe_needs_no_parity_reads() {
+        let g = g();
+        let blocks: Vec<Vbn> = (0..4).map(|d| vbn(&g, d, 42)).collect();
+        let a = analyze_cp_write(&g, &blocks).unwrap();
+        assert_eq!(a.full_stripes, 1);
+        assert_eq!(a.partial_stripes, 0);
+        assert_eq!(a.parity_reads, 0);
+        assert_eq!(a.parity_writes, 1);
+        assert_eq!(a.full_stripe_fraction(), 1.0);
+        assert_eq!(a.tetrises, 1);
+    }
+
+    #[test]
+    fn partial_stripe_picks_cheaper_parity_path() {
+        let g = g(); // 4 data + 1 parity
+        // One block in a stripe: RMW = 1+1 = 2 reads, reconstruct = 3.
+        let a = analyze_cp_write(&g, &[vbn(&g, 0, 7)]).unwrap();
+        assert_eq!(a.partial_stripes, 1);
+        assert_eq!(a.parity_reads, 2);
+        // Three blocks: RMW = 3+1 = 4, reconstruct = 1. Reconstruct wins.
+        let blocks: Vec<Vbn> = (0..3).map(|d| vbn(&g, d, 8)).collect();
+        let a = analyze_cp_write(&g, &blocks).unwrap();
+        assert_eq!(a.partial_stripes, 1);
+        assert_eq!(a.parity_reads, 1);
+    }
+
+    #[test]
+    fn tetris_grouping() {
+        let g = g();
+        // Stripes 0, 63 share tetris 0; stripe 64 is tetris 1; 6400 is 100.
+        let blocks = vec![
+            vbn(&g, 0, 0),
+            vbn(&g, 1, 63),
+            vbn(&g, 2, 64),
+            vbn(&g, 3, 6400),
+        ];
+        let a = analyze_cp_write(&g, &blocks).unwrap();
+        assert_eq!(a.tetrises, 3);
+        assert_eq!(a.partial_stripes, 4);
+    }
+
+    #[test]
+    fn chains_count_contiguity_per_device() {
+        let g = g();
+        // Device 0: dbns 10,11,12 (1 chain) + 20 (1 chain).
+        // Device 1: dbns 5, 7, 9 (3 chains).
+        let blocks = vec![
+            vbn(&g, 0, 10),
+            vbn(&g, 0, 11),
+            vbn(&g, 0, 12),
+            vbn(&g, 0, 20),
+            vbn(&g, 1, 5),
+            vbn(&g, 1, 7),
+            vbn(&g, 1, 9),
+        ];
+        let a = analyze_cp_write(&g, &blocks).unwrap();
+        assert_eq!(a.per_device_blocks, vec![4, 3, 0, 0]);
+        assert_eq!(a.per_device_chains, vec![2, 3, 0, 0]);
+        assert!((a.mean_chain_len() - 7.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contiguous_aa_write_yields_full_stripes_and_one_chain_per_device() {
+        // Writing every block of a stripe range — what the allocator does
+        // when it drains an empty AA — is all full stripes, one chain per
+        // device. This is the §2.4/§2.3 ideal case.
+        let g = g();
+        let mut blocks = Vec::new();
+        for d in 0..4 {
+            for s in 100..164 {
+                blocks.push(vbn(&g, d, s));
+            }
+        }
+        let a = analyze_cp_write(&g, &blocks).unwrap();
+        assert_eq!(a.full_stripes, 64);
+        assert_eq!(a.partial_stripes, 0);
+        assert_eq!(a.parity_reads, 0);
+        assert_eq!(a.per_device_chains, vec![1, 1, 1, 1]);
+        assert_eq!(a.tetrises, 2); // stripes 100..164 touch tetrises 1 and 2
+        assert_eq!(a.device_ios(), 4 + 64); // 4 chains + 64 parity writes
+    }
+
+    #[test]
+    fn out_of_group_vbn_is_error() {
+        let g = g();
+        assert!(analyze_cp_write(&g, &[Vbn(40_000 * 2)]).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for RAID geometry and write analysis.
+
+use proptest::prelude::*;
+use wafl_raid::{analyze_cp_write, RaidGeometry};
+use wafl_types::{AaId, RaidGroupId, Vbn};
+
+fn geometry() -> impl Strategy<Value = RaidGeometry> {
+    (1u32..12, 0u32..3, 64u64..20_000, 0u64..1_000_000).prop_map(
+        |(data, parity, blocks, base)| {
+            RaidGeometry::new(RaidGroupId(0), data, parity, blocks, Vbn(base)).unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn vbn_loc_round_trip(g in geometry(), offset in 0u64..1_000_000) {
+        let vbn = Vbn(g.base_vbn.get() + offset % g.data_blocks());
+        let loc = g.vbn_to_loc(vbn).unwrap();
+        prop_assert_eq!(g.loc_to_vbn(loc).unwrap(), vbn);
+        prop_assert!(loc.device.get() < g.data_devices);
+        prop_assert!(loc.dbn.get() < g.device_blocks);
+    }
+
+    #[test]
+    fn aa_ranges_partition_the_group(g in geometry(), spa in 1u64..5_000) {
+        let mut covered = 0u64;
+        for aa in 0..g.aa_count(spa) {
+            let aa = AaId(aa);
+            let blocks = g.aa_blocks(aa, spa);
+            let from_ranges: u64 = g.aa_vbn_ranges(aa, spa).map(|(_, l)| l).sum();
+            prop_assert_eq!(blocks, from_ranges);
+            covered += blocks;
+            // Every range's endpoints map back to this AA.
+            for (start, len) in g.aa_vbn_ranges(aa, spa) {
+                prop_assert_eq!(g.aa_of_vbn(start, spa).unwrap(), aa);
+                prop_assert_eq!(
+                    g.aa_of_vbn(Vbn(start.get() + len - 1), spa).unwrap(),
+                    aa
+                );
+            }
+        }
+        prop_assert_eq!(covered, g.data_blocks());
+    }
+
+    #[test]
+    fn analysis_conserves_blocks_and_bounds_stripes(
+        g in geometry(),
+        picks in proptest::collection::hash_set(0u64..50_000, 1..300),
+    ) {
+        let blocks: Vec<Vbn> = picks
+            .iter()
+            .map(|&o| Vbn(g.base_vbn.get() + o % g.data_blocks()))
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .collect();
+        let a = analyze_cp_write(&g, &blocks).unwrap();
+        prop_assert_eq!(a.data_blocks, blocks.len() as u64);
+        prop_assert_eq!(
+            a.per_device_blocks.iter().sum::<u64>(),
+            blocks.len() as u64
+        );
+        // Stripe counts: every written stripe is full xor partial, and a
+        // full stripe needs exactly data_devices blocks.
+        let stripes = a.full_stripes + a.partial_stripes;
+        prop_assert!(stripes <= blocks.len() as u64);
+        prop_assert!(a.full_stripes * g.data_devices as u64 <= blocks.len() as u64);
+        // Parity writes: parity_devices per written stripe.
+        prop_assert_eq!(a.parity_writes, stripes * g.parity_devices as u64);
+        // Chains never exceed blocks; tetrises never exceed stripes.
+        prop_assert!(a.per_device_chains.iter().sum::<u64>() <= blocks.len() as u64);
+        prop_assert!(a.tetrises <= stripes);
+        prop_assert!(a.tetrises >= 1);
+        // Parity reads only come from partial stripes, bounded by the
+        // cheaper of RMW and reconstruct per stripe.
+        let bound = a.partial_stripes
+            * (g.data_devices.saturating_sub(1).max(1) as u64
+                + g.parity_devices as u64);
+        prop_assert!(a.parity_reads <= bound);
+        if a.partial_stripes == 0 {
+            prop_assert_eq!(a.parity_reads, 0);
+        }
+    }
+
+    #[test]
+    fn writing_full_stripes_is_detected(
+        g in geometry(),
+        stripe_offsets in proptest::collection::hash_set(0u64..5_000, 1..20),
+    ) {
+        // Write every data block of a set of stripes.
+        let mut blocks = Vec::new();
+        let mut stripes = std::collections::HashSet::new();
+        for &s in &stripe_offsets {
+            let stripe = s % g.device_blocks;
+            if !stripes.insert(stripe) {
+                continue;
+            }
+            for d in 0..g.data_devices {
+                blocks.push(Vbn(
+                    g.base_vbn.get() + d as u64 * g.device_blocks + stripe,
+                ));
+            }
+        }
+        let a = analyze_cp_write(&g, &blocks).unwrap();
+        prop_assert_eq!(a.full_stripes, stripes.len() as u64);
+        prop_assert_eq!(a.partial_stripes, 0);
+        prop_assert_eq!(a.parity_reads, 0);
+    }
+}

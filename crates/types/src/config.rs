@@ -1,0 +1,229 @@
+//! Media types and allocation-area sizing policies (paper §3.2).
+
+use crate::consts::{
+    AZCS_DATA_BLOCKS, AZCS_REGION_BLOCKS, DEFAULT_STRIPES_PER_AA, RAID_AGNOSTIC_AA_BLOCKS,
+};
+use serde::{Deserialize, Serialize};
+
+/// The kind of storage backing a VBN range. Determines both the cost model
+/// (`wafl-media`) and the AA sizing policy (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MediaType {
+    /// Conventional (non-shingled) hard drive.
+    Hdd,
+    /// Solid-state drive with a flash translation layer.
+    Ssd,
+    /// Drive-managed shingled magnetic recording drive.
+    Smr,
+    /// Object store with native redundancy (no RAID layer).
+    ObjectStore,
+}
+
+impl MediaType {
+    /// Whether this media is arranged into RAID groups by ONTAP. Object
+    /// stores provide native redundancy, so they take the RAID-agnostic
+    /// path (§3.1).
+    #[inline]
+    pub fn uses_raid(self) -> bool {
+        !matches!(self, MediaType::ObjectStore)
+    }
+}
+
+/// How per-block checksums are stored (§3.2.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChecksumStyle {
+    /// 520-byte sectors: the 64-byte identifier rides in the sector slack;
+    /// no separate checksum blocks exist.
+    Sector520,
+    /// Advanced zone checksums: every 64th block stores the identifiers of
+    /// the preceding 63 data blocks.
+    Azcs,
+}
+
+impl ChecksumStyle {
+    /// Fraction of raw blocks usable for data (AZCS spends 1 in 64 on
+    /// checksums).
+    #[inline]
+    pub fn data_fraction(self) -> f64 {
+        match self {
+            ChecksumStyle::Sector520 => 1.0,
+            ChecksumStyle::Azcs => {
+                (AZCS_REGION_BLOCKS - 1) as f64 / AZCS_REGION_BLOCKS as f64
+            }
+        }
+    }
+}
+
+/// Policy producing the allocation-area size for a VBN range (§3.2).
+///
+/// Construct with [`AaSizingPolicy::for_media`] for the paper's defaults,
+/// or build a custom variant for ablation experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AaSizingPolicy {
+    /// RAID-aware, height in stripes. Default 4 Ki stripes for HDD
+    /// (§3.2.1). The AA then spans `stripes * data_devices` blocks.
+    Stripes {
+        /// Consecutive stripes per AA.
+        stripes: u64,
+    },
+    /// RAID-aware, height chosen so each device's column of the AA covers
+    /// a whole number of erase blocks / shingle zones of `unit_blocks`
+    /// blocks each (§3.2.2–3.2.3). `units` is how many such device-level
+    /// units each AA column spans (paper: "several erase blocks").
+    DeviceUnits {
+        /// Blocks per device-level unit (erase block or shingle zone).
+        unit_blocks: u64,
+        /// Units per AA column on each device.
+        units: u64,
+    },
+    /// Like [`AaSizingPolicy::DeviceUnits`], additionally rounded up to a
+    /// multiple of the AZCS region size so checksum regions never straddle
+    /// an AA boundary (§3.2.4, Figure 4 (C)).
+    DeviceUnitsAzcsAligned {
+        /// Blocks per device-level unit (shingle zone).
+        unit_blocks: u64,
+        /// Units per AA column on each device.
+        units: u64,
+    },
+    /// RAID-agnostic: consecutive VBNs, default 32 Ki (§3.2.1). Used for
+    /// FlexVol virtual VBNs and natively redundant storage.
+    ConsecutiveVbns {
+        /// Blocks per AA.
+        blocks: u64,
+    },
+}
+
+impl AaSizingPolicy {
+    /// The paper's default policy for a media type in a RAID group.
+    /// `device_unit_blocks` is the erase-block (SSD) or shingle-zone (SMR)
+    /// size in blocks and is ignored for HDD.
+    pub fn for_media(
+        media: MediaType,
+        checksum: ChecksumStyle,
+        device_unit_blocks: u64,
+    ) -> AaSizingPolicy {
+        match media {
+            MediaType::Hdd => AaSizingPolicy::Stripes {
+                stripes: DEFAULT_STRIPES_PER_AA,
+            },
+            // "several erase blocks" (§3.2.2) — Figure 4 (B) shows an AA
+            // larger than 2 erase blocks; we use 4 units as the default.
+            MediaType::Ssd => AaSizingPolicy::DeviceUnits {
+                unit_blocks: device_unit_blocks,
+                units: 4,
+            },
+            MediaType::Smr => match checksum {
+                ChecksumStyle::Azcs => AaSizingPolicy::DeviceUnitsAzcsAligned {
+                    unit_blocks: device_unit_blocks,
+                    units: 4,
+                },
+                ChecksumStyle::Sector520 => AaSizingPolicy::DeviceUnits {
+                    unit_blocks: device_unit_blocks,
+                    units: 4,
+                },
+            },
+            MediaType::ObjectStore => AaSizingPolicy::ConsecutiveVbns {
+                blocks: RAID_AGNOSTIC_AA_BLOCKS,
+            },
+        }
+    }
+
+    /// The default RAID-agnostic policy (FlexVol virtual VBNs).
+    pub fn raid_agnostic() -> AaSizingPolicy {
+        AaSizingPolicy::ConsecutiveVbns {
+            blocks: RAID_AGNOSTIC_AA_BLOCKS,
+        }
+    }
+
+    /// Height of the AA in stripes for a RAID-aware policy, `None` for
+    /// RAID-agnostic policies.
+    pub fn stripes_per_aa(self) -> Option<u64> {
+        match self {
+            AaSizingPolicy::Stripes { stripes } => Some(stripes),
+            AaSizingPolicy::DeviceUnits { unit_blocks, units } => {
+                Some((unit_blocks * units).max(1))
+            }
+            AaSizingPolicy::DeviceUnitsAzcsAligned { unit_blocks, units } => {
+                // Round the per-device column up to a whole number of AZCS
+                // regions so a checksum region never crosses the boundary.
+                // AA sizes are counted in *data* blocks (PVBNs); a region
+                // holds 63 data blocks (the 64th holds checksums), so the
+                // data-space alignment quantum is 63.
+                let raw = (unit_blocks * units).max(1);
+                Some(raw.div_ceil(AZCS_DATA_BLOCKS) * AZCS_DATA_BLOCKS)
+            }
+            AaSizingPolicy::ConsecutiveVbns { .. } => None,
+        }
+    }
+
+    /// Blocks per AA for a RAID-agnostic policy, `None` for RAID-aware.
+    pub fn blocks_per_aa(self) -> Option<u64> {
+        match self {
+            AaSizingPolicy::ConsecutiveVbns { blocks } => Some(blocks),
+            _ => None,
+        }
+    }
+
+    /// True when the per-device AA column is aligned to AZCS regions —
+    /// i.e. its length in data blocks is a whole number of 63-data-block
+    /// regions, so every checksum block is written in-line at the end of
+    /// its region's sequential drain.
+    pub fn azcs_aligned(self) -> bool {
+        match self {
+            AaSizingPolicy::DeviceUnitsAzcsAligned { .. } => true,
+            AaSizingPolicy::Stripes { stripes } => stripes % AZCS_DATA_BLOCKS == 0,
+            AaSizingPolicy::DeviceUnits { unit_blocks, units } => {
+                (unit_blocks * units) % AZCS_DATA_BLOCKS == 0
+            }
+            AaSizingPolicy::ConsecutiveVbns { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdd_default_is_4k_stripes() {
+        let p = AaSizingPolicy::for_media(MediaType::Hdd, ChecksumStyle::Sector520, 0);
+        assert_eq!(p.stripes_per_aa(), Some(4096));
+        assert_eq!(p.blocks_per_aa(), None);
+    }
+
+    #[test]
+    fn ssd_default_spans_several_erase_blocks() {
+        // 2 MiB erase block = 512 blocks of 4 KiB.
+        let p = AaSizingPolicy::for_media(MediaType::Ssd, ChecksumStyle::Sector520, 512);
+        let stripes = p.stripes_per_aa().unwrap();
+        assert!(stripes >= 2 * 512, "AA must exceed 2 erase blocks per Fig 4 (B)");
+        assert_eq!(stripes % 512, 0, "AA column is a whole number of erase blocks");
+    }
+
+    #[test]
+    fn smr_azcs_policy_is_region_aligned() {
+        // A shingle-zone size deliberately coprime with 63.
+        let p = AaSizingPolicy::for_media(MediaType::Smr, ChecksumStyle::Azcs, 4097);
+        let stripes = p.stripes_per_aa().unwrap();
+        assert_eq!(stripes % AZCS_DATA_BLOCKS, 0);
+        assert!(stripes >= 4 * 4097, "still larger than the shingle units");
+        assert!(p.azcs_aligned());
+        // The historical HDD default (4096 stripes) is NOT region-aligned:
+        // 4096 % 63 != 0 — the Fig 9 penalty case.
+        assert!(!AaSizingPolicy::Stripes { stripes: 4096 }.azcs_aligned());
+    }
+
+    #[test]
+    fn object_store_is_raid_agnostic() {
+        let p =
+            AaSizingPolicy::for_media(MediaType::ObjectStore, ChecksumStyle::Sector520, 0);
+        assert_eq!(p.blocks_per_aa(), Some(RAID_AGNOSTIC_AA_BLOCKS));
+        assert!(!MediaType::ObjectStore.uses_raid());
+    }
+
+    #[test]
+    fn azcs_data_fraction() {
+        assert_eq!(ChecksumStyle::Sector520.data_fraction(), 1.0);
+        assert!((ChecksumStyle::Azcs.data_fraction() - 63.0 / 64.0).abs() < 1e-12);
+    }
+}

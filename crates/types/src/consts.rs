@@ -1,0 +1,86 @@
+//! Constants fixed by the paper's description of WAFL.
+
+/// Size of a WAFL block in bytes. WAFL addresses all storage in 4 KiB units
+/// (paper §2: "WAFL addresses its storage in 4KiB blocks").
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Number of bits in one 4 KiB bitmap-metafile block: `4096 * 8 = 32 Ki`.
+/// The paper (§3.2.1) sizes RAID-agnostic AAs to exactly this many VBNs so
+/// that allocating an entire AA dirties a single metafile block.
+pub const BITS_PER_BITMAP_BLOCK: u64 = (BLOCK_SIZE as u64) * 8;
+
+/// Default RAID-aware allocation-area height in stripes (§3.2.1:
+/// "an AA size of 4k stripes works well for HDDs arranged in a RAID group").
+pub const DEFAULT_STRIPES_PER_AA: u64 = 4096;
+
+/// Size of a RAID-agnostic allocation area in VBNs (§3.2.1: "32k consecutive
+/// VBNs ... matches the alignment of bitmap metafiles").
+pub const RAID_AGNOSTIC_AA_BLOCKS: u64 = BITS_PER_BITMAP_BLOCK;
+
+/// Number of consecutive stripes in a *tetris*, the unit of write I/O sent
+/// from WAFL to a RAID group (§4.2: "a tetris ... is composed of 64
+/// consecutive stripes").
+pub const TETRIS_STRIPES: u64 = 64;
+
+/// Blocks per AZCS checksum region: 63 data blocks followed by 1 checksum
+/// block that stores their 64-byte identifiers (§3.2.4).
+pub const AZCS_REGION_BLOCKS: u64 = 64;
+
+/// Data blocks per AZCS region (the 64th block holds the checksums).
+pub const AZCS_DATA_BLOCKS: u64 = AZCS_REGION_BLOCKS - 1;
+
+/// Number of score bins in the histogram page of the histogram-based
+/// partial sort (HBPS). The RAID-agnostic score space is `0..=32 Ki` and
+/// each bin covers a 1 Ki range (§3.3.2), giving 32 bins.
+pub const HBPS_BINS: usize = 32;
+
+/// Width of one HBPS score bin (§3.3.2: "the AA score space is divided into
+/// bins covering score ranges of 1K").
+pub const HBPS_BIN_WIDTH: u32 = 1024;
+
+/// Capacity of the HBPS list page (§3.3.2: "this second page stores 1,000
+/// AAs that fall into the top score ranges").
+pub const HBPS_LIST_CAPACITY: usize = 1000;
+
+/// Number of (AA, score) entries persisted per RAID-aware AA cache in the
+/// TopAA metafile (§3.4: "one 4KiB block ... fills with the 512 best AAs
+/// and their scores"). `512 * 8 B = 4 KiB`.
+pub const TOPAA_RAID_AWARE_ENTRIES: usize = 512;
+
+/// The maximum achievable score of a RAID-agnostic AA — an entirely free AA
+/// (§3.3.2: "a best score is 32K").
+pub const RAID_AGNOSTIC_MAX_SCORE: u32 = RAID_AGNOSTIC_AA_BLOCKS as u32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_block_holds_32ki_bits() {
+        assert_eq!(BITS_PER_BITMAP_BLOCK, 32 * 1024);
+    }
+
+    #[test]
+    fn raid_agnostic_aa_matches_one_bitmap_block() {
+        // The whole point of the 32 Ki sizing: one AA <-> one metafile block.
+        assert_eq!(RAID_AGNOSTIC_AA_BLOCKS, BITS_PER_BITMAP_BLOCK);
+    }
+
+    #[test]
+    fn hbps_bins_cover_exact_score_space() {
+        // 32 bins of width 1 Ki cover scores 1..=32 Ki; score 0 folds into
+        // the last bin by convention.
+        assert_eq!(HBPS_BINS as u32 * HBPS_BIN_WIDTH, RAID_AGNOSTIC_MAX_SCORE);
+    }
+
+    #[test]
+    fn topaa_entries_fill_one_block() {
+        // 512 entries x (u32 aa, u32 score) = 4096 bytes, one metafile block.
+        assert_eq!(TOPAA_RAID_AWARE_ENTRIES * 8, BLOCK_SIZE);
+    }
+
+    #[test]
+    fn azcs_region_split() {
+        assert_eq!(AZCS_DATA_BLOCKS + 1, AZCS_REGION_BLOCKS);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type shared across the workspace.
+
+use crate::ids::{AaId, Vbn};
+use std::fmt;
+
+/// Errors surfaced by the free-space subsystem and its substrates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaflError {
+    /// A VBN outside the configured block-number space was used.
+    VbnOutOfRange {
+        /// The offending VBN.
+        vbn: Vbn,
+        /// Number of VBNs in the space.
+        space_len: u64,
+    },
+    /// An AA index outside the configured space was used.
+    AaOutOfRange {
+        /// The offending AA.
+        aa: AaId,
+        /// Number of AAs in the space.
+        aa_count: u32,
+    },
+    /// Allocation of an already-allocated block, or free of an already-free
+    /// block — a file-system consistency violation.
+    BitmapStateMismatch {
+        /// The VBN whose bitmap bit disagreed with the operation.
+        vbn: Vbn,
+        /// What the caller expected the bit to be.
+        expected_free: bool,
+    },
+    /// No free blocks remain in the requested space.
+    SpaceExhausted,
+    /// A persisted structure (e.g. a TopAA metafile block) failed
+    /// validation while being loaded.
+    CorruptMetafile {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A configuration was internally inconsistent (e.g. zero devices in a
+    /// RAID group).
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WaflError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaflError::VbnOutOfRange { vbn, space_len } => {
+                write!(f, "{vbn} out of range (space holds {space_len} blocks)")
+            }
+            WaflError::AaOutOfRange { aa, aa_count } => {
+                write!(f, "{aa} out of range (space holds {aa_count} AAs)")
+            }
+            WaflError::BitmapStateMismatch { vbn, expected_free } => write!(
+                f,
+                "bitmap mismatch at {vbn}: expected {}",
+                if *expected_free { "free" } else { "allocated" }
+            ),
+            WaflError::SpaceExhausted => write!(f, "no free blocks remain"),
+            WaflError::CorruptMetafile { reason } => {
+                write!(f, "corrupt metafile: {reason}")
+            }
+            WaflError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaflError {}
+
+/// Convenience alias used across the workspace.
+pub type WaflResult<T> = Result<T, WaflError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WaflError::VbnOutOfRange {
+            vbn: Vbn(100),
+            space_len: 50,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("50"));
+
+        let e = WaflError::BitmapStateMismatch {
+            vbn: Vbn(1),
+            expected_free: true,
+        };
+        assert!(e.to_string().contains("free"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WaflError>();
+    }
+}

@@ -1,0 +1,173 @@
+//! Strongly-typed identifiers for the block-number spaces.
+//!
+//! WAFL juggles several integer spaces at once — physical VBNs, virtual
+//! VBNs, per-device block numbers, stripe indices, AA indices — and mixing
+//! them up is the classic off-by-a-space bug. Each space gets a newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $inner:ty) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Raw inner value.
+            #[inline]
+            pub const fn get(self) -> $inner {
+                self.0
+            }
+
+            /// Convert to `usize` for indexing (panics only if the value
+            /// exceeds the platform pointer width, which cannot happen for
+            /// the simulated capacities used here).
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A *volume block number*: the index of a 4 KiB block within one
+    /// block-number space. Physical VBNs index the aggregate; virtual VBNs
+    /// index a FlexVol. The two spaces never mix — APIs that need both take
+    /// both explicitly.
+    Vbn, u64
+);
+
+id_newtype!(
+    /// A *device block number*: the index of a block within one storage
+    /// device of a RAID group.
+    Dbn, u64
+);
+
+id_newtype!(
+    /// Index of a data or parity device within a RAID group.
+    DeviceId, u32
+);
+
+id_newtype!(
+    /// Index of an allocation area within its block-number space.
+    AaId, u32
+);
+
+id_newtype!(
+    /// Index of a RAID group within an aggregate.
+    RaidGroupId, u32
+);
+
+id_newtype!(
+    /// Index of a stripe within a RAID group (one block per device at the
+    /// same DBN).
+    StripeId, u64
+);
+
+id_newtype!(
+    /// Index of a tetris (64 consecutive stripes) within a RAID group.
+    TetrisId, u64
+);
+
+id_newtype!(
+    /// Identifier of a FlexVol volume within an aggregate.
+    VolumeId, u32
+);
+
+impl Vbn {
+    /// The VBN immediately after `self`.
+    #[inline]
+    pub const fn next(self) -> Vbn {
+        Vbn(self.0 + 1)
+    }
+
+    /// Offset of this VBN within its containing allocation area of
+    /// `aa_blocks` blocks.
+    #[inline]
+    pub const fn offset_in_aa(self, aa_blocks: u64) -> u64 {
+        self.0 % aa_blocks
+    }
+
+    /// The allocation area containing this VBN when AAs are `aa_blocks`
+    /// consecutive blocks (the RAID-agnostic topology).
+    #[inline]
+    pub const fn aa(self, aa_blocks: u64) -> AaId {
+        AaId((self.0 / aa_blocks) as u32)
+    }
+}
+
+impl AaId {
+    /// First VBN of this AA under the consecutive-VBN (RAID-agnostic)
+    /// topology.
+    #[inline]
+    pub const fn first_vbn(self, aa_blocks: u64) -> Vbn {
+        Vbn(self.0 as u64 * aa_blocks)
+    }
+}
+
+impl StripeId {
+    /// The tetris containing this stripe.
+    #[inline]
+    pub const fn tetris(self) -> TetrisId {
+        TetrisId(self.0 / crate::consts::TETRIS_STRIPES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::{RAID_AGNOSTIC_AA_BLOCKS, TETRIS_STRIPES};
+
+    #[test]
+    fn vbn_to_aa_round_trip() {
+        let aa = AaId(7);
+        let first = aa.first_vbn(RAID_AGNOSTIC_AA_BLOCKS);
+        assert_eq!(first.aa(RAID_AGNOSTIC_AA_BLOCKS), aa);
+        assert_eq!(first.offset_in_aa(RAID_AGNOSTIC_AA_BLOCKS), 0);
+        let last = Vbn(first.0 + RAID_AGNOSTIC_AA_BLOCKS - 1);
+        assert_eq!(last.aa(RAID_AGNOSTIC_AA_BLOCKS), aa);
+        assert_eq!(
+            last.offset_in_aa(RAID_AGNOSTIC_AA_BLOCKS),
+            RAID_AGNOSTIC_AA_BLOCKS - 1
+        );
+        assert_eq!(last.next().aa(RAID_AGNOSTIC_AA_BLOCKS), AaId(8));
+    }
+
+    #[test]
+    fn stripe_to_tetris() {
+        assert_eq!(StripeId(0).tetris(), TetrisId(0));
+        assert_eq!(StripeId(TETRIS_STRIPES - 1).tetris(), TetrisId(0));
+        assert_eq!(StripeId(TETRIS_STRIPES).tetris(), TetrisId(1));
+        assert_eq!(StripeId(10 * TETRIS_STRIPES + 3).tetris(), TetrisId(10));
+    }
+
+    #[test]
+    fn display_includes_space_name() {
+        assert_eq!(Vbn(42).to_string(), "Vbn(42)");
+        assert_eq!(AaId(3).to_string(), "AaId(3)");
+    }
+
+    #[test]
+    fn ordering_follows_inner() {
+        assert!(Vbn(1) < Vbn(2));
+        assert!(AaId(0) < AaId(1));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for sizing policies and score arithmetic.
+
+use proptest::prelude::*;
+use wafl_types::{
+    AaScore, AaSizingPolicy, ChecksumStyle, MediaType, ScoreDelta, AZCS_DATA_BLOCKS,
+};
+
+proptest! {
+    #[test]
+    fn device_unit_policies_cover_their_units(
+        unit in 1u64..100_000,
+        units in 1u64..16,
+    ) {
+        let p = AaSizingPolicy::DeviceUnits { unit_blocks: unit, units };
+        let stripes = p.stripes_per_aa().unwrap();
+        prop_assert!(stripes >= unit * units);
+        prop_assert_eq!(stripes % unit, 0, "whole number of device units");
+    }
+
+    #[test]
+    fn azcs_aligned_policies_are_region_multiples(
+        unit in 1u64..100_000,
+        units in 1u64..16,
+    ) {
+        let p = AaSizingPolicy::DeviceUnitsAzcsAligned { unit_blocks: unit, units };
+        let stripes = p.stripes_per_aa().unwrap();
+        prop_assert_eq!(stripes % AZCS_DATA_BLOCKS, 0);
+        prop_assert!(stripes >= unit * units, "alignment only rounds up");
+        prop_assert!(stripes < unit * units + AZCS_DATA_BLOCKS);
+        prop_assert!(p.azcs_aligned());
+    }
+
+    #[test]
+    fn media_defaults_respect_their_device_units(
+        unit in 1u64..50_000,
+    ) {
+        for media in [MediaType::Ssd, MediaType::Smr] {
+            for cs in [ChecksumStyle::Sector520, ChecksumStyle::Azcs] {
+                let p = AaSizingPolicy::for_media(media, cs, unit);
+                let stripes = p.stripes_per_aa().unwrap();
+                prop_assert!(
+                    stripes >= 2 * unit,
+                    "{media:?}/{cs:?}: AA must span multiple device units \
+                     (Fig 4 (B)): {stripes} vs unit {unit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_apply_is_clamped_and_monotone(
+        score in 0u32..100_000,
+        max in 1u32..100_000,
+        delta in -200_000i64..200_000,
+    ) {
+        let s = AaScore(score.min(max));
+        let out = s.apply(ScoreDelta(delta), max);
+        prop_assert!(out.get() <= max);
+        if delta >= 0 {
+            prop_assert!(out >= s);
+        } else {
+            prop_assert!(out <= s);
+        }
+        // Exact when in range.
+        let exact = s.get() as i64 + delta;
+        if (0..=max as i64).contains(&exact) {
+            prop_assert_eq!(out.get() as i64, exact);
+        }
+    }
+
+    #[test]
+    fn merged_deltas_equal_sequential_application(
+        score in 0u32..10_000,
+        a in -5_000i64..5_000,
+        b in -5_000i64..5_000,
+    ) {
+        // Merging is exact when no clamp engages mid-way; verify against
+        // the definition on the unclamped path.
+        let max = u32::MAX;
+        let s = AaScore(score);
+        let merged = s.apply(ScoreDelta(a).merge(ScoreDelta(b)), max);
+        let mid = s.apply(ScoreDelta(a), max);
+        if s.get() as i64 + a >= 0 {
+            let sequential = mid.apply(ScoreDelta(b), max);
+            prop_assert_eq!(merged, sequential);
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! Workload generators for the paper's experiments.
+//!
+//! Each generator is a deterministic, seeded stream of client operations:
+//!
+//! * [`RandomOverwrite`] — 8 KiB-style random overwrites of configured
+//!   LUNs, the §4.1 fragmentation/measurement workload ("random
+//!   overwrites create worst-case fragmentation in a COW file system").
+//! * [`OltpMix`] — the §4.2 internal OLTP benchmark model: predominantly
+//!   random point reads and updates ("query and update operations typical
+//!   to a database").
+//! * [`SequentialWrite`] — streaming writes, the §4.3 SMR workload.
+//! * [`FileChurn`] — file create/delete cycles, the other §2.2
+//!   fragmentation source.
+//!
+//! [`run`] drives any generator against an [`Aggregate`], flushing a CP
+//! every `ops_per_cp` operations and accumulating the costs the harness
+//! turns into latency/throughput curves.
+
+#![warn(missing_docs)]
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use wafl_fs::{Aggregate, CpStats};
+use wafl_types::{VolumeId, WaflResult};
+
+/// One client operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Overwrite (or first write of) a logical block.
+    Write {
+        /// Target volume.
+        vol: VolumeId,
+        /// Logical block within the volume.
+        logical: u64,
+    },
+    /// Point read of a logical block.
+    Read {
+        /// Target volume.
+        vol: VolumeId,
+        /// Logical block within the volume.
+        logical: u64,
+    },
+    /// Delete (unmap) a logical block.
+    Delete {
+        /// Target volume.
+        vol: VolumeId,
+        /// Logical block within the volume.
+        logical: u64,
+    },
+}
+
+/// A deterministic operation stream.
+pub trait Workload {
+    /// Produce the next operation.
+    fn next_op(&mut self) -> Op;
+}
+
+/// Uniform random overwrites across one volume's working set (§4.1).
+pub struct RandomOverwrite {
+    vol: VolumeId,
+    working_set: u64,
+    rng: StdRng,
+}
+
+impl RandomOverwrite {
+    /// Overwrites of blocks `0..working_set` in `vol`.
+    pub fn new(vol: VolumeId, working_set: u64, seed: u64) -> RandomOverwrite {
+        assert!(working_set > 0, "empty working set");
+        RandomOverwrite {
+            vol,
+            working_set,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for RandomOverwrite {
+    fn next_op(&mut self) -> Op {
+        Op::Write {
+            vol: self.vol,
+            logical: self.rng.random_range(0..self.working_set),
+        }
+    }
+}
+
+/// OLTP-style mix: random point reads and updates over a working set,
+/// optionally spread across several volumes (§4.2).
+pub struct OltpMix {
+    vols: Vec<(VolumeId, u64)>,
+    read_fraction: f64,
+    rng: StdRng,
+}
+
+impl OltpMix {
+    /// `vols` pairs each volume with its working-set size;
+    /// `read_fraction` of operations are reads (the paper's workload is
+    /// "predominantly random read and write").
+    pub fn new(vols: Vec<(VolumeId, u64)>, read_fraction: f64, seed: u64) -> OltpMix {
+        assert!(!vols.is_empty() && vols.iter().all(|&(_, w)| w > 0));
+        assert!((0.0..=1.0).contains(&read_fraction));
+        OltpMix {
+            vols,
+            read_fraction,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for OltpMix {
+    fn next_op(&mut self) -> Op {
+        let (vol, ws) = self.vols[self.rng.random_range(0..self.vols.len())];
+        let logical = self.rng.random_range(0..ws);
+        if self.rng.random_bool(self.read_fraction) {
+            Op::Read { vol, logical }
+        } else {
+            Op::Write { vol, logical }
+        }
+    }
+}
+
+/// Hot/cold skewed overwrites: `hot_fraction` of operations hit the
+/// `hot_set` fraction of the working set (e.g. 90 % of writes to 10 % of
+/// blocks — the enterprise-LUN skew Flash Pool exploits, §2.1).
+pub struct HotCold {
+    vol: VolumeId,
+    working_set: u64,
+    hot_blocks: u64,
+    hot_fraction: f64,
+    rng: StdRng,
+}
+
+impl HotCold {
+    /// Skewed overwrites over `working_set` blocks of `vol`: the first
+    /// `hot_set` fraction of the space receives `hot_fraction` of ops.
+    pub fn new(
+        vol: VolumeId,
+        working_set: u64,
+        hot_set: f64,
+        hot_fraction: f64,
+        seed: u64,
+    ) -> HotCold {
+        assert!(working_set > 0);
+        assert!((0.0..=1.0).contains(&hot_set) && (0.0..=1.0).contains(&hot_fraction));
+        let hot_blocks = ((working_set as f64 * hot_set) as u64).clamp(1, working_set);
+        HotCold {
+            vol,
+            working_set,
+            hot_blocks,
+            hot_fraction,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for HotCold {
+    fn next_op(&mut self) -> Op {
+        let logical = if self.rng.random_bool(self.hot_fraction) {
+            self.rng.random_range(0..self.hot_blocks)
+        } else {
+            self.rng.random_range(0..self.working_set)
+        };
+        Op::Write {
+            vol: self.vol,
+            logical,
+        }
+    }
+}
+
+/// Streaming sequential writes, wrapping at the working set (§4.3's SMR
+/// experiment issues "sequential writes to an unaged file system").
+pub struct SequentialWrite {
+    vol: VolumeId,
+    working_set: u64,
+    cursor: u64,
+}
+
+impl SequentialWrite {
+    /// Sequential writes over blocks `0..working_set` of `vol`.
+    pub fn new(vol: VolumeId, working_set: u64) -> SequentialWrite {
+        assert!(working_set > 0);
+        SequentialWrite {
+            vol,
+            working_set,
+            cursor: 0,
+        }
+    }
+}
+
+impl Workload for SequentialWrite {
+    fn next_op(&mut self) -> Op {
+        let op = Op::Write {
+            vol: self.vol,
+            logical: self.cursor,
+        };
+        self.cursor = (self.cursor + 1) % self.working_set;
+        op
+    }
+}
+
+/// File create/delete churn: "files" are fixed-length runs of logical
+/// blocks; each cycle writes a whole file, and once the volume carries
+/// `max_live_files`, deletes a random older file first (§2.2: "the
+/// creation and deletion of files can eventually result in similar
+/// fragmentation").
+pub struct FileChurn {
+    vol: VolumeId,
+    file_blocks: u64,
+    slots: u64,
+    live: Vec<u64>,
+    max_live: usize,
+    rng: StdRng,
+    /// Remaining (slot, offset) writes of the file under construction.
+    in_flight: Vec<Op>,
+}
+
+impl FileChurn {
+    /// Churn over a volume with room for `slots` files of `file_blocks`
+    /// each, keeping at most `max_live` files alive.
+    pub fn new(
+        vol: VolumeId,
+        file_blocks: u64,
+        slots: u64,
+        max_live: usize,
+        seed: u64,
+    ) -> FileChurn {
+        assert!(file_blocks > 0 && slots > 0 && max_live > 0);
+        assert!((max_live as u64) < slots, "need free slots to rotate into");
+        FileChurn {
+            vol,
+            file_blocks,
+            slots,
+            live: Vec::new(),
+            max_live,
+            rng: StdRng::seed_from_u64(seed),
+            in_flight: Vec::new(),
+        }
+    }
+}
+
+impl Workload for FileChurn {
+    fn next_op(&mut self) -> Op {
+        if let Some(op) = self.in_flight.pop() {
+            return op;
+        }
+        // Start a new cycle: delete if at capacity, then create. The
+        // in-flight queue pops LIFO, so push the creation writes first and
+        // the deletions last — deletes must reach the file system before
+        // the new file's writes in case the slot is reused.
+        let slot = {
+            let s = loop {
+                let s = self.rng.random_range(0..self.slots);
+                if !self.live.contains(&s) {
+                    break s;
+                }
+            };
+            self.live.push(s);
+            s
+        };
+        for off in (0..self.file_blocks).rev() {
+            self.in_flight.push(Op::Write {
+                vol: self.vol,
+                logical: slot * self.file_blocks + off,
+            });
+        }
+        if self.live.len() > self.max_live {
+            let victim_idx = loop {
+                let i = self.rng.random_range(0..self.live.len());
+                if self.live[i] != slot {
+                    break i;
+                }
+            };
+            let victim = self.live.swap_remove(victim_idx);
+            for off in (0..self.file_blocks).rev() {
+                self.in_flight.push(Op::Delete {
+                    vol: self.vol,
+                    logical: victim * self.file_blocks + off,
+                });
+            }
+        }
+        self.in_flight.pop().expect("file has blocks")
+    }
+}
+
+/// Accumulated results of a workload run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Write operations issued.
+    pub writes: u64,
+    /// Read operations issued.
+    pub reads: u64,
+    /// Delete operations issued.
+    pub deletes: u64,
+    /// Total media read time, µs.
+    pub read_us: f64,
+    /// Accumulated CP statistics.
+    pub cp: CpStats,
+    /// Number of CPs run.
+    pub cps: u64,
+}
+
+/// Drive `ops` operations from `workload` against `agg`, flushing a CP
+/// every `ops_per_cp` *write/delete* operations and once at the end.
+pub fn run(
+    agg: &mut Aggregate,
+    workload: &mut dyn Workload,
+    ops: u64,
+    ops_per_cp: usize,
+) -> WaflResult<RunStats> {
+    let mut stats = RunStats::default();
+    let mut since_cp = 0usize;
+    for _ in 0..ops {
+        match workload.next_op() {
+            Op::Write { vol, logical } => {
+                agg.client_overwrite(vol, logical)?;
+                stats.writes += 1;
+                since_cp += 1;
+            }
+            Op::Read { vol, logical } => {
+                stats.read_us += agg.client_read(vol, logical)?;
+                stats.reads += 1;
+            }
+            Op::Delete { vol, logical } => {
+                agg.client_delete(vol, logical)?;
+                stats.deletes += 1;
+                since_cp += 1;
+            }
+        }
+        if since_cp >= ops_per_cp {
+            stats.cp.accumulate(&agg.run_cp()?);
+            stats.cps += 1;
+            since_cp = 0;
+        }
+    }
+    if since_cp > 0 {
+        stats.cp.accumulate(&agg.run_cp()?);
+        stats.cps += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wafl_fs::{AggregateConfig, FlexVolConfig, RaidGroupSpec};
+    use wafl_media::MediaProfile;
+
+    fn agg() -> Aggregate {
+        Aggregate::new(
+            AggregateConfig::single_group(RaidGroupSpec {
+                data_devices: 4,
+                parity_devices: 1,
+                device_blocks: 16 * 4096,
+                profile: MediaProfile::hdd(),
+            }),
+            &[(
+                FlexVolConfig {
+                    size_blocks: 8 * 32768,
+                    aa_cache: true,
+                    aa_blocks: None,
+                },
+                60_000,
+            )],
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn random_overwrite_is_deterministic() {
+        let mut a = RandomOverwrite::new(VolumeId(0), 1000, 7);
+        let mut b = RandomOverwrite::new(VolumeId(0), 1000, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        let mut c = RandomOverwrite::new(VolumeId(0), 1000, 8);
+        let same = (0..100).filter(|_| a.next_op() == c.next_op()).count();
+        assert!(same < 50, "different seeds should diverge");
+    }
+
+    #[test]
+    fn oltp_mix_respects_read_fraction() {
+        let mut w = OltpMix::new(vec![(VolumeId(0), 1000)], 0.7, 3);
+        let reads = (0..10_000)
+            .filter(|_| matches!(w.next_op(), Op::Read { .. }))
+            .count();
+        assert!((6500..7500).contains(&reads), "reads {reads}");
+    }
+
+    #[test]
+    fn hot_cold_skews_toward_the_hot_set() {
+        let mut w = HotCold::new(VolumeId(0), 10_000, 0.1, 0.9, 5);
+        let mut hot_hits = 0;
+        for _ in 0..10_000 {
+            if let Op::Write { logical, .. } = w.next_op() {
+                if logical < 1000 {
+                    hot_hits += 1;
+                }
+            }
+        }
+        // 90 % targeted + ~10 % of the uniform remainder also lands hot.
+        assert!((8800..9400).contains(&hot_hits), "hot hits {hot_hits}");
+    }
+
+    #[test]
+    fn sequential_write_wraps() {
+        let mut w = SequentialWrite::new(VolumeId(0), 3);
+        let ls: Vec<u64> = (0..7)
+            .map(|_| match w.next_op() {
+                Op::Write { logical, .. } => logical,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ls, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn file_churn_creates_then_rotates() {
+        let mut w = FileChurn::new(VolumeId(0), 4, 10, 2, 5);
+        let mut live: std::collections::HashSet<u64> = Default::default();
+        let mut writes = 0;
+        let mut deletes = 0;
+        for _ in 0..200 {
+            match w.next_op() {
+                Op::Write { logical, .. } => {
+                    live.insert(logical);
+                    writes += 1;
+                }
+                Op::Delete { logical, .. } => {
+                    assert!(live.remove(&logical), "deleted a never-written block");
+                    deletes += 1;
+                }
+                Op::Read { .. } => unreachable!(),
+            }
+        }
+        assert!(writes > deletes);
+        assert!(deletes > 0);
+        // Live blocks bounded by max_live files (+ one under construction).
+        assert!(live.len() as u64 <= 3 * 4);
+    }
+
+    #[test]
+    fn run_drives_cps_and_accounts_ops() {
+        let mut a = agg();
+        let mut w = OltpMix::new(vec![(VolumeId(0), 50_000)], 0.5, 9);
+        let stats = run(&mut a, &mut w, 20_000, 2048).unwrap();
+        assert_eq!(stats.writes + stats.reads, 20_000);
+        assert!(stats.cps >= (stats.writes / 2048).max(1));
+        // Repeated overwrites of a block coalesce within a CP (§2.1), so
+        // the flushed block count is at most the issued write count.
+        assert!(stats.cp.blocks_written <= stats.writes);
+        assert!(stats.cp.blocks_written > stats.writes * 9 / 10);
+        assert!(stats.cp.cpu_us > 0.0);
+    }
+
+    #[test]
+    fn churn_through_fs_conserves_space() {
+        let mut a = agg();
+        let mut w = FileChurn::new(VolumeId(0), 64, 100, 50, 11);
+        run(&mut a, &mut w, 30_000, 4096).unwrap();
+        // Free space must equal total minus live mappings.
+        let vol = &a.volumes()[0];
+        let mapped = (0..vol.logical_blocks())
+            .filter(|&l| vol.lookup_logical(l).is_some())
+            .count() as u64;
+        assert_eq!(a.bitmap().free_blocks(), a.bitmap().space_len() - mapped);
+        assert_eq!(vol.free_blocks(), vol.size_blocks() - mapped);
+    }
+}

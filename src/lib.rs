@@ -1,0 +1,14 @@
+//! Umbrella crate for the WAFL free-block-search reproduction.
+//!
+//! Re-exports every workspace crate under a stable prefix so examples and
+//! integration tests can use one dependency. See `README.md` for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+pub use wafl_bitmap as bitmap;
+pub use wafl_core as aa;
+pub use wafl_fs as fs;
+pub use wafl_harness as harness;
+pub use wafl_media as media;
+pub use wafl_raid as raid;
+pub use wafl_types as types;
+pub use wafl_workloads as workloads;

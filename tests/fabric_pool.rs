@@ -1,0 +1,158 @@
+//! Fabric Pool-style configurations (§2.1/§3.3.2): physical ranges backed
+//! by natively redundant object storage use the two-page HBPS cache, not
+//! the max-heap, and their TopAA persistence is the two embedded pages.
+
+use wafl_repro::fs::{aging, mount, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_repro::media::MediaProfile;
+use wafl_repro::types::{VolumeId, WaflError};
+use wafl_repro::workloads::{run, RandomOverwrite};
+
+fn fabric_pool() -> Aggregate {
+    // One SSD performance tier + one object-store capacity tier.
+    Aggregate::new(
+        AggregateConfig {
+            raid_groups: vec![
+                RaidGroupSpec {
+                    data_devices: 2,
+                    parity_devices: 1,
+                    device_blocks: 64 * 512,
+                    profile: MediaProfile::ssd(),
+                },
+                RaidGroupSpec {
+                    data_devices: 1,
+                    parity_devices: 0,
+                    device_blocks: 8 * 32768,
+                    profile: MediaProfile::object_store(),
+                },
+            ],
+            ..AggregateConfig::single_group(RaidGroupSpec {
+                data_devices: 1,
+                parity_devices: 0,
+                device_blocks: 1,
+                profile: MediaProfile::hdd(),
+            })
+        },
+        &[(
+            FlexVolConfig {
+                size_blocks: 8 * 32768,
+                aa_cache: true,
+                aa_blocks: None,
+            },
+            100_000,
+        )],
+        9,
+    )
+    .unwrap()
+}
+
+#[test]
+fn object_store_range_uses_hbps_cache() {
+    let agg = fabric_pool();
+    // The SSD group gets the heap; the object range gets the HBPS.
+    assert!(agg.groups()[0].cache().is_some());
+    assert!(agg.groups()[0].hbps_cache().is_none());
+    assert!(agg.groups()[1].cache().is_none());
+    let hbps = agg.groups()[1].hbps_cache().expect("object range uses HBPS");
+    // Constant two-page memory, tracking all the range's AAs.
+    assert_eq!(hbps.memory_bytes(), 2 * 4096);
+    assert_eq!(hbps.tracked(), 8);
+    // Object-store AAs are consecutive-VBN sized (32 Ki), not stripes.
+    assert_eq!(agg.groups()[1].stripes_per_aa, 32768);
+}
+
+#[test]
+fn misconfigured_object_store_rejected() {
+    // Native redundancy means no parity devices and one logical device.
+    let bad = AggregateConfig::single_group(RaidGroupSpec {
+        data_devices: 2,
+        parity_devices: 1,
+        device_blocks: 32768,
+        profile: MediaProfile::object_store(),
+    });
+    assert!(matches!(
+        Aggregate::new(bad, &[], 1),
+        Err(WaflError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn traffic_spreads_across_tiers_and_stays_consistent() {
+    let mut agg = fabric_pool();
+    aging::fill_volume(&mut agg, VolumeId(0), 4096).unwrap();
+    let mut w = RandomOverwrite::new(VolumeId(0), 100_000, 3);
+    let stats = run(&mut agg, &mut w, 60_000, 4096).unwrap();
+    // Both tiers absorbed writes.
+    assert!(stats.cp.per_rg[0].blocks > 0, "SSD tier idle");
+    assert!(stats.cp.per_rg[1].blocks > 0, "object tier idle");
+    // Space accounting across the mixed aggregate is exact.
+    assert_eq!(
+        agg.bitmap().space_len() - agg.bitmap().free_blocks(),
+        100_000
+    );
+}
+
+#[test]
+fn object_store_topaa_is_two_pages_and_restores_complete() {
+    let mut agg = fabric_pool();
+    aging::fill_volume(&mut agg, VolumeId(0), 4096).unwrap();
+    aging::random_overwrite_churn(&mut agg, VolumeId(0), 50_000, 4096, 5).unwrap();
+    let image = mount::save_topaa(&agg);
+    // 1 block (SSD heap) + 2 (object HBPS) + 2 (volume HBPS).
+    assert_eq!(image.block_count(), 5);
+
+    mount::crash(&mut agg);
+    let stats = mount::mount_with_topaa(&mut agg, &image).unwrap();
+    assert_eq!(stats.metafile_blocks_read, 5);
+    // The HBPS-cached range needs no background completion; only the
+    // heap-seeded SSD group does.
+    assert!(agg.groups()[1].hbps_cache().is_some());
+    mount::complete_background_rebuild(&mut agg).unwrap();
+
+    // And traffic keeps flowing.
+    let mut w = RandomOverwrite::new(VolumeId(0), 100_000, 6);
+    run(&mut agg, &mut w, 10_000, 2048).unwrap();
+    assert_eq!(
+        agg.bitmap().space_len() - agg.bitmap().free_blocks(),
+        100_000
+    );
+}
+
+#[test]
+fn object_writes_pack_into_few_puts_when_colocated() {
+    // The §2.5 analogue for object stores: colocated VBNs make fewer,
+    // larger PUTs. Compare the object tier's media time for sequential
+    // versus scattered allocation by toggling the cache.
+    let run_with = |cache: bool| {
+        let mut cfg = fabric_pool().config().clone();
+        cfg.raid_aware_cache = cache;
+        let mut agg = Aggregate::new(
+            cfg,
+            &[(
+                FlexVolConfig {
+                    size_blocks: 8 * 32768,
+                    aa_cache: true,
+                    aa_blocks: None,
+                },
+                100_000,
+            )],
+            9,
+        )
+        .unwrap();
+        aging::fill_volume(&mut agg, VolumeId(0), 4096).unwrap();
+        aging::random_overwrite_churn(&mut agg, VolumeId(0), 100_000, 4096, 7).unwrap();
+        let mut w = RandomOverwrite::new(VolumeId(0), 100_000, 8);
+        run(&mut agg, &mut w, 30_000, 4096).unwrap().cp
+    };
+    let guided = run_with(true);
+    let random = run_with(false);
+    let per_block = |cp: &wafl_repro::fs::CpStats| {
+        cp.per_rg[1].media_us / cp.per_rg[1].blocks.max(1) as f64
+    };
+    assert!(
+        per_block(&guided) <= per_block(&random) * 1.05,
+        "cache-guided object writes should not cost more per block: \
+         {:.1} vs {:.1} µs",
+        per_block(&guided),
+        per_block(&random)
+    );
+}

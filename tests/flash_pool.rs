@@ -1,0 +1,89 @@
+//! Flash Pool-style mixed aggregates (§2.1): SSD and HDD RAID groups in
+//! one aggregate, with the SSD tier bias steering write traffic to the
+//! fast media.
+
+use wafl_repro::fs::{aging, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_repro::media::MediaProfile;
+use wafl_repro::types::VolumeId;
+use wafl_repro::workloads::{run, HotCold};
+
+fn flash_pool(bias: f64) -> Aggregate {
+    Aggregate::new(
+        AggregateConfig {
+            raid_groups: vec![
+                RaidGroupSpec {
+                    data_devices: 2,
+                    parity_devices: 1,
+                    device_blocks: 128 * 240,
+                    profile: MediaProfile {
+                        erase_block_blocks: 128,
+                        ..MediaProfile::ssd()
+                    },
+                },
+                RaidGroupSpec {
+                    data_devices: 4,
+                    parity_devices: 1,
+                    device_blocks: 16 * 4096,
+                    profile: MediaProfile::hdd(),
+                },
+            ],
+            ssd_tier_bias: bias,
+            ..AggregateConfig::single_group(RaidGroupSpec {
+                data_devices: 1,
+                parity_devices: 0,
+                device_blocks: 1,
+                profile: MediaProfile::hdd(),
+            })
+        },
+        &[(
+            FlexVolConfig {
+                size_blocks: 8 * 32768,
+                aa_cache: true,
+                aa_blocks: None,
+            },
+            80_000,
+        )],
+        9,
+    )
+    .unwrap()
+}
+
+fn ssd_share(bias: f64) -> f64 {
+    let mut agg = flash_pool(bias);
+    aging::fill_volume(&mut agg, VolumeId(0), 4096).unwrap();
+    // Enterprise skew: 90 % of overwrites hit 10 % of the LUN.
+    let mut w = HotCold::new(VolumeId(0), 80_000, 0.1, 0.9, 13);
+    let stats = run(&mut agg, &mut w, 60_000, 4096).unwrap();
+    let ssd = stats.cp.per_rg[0].blocks as f64;
+    let hdd = stats.cp.per_rg[1].blocks as f64;
+    ssd / (ssd + hdd)
+}
+
+#[test]
+fn tier_bias_steers_writes_to_ssd() {
+    let unbiased = ssd_share(1.0);
+    let biased = ssd_share(8.0);
+    assert!(
+        biased > unbiased + 0.15,
+        "bias must raise the SSD share: {unbiased:.2} -> {biased:.2}"
+    );
+    // The SSD tier holds ~19 % of the capacity; the bias should at least
+    // move it well past its capacity-proportional share.
+    assert!(biased > 0.30, "biased SSD share {biased:.2}");
+}
+
+#[test]
+fn mixed_aggregate_accounting_is_exact() {
+    let mut agg = flash_pool(4.0);
+    aging::fill_volume(&mut agg, VolumeId(0), 4096).unwrap();
+    let mut w = HotCold::new(VolumeId(0), 80_000, 0.2, 0.8, 14);
+    run(&mut agg, &mut w, 40_000, 4096).unwrap();
+    assert_eq!(
+        agg.bitmap().space_len() - agg.bitmap().free_blocks(),
+        80_000
+    );
+    assert!(wafl_repro::fs::iron::check(&agg).unwrap().is_clean());
+    // Both groups saw traffic; the SSD group's FTL has realistic WA.
+    let wa = agg.groups()[0].mean_write_amplification();
+    assert!((1.0..4.0).contains(&wa), "WA {wa}");
+}

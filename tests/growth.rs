@@ -1,0 +1,137 @@
+//! Aggregate growth (§3.1/§4.2): adding RAID groups to a live aggregate,
+//! reproducing the imbalanced-aging situation Figure 7 studies — old
+//! groups fragmented, new groups empty — through the real growth path.
+
+use wafl_repro::fs::{aging, iron, mount, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_repro::media::MediaProfile;
+use wafl_repro::types::{MediaType, VolumeId};
+use wafl_repro::workloads::{run, OltpMix, RandomOverwrite};
+
+fn spec() -> RaidGroupSpec {
+    RaidGroupSpec {
+        data_devices: 3,
+        parity_devices: 1,
+        device_blocks: 8 * 4096,
+        profile: MediaProfile::hdd(),
+    }
+}
+
+#[test]
+fn grown_group_extends_the_pvbn_space() {
+    let mut a = Aggregate::new(
+        AggregateConfig::single_group(spec()),
+        &[(
+            FlexVolConfig {
+                size_blocks: 8 * 32768,
+                aa_cache: true,
+                aa_blocks: None,
+            },
+            40_000,
+        )],
+        3,
+    )
+    .unwrap();
+    let before = a.bitmap().space_len();
+    aging::fill_volume(&mut a, VolumeId(0), 4096).unwrap();
+    let id = a.add_raid_group(spec()).unwrap();
+    assert_eq!(id.get(), 1);
+    assert_eq!(a.groups().len(), 2);
+    assert_eq!(a.bitmap().space_len(), before * 2);
+    // The new group is fully free and cached.
+    let g = &a.groups()[1];
+    assert_eq!(
+        g.cache().unwrap().best().unwrap().1.get() as u64,
+        g.stripes_per_aa * 3
+    );
+    assert!(iron::check(&a).unwrap().is_clean());
+}
+
+#[test]
+fn writes_flow_to_the_new_group_after_growth() {
+    // The Figure 7 situation created organically: age one group, grow,
+    // then watch the allocator favour the new group.
+    let mut a = Aggregate::new(
+        AggregateConfig::single_group(spec()),
+        &[(
+            FlexVolConfig {
+                size_blocks: 16 * 32768,
+                aa_cache: true,
+                aa_blocks: None,
+            },
+            60_000,
+        )],
+        3,
+    )
+    .unwrap();
+    aging::fill_volume(&mut a, VolumeId(0), 4096).unwrap();
+    aging::random_overwrite_churn(&mut a, VolumeId(0), 60_000, 4096, 9).unwrap();
+    a.add_raid_group(spec()).unwrap();
+    let mut w = OltpMix::new(vec![(VolumeId(0), 60_000)], 0.5, 10);
+    let stats = run(&mut a, &mut w, 40_000, 4096).unwrap();
+    assert!(
+        stats.cp.per_rg[1].blocks > stats.cp.per_rg[0].blocks,
+        "fresh group {} vs aged {}",
+        stats.cp.per_rg[1].blocks,
+        stats.cp.per_rg[0].blocks
+    );
+    assert!(iron::check(&a).unwrap().is_clean());
+}
+
+#[test]
+fn growth_survives_crash_and_remount() {
+    let mut a = Aggregate::new(
+        AggregateConfig::single_group(spec()),
+        &[(
+            FlexVolConfig {
+                size_blocks: 8 * 32768,
+                aa_cache: true,
+                aa_blocks: None,
+            },
+            40_000,
+        )],
+        3,
+    )
+    .unwrap();
+    aging::fill_volume(&mut a, VolumeId(0), 4096).unwrap();
+    a.add_raid_group(spec()).unwrap();
+    for l in 0..5000 {
+        a.client_overwrite(VolumeId(0), l).unwrap();
+    }
+    a.run_cp().unwrap();
+    let image = mount::save_topaa(&a);
+    assert_eq!(image.block_count(), 2 + 2); // two heap blocks + one volume
+    mount::crash(&mut a);
+    mount::mount_with_topaa(&mut a, &image).unwrap();
+    let mut w = RandomOverwrite::new(VolumeId(0), 40_000, 12);
+    run(&mut a, &mut w, 10_000, 2048).unwrap();
+    mount::complete_background_rebuild(&mut a).unwrap();
+    assert!(iron::check(&a).unwrap().is_clean());
+}
+
+#[test]
+fn can_grow_with_an_object_store_tier() {
+    let mut a = Aggregate::new(AggregateConfig::single_group(spec()), &[], 3).unwrap();
+    let id = a
+        .add_raid_group(RaidGroupSpec {
+            data_devices: 1,
+            parity_devices: 0,
+            device_blocks: 4 * 32768,
+            profile: MediaProfile::object_store(),
+        })
+        .unwrap();
+    assert!(a.groups()[id.index()].hbps_cache().is_some());
+    // Misconfigured object tier rejected.
+    assert!(a
+        .add_raid_group(RaidGroupSpec {
+            data_devices: 2,
+            parity_devices: 1,
+            device_blocks: 1024,
+            profile: MediaProfile::object_store(),
+        })
+        .is_err());
+    assert_eq!(a.groups().len(), 2);
+    assert_eq!(
+        a.groups()[1].profile.media,
+        MediaType::ObjectStore
+    );
+}

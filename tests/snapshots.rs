@@ -1,0 +1,185 @@
+//! Snapshot semantics across the full stack: COW pinning, deferred frees,
+//! deletion bursts, and their interaction with cleaning, mounting, and
+//! the paper's free-space nonuniformity story (§4.1.1).
+
+use wafl_repro::fs::{aging, cleaning, iron, mount, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_repro::media::MediaProfile;
+use wafl_repro::types::VolumeId;
+use wafl_repro::workloads::{run, RandomOverwrite};
+
+fn agg() -> Aggregate {
+    Aggregate::new(
+        AggregateConfig::single_group(RaidGroupSpec {
+            data_devices: 4,
+            parity_devices: 1,
+            device_blocks: 16 * 4096,
+            profile: MediaProfile::hdd(),
+        }),
+        &[(
+            FlexVolConfig {
+                size_blocks: 8 * 32768,
+                aa_cache: true,
+                aa_blocks: None,
+            },
+            60_000,
+        )],
+        21,
+    )
+    .unwrap()
+}
+
+#[test]
+fn snapshot_pins_blocks_through_overwrites() {
+    let mut a = agg();
+    aging::fill_volume(&mut a, VolumeId(0), 4096).unwrap();
+    let occupied = a.bitmap().space_len() - a.bitmap().free_blocks();
+    assert_eq!(occupied, 60_000);
+
+    let snap = a.snapshot_create(VolumeId(0)).unwrap();
+    assert_eq!(a.snapshots(VolumeId(0)), &[snap]);
+
+    // Overwrite a third of the volume: old blocks stay pinned, so
+    // occupancy grows by exactly the overwritten count.
+    for l in 0..20_000 {
+        a.client_overwrite(VolumeId(0), l).unwrap();
+    }
+    a.run_cp().unwrap();
+    assert_eq!(
+        a.bitmap().space_len() - a.bitmap().free_blocks(),
+        60_000 + 20_000,
+        "pinned blocks must not free while the snapshot lives"
+    );
+    assert_eq!(a.volumes()[0].detached_blocks(), 20_000);
+    assert!(iron::check(&a).unwrap().is_clean());
+
+    // Deleting the snapshot releases exactly the detached blocks at the
+    // next CP.
+    let stats = a.snapshot_delete(VolumeId(0), snap).unwrap();
+    assert_eq!(stats.blocks_released, 20_000);
+    assert_eq!(stats.blocks_still_referenced, 40_000);
+    a.run_cp().unwrap();
+    assert_eq!(
+        a.bitmap().space_len() - a.bitmap().free_blocks(),
+        60_000
+    );
+    assert!(iron::check(&a).unwrap().is_clean());
+}
+
+#[test]
+fn overlapping_snapshots_free_only_on_last_reference() {
+    let mut a = agg();
+    aging::fill_volume(&mut a, VolumeId(0), 4096).unwrap();
+    let s1 = a.snapshot_create(VolumeId(0)).unwrap();
+    let s2 = a.snapshot_create(VolumeId(0)).unwrap();
+    for l in 0..10_000 {
+        a.client_overwrite(VolumeId(0), l).unwrap();
+    }
+    a.run_cp().unwrap();
+    let occupied = a.bitmap().space_len() - a.bitmap().free_blocks();
+    assert_eq!(occupied, 70_000);
+
+    // Deleting one of two snapshots frees nothing: s2 still pins.
+    let st = a.snapshot_delete(VolumeId(0), s1).unwrap();
+    assert_eq!(st.blocks_released, 0);
+    a.run_cp().unwrap();
+    assert_eq!(a.bitmap().space_len() - a.bitmap().free_blocks(), 70_000);
+
+    let st = a.snapshot_delete(VolumeId(0), s2).unwrap();
+    assert_eq!(st.blocks_released, 10_000);
+    a.run_cp().unwrap();
+    assert_eq!(a.bitmap().space_len() - a.bitmap().free_blocks(), 60_000);
+    assert!(iron::check(&a).unwrap().is_clean());
+}
+
+#[test]
+fn snapshot_delete_burst_creates_empty_regions() {
+    // The §4.1.1 mechanism: a snapshot taken before heavy churn pins a
+    // big, colocated set of old blocks; deleting it releases them in a
+    // burst, leaving emptier-than-average AAs the cache then finds.
+    // Sized so no AA is empty before the burst (6 AAs, ~80 % peak use).
+    let mut a = Aggregate::new(
+        AggregateConfig::single_group(RaidGroupSpec {
+            data_devices: 4,
+            parity_devices: 1,
+            device_blocks: 6 * 4096,
+            profile: MediaProfile::hdd(),
+        }),
+        &[(
+            FlexVolConfig {
+                size_blocks: 8 * 32768,
+                aa_cache: true,
+                aa_blocks: None,
+            },
+            60_000,
+        )],
+        21,
+    )
+    .unwrap();
+    // Peak occupancy ~85 k of 98 k blocks: every AA gets traffic, so no
+    // AA is completely empty before the deletion burst.
+    aging::fill_volume(&mut a, VolumeId(0), 4096).unwrap();
+    let snap = a.snapshot_create(VolumeId(0)).unwrap();
+    aging::random_overwrite_churn(&mut a, VolumeId(0), 25_000, 4096, 33).unwrap();
+    let best_before = a.groups()[0].cache().unwrap().best().unwrap().1;
+    a.snapshot_delete(VolumeId(0), snap).unwrap();
+    a.run_cp().unwrap();
+    let best_after = a.groups()[0].cache().unwrap().best().unwrap().1;
+    assert!(
+        best_after > best_before,
+        "the deletion burst must improve the best AA: {best_before} -> {best_after}"
+    );
+    let r = iron::check(&a).unwrap();
+    assert!(r.is_clean(), "{r:?}");
+}
+
+#[test]
+fn cleaning_relocates_pinned_blocks_safely() {
+    let mut a = agg();
+    aging::fill_volume(&mut a, VolumeId(0), 4096).unwrap();
+    let snap = a.snapshot_create(VolumeId(0)).unwrap();
+    for l in 0..20_000 {
+        a.client_overwrite(VolumeId(0), l).unwrap();
+    }
+    a.run_cp().unwrap();
+    // Cleaning moves live AND pinned blocks; the snapshot must survive.
+    cleaning::clean_top_aas(&mut a, 0, 3).unwrap();
+    assert!(iron::check(&a).unwrap().is_clean());
+    let st = a.snapshot_delete(VolumeId(0), snap).unwrap();
+    assert_eq!(st.blocks_released, 20_000);
+    a.run_cp().unwrap();
+    assert_eq!(a.bitmap().space_len() - a.bitmap().free_blocks(), 60_000);
+    assert!(iron::check(&a).unwrap().is_clean());
+}
+
+#[test]
+fn snapshots_survive_crash_and_remount() {
+    let mut a = agg();
+    aging::fill_volume(&mut a, VolumeId(0), 4096).unwrap();
+    let snap = a.snapshot_create(VolumeId(0)).unwrap();
+    for l in 0..5_000 {
+        a.client_overwrite(VolumeId(0), l).unwrap();
+    }
+    a.run_cp().unwrap();
+    // Crash drops caches, not persistent state (snapshots live in the
+    // volume metadata, which our model keeps with the volume).
+    let image = mount::save_topaa(&a);
+    mount::crash(&mut a);
+    mount::mount_with_topaa(&mut a, &image).unwrap();
+    let mut w = RandomOverwrite::new(VolumeId(0), 60_000, 41);
+    run(&mut a, &mut w, 10_000, 2048).unwrap();
+    mount::complete_background_rebuild(&mut a).unwrap();
+    let st = a.snapshot_delete(VolumeId(0), snap).unwrap();
+    assert!(st.blocks_released > 0);
+    a.run_cp().unwrap();
+    let r = iron::check(&a).unwrap();
+    assert!(r.is_clean(), "{r:?}");
+}
+
+#[test]
+fn deleting_unknown_snapshot_errors() {
+    let mut a = agg();
+    let snap = a.snapshot_create(VolumeId(0)).unwrap();
+    a.snapshot_delete(VolumeId(0), snap).unwrap();
+    assert!(a.snapshot_delete(VolumeId(0), snap).is_err());
+    assert!(a.snapshots(VolumeId(0)).is_empty());
+}
