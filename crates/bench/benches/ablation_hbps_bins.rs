@@ -22,19 +22,15 @@ fn bin_sweep(c: &mut Criterion) {
         };
         let mut hbps = Hbps::build(cfg, scores.iter().copied()).unwrap();
         let mut i = 0usize;
-        g.bench_with_input(
-            BenchmarkId::new("score_change", bins),
-            &bins,
-            |b, _| {
-                b.iter(|| {
-                    let (aa, old) = scores[i % scores.len()];
-                    i += 1;
-                    let new = AaScore((old.get() + 9_000) % 32_769);
-                    hbps.on_score_change(aa, old, new);
-                    hbps.on_score_change(aa, new, old);
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("score_change", bins), &bins, |b, _| {
+            b.iter(|| {
+                let (aa, old) = scores[i % scores.len()];
+                i += 1;
+                let new = AaScore((old.get() + 9_000) % 32_769);
+                hbps.on_score_change(aa, old, new);
+                hbps.on_score_change(aa, new, old);
+            })
+        });
     }
     g.finish();
 }

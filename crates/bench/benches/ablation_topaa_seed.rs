@@ -29,8 +29,7 @@ fn seed_size_sweep(c: &mut Criterion) {
         // drain-all-then-count, measured as time per full exhaustion.
         g.bench_with_input(BenchmarkId::new("exhaust_seed", k), &k, |b, _| {
             b.iter(|| {
-                let mut seeded =
-                    RaidAwareCache::seeded(vec![MAX; N as usize], &entries).unwrap();
+                let mut seeded = RaidAwareCache::seeded(vec![MAX; N as usize], &entries).unwrap();
                 let mut drains = 0u32;
                 while seeded.take_best().is_some() {
                     drains += 1;

@@ -51,9 +51,7 @@ fn allocate_free_cycle(c: &mut Criterion) {
 fn fragmentation_scan(c: &mut Criterion) {
     let bitmap = aged_bitmap(16 * 32_768, 0.55, 5);
     c.bench_function("bitmap/fragmentation_one_aa", |b| {
-        b.iter(|| {
-            black_box(scan::fragmentation_in_range(&bitmap, Vbn(0), 32_768))
-        })
+        b.iter(|| black_box(scan::fragmentation_in_range(&bitmap, Vbn(0), 32_768)))
     });
 }
 

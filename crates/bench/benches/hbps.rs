@@ -11,9 +11,7 @@ use wafl_types::AaScore;
 fn build_1m(c: &mut Criterion) {
     let scores = random_scores(1_000_000, 32_768, 1);
     c.bench_function("hbps/build_1M_aas", |b| {
-        b.iter(|| {
-            Hbps::build(HbpsConfig::default(), scores.iter().copied()).unwrap()
-        })
+        b.iter(|| Hbps::build(HbpsConfig::default(), scores.iter().copied()).unwrap())
     });
 }
 
@@ -53,9 +51,7 @@ fn take_and_retrack(c: &mut Criterion) {
 fn serde_pages(c: &mut Criterion) {
     let scores = random_scores(1_000_000, 32_768, 4);
     let hbps = Hbps::build(HbpsConfig::default(), scores.iter().copied()).unwrap();
-    c.bench_function("hbps/to_pages", |b| {
-        b.iter(|| black_box(hbps.to_pages()))
-    });
+    c.bench_function("hbps/to_pages", |b| b.iter(|| black_box(hbps.to_pages())));
     let (p1, p2) = hbps.to_pages();
     c.bench_function("hbps/from_pages", |b| {
         b.iter(|| Hbps::from_pages(black_box(&p1), black_box(&p2)).unwrap())

@@ -78,5 +78,12 @@ fn take_and_reinsert(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, build_1m, best_query, cp_batch, top_k_512, take_and_reinsert);
+criterion_group!(
+    benches,
+    build_1m,
+    best_query,
+    cp_batch,
+    top_k_512,
+    take_and_reinsert
+);
 criterion_main!(benches);

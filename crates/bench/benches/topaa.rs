@@ -50,8 +50,7 @@ fn background_absorb(c: &mut Criterion) {
     let entries = topaa::deserialize_raid_aware(&block).unwrap();
     c.bench_function("topaa/absorb_rebuild_1M", |b| {
         b.iter(|| {
-            let mut seeded =
-                RaidAwareCache::seeded(vec![MAX; N as usize], &entries).unwrap();
+            let mut seeded = RaidAwareCache::seeded(vec![MAX; N as usize], &entries).unwrap();
             seeded.absorb_rebuild(&scores).unwrap();
             black_box(seeded.is_complete())
         })

@@ -204,11 +204,7 @@ impl Bitmap {
     }
 
     /// Iterate free VBNs in `start .. start+len` in ascending order.
-    pub fn iter_free_in_range(
-        &self,
-        start: Vbn,
-        len: u64,
-    ) -> impl Iterator<Item = Vbn> + '_ {
+    pub fn iter_free_in_range(&self, start: Vbn, len: u64) -> impl Iterator<Item = Vbn> + '_ {
         let end = (start.get() + len).min(self.space_len);
         FreeIter {
             bitmap: self,
@@ -451,7 +447,11 @@ mod tests {
         let c = colocated.take_dirty_stats();
         let s = scattered.take_dirty_stats();
         assert_eq!(c.pages_dirtied, 1);
-        assert!(s.pages_dirtied > 90, "scattered dirtied {}", s.pages_dirtied);
+        assert!(
+            s.pages_dirtied > 90,
+            "scattered dirtied {}",
+            s.pages_dirtied
+        );
     }
 
     #[test]

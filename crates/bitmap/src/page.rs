@@ -243,10 +243,7 @@ mod tests {
         }
         p.set_allocated(5000);
         let runs: Vec<_> = p.free_runs().collect();
-        assert_eq!(
-            runs,
-            vec![(0, 1000), (2000, 3000), (5001, 32768 - 5001)]
-        );
+        assert_eq!(runs, vec![(0, 1000), (2000, 3000), (5001, 32768 - 5001)]);
         let total: u64 = runs.iter().map(|&(_, l)| l).sum();
         assert_eq!(total as u32, p.free_count());
         assert_eq!(p.longest_free_run(), 32768 - 5001);

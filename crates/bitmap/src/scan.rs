@@ -54,11 +54,7 @@ pub fn scores_par(bitmap: &Bitmap, aa_blocks: u64) -> Vec<(AaId, AaScore)> {
 /// This is the natural unit for RAID-agnostic AAs (1 AA = 1 page) and is
 /// also used by the mount-time cost model: a full walk reads every page.
 pub fn page_free_counts(bitmap: &Bitmap) -> Vec<u32> {
-    bitmap
-        .pages()
-        .par_iter()
-        .map(|p| p.free_count())
-        .collect()
+    bitmap.pages().par_iter().map(|p| p.free_count()).collect()
 }
 
 /// Number of metafile pages a full cache-rebuild walk must read.

@@ -119,8 +119,7 @@ fn parse_kv(args: &[String]) -> Result<HashMap<String, String>, String> {
         };
         // Flags without values.
         match key {
-            "no-agg-cache" | "no-vol-cache" | "batched-frees" | "trim" | "check"
-            | "json" => {
+            "no-agg-cache" | "no-vol-cache" | "batched-frees" | "trim" | "check" | "json" => {
                 map.insert(key.to_string(), "true".into());
                 i += 1;
             }
@@ -180,9 +179,7 @@ pub fn parse(args: &[String]) -> Command {
                 o.trim = kv.contains_key("trim");
                 o.check = kv.contains_key("check");
                 o.json = kv.contains_key("json");
-                if !["overwrite", "oltp", "sequential", "churn"]
-                    .contains(&o.workload.as_str())
-                {
+                if !["overwrite", "oltp", "sequential", "churn"].contains(&o.workload.as_str()) {
                     return Err(format!("unknown workload '{}'", o.workload));
                 }
                 Ok(Command::Simulate(o))
@@ -344,13 +341,37 @@ impl SimulateReport {
         use std::fmt::Write;
         let _ = writeln!(s, "ops measured           {:>12}", self.ops);
         let _ = writeln!(s, "consistency points     {:>12}", self.cps);
-        let _ = writeln!(s, "aggregate free         {:>11.1}%", self.aggregate_free * 100.0);
-        let _ = writeln!(s, "picked physical AA free{:>11.1}%", self.agg_pick_free * 100.0);
-        let _ = writeln!(s, "picked virtual AA free {:>11.1}%", self.vol_pick_free * 100.0);
-        let _ = writeln!(s, "full-stripe writes     {:>11.1}%", self.full_stripe_fraction * 100.0);
-        let _ = writeln!(s, "metafile pages / op    {:>12.4}", self.metafile_pages_per_op);
+        let _ = writeln!(
+            s,
+            "aggregate free         {:>11.1}%",
+            self.aggregate_free * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "picked physical AA free{:>11.1}%",
+            self.agg_pick_free * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "picked virtual AA free {:>11.1}%",
+            self.vol_pick_free * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "full-stripe writes     {:>11.1}%",
+            self.full_stripe_fraction * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "metafile pages / op    {:>12.4}",
+            self.metafile_pages_per_op
+        );
         let _ = writeln!(s, "WAFL CPU / op          {:>10.1}µs", self.cpu_us_per_op);
-        let _ = writeln!(s, "write amplification    {:>12.2}", self.write_amplification);
+        let _ = writeln!(
+            s,
+            "write amplification    {:>12.2}",
+            self.write_amplification
+        );
         let _ = writeln!(s, "SMR interventions      {:>12}", self.smr_interventions);
         if let Some(iron) = &self.iron {
             let _ = writeln!(
@@ -364,9 +385,7 @@ impl SimulateReport {
 }
 
 /// Run the `mount-bench` subcommand; returns (with-TopAA, cold) stats.
-pub fn run_mount_bench(
-    o: &MountBenchOpts,
-) -> WaflResult<(mount::MountStats, mount::MountStats)> {
+pub fn run_mount_bench(o: &MountBenchOpts) -> WaflResult<(mount::MountStats, mount::MountStats)> {
     let spec = RaidGroupSpec {
         data_devices: 4,
         parity_devices: 1,
@@ -431,10 +450,19 @@ mod tests {
 
     #[test]
     fn parse_errors_become_help() {
-        assert!(matches!(parse(&args("simulate --media floppy")), Command::Help(Some(_))));
-        assert!(matches!(parse(&args("simulate --ops nope")), Command::Help(Some(_))));
+        assert!(matches!(
+            parse(&args("simulate --media floppy")),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&args("simulate --ops nope")),
+            Command::Help(Some(_))
+        ));
         assert!(matches!(parse(&args("frobnicate")), Command::Help(Some(_))));
-        assert!(matches!(parse(&args("simulate --ops")), Command::Help(Some(_))));
+        assert!(matches!(
+            parse(&args("simulate --ops")),
+            Command::Help(Some(_))
+        ));
         assert!(matches!(parse(&[]), Command::Help(None)));
         assert!(matches!(parse(&args("help")), Command::Help(None)));
     }
@@ -472,8 +500,7 @@ mod tests {
             ))) else {
                 panic!("parse failed for {media}");
             };
-            let r = run_simulate(&o)
-                .unwrap_or_else(|e| panic!("{media}/{workload} failed: {e}"));
+            let r = run_simulate(&o).unwrap_or_else(|e| panic!("{media}/{workload} failed: {e}"));
             assert_eq!(r.ops, 2000);
         }
     }

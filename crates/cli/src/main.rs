@@ -16,8 +16,7 @@ fn main() {
                 if opts.json {
                     println!(
                         "{}",
-                        serde_json::to_string_pretty(&report)
-                            .expect("report serializes")
+                        serde_json::to_string_pretty(&report).expect("report serializes")
                     );
                 } else {
                     print!("{}", report.to_text());

@@ -73,7 +73,10 @@ mod tests {
         assert_eq!(b.touched_aas(), 2);
         let mut got: Vec<_> = b.drain().collect();
         got.sort_by_key(|&(aa, _)| aa);
-        assert_eq!(got, vec![(AaId(1), ScoreDelta(-6)), (AaId(2), ScoreDelta(3))]);
+        assert_eq!(
+            got,
+            vec![(AaId(1), ScoreDelta(-6)), (AaId(2), ScoreDelta(3))]
+        );
         assert!(b.is_empty());
     }
 
@@ -96,6 +99,9 @@ mod tests {
         a.merge(b);
         let mut got: Vec<_> = a.drain().collect();
         got.sort_by_key(|&(aa, _)| aa);
-        assert_eq!(got, vec![(AaId(1), ScoreDelta(-3)), (AaId(2), ScoreDelta(-1))]);
+        assert_eq!(
+            got,
+            vec![(AaId(1), ScoreDelta(-3)), (AaId(2), ScoreDelta(-1))]
+        );
     }
 }

@@ -20,8 +20,8 @@
 
 use bytes::{Buf, BufMut};
 use wafl_types::{
-    AaId, AaScore, WaflError, WaflResult, BLOCK_SIZE, HBPS_BINS, HBPS_LIST_CAPACITY,
-    RAID_AGNOSTIC_MAX_SCORE,
+    crc64, AaId, AaScore, WaflError, WaflResult, BLOCK_SIZE, HBPS_BINS, HBPS_LIST_CAPACITY,
+    RAID_AGNOSTIC_MAX_SCORE, TOPAA_CRC_BYTES,
 };
 
 const MAGIC: u32 = 0x4842_5053; // "HBPS"
@@ -67,15 +67,17 @@ impl HbpsConfig {
                 ),
             });
         }
-        if self.list_capacity == 0 || self.list_capacity * 4 > BLOCK_SIZE {
+        // Both persisted pages reserve their trailing TOPAA_CRC_BYTES for
+        // a CRC64 (see `to_pages`), shrinking the usable payload.
+        if self.list_capacity == 0 || self.list_capacity * 4 + TOPAA_CRC_BYTES > BLOCK_SIZE {
             return Err(WaflError::InvalidConfig {
                 reason: format!(
-                    "list capacity {} does not fit one 4 KiB page",
+                    "list capacity {} does not fit one CRC-sealed 4 KiB page",
                     self.list_capacity
                 ),
             });
         }
-        if self.bins * 8 + 24 > BLOCK_SIZE {
+        if self.bins * 8 + 24 + TOPAA_CRC_BYTES > BLOCK_SIZE {
             return Err(WaflError::InvalidConfig {
                 reason: format!("{} bins do not fit the histogram page", self.bins),
             });
@@ -233,7 +235,10 @@ impl Hbps {
     pub fn peek_best(&self) -> Option<(AaId, AaScore)> {
         let &aa = self.list.first()?;
         let bin = (0..self.cfg.bins).find(|&b| self.seg_len[b] > 0)?;
-        Some((aa, AaScore(self.cfg.max_score - bin as u32 * self.cfg.bin_width())))
+        Some((
+            aa,
+            AaScore(self.cfg.max_score - bin as u32 * self.cfg.bin_width()),
+        ))
     }
 
     /// Remove and return the best AA (the write allocator claiming it for
@@ -375,7 +380,8 @@ impl Hbps {
     // these two pages directly) ----------------------------------------
 
     /// Serialize into the two exact 4 KiB block images stored in the
-    /// TopAA metafile.
+    /// TopAA metafile, each sealed with a trailing CRC64 (a deviation
+    /// from the paper's raw pages; see `docs/recovery.md`).
     pub fn to_pages(&self) -> ([u8; BLOCK_SIZE], [u8; BLOCK_SIZE]) {
         let mut hist = [0u8; BLOCK_SIZE];
         {
@@ -391,6 +397,7 @@ impl Hbps {
                 w.put_u32_le(self.seg_len[b]);
             }
         }
+        crc64::seal_page(&mut hist);
         let mut list = [0u8; BLOCK_SIZE];
         {
             let mut w = &mut list[..];
@@ -398,15 +405,23 @@ impl Hbps {
                 w.put_u32_le(aa.get());
             }
         }
+        crc64::seal_page(&mut list);
         (hist, list)
     }
 
-    /// Deserialize from the two TopAA block images, validating every
-    /// structural invariant (a damaged metafile must fail loudly and fall
-    /// back to the bitmap walk, per §3.4's corruption discussion).
+    /// Deserialize from the two TopAA block images, checking each page's
+    /// CRC and then validating every structural invariant (a damaged
+    /// metafile must fail loudly and fall back to the bitmap walk, per
+    /// §3.4's corruption discussion).
     pub fn from_pages(hist: &[u8; BLOCK_SIZE], list: &[u8; BLOCK_SIZE]) -> WaflResult<Hbps> {
-        let mut r = &hist[..];
         let corrupt = |reason: String| WaflError::CorruptMetafile { reason };
+        if !crc64::verify_page(hist) {
+            return Err(corrupt("HBPS histogram page CRC mismatch".into()));
+        }
+        if !crc64::verify_page(list) {
+            return Err(corrupt("HBPS list page CRC mismatch".into()));
+        }
+        let mut r = &hist[..];
         if r.get_u32_le() != MAGIC {
             return Err(corrupt("bad HBPS magic".into()));
         }
@@ -418,7 +433,8 @@ impl Hbps {
             bins: r.get_u32_le() as usize,
             list_capacity: r.get_u32_le() as usize,
         };
-        cfg.validate().map_err(|e| corrupt(format!("bad HBPS config: {e}")))?;
+        cfg.validate()
+            .map_err(|e| corrupt(format!("bad HBPS config: {e}")))?;
         let list_len = r.get_u32_le() as usize;
         if list_len > cfg.list_capacity {
             return Err(corrupt(format!(
@@ -487,14 +503,31 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(HbpsConfig::default().validate().is_ok());
-        assert!(HbpsConfig { max_score: 0, ..small_cfg() }.validate().is_err());
-        assert!(HbpsConfig { bins: 0, ..small_cfg() }.validate().is_err());
-        assert!(HbpsConfig { max_score: 33, bins: 32, list_capacity: 10 }
-            .validate()
-            .is_err());
-        assert!(HbpsConfig { list_capacity: 2000, ..HbpsConfig::default() }
-            .validate()
-            .is_err());
+        assert!(HbpsConfig {
+            max_score: 0,
+            ..small_cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(HbpsConfig {
+            bins: 0,
+            ..small_cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(HbpsConfig {
+            max_score: 33,
+            bins: 32,
+            list_capacity: 10
+        }
+        .validate()
+        .is_err());
+        assert!(HbpsConfig {
+            list_capacity: 2000,
+            ..HbpsConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!((HbpsConfig::default().error_margin() - 0.03125).abs() < 1e-12);
     }
 

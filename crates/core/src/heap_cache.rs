@@ -99,10 +99,7 @@ impl RaidAwareCache {
     /// participate until [`RaidAwareCache::absorb_rebuild`] supplies the
     /// rest (§3.4: "enough to seed the max-heap with high-quality AAs until
     /// background work can rebuild the entire cache").
-    pub fn seeded(
-        max_scores: Vec<u32>,
-        entries: &[(AaId, AaScore)],
-    ) -> WaflResult<RaidAwareCache> {
+    pub fn seeded(max_scores: Vec<u32>, entries: &[(AaId, AaScore)]) -> WaflResult<RaidAwareCache> {
         let n = max_scores.len();
         let mut cache = RaidAwareCache {
             scores: vec![AaScore(0); n],
@@ -421,8 +418,7 @@ mod tests {
 
     #[test]
     fn top_k_descends() {
-        let c =
-            RaidAwareCache::new_full(scores(&[5, 9, 3, 7, 1, 8]), vec![10; 6]).unwrap();
+        let c = RaidAwareCache::new_full(scores(&[5, 9, 3, 7, 1, 8]), vec![10; 6]).unwrap();
         let top = c.top_k(3);
         assert_eq!(
             top,

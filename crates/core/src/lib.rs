@@ -29,14 +29,14 @@
 #![warn(missing_docs)]
 
 mod batch;
-mod heap_cache;
 mod hbps;
+mod heap_cache;
 mod raid_agnostic;
 pub mod topaa;
 mod topology;
 
 pub use batch::ScoreDeltaBatch;
-pub use heap_cache::RaidAwareCache;
 pub use hbps::{Hbps, HbpsConfig};
+pub use heap_cache::RaidAwareCache;
 pub use raid_agnostic::RaidAgnosticCache;
 pub use topology::AaTopology;

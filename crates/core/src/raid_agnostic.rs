@@ -170,14 +170,13 @@ mod tests {
     use wafl_types::{AaSizingPolicy, Vbn};
 
     fn topo(space: u64) -> AaTopology {
-        AaTopology::raid_agnostic(space, AaSizingPolicy::ConsecutiveVbns { blocks: 1024 })
-            .unwrap()
+        AaTopology::raid_agnostic(space, AaSizingPolicy::ConsecutiveVbns { blocks: 1024 }).unwrap()
     }
 
     #[test]
     fn build_rejects_raid_aware_topology() {
-        let g = wafl_raid::RaidGeometry::new(wafl_types::RaidGroupId(0), 3, 1, 4096, Vbn(0))
-            .unwrap();
+        let g =
+            wafl_raid::RaidGeometry::new(wafl_types::RaidGroupId(0), 3, 1, 4096, Vbn(0)).unwrap();
         let t = AaTopology::raid_aware(g, AaSizingPolicy::Stripes { stripes: 1024 }).unwrap();
         let b = Bitmap::new(3 * 4096);
         assert!(RaidAgnosticCache::build(t, &b).is_err());
@@ -246,8 +245,7 @@ mod tests {
         }
         let cache = RaidAgnosticCache::build(t, &bitmap).unwrap();
         let (p1, p2) = cache.to_topaa();
-        let mut restored =
-            RaidAgnosticCache::from_topaa(topo(32 * 1024), &p1, &p2).unwrap();
+        let mut restored = RaidAgnosticCache::from_topaa(topo(32 * 1024), &p1, &p2).unwrap();
         let (aa, score) = restored.pick_best(&bitmap).unwrap();
         assert!(aa.get() >= 5);
         assert_eq!(score, AaScore(1024));
@@ -260,11 +258,9 @@ mod tests {
         let bitmap = Bitmap::new(32 * 1024);
         let cache = RaidAgnosticCache::build(t, &bitmap).unwrap();
         let (p1, p2) = cache.to_topaa();
-        let other = AaTopology::raid_agnostic(
-            32 * 1024,
-            AaSizingPolicy::ConsecutiveVbns { blocks: 2048 },
-        )
-        .unwrap();
+        let other =
+            AaTopology::raid_agnostic(32 * 1024, AaSizingPolicy::ConsecutiveVbns { blocks: 2048 })
+                .unwrap();
         assert!(RaidAgnosticCache::from_topaa(other, &p1, &p2).is_err());
     }
 

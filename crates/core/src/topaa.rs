@@ -6,21 +6,28 @@
 //! * Each **RAID-agnostic** cache persists its two HBPS pages verbatim
 //!   (see [`crate::RaidAgnosticCache::to_topaa`]); nothing to do here.
 //!
-//! Block format (exactly one 4 KiB block, no header — 512 × 8 B fills it):
-//! entries are `(u32 aa, u32 score)` little-endian, sorted by descending
-//! score; unused slots carry the sentinel AA `u32::MAX`. Deserialization
-//! validates the sort order and sentinel placement so that a scribbled
-//! block fails loudly (the paper's §3.4 corruption story: fall back to
-//! WAFL Iron / a full bitmap walk).
+//! Block format (exactly one 4 KiB block): 511 entries of `(u32 aa,
+//! u32 score)` little-endian, sorted by descending score, unused slots
+//! carrying the sentinel AA `u32::MAX`, then a trailing CRC64 of the
+//! first 4088 bytes. The paper's block is headerless and holds 512
+//! entries; giving up one slot for the CRC makes corruption *detection*
+//! deterministic instead of relying on the sort/sentinel checks to
+//! stumble over damage (see `docs/recovery.md`). On a CRC or structure
+//! mismatch deserialization fails loudly with `CorruptMetafile` — the
+//! paper's §3.4 corruption story: fall back to WAFL Iron / a full
+//! bitmap walk.
 
 use crate::heap_cache::RaidAwareCache;
 use bytes::{Buf, BufMut};
-use wafl_types::{AaId, AaScore, WaflError, WaflResult, BLOCK_SIZE, TOPAA_RAID_AWARE_ENTRIES};
+use wafl_types::{
+    crc64, AaId, AaScore, WaflError, WaflResult, BLOCK_SIZE, TOPAA_RAID_AWARE_ENTRIES,
+};
 
 /// Sentinel marking an unused entry slot.
 const SENTINEL: u32 = u32::MAX;
 
-/// Serialize the 512 best AAs of a RAID-aware cache into its TopAA block.
+/// Serialize the 511 best AAs of a RAID-aware cache into its CRC-sealed
+/// TopAA block.
 pub fn serialize_raid_aware(cache: &RaidAwareCache) -> [u8; BLOCK_SIZE] {
     let top = cache.top_k(TOPAA_RAID_AWARE_ENTRIES);
     let mut block = [0u8; BLOCK_SIZE];
@@ -33,11 +40,17 @@ pub fn serialize_raid_aware(cache: &RaidAwareCache) -> [u8; BLOCK_SIZE] {
         w.put_u32_le(SENTINEL);
         w.put_u32_le(0);
     }
+    crc64::seal_page(&mut block);
     block
 }
 
 /// Decode a TopAA block into seed entries for [`RaidAwareCache::seeded`].
 pub fn deserialize_raid_aware(block: &[u8; BLOCK_SIZE]) -> WaflResult<Vec<(AaId, AaScore)>> {
+    if !crc64::verify_page(block) {
+        return Err(WaflError::CorruptMetafile {
+            reason: "TopAA block CRC mismatch".to_string(),
+        });
+    }
     let mut r = &block[..];
     let mut out = Vec::new();
     let mut prev_score: Option<u32> = None;
@@ -104,14 +117,14 @@ mod tests {
     }
 
     #[test]
-    fn truncates_to_512_best() {
+    fn truncates_to_511_best() {
         let scores: Vec<u32> = (0..2000).collect();
         let cache = cache_with(&scores);
         let block = serialize_raid_aware(&cache);
         let entries = deserialize_raid_aware(&block).unwrap();
-        assert_eq!(entries.len(), 512);
+        assert_eq!(entries.len(), TOPAA_RAID_AWARE_ENTRIES);
         assert_eq!(entries[0].1, AaScore(1999));
-        assert_eq!(entries[511].1, AaScore(1999 - 511));
+        assert_eq!(entries[510].1, AaScore(1999 - 510));
         // Descending throughout.
         assert!(entries.windows(2).all(|w| w[0].1 >= w[1].1));
     }
@@ -125,15 +138,35 @@ mod tests {
         let seeded = RaidAwareCache::seeded(vec![u32::MAX; 2000], &entries).unwrap();
         assert_eq!(seeded.best(), Some((AaId(1999), AaScore(1999))));
         assert!(!seeded.is_complete());
-        assert_eq!(seeded.len(), 512);
+        assert_eq!(seeded.len(), TOPAA_RAID_AWARE_ENTRIES);
     }
 
     #[test]
-    fn corruption_detected() {
+    fn any_scribble_fails_the_crc() {
+        let cache = cache_with(&[5, 9, 3, 7]);
+        let block = serialize_raid_aware(&cache);
+        for offset in [0usize, 7, 100, 2048, BLOCK_SIZE - 9, BLOCK_SIZE - 1] {
+            let mut damaged = block;
+            damaged[offset] ^= 0x40;
+            assert!(
+                matches!(
+                    deserialize_raid_aware(&damaged),
+                    Err(WaflError::CorruptMetafile { .. })
+                ),
+                "scribble at byte {offset} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_corruption_detected_even_with_valid_crc() {
+        // Re-seal after each scribble so the CRC passes and the
+        // sort/sentinel validation has to catch the damage itself.
         let cache = cache_with(&[5, 9, 3, 7]);
         // Unsorted scores.
         let mut block = serialize_raid_aware(&cache);
         block[4..8].copy_from_slice(&1u32.to_le_bytes()); // first score 9 -> 1
+        crc64::seal_page(&mut block);
         assert!(matches!(
             deserialize_raid_aware(&block),
             Err(WaflError::CorruptMetafile { .. })
@@ -141,10 +174,12 @@ mod tests {
         // Sentinel with nonzero score.
         let mut block = serialize_raid_aware(&cache);
         block[4 * 8 + 4..4 * 8 + 8].copy_from_slice(&7u32.to_le_bytes());
+        crc64::seal_page(&mut block);
         assert!(deserialize_raid_aware(&block).is_err());
         // Live entry after the sentinel tail.
         let mut block = serialize_raid_aware(&cache);
         block[5 * 8..5 * 8 + 4].copy_from_slice(&2u32.to_le_bytes());
+        crc64::seal_page(&mut block);
         assert!(deserialize_raid_aware(&block).is_err());
     }
 

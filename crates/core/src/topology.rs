@@ -2,9 +2,7 @@
 
 use wafl_bitmap::Bitmap;
 use wafl_raid::RaidGeometry;
-use wafl_types::{
-    AaId, AaScore, AaSizingPolicy, Vbn, WaflError, WaflResult, TETRIS_STRIPES,
-};
+use wafl_types::{AaId, AaScore, AaSizingPolicy, Vbn, WaflError, WaflResult, TETRIS_STRIPES};
 
 /// The AA tiling of one block-number space (§3.1).
 ///
@@ -38,9 +36,11 @@ impl AaTopology {
     /// Build the RAID-aware topology for `geometry` under `policy`.
     /// Errors if the policy is RAID-agnostic.
     pub fn raid_aware(geometry: RaidGeometry, policy: AaSizingPolicy) -> WaflResult<AaTopology> {
-        let stripes_per_aa = policy.stripes_per_aa().ok_or_else(|| WaflError::InvalidConfig {
-            reason: "RAID-aware topology needs a stripe-based sizing policy".into(),
-        })?;
+        let stripes_per_aa = policy
+            .stripes_per_aa()
+            .ok_or_else(|| WaflError::InvalidConfig {
+                reason: "RAID-aware topology needs a stripe-based sizing policy".into(),
+            })?;
         if stripes_per_aa == 0 {
             return Err(WaflError::InvalidConfig {
                 reason: "stripes_per_aa must be positive".into(),
@@ -55,9 +55,11 @@ impl AaTopology {
     /// Build the RAID-agnostic topology for a flat space of `space_len`
     /// VBNs under `policy`. Errors if the policy is RAID-aware.
     pub fn raid_agnostic(space_len: u64, policy: AaSizingPolicy) -> WaflResult<AaTopology> {
-        let aa_blocks = policy.blocks_per_aa().ok_or_else(|| WaflError::InvalidConfig {
-            reason: "RAID-agnostic topology needs a consecutive-VBN sizing policy".into(),
-        })?;
+        let aa_blocks = policy
+            .blocks_per_aa()
+            .ok_or_else(|| WaflError::InvalidConfig {
+                reason: "RAID-agnostic topology needs a consecutive-VBN sizing policy".into(),
+            })?;
         if aa_blocks == 0 {
             return Err(WaflError::InvalidConfig {
                 reason: "aa_blocks must be positive".into(),
@@ -234,11 +236,9 @@ mod tests {
     fn construction_rejects_mismatched_policies() {
         let g = RaidGeometry::new(RaidGroupId(0), 3, 1, 4096, Vbn(0)).unwrap();
         assert!(AaTopology::raid_aware(g, AaSizingPolicy::raid_agnostic()).is_err());
-        assert!(AaTopology::raid_agnostic(
-            1 << 20,
-            AaSizingPolicy::Stripes { stripes: 4096 }
-        )
-        .is_err());
+        assert!(
+            AaTopology::raid_agnostic(1 << 20, AaSizingPolicy::Stripes { stripes: 4096 }).is_err()
+        );
     }
 
     #[test]
@@ -259,10 +259,13 @@ mod tests {
         assert_eq!(t.max_score(), RAID_AGNOSTIC_AA_BLOCKS as u32);
         // Trailing partial AA.
         assert_eq!(t.aa_blocks(AaId(3)), 100_000 - 3 * RAID_AGNOSTIC_AA_BLOCKS);
-        assert_eq!(t.aa_vbn_ranges(AaId(3)), vec![(
-            Vbn(3 * RAID_AGNOSTIC_AA_BLOCKS),
-            100_000 - 3 * RAID_AGNOSTIC_AA_BLOCKS
-        )]);
+        assert_eq!(
+            t.aa_vbn_ranges(AaId(3)),
+            vec![(
+                Vbn(3 * RAID_AGNOSTIC_AA_BLOCKS),
+                100_000 - 3 * RAID_AGNOSTIC_AA_BLOCKS
+            )]
+        );
         assert!(!t.is_raid_aware());
     }
 

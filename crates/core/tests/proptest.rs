@@ -106,9 +106,9 @@ proptest! {
         ).unwrap();
         let block = topaa::serialize_raid_aware(&cache);
         let entries = topaa::deserialize_raid_aware(&block).unwrap();
-        prop_assert_eq!(entries.len(), n.min(512));
+        prop_assert_eq!(entries.len(), n.min(wafl_types::TOPAA_RAID_AWARE_ENTRIES));
         // Entries descend and match top_k.
-        let expect = cache.top_k(512);
+        let expect = cache.top_k(wafl_types::TOPAA_RAID_AWARE_ENTRIES);
         prop_assert_eq!(entries, expect);
     }
 }

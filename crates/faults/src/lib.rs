@@ -1,0 +1,410 @@
+//! Deterministic fault injection for the WAFL free-space simulator.
+//!
+//! §3.4 of the paper leans on WAFL Iron to "recompute and recover"
+//! damaged TopAA metafile blocks, but nothing in a clean-room simulator
+//! damages blocks on its own. This crate is the damage generator: a
+//! [`FaultPlan`] is a pure-data, seed-reproducible schedule of
+//!
+//! * **scribbles** — byte corruption of persisted TopAA blocks and HBPS
+//!   pages ([`ScribbleFault`]),
+//! * **read errors** — transient (succeed after retries) or persistent
+//!   ([`ReadErrorFault`]) metafile read failures,
+//! * **a crash point** — a [`CrashSite`] mid-consistency-point where the
+//!   in-memory state is torn down as a power loss would.
+//!
+//! `wafl-fs` consumes a plan through a [`FaultSession`], which tracks
+//! per-structure attempt counts so "fail the first N reads" semantics
+//! are stateful while the plan itself stays immutable and replayable.
+//! The same seed always yields the same plan and the same session
+//! behavior — crash-consistency failures found by the torture test
+//! reproduce from their seed alone.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Which persisted metafile structure a fault targets.
+///
+/// TopAA state is persisted per RAID group (one 4 KiB block, or two HBPS
+/// pages for object-store groups) and per FlexVol (two HBPS pages).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StructureId {
+    /// A RAID group's TopAA block / HBPS page pair.
+    Group(usize),
+    /// A FlexVol's HBPS page pair.
+    Volume(usize),
+}
+
+/// Which 4 KiB page of a structure a scribble lands on.
+///
+/// Heap-style TopAA state is a single block (`First`); HBPS state is a
+/// histogram page (`First`) plus a candidate-list page (`Second`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageSel {
+    /// The TopAA block or the HBPS histogram page.
+    First,
+    /// The HBPS candidate-list page (ignored for heap-style groups).
+    Second,
+}
+
+/// Byte corruption of one persisted page.
+///
+/// The corruption XORs `len` bytes starting at `offset` with a non-zero
+/// pattern derived from `pattern_seed`, so applying it always changes
+/// the page (an all-zero XOR would be a no-op "corruption").
+#[derive(Clone, Copy, Debug)]
+pub struct ScribbleFault {
+    /// Structure whose persisted page is damaged.
+    pub target: StructureId,
+    /// Which of the structure's pages.
+    pub page: PageSel,
+    /// First corrupted byte offset within the 4 KiB page.
+    pub offset: usize,
+    /// Number of corrupted bytes.
+    pub len: usize,
+    /// Seed for the XOR pattern.
+    pub pattern_seed: u64,
+}
+
+impl ScribbleFault {
+    /// Apply the corruption to a persisted page image.
+    ///
+    /// Out-of-range portions are clamped to the page, and the XOR bytes
+    /// are forced non-zero, so at least one byte changes whenever
+    /// `offset` is inside the page.
+    pub fn apply(&self, page: &mut [u8]) {
+        if self.offset >= page.len() || self.len == 0 {
+            return;
+        }
+        let end = (self.offset + self.len).min(page.len());
+        let mut rng = StdRng::seed_from_u64(self.pattern_seed);
+        for byte in &mut page[self.offset..end] {
+            *byte ^= rng.random_range(1u8..=u8::MAX);
+        }
+    }
+}
+
+/// A metafile read failure schedule for one structure.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadErrorFault {
+    /// Structure whose reads fail.
+    pub target: StructureId,
+    /// How many leading read attempts fail. [`PERSISTENT`] means every
+    /// attempt fails (media gone, not flaky).
+    pub failures: u32,
+}
+
+/// `failures` value meaning "every read attempt fails".
+pub const PERSISTENT: u32 = u32::MAX;
+
+impl ReadErrorFault {
+    /// True if no finite number of retries will succeed.
+    pub fn is_persistent(&self) -> bool {
+        self.failures == PERSISTENT
+    }
+}
+
+/// Where a crash cuts a consistency point short.
+///
+/// Sites are ordered by CP progress; each leaves a characteristic torn
+/// state that `iron::check`/`iron::repair` must handle (see
+/// `docs/recovery.md` for the fault matrix).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashSite {
+    /// After `n` physical block allocations are written, before any
+    /// logical→physical binding: leaks allocated-but-unowned pvbns.
+    AfterBlockWrites(u64),
+    /// After binding and ownership updates, before delayed frees apply:
+    /// old block versions still allocated with stale owners.
+    AfterBind,
+    /// After `n` delayed-free log entries applied: the rest of the log
+    /// is lost (absolved), possibly with one torn entry.
+    MidFreeLogApply(u64),
+    /// CP work complete but the TopAA metafile was not persisted: the
+    /// on-disk TopAA image is one CP stale.
+    BeforeTopAaPersist,
+    /// Crash immediately after TopAA persist: the cleanest tear.
+    AfterTopAaPersist,
+}
+
+/// A complete, immutable fault schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Corruptions applied to the persisted image before remount.
+    pub scribbles: Vec<ScribbleFault>,
+    /// Read failures observed during remount.
+    pub read_errors: Vec<ReadErrorFault>,
+    /// Optional mid-CP crash point.
+    pub crash: Option<CrashSite>,
+}
+
+/// Dimensions of the system a random plan is generated against.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanShape {
+    /// Number of RAID groups in the aggregate.
+    pub groups: usize,
+    /// Number of FlexVols.
+    pub volumes: usize,
+    /// Rough upper bound for [`CrashSite::AfterBlockWrites`] /
+    /// [`CrashSite::MidFreeLogApply`] progress counts.
+    pub max_progress: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Corrupt one structure's page with a seed-derived pattern.
+    pub fn scribble(target: StructureId, page: PageSel, seed: u64) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        FaultPlan {
+            scribbles: vec![ScribbleFault {
+                target,
+                page,
+                offset: rng.random_range(0usize..4096),
+                len: rng.random_range(1usize..=64),
+                pattern_seed: rng.next_u64(),
+            }],
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Generate a random schedule from `seed`. Every draw comes from a
+    /// `StdRng` seeded with `seed`, so equal seeds yield equal plans.
+    pub fn random(seed: u64, shape: PlanShape) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::default();
+
+        let pick_target = |rng: &mut StdRng| {
+            if shape.volumes > 0 && rng.random_bool(0.4) {
+                StructureId::Volume(rng.random_range(0..shape.volumes))
+            } else {
+                StructureId::Group(rng.random_range(0..shape.groups.max(1)))
+            }
+        };
+
+        // Scribbles: usually zero or one structure, sometimes a couple.
+        let n_scribbles = [0usize, 0, 1, 1, 1, 2][rng.random_range(0usize..6)];
+        for _ in 0..n_scribbles {
+            let page = if rng.random_bool(0.5) {
+                PageSel::First
+            } else {
+                PageSel::Second
+            };
+            plan.scribbles.push(ScribbleFault {
+                target: pick_target(&mut rng),
+                page,
+                offset: rng.random_range(0usize..4096),
+                len: rng.random_range(1usize..=256),
+                pattern_seed: rng.next_u64(),
+            });
+        }
+
+        // Read errors: mostly transient (1–3 failures), occasionally
+        // persistent.
+        let n_read_errors = [0usize, 0, 0, 1, 1, 2][rng.random_range(0usize..6)];
+        for _ in 0..n_read_errors {
+            let failures = if rng.random_bool(0.25) {
+                PERSISTENT
+            } else {
+                rng.random_range(1u32..=3)
+            };
+            plan.read_errors.push(ReadErrorFault {
+                target: pick_target(&mut rng),
+                failures,
+            });
+        }
+
+        // Crash point: present in most schedules — the torture test is
+        // about crash consistency first, corruption second.
+        if rng.random_bool(0.8) {
+            let progress = rng.random_range(0..shape.max_progress.max(1));
+            plan.crash = Some(match rng.random_range(0u32..5) {
+                0 => CrashSite::AfterBlockWrites(progress),
+                1 => CrashSite::AfterBind,
+                2 => CrashSite::MidFreeLogApply(progress),
+                3 => CrashSite::BeforeTopAaPersist,
+                _ => CrashSite::AfterTopAaPersist,
+            });
+        }
+        plan
+    }
+
+    /// Scribbles aimed at `target`.
+    pub fn scribbles_for(&self, target: StructureId) -> impl Iterator<Item = &ScribbleFault> + '_ {
+        self.scribbles.iter().filter(move |s| s.target == target)
+    }
+}
+
+/// Outcome of one faulted read attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The read succeeds.
+    Ok,
+    /// The read fails but a retry may succeed.
+    Transient,
+    /// The read fails and retrying is pointless.
+    Persistent,
+}
+
+/// Runtime state for consuming a [`FaultPlan`]: tracks how many read
+/// attempts each structure has absorbed so transient errors clear after
+/// their scheduled failure count.
+#[derive(Debug)]
+pub struct FaultSession<'a> {
+    plan: &'a FaultPlan,
+    attempts: std::collections::HashMap<StructureId, u32>,
+}
+
+impl<'a> FaultSession<'a> {
+    /// Start consuming `plan`.
+    pub fn new(plan: &'a FaultPlan) -> FaultSession<'a> {
+        FaultSession {
+            plan,
+            attempts: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The plan this session consumes.
+    pub fn plan(&self) -> &FaultPlan {
+        self.plan
+    }
+
+    /// Record a read attempt against `target` and report its outcome.
+    pub fn on_read(&mut self, target: StructureId) -> ReadOutcome {
+        let Some(fault) = self.plan.read_errors.iter().find(|f| f.target == target) else {
+            return ReadOutcome::Ok;
+        };
+        if fault.is_persistent() {
+            return ReadOutcome::Persistent;
+        }
+        let seen = self.attempts.entry(target).or_insert(0);
+        if *seen < fault.failures {
+            *seen += 1;
+            ReadOutcome::Transient
+        } else {
+            ReadOutcome::Ok
+        }
+    }
+
+    /// The crash point, if the plan schedules one.
+    pub fn crash_site(&self) -> Option<CrashSite> {
+        self.plan.crash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        let shape = PlanShape {
+            groups: 4,
+            volumes: 3,
+            max_progress: 10_000,
+        };
+        for seed in 0..200 {
+            let a = FaultPlan::random(seed, shape);
+            let b = FaultPlan::random(seed, shape);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+        }
+        // And different seeds do differ somewhere in 200 tries.
+        let all: std::collections::HashSet<String> = (0..200)
+            .map(|s| format!("{:?}", FaultPlan::random(s, shape)))
+            .collect();
+        assert!(all.len() > 100, "only {} distinct plans", all.len());
+    }
+
+    #[test]
+    fn scribble_always_changes_the_page() {
+        for seed in 0..100 {
+            let plan = FaultPlan::scribble(StructureId::Group(0), PageSel::First, seed);
+            let mut page = vec![0xA5u8; 4096];
+            let orig = page.clone();
+            plan.scribbles[0].apply(&mut page);
+            assert_ne!(page, orig, "seed {seed} produced a no-op scribble");
+        }
+    }
+
+    #[test]
+    fn scribble_clamps_to_page_bounds() {
+        let fault = ScribbleFault {
+            target: StructureId::Group(0),
+            page: PageSel::First,
+            offset: 4090,
+            len: 100,
+            pattern_seed: 7,
+        };
+        let mut page = vec![0u8; 4096];
+        fault.apply(&mut page);
+        assert!(page[..4090].iter().all(|&b| b == 0));
+        assert!(page[4090..].iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn transient_errors_clear_after_scheduled_failures() {
+        let plan = FaultPlan {
+            read_errors: vec![ReadErrorFault {
+                target: StructureId::Group(1),
+                failures: 2,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut session = FaultSession::new(&plan);
+        assert_eq!(
+            session.on_read(StructureId::Group(1)),
+            ReadOutcome::Transient
+        );
+        assert_eq!(
+            session.on_read(StructureId::Group(1)),
+            ReadOutcome::Transient
+        );
+        assert_eq!(session.on_read(StructureId::Group(1)), ReadOutcome::Ok);
+        // Unrelated structures never fail.
+        assert_eq!(session.on_read(StructureId::Group(0)), ReadOutcome::Ok);
+        assert_eq!(session.on_read(StructureId::Volume(0)), ReadOutcome::Ok);
+    }
+
+    #[test]
+    fn persistent_errors_never_clear() {
+        let plan = FaultPlan {
+            read_errors: vec![ReadErrorFault {
+                target: StructureId::Volume(2),
+                failures: PERSISTENT,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut session = FaultSession::new(&plan);
+        for _ in 0..50 {
+            assert_eq!(
+                session.on_read(StructureId::Volume(2)),
+                ReadOutcome::Persistent
+            );
+        }
+    }
+
+    #[test]
+    fn random_plans_respect_shape_bounds() {
+        let shape = PlanShape {
+            groups: 3,
+            volumes: 2,
+            max_progress: 500,
+        };
+        for seed in 0..300 {
+            let plan = FaultPlan::random(seed, shape);
+            for s in &plan.scribbles {
+                match s.target {
+                    StructureId::Group(g) => assert!(g < 3),
+                    StructureId::Volume(v) => assert!(v < 2),
+                }
+                assert!(s.offset < 4096);
+            }
+            if let Some(CrashSite::AfterBlockWrites(n) | CrashSite::MidFreeLogApply(n)) = plan.crash
+            {
+                assert!(n < 500);
+            }
+        }
+    }
+}

@@ -9,8 +9,8 @@ use wafl_core::{AaTopology, Hbps, HbpsConfig, RaidAwareCache, ScoreDeltaBatch};
 use wafl_media::{HddModel, MediaProfile, ObjectStoreModel, SmrModel, SsdFtl};
 use wafl_raid::RaidGeometry;
 use wafl_types::{
-    AaSizingPolicy, ChecksumStyle, MediaType, RaidGroupId, Vbn, VolumeId, WaflError,
-    WaflResult, DEFAULT_STRIPES_PER_AA,
+    AaSizingPolicy, ChecksumStyle, MediaType, RaidGroupId, Vbn, VolumeId, WaflError, WaflResult,
+    DEFAULT_STRIPES_PER_AA,
 };
 
 /// Per-device media model instance.
@@ -207,15 +207,15 @@ pub(crate) fn pack_owner(vol: VolumeId, vvbn: Vbn) -> u64 {
 
 /// Unpack an owner reference (must not be a sentinel).
 pub(crate) fn unpack_owner(packed: u64) -> (VolumeId, Vbn) {
-    (VolumeId((packed >> 40) as u32), Vbn(packed & ((1 << 40) - 1)))
+    (
+        VolumeId((packed >> 40) as u32),
+        Vbn(packed & ((1 << 40) - 1)),
+    )
 }
 
 /// Build the appropriate cache for a physical range from its bitmap state:
 /// max-heap for RAID groups, HBPS for natively redundant storage.
-pub(crate) fn build_group_cache(
-    g: &RaidGroupState,
-    bitmap: &Bitmap,
-) -> WaflResult<GroupCache> {
+pub(crate) fn build_group_cache(g: &RaidGroupState, bitmap: &Bitmap) -> WaflResult<GroupCache> {
     if g.profile.media == MediaType::ObjectStore {
         let max_score = g.topology.max_score();
         let cfg = HbpsConfig {
@@ -571,6 +571,24 @@ impl Aggregate {
             if let Some(c) = v.cache.as_mut() {
                 c.reset_stats();
             }
+        }
+    }
+
+    /// Discard everything a power loss would: queued client writes and
+    /// deletes, delayed frees not yet applied to the bitmaps, and the
+    /// CP-in-progress score batches. Persistent state (bitmaps, volume
+    /// maps, owner map, the delayed-free *log*) survives.
+    pub(crate) fn lose_volatile_state(&mut self) {
+        self.dirty.clear();
+        self.dirty_set.clear();
+        self.pending_deletes.clear();
+        self.delayed_pvbn_frees.clear();
+        for v in &mut self.vols {
+            v.delayed_vvbn_frees.clear();
+            let _ = v.batch.drain().count();
+        }
+        for g in &mut self.groups {
+            let _ = g.batch.drain().count();
         }
     }
 }

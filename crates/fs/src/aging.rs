@@ -13,11 +13,7 @@ use wafl_types::{Vbn, VolumeId, WaflResult};
 
 /// Write every logical block of `vol` once (sequential fill), in CPs of
 /// `ops_per_cp` operations. Returns accumulated CP stats.
-pub fn fill_volume(
-    agg: &mut Aggregate,
-    vol: VolumeId,
-    ops_per_cp: usize,
-) -> WaflResult<CpStats> {
+pub fn fill_volume(agg: &mut Aggregate, vol: VolumeId, ops_per_cp: usize) -> WaflResult<CpStats> {
     let blocks = agg.volumes()[vol.index()].logical_blocks();
     let mut acc = CpStats::default();
     let mut l = 0u64;
@@ -154,24 +150,15 @@ mod tests {
     fn fill_then_churn_fragments_free_space() {
         let mut a = agg();
         fill_volume(&mut a, VolumeId(0), 4096).unwrap();
-        assert_eq!(
-            a.bitmap().free_blocks(),
-            4 * 16 * 4096 - 60_000
-        );
-        let frag_before = wafl_bitmap::scan::fragmentation_in_range(
-            a.bitmap(),
-            Vbn(0),
-            a.bitmap().space_len(),
-        );
+        assert_eq!(a.bitmap().free_blocks(), 4 * 16 * 4096 - 60_000);
+        let frag_before =
+            wafl_bitmap::scan::fragmentation_in_range(a.bitmap(), Vbn(0), a.bitmap().space_len());
         random_overwrite_churn(&mut a, VolumeId(0), 60_000, 4096, 9).unwrap();
         // Occupancy unchanged (COW overwrites are net-zero), but the free
         // space shattered into many more runs.
         assert_eq!(a.bitmap().free_blocks(), 4 * 16 * 4096 - 60_000);
-        let frag_after = wafl_bitmap::scan::fragmentation_in_range(
-            a.bitmap(),
-            Vbn(0),
-            a.bitmap().space_len(),
-        );
+        let frag_after =
+            wafl_bitmap::scan::fragmentation_in_range(a.bitmap(), Vbn(0), a.bitmap().space_len());
         assert!(
             frag_after.1 > 4 * frag_before.1,
             "runs before {} after {}",

@@ -127,8 +127,7 @@ pub(crate) fn plan_raid_group(
                         }
                         if hbps.needs_replenish(4) {
                             hbps.replenish(g.topology.all_scores(bitmap));
-                            out.replenish_pages +=
-                                (g.geometry.data_blocks() / 32_768).max(1);
+                            out.replenish_pages += (g.geometry.data_blocks() / 32_768).max(1);
                         }
                         match hbps.take_best() {
                             Some((aa, _bound)) => {
@@ -225,8 +224,7 @@ pub(crate) fn allocate_vvbns(
             None => {
                 let picked = match mode {
                     AllocatorMode::CacheGuided => {
-                        let cache =
-                            vol.cache.as_mut().expect("cache-guided without a cache");
+                        let cache = vol.cache.as_mut().expect("cache-guided without a cache");
                         match cache.pick_best(&vol.bitmap) {
                             Some((aa, score)) if score.get() > 0 => Some((aa, score)),
                             _ => {
@@ -235,9 +233,7 @@ pub(crate) fn allocate_vvbns(
                                 // the CP (§3.3.2's background scan).
                                 if cache.maybe_replenish(&vol.bitmap) {
                                     out.replenish_pages += vol.bitmap.page_count() as u64;
-                                    cache
-                                        .pick_best(&vol.bitmap)
-                                        .filter(|(_, s)| s.get() > 0)
+                                    cache.pick_best(&vol.bitmap).filter(|(_, s)| s.get() > 0)
                                 } else {
                                     None
                                 }
@@ -294,8 +290,7 @@ pub(crate) fn allocate_vvbns(
         out.vbns.extend_from_slice(&plan.vbns);
         if exhausted {
             vol.active_aa = None;
-            if plan.vbns.is_empty() && out.vbns.len() < n && mode == AllocatorMode::CacheGuided
-            {
+            if plan.vbns.is_empty() && out.vbns.len() < n && mode == AllocatorMode::CacheGuided {
                 // Stale pick with nothing free; loop to pick again. The
                 // linear-sweep fallback above bounds this.
                 continue;
@@ -349,8 +344,7 @@ mod tests {
     #[test]
     fn allocation_spills_to_next_aa_when_one_fills() {
         let mut v = vol(true);
-        let out =
-            allocate_vvbns(&mut v, 3 * 32768 + 10, 7, AllocatorMode::CacheGuided).unwrap();
+        let out = allocate_vvbns(&mut v, 3 * 32768 + 10, 7, AllocatorMode::CacheGuided).unwrap();
         assert_eq!(out.vbns.len(), 3 * 32768 + 10);
         assert!(out.picked.len() >= 4);
     }
@@ -378,8 +372,7 @@ mod tests {
         for b in 0..16_384u64 {
             v.bitmap.allocate(Vbn(b)).unwrap();
         }
-        let mut cache =
-            wafl_core::RaidAgnosticCache::build(v.topology.clone(), &v.bitmap).unwrap();
+        let mut cache = wafl_core::RaidAgnosticCache::build(v.topology.clone(), &v.bitmap).unwrap();
         std::mem::swap(v.cache.as_mut().unwrap(), &mut cache);
         let out = allocate_vvbns(&mut v, 100, 7, AllocatorMode::CacheGuided).unwrap();
         assert!(out.picked[0].0.get() >= 1);

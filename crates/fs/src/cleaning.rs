@@ -13,9 +13,7 @@
 //! max-heap, move their live blocks into other AAs (updating the owning
 //! volume's virtual→physical map), and return them to the heap empty.
 
-use crate::aggregate::{
-    pack_owner, unpack_owner, Aggregate, GroupCache, OWNER_NONE, OWNER_ORPHAN,
-};
+use crate::aggregate::{pack_owner, unpack_owner, Aggregate, GroupCache, OWNER_NONE, OWNER_ORPHAN};
 use crate::allocator::{plan_raid_group, AllocatorMode};
 use serde::{Deserialize, Serialize};
 use wafl_types::{Vbn, WaflError, WaflResult};
@@ -121,10 +119,7 @@ pub fn clean_top_aas(
                     let v = &mut agg.vols[vol.index()];
                     debug_assert_eq!(v.lookup_vvbn(vvbn), Some(src));
                     v.redirect_vvbn(vvbn, dst);
-                    debug_assert_eq!(
-                        agg.pvbn_owner[dst.index()],
-                        pack_owner(vol, vvbn)
-                    );
+                    debug_assert_eq!(agg.pvbn_owner[dst.index()], pack_owner(vol, vvbn));
                 }
             }
         }
@@ -183,9 +178,7 @@ mod tests {
         // so the heap's best AA is never empty and cleaning must relocate.
         let mut a = Aggregate::new(
             AggregateConfig {
-                aa_policy_override: Some(wafl_types::AaSizingPolicy::Stripes {
-                    stripes: 256,
-                }),
+                aa_policy_override: Some(wafl_types::AaSizingPolicy::Stripes { stripes: 256 }),
                 ..AggregateConfig::single_group(RaidGroupSpec {
                     data_devices: 4,
                     parity_devices: 1,
@@ -201,7 +194,10 @@ mod tests {
         let occupied_before = a.bitmap().space_len() - a.bitmap().free_blocks();
         let aa_blocks = (a.groups()[0].stripes_per_aa * 4) as u32;
         let best_before = a.groups()[0].cache().unwrap().best().unwrap().1;
-        assert!(best_before.get() < aa_blocks, "50 % seed leaves no empty AA");
+        assert!(
+            best_before.get() < aa_blocks,
+            "50 % seed leaves no empty AA"
+        );
         let stats = clean_top_aas(&mut a, 0, 2).unwrap();
         assert_eq!(stats.aas_cleaned, 2);
         assert!(stats.blocks_relocated > 0);

@@ -2,16 +2,26 @@
 //! one transaction (§2.1), allocating virtual + physical VBNs from the
 //! emptiest AAs and batching all score updates at the boundary (§3.3).
 
-use crate::aggregate::{
-    pack_owner, Aggregate, DeviceMedia, DirtyBlock, GroupCache, OWNER_NONE,
-};
+use crate::aggregate::{pack_owner, Aggregate, DeviceMedia, DirtyBlock, GroupCache, OWNER_NONE};
 use crate::allocator::{allocate_vvbns, plan_raid_group, AllocOutcome, AllocatorMode};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use wafl_faults::CrashSite;
 use wafl_raid::analyze_cp_write;
-use wafl_types::{
-    ChecksumStyle, Vbn, WaflError, WaflResult, AZCS_DATA_BLOCKS, AZCS_REGION_BLOCKS,
-};
+use wafl_types::{ChecksumStyle, Vbn, WaflError, WaflResult, AZCS_DATA_BLOCKS, AZCS_REGION_BLOCKS};
+
+/// How a faulted consistency point ended.
+#[derive(Debug)]
+pub enum CpOutcome {
+    /// The CP ran to completion.
+    Completed(CpStats),
+    /// A crash cut the CP short at the given site. Persistent state holds
+    /// whatever tear the site implies; all volatile state (queued writes,
+    /// unapplied delayed frees, CP score batches) is gone. The caller
+    /// remounts via [`crate::mount::mount_auto`] and runs
+    /// [`crate::iron::check`] / [`crate::iron::repair`].
+    Crashed(CrashSite),
+}
 
 /// Per-RAID-group results of one CP.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -102,10 +112,9 @@ impl CpStats {
 
     /// Fraction of written stripes that were full.
     pub fn full_stripe_fraction(&self) -> f64 {
-        let (f, p): (u64, u64) = self
-            .per_rg
-            .iter()
-            .fold((0, 0), |(f, p), rg| (f + rg.full_stripes, p + rg.partial_stripes));
+        let (f, p): (u64, u64) = self.per_rg.iter().fold((0, 0), |(f, p), rg| {
+            (f + rg.full_stripes, p + rg.partial_stripes)
+        });
         if f + p == 0 {
             0.0
         } else {
@@ -131,8 +140,7 @@ impl CpStats {
         self.delayed_frees_applied += other.delayed_frees_applied;
         self.delayed_free_pages += other.delayed_free_pages;
         if self.per_rg.len() < other.per_rg.len() {
-            self.per_rg
-                .resize(other.per_rg.len(), RgCpStats::default());
+            self.per_rg.resize(other.per_rg.len(), RgCpStats::default());
         }
         for (acc, rg) in self.per_rg.iter_mut().zip(&other.per_rg) {
             acc.blocks += rg.blocks;
@@ -160,6 +168,23 @@ impl Aggregate {
     /// Run one consistency point over every operation collected since the
     /// last. Returns the CP's cost and layout statistics.
     pub fn run_cp(&mut self) -> WaflResult<CpStats> {
+        match self.run_cp_inner(None)? {
+            CpOutcome::Completed(stats) => Ok(stats),
+            CpOutcome::Crashed(_) => unreachable!("no crash site was scheduled"),
+        }
+    }
+
+    /// Run a consistency point that a fault plan may cut short. With
+    /// `crash: None` this is exactly [`Aggregate::run_cp`]. With a
+    /// [`CrashSite`], the CP performs its persistent mutations up to that
+    /// site, discards all volatile state (as a power loss would), and
+    /// returns [`CpOutcome::Crashed`] — the torn state is then the
+    /// recovery stack's problem, not an `Err`.
+    pub fn run_cp_with_faults(&mut self, crash: Option<CrashSite>) -> WaflResult<CpOutcome> {
+        self.run_cp_inner(crash)
+    }
+
+    fn run_cp_inner(&mut self, crash: Option<CrashSite>) -> WaflResult<CpOutcome> {
         let dirty = std::mem::take(&mut self.dirty);
         self.dirty_set.clear();
         let n = dirty.len();
@@ -175,8 +200,13 @@ impl Aggregate {
             && self.delayed_pvbn_frees.is_empty()
             && self.vols.iter().all(|v| v.delayed_vvbn_frees.is_empty())
         {
+            if let Some(site) = crash {
+                // Nothing to tear: the process still dies at the site.
+                self.lose_volatile_state();
+                return Ok(CpOutcome::Crashed(site));
+            }
             self.cp_count += 1;
-            return Ok(stats);
+            return Ok(CpOutcome::Completed(stats));
         }
 
         // ---- 1. group dirtied blocks by volume ------------------------
@@ -235,6 +265,24 @@ impl Aggregate {
             })
             .collect();
         // Apply the plans to the shared bitmap (serial, cheap bit sets).
+        if let Some(site @ CrashSite::AfterBlockWrites(limit)) = crash {
+            // Power loss after `limit` physical block writes hit stable
+            // storage: their bitmap bits are set, but no logical binding
+            // or ownership was ever recorded — allocated-but-unowned
+            // leaks in both VBN spaces (the vvbn bits were set in step 2).
+            let mut applied = 0u64;
+            'apply: for plan in &plans {
+                for &vbn in &plan.vbns {
+                    if applied >= limit {
+                        break 'apply;
+                    }
+                    self.bitmap.allocate(vbn)?;
+                    applied += 1;
+                }
+            }
+            self.lose_volatile_state();
+            return Ok(CpOutcome::Crashed(site));
+        }
         let mut pvbns: Vec<Vbn> = Vec::with_capacity(n);
         let mut per_rg_vbns: Vec<Vec<Vbn>> = Vec::with_capacity(self.groups.len());
         for plan in &plans {
@@ -344,6 +392,16 @@ impl Aggregate {
             }
         }
 
+        if let Some(site @ CrashSite::AfterBind) = crash {
+            // Power loss after the new mappings and owners committed but
+            // before any delayed free applied: the overwritten blocks'
+            // old versions stay allocated in both VBN spaces, the old
+            // pvbns with stale owner entries (their vvbns are gone from
+            // the volume maps).
+            self.lose_volatile_state();
+            return Ok(CpOutcome::Crashed(site));
+        }
+
         // ---- 5. delayed frees at the CP boundary (§3.3) ---------------
         for vol in &mut self.vols {
             for vvbn in std::mem::take(&mut vol.delayed_vvbn_frees) {
@@ -351,6 +409,37 @@ impl Aggregate {
                 let aa = vol.topology.aa_of_vbn(vvbn)?;
                 vol.batch.record_freed(aa, 1);
             }
+        }
+        if let Some(site @ CrashSite::MidFreeLogApply(k)) = crash {
+            // The crash interrupts delayed-free application: `k` frees
+            // reach the bitmap, the last of them with its owner update
+            // torn off. The rest stay pending — in the persistent log
+            // when batched (replayed idempotently after remount), lost
+            // outright (leaked) when not.
+            if self.cfg.batched_frees {
+                for pvbn in std::mem::take(&mut self.delayed_pvbn_frees) {
+                    self.free_log.log_free(pvbn);
+                }
+                let pending = self.free_log.pending_vbns();
+                let k = (k as usize).min(pending.len());
+                for (idx, &pvbn) in pending[..k].iter().enumerate() {
+                    self.bitmap.free(pvbn)?;
+                    if idx + 1 < k {
+                        self.pvbn_owner[pvbn.index()] = OWNER_NONE;
+                    }
+                }
+            } else {
+                let frees = std::mem::take(&mut self.delayed_pvbn_frees);
+                let k = (k as usize).min(frees.len());
+                for (idx, &pvbn) in frees[..k].iter().enumerate() {
+                    self.bitmap.free(pvbn)?;
+                    if idx + 1 < k {
+                        self.pvbn_owner[pvbn.index()] = OWNER_NONE;
+                    }
+                }
+            }
+            self.lose_volatile_state();
+            return Ok(CpOutcome::Crashed(site));
         }
         let trim = self.cfg.trim_on_free;
         if self.cfg.batched_frees {
@@ -512,7 +601,16 @@ impl Aggregate {
 
         self.cp_count += 1;
         stats.cp_index = self.cp_count - 1;
-        Ok(stats)
+        if let Some(site) = crash {
+            // BeforeTopAaPersist / AfterTopAaPersist: the CP itself
+            // committed; the difference is whether the caller's TopAA
+            // image is one CP stale, which only the caller (holding the
+            // persisted image) can model. Either way the process dies
+            // here and the in-memory stats die with it.
+            self.lose_volatile_state();
+            return Ok(CpOutcome::Crashed(site));
+        }
+        Ok(CpOutcome::Completed(stats))
     }
 
     /// Physical-allocation quotas per RAID group for `n` blocks. With the
@@ -529,12 +627,8 @@ impl Aggregate {
                     // the group's quality is the better of it and the
                     // cache's best.
                     let cache_best = match cache {
-                        GroupCache::Heap(h) => {
-                            h.best().map(|(_, s)| s.get()).unwrap_or(0)
-                        }
-                        GroupCache::Hbps(h) => {
-                            h.peek_best().map(|(_, s)| s.get()).unwrap_or(0)
-                        }
+                        GroupCache::Heap(h) => h.best().map(|(_, s)| s.get()).unwrap_or(0),
+                        GroupCache::Hbps(h) => h.peek_best().map(|(_, s)| s.get()).unwrap_or(0),
                     };
                     let active = g
                         .active_aa
@@ -647,14 +741,10 @@ fn cost_raid_group(
                 let blocks: u64 = chains.iter().map(|&(_, l)| l).sum();
                 h.write_cost_us(chains.len() as u64, blocks)
             }
-            DeviceMedia::Ssd(ftl) => {
-                ftl.write_batch(dbns.iter().map(|&b| b as u32))?
-            }
+            DeviceMedia::Ssd(ftl) => ftl.write_batch(dbns.iter().map(|&b| b as u32))?,
             DeviceMedia::Smr(smr) => {
                 let phys = match checksum {
-                    ChecksumStyle::Azcs => {
-                        azcs_physical_chains(&mut azcs_next[i], &chains)
-                    }
+                    ChecksumStyle::Azcs => azcs_physical_chains(&mut azcs_next[i], &chains),
                     ChecksumStyle::Sector520 => chains.clone(),
                 };
                 let mut t = 0.0;
@@ -677,9 +767,7 @@ fn cost_raid_group(
         Some(DeviceMedia::Ssd(s)) => {
             s.random_read_cost_us(analysis.parity_reads) / s.channels.max(1.0)
         }
-        Some(DeviceMedia::Smr(s)) => {
-            analysis.parity_reads as f64 * (s.position_us + s.transfer_us)
-        }
+        Some(DeviceMedia::Smr(s)) => analysis.parity_reads as f64 * (s.position_us + s.transfer_us),
         Some(DeviceMedia::Object(o)) => o.random_read_cost_us(analysis.parity_reads),
         None => 0.0,
     };
@@ -950,8 +1038,8 @@ mod tests {
         // checksum in-line: region 10 is data 630..693.
         let chains = azcs_physical_chains(&mut st, &[(635, 58)]);
         assert_eq!(chains, vec![(645, 59)]); // 58 data + 1 checksum
-        // A chain spanning two regions from a fresh stream, ending
-        // mid-second-region: first region in-line, second left open.
+                                             // A chain spanning two regions from a fresh stream, ending
+                                             // mid-second-region: first region in-line, second left open.
         let mut st2 = AZCS_IDLE;
         let chains = azcs_physical_chains(&mut st2, &[(0, 70)]);
         assert_eq!(chains, vec![(0, 64), (64, 7)]);
@@ -1018,8 +1106,7 @@ mod trim_tests {
             let mut agg = ssd_agg(trim);
             aging::fill_volume(&mut agg, VolumeId(0), 2048).unwrap();
             agg.reset_media_stats();
-            aging::random_overwrite_churn(&mut agg, VolumeId(0), 60_000, 2048, 11)
-                .unwrap();
+            aging::random_overwrite_churn(&mut agg, VolumeId(0), 60_000, 2048, 11).unwrap();
             agg.mean_write_amplification()
         };
         let (without, with) = (measure(false), measure(true));
@@ -1073,10 +1160,7 @@ mod batched_free_tests {
             a.run_cp().unwrap();
         }
         // Net occupancy identical to the immediate-free world.
-        assert_eq!(
-            a.bitmap().space_len() - a.bitmap().free_blocks(),
-            60_000
-        );
+        assert_eq!(a.bitmap().space_len() - a.bitmap().free_blocks(), 60_000);
     }
 
     #[test]
@@ -1122,8 +1206,7 @@ mod batched_free_tests {
             aging::fill_volume(&mut a, VolumeId(0), 4096).unwrap();
             a.bitmapless_dirty_reset();
             let stats =
-                aging::random_overwrite_churn(&mut a, VolumeId(0), 30_000, 1024, 9)
-                    .unwrap();
+                aging::random_overwrite_churn(&mut a, VolumeId(0), 30_000, 1024, 9).unwrap();
             stats.metafile_pages
         };
         let immediate = run(false);

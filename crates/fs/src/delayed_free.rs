@@ -78,6 +78,18 @@ impl DelayedFreeLog {
         self.per_page.len()
     }
 
+    /// Every logged-but-unapplied VBN, sorted (deterministic order for
+    /// WAFL Iron's leak accounting and for crash-replay tests).
+    pub fn pending_vbns(&self) -> Vec<Vbn> {
+        let mut vbns: Vec<Vbn> = self
+            .per_page
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        vbns.sort_unstable_by_key(|v| v.get());
+        vbns
+    }
+
     /// Log a freed VBN. The block stays allocated in the bitmap (and thus
     /// invisible to the allocator) until a processing pass applies it.
     pub fn log_free(&mut self, vbn: Vbn) {
@@ -123,6 +135,13 @@ impl DelayedFreeLog {
             };
             let count = frees.len() as u32;
             for vbn in frees {
+                // Replay idempotence: a crash between a bitmap-page write
+                // and the log absolution leaves entries whose blocks are
+                // already free. Skipping them makes post-crash replay
+                // safe instead of a double-free error.
+                if bitmap.is_free(vbn)? {
+                    continue;
+                }
                 bitmap.free(vbn)?;
                 record(vbn, bitmap)?;
                 stats.frees_applied += 1;
@@ -169,9 +188,7 @@ mod tests {
         }
         assert_eq!(log.pending(), 500);
         assert_eq!(bitmap.free_blocks(), 4 * 32768 - 1000, "not yet applied");
-        let stats = log
-            .process(&mut bitmap, 10, |_, _| Ok(()))
-            .unwrap();
+        let stats = log.process(&mut bitmap, 10, |_, _| Ok(())).unwrap();
         assert_eq!(stats.frees_applied, 500);
         assert_eq!(stats.pages_processed, 1, "all 500 shared one page");
         assert_eq!(bitmap.free_blocks(), 4 * 32768 - 500);

@@ -26,6 +26,7 @@ use crate::aggregate::{
     build_group_cache, pack_owner, Aggregate, GroupCache, OWNER_NONE, OWNER_ORPHAN,
 };
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use wafl_core::RaidAgnosticCache;
 use wafl_types::{AaId, Vbn, WaflResult};
 
@@ -40,6 +41,15 @@ pub struct IronReport {
     /// Allocated physical blocks with no owner and no pending free —
     /// leaked space.
     pub leaked_blocks: u64,
+    /// Allocated virtual VBNs no volume map references — leaked virtual
+    /// space (the signature of a crash between vvbn allocation and
+    /// binding, or of lost delayed vvbn frees).
+    pub leaked_vvbns: u64,
+    /// Allocated physical blocks owned by an aging seed rather than any
+    /// volume. Deliberate test-fixture state, not an inconsistency — but
+    /// capacity planning wants the number, so it is surfaced instead of
+    /// discarded.
+    pub orphaned_blocks: u64,
     /// Cached AA scores that disagree with the bitmaps (active AAs are
     /// exempt — they legitimately lag until their drain completes).
     pub stale_scores: u64,
@@ -50,11 +60,13 @@ pub struct IronReport {
 }
 
 impl IronReport {
-    /// True when no inconsistency was found.
+    /// True when no inconsistency was found. Orphaned aging-seed blocks
+    /// do not count — they are deliberate fixture state, not damage.
     pub fn is_clean(&self) -> bool {
         self.broken_mappings == 0
             && self.owner_mismatches == 0
             && self.leaked_blocks == 0
+            && self.leaked_vvbns == 0
             && self.stale_scores == 0
             && self.volume_accounting_errors == 0
     }
@@ -96,34 +108,58 @@ pub fn check(agg: &Aggregate) -> WaflResult<IronReport> {
         if vol.size_blocks() - vol.free_blocks() != referenced {
             report.volume_accounting_errors += 1;
         }
+        // Virtual leaks: an allocated vvbn bit nothing maps. Snapshot-
+        // pinned and detached blocks stay in `vvbn_map`, so bit-set ⟺
+        // mapped is the invariant; a gap means a crash between vvbn
+        // allocation and binding, or a lost delayed vvbn free.
+        for v in 0..vol.size_blocks() {
+            let vvbn = Vbn(v);
+            let set = vol.bitmap().is_free(vvbn).map(|f| !f).unwrap_or(false);
+            if set && vol.lookup_vvbn(vvbn).is_none() {
+                report.leaked_vvbns += 1;
+            }
+        }
     }
 
     // Phase 2+3: compare against the recorded owners; find leaks.
-    // Pending delayed frees are allocated bits whose ownership was
-    // already superseded; the log's count absolves that many.
-    let pending_count = agg.free_log.pending();
-    let mut orphans = 0u64;
-    let mut unowned_allocated = 0u64;
+    // Blocks in the delayed-free log are absolved precisely (by VBN, not
+    // by count): a logged free's bit stays set and its owner entry stays
+    // stale until a processing pass applies it — expected in-between
+    // state, not damage.
+    let pending: HashSet<u64> = agg
+        .free_log
+        .pending_vbns()
+        .iter()
+        .map(|v| v.get())
+        .collect();
     for v in 0..agg.bitmap.space_len() {
         let vbn = Vbn(v);
         let allocated = !agg.bitmap.is_free(vbn)?;
         let recorded = agg.pvbn_owner[vbn.index()];
         let expected = expected_owner[vbn.index()];
+        if pending.contains(&v) {
+            if allocated {
+                continue; // awaiting its logged free; any state is fine
+            }
+            // Already free yet still logged: a crash tore the bitmap
+            // write from the owner update. Replay skips the bit safely,
+            // but a surviving stale owner is damage.
+            if recorded != OWNER_NONE {
+                report.owner_mismatches += 1;
+            }
+            continue;
+        }
         if allocated {
             match (recorded, expected) {
-                (OWNER_ORPHAN, OWNER_NONE) => orphans += 1,
+                (OWNER_ORPHAN, OWNER_NONE) => report.orphaned_blocks += 1,
                 (r, e) if r == e && r != OWNER_NONE => {}
-                (OWNER_NONE, OWNER_NONE) => unowned_allocated += 1,
+                (OWNER_NONE, OWNER_NONE) => report.leaked_blocks += 1,
                 _ => report.owner_mismatches += 1,
             }
         } else if recorded != OWNER_NONE {
             report.owner_mismatches += 1;
         }
     }
-    // Allocated blocks owned by nobody: either a logged-but-unapplied
-    // delayed free (fine) or a leak.
-    report.leaked_blocks = unowned_allocated.saturating_sub(pending_count);
-    let _ = orphans;
 
     // Phase 4: cached scores versus bitmap truth. Only AAs *present* in
     // the heap participate: the active AA legitimately lags until its
@@ -152,16 +188,19 @@ pub fn check(agg: &Aggregate) -> WaflResult<IronReport> {
     Ok(report)
 }
 
-/// Audit and repair: rebuilds AA caches from the bitmaps and the owner
-/// map from the volume maps. Broken mapping chains are reported but not
-/// invented (data loss cannot be repaired from metadata alone — matching
-/// the real tool's behaviour of flagging, not fabricating).
+/// Audit and repair: rebuilds AA caches from the bitmaps, the owner map
+/// from the volume maps, and reclaims leaked blocks in both VBN spaces
+/// (the residue of a torn CP). Broken mapping chains are reported but
+/// not invented (data loss cannot be repaired from metadata alone —
+/// matching the real tool's behaviour of flagging, not fabricating).
 pub fn repair(agg: &mut Aggregate) -> WaflResult<IronReport> {
     let mut report = check(agg)?;
     if report.is_clean() {
         return Ok(report);
     }
-    // Recompute ownership from the volume maps.
+    // Recompute ownership from the volume maps — every *referenced* pair
+    // (`vvbn_entries`: active plus snapshot-pinned), not just the live
+    // logical chains, or repair itself would orphan pinned blocks.
     if report.owner_mismatches > 0 || report.leaked_blocks > 0 {
         for slot in agg.pvbn_owner.iter_mut() {
             if *slot != OWNER_ORPHAN {
@@ -169,25 +208,61 @@ pub fn repair(agg: &mut Aggregate) -> WaflResult<IronReport> {
             }
         }
         for vi in 0..agg.vols.len() {
-            let vol = &agg.vols[vi];
-            let id = vol.id;
-            let mut fixes: Vec<(usize, u64)> = Vec::new();
-            for l in 0..vol.logical_blocks() {
-                if let Some(vvbn) = vol.lookup_logical(l) {
-                    if let Some(pvbn) = vol.lookup_vvbn(vvbn) {
-                        fixes.push((pvbn.index(), pack_owner(id, vvbn)));
-                    }
-                }
-            }
+            let id = agg.vols[vi].id;
+            let fixes: Vec<(usize, u64)> = agg.vols[vi]
+                .vvbn_entries()
+                .map(|(vvbn, pvbn)| (pvbn.index(), pack_owner(id, vvbn)))
+                .collect();
             for (idx, owner) in fixes {
                 agg.pvbn_owner[idx] = owner;
                 report.repairs += 1;
             }
         }
     }
-    // Rebuild every cache from the bitmaps (recomputing what the paper
-    // says Iron recomputes: the TopAA-backed structures).
-    if report.stale_scores > 0 {
+    // Reclaim leaked virtual blocks: allocated vvbn bits nothing maps.
+    if report.leaked_vvbns > 0 || report.volume_accounting_errors > 0 {
+        for vol in &mut agg.vols {
+            let leaked: Vec<Vbn> = (0..vol.size_blocks())
+                .map(Vbn)
+                .filter(|&v| {
+                    vol.bitmap().is_free(v).map(|f| !f).unwrap_or(false)
+                        && vol.lookup_vvbn(v).is_none()
+                })
+                .collect();
+            for v in leaked {
+                vol.bitmap.free(v)?;
+                report.repairs += 1;
+            }
+        }
+    }
+    // Reclaim leaked physical blocks: allocated, unowned after the owner
+    // recompute above, and not awaiting a logged delayed free. (Orphaned
+    // aging seeds keep their OWNER_ORPHAN marker and are untouched.)
+    let mut freed_pvbns = 0u64;
+    if report.leaked_blocks > 0 || report.owner_mismatches > 0 {
+        let pending: HashSet<u64> = agg
+            .free_log
+            .pending_vbns()
+            .iter()
+            .map(|v| v.get())
+            .collect();
+        for v in 0..agg.bitmap.space_len() {
+            let vbn = Vbn(v);
+            if !agg.bitmap.is_free(vbn)?
+                && agg.pvbn_owner[vbn.index()] == OWNER_NONE
+                && !pending.contains(&v)
+            {
+                agg.bitmap.free(vbn)?;
+                freed_pvbns += 1;
+                report.repairs += 1;
+            }
+        }
+    }
+    // Rebuild every cache whose inputs changed (recomputing what the
+    // paper says Iron recomputes: the TopAA-backed structures). Freeing
+    // leaked pvbns invalidates cached group scores even when the check
+    // found none stale.
+    if report.stale_scores > 0 || freed_pvbns > 0 {
         for i in 0..agg.groups.len() {
             if agg.groups[i].cache.is_some() {
                 let cache = build_group_cache(&agg.groups[i], &agg.bitmap)?;
@@ -199,10 +274,7 @@ pub fn repair(agg: &mut Aggregate) -> WaflResult<IronReport> {
     }
     for vol in &mut agg.vols {
         if vol.cache.is_some() {
-            vol.cache = Some(RaidAgnosticCache::build(
-                vol.topology.clone(),
-                &vol.bitmap,
-            )?);
+            vol.cache = Some(RaidAgnosticCache::build(vol.topology.clone(), &vol.bitmap)?);
             vol.active_aa = None;
             report.repairs += 1;
         }

@@ -28,13 +28,13 @@
 
 #![warn(missing_docs)]
 
-pub mod aging;
 mod aggregate;
+pub mod aging;
 mod allocator;
 pub mod cleaning;
 mod config;
-pub mod delayed_free;
 mod cp;
+pub mod delayed_free;
 pub mod iron;
 pub mod mount;
 pub mod snapshot;
@@ -43,5 +43,5 @@ mod volume;
 pub use aggregate::{Aggregate, RaidGroupState};
 pub use allocator::AllocatorMode;
 pub use config::{AggregateConfig, CpuModel, FlexVolConfig, RaidGroupSpec};
-pub use cp::CpStats;
+pub use cp::{CpOutcome, CpStats};
 pub use volume::FlexVol;

@@ -11,10 +11,12 @@
 use crate::aggregate::{Aggregate, GroupCache};
 use serde::{Deserialize, Serialize};
 use wafl_core::{topaa, Hbps, RaidAgnosticCache, RaidAwareCache};
-use wafl_types::{AaId, WaflResult, BLOCK_SIZE};
+use wafl_faults::{FaultPlan, FaultSession, PageSel, ReadOutcome, StructureId};
+use wafl_types::{AaId, RetryPolicy, WaflError, WaflResult, BITS_PER_BITMAP_BLOCK, BLOCK_SIZE};
 
 /// Persisted form of one physical range's AA cache.
 #[allow(clippy::large_enum_variant)] // both variants are page images
+#[derive(Clone)]
 pub enum RgTopAa {
     /// One 4 KiB block: the 512 best AAs of a RAID-aware max-heap (§3.4).
     Heap([u8; BLOCK_SIZE]),
@@ -25,6 +27,7 @@ pub enum RgTopAa {
 
 /// The persisted TopAA metafile image of a whole aggregate: one block per
 /// RAID group (two for HBPS-cached ranges) plus two per FlexVol.
+#[derive(Clone)]
 pub struct TopAaImage {
     /// Per-group cache image (index = RAID group).
     pub rg_blocks: Vec<Option<RgTopAa>>,
@@ -49,16 +52,45 @@ impl TopAaImage {
     }
 }
 
+/// Which structure's TopAA state fell back to a cold bitmap scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradedPart {
+    /// A RAID group's TopAA block / HBPS page pair.
+    Group(usize),
+    /// A FlexVol's HBPS page pair.
+    Volume(usize),
+}
+
+/// One structure [`mount_auto`] could not seed from the TopAA metafile:
+/// its cache was rebuilt from the authoritative bitmap instead. The rest
+/// of the mount stays on the fast path.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegradationEvent {
+    /// The structure that degraded.
+    pub part: DegradedPart,
+    /// Why the fast path failed (CRC mismatch, persistent I/O error, ...).
+    pub reason: String,
+    /// Bitmap pages the cold rebuild of this structure scanned.
+    pub pages_scanned: u64,
+}
+
 /// What a mount path cost and left behind.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct MountStats {
-    /// Metafile blocks read before the first CP could run.
+    /// Metafile blocks read before the first CP could run (TopAA blocks
+    /// plus any bitmap pages scanned for degraded structures).
     pub metafile_blocks_read: u64,
     /// Modelled time until the first CP can start, µs (reads + processing).
     pub first_cp_ready_us: f64,
     /// Bitmap pages a background walk must still scan to complete the
     /// caches (zero for the cold path, which scans everything up front).
     pub background_pages_remaining: u64,
+    /// Transient metafile read failures absorbed by retries during the
+    /// mount (only [`mount_auto_with`] can make this nonzero).
+    pub transient_retries: u64,
+    /// Structures that fell back to a cold bitmap scan (empty on a fully
+    /// fast mount).
+    pub degraded: Vec<DegradationEvent>,
 }
 
 /// Serialize every cache's TopAA state — what WAFL persists at each CP so
@@ -86,9 +118,10 @@ pub fn save_topaa(agg: &Aggregate) -> TopAaImage {
     }
 }
 
-/// Simulate a crash/reboot: all in-memory AA caches and allocator context
-/// (active AAs, device stream state) are lost. Bitmaps, volume maps and
-/// snapshots — the persistent state — survive.
+/// Simulate a crash/reboot: all in-memory AA caches, allocator context
+/// (active AAs, device stream state), queued client operations, and
+/// unapplied delayed frees are lost. Bitmaps, volume maps, the owner map,
+/// snapshots, and the delayed-free *log* — the persistent state — survive.
 pub fn crash(agg: &mut Aggregate) {
     for g in agg.groups.iter_mut() {
         g.cache = None;
@@ -99,6 +132,7 @@ pub fn crash(agg: &mut Aggregate) {
         v.cache = None;
         v.active_aa = None;
     }
+    agg.lose_volatile_state();
 }
 
 /// Fast mount: seed every cache from the TopAA image (§3.4). Reads a
@@ -108,7 +142,7 @@ pub fn crash(agg: &mut Aggregate) {
 pub fn mount_with_topaa(agg: &mut Aggregate, image: &TopAaImage) -> WaflResult<MountStats> {
     let cpu = agg.config().cpu;
     let mut blocks_read = 0u64;
-    let mut background_pages = 0u64;
+    let mut partial_heap_seeded = false;
     for (i, block) in image.rg_blocks.iter().enumerate() {
         let g = &mut agg.groups[i];
         match block {
@@ -118,7 +152,9 @@ pub fn mount_with_topaa(agg: &mut Aggregate, image: &TopAaImage) -> WaflResult<M
                 let max: Vec<u32> = (0..g.topology.aa_count())
                     .map(|a| g.topology.aa_blocks(AaId(a)) as u32)
                     .collect();
-                g.cache = Some(GroupCache::Heap(RaidAwareCache::seeded(max, &entries)?));
+                let seeded = RaidAwareCache::seeded(max, &entries)?;
+                partial_heap_seeded |= !seeded.is_complete();
+                g.cache = Some(GroupCache::Heap(seeded));
             }
             Some(RgTopAa::Hbps(hist, list)) => {
                 blocks_read += 2;
@@ -128,8 +164,6 @@ pub fn mount_with_topaa(agg: &mut Aggregate, image: &TopAaImage) -> WaflResult<M
             None => {}
         }
     }
-    // The background walk still owes a pass over the physical bitmap.
-    background_pages += agg.bitmap.page_count() as u64;
     for (i, pages) in image.vol_pages.iter().enumerate() {
         let Some((hist, list)) = pages else { continue };
         blocks_read += 2;
@@ -143,9 +177,192 @@ pub fn mount_with_topaa(agg: &mut Aggregate, image: &TopAaImage) -> WaflResult<M
     }
     Ok(MountStats {
         metafile_blocks_read: blocks_read,
-        first_cp_ready_us: blocks_read as f64
-            * (cpu.us_per_metafile_read + cpu.us_per_scan_page),
-        background_pages_remaining: background_pages,
+        first_cp_ready_us: blocks_read as f64 * (cpu.us_per_metafile_read + cpu.us_per_scan_page),
+        // The background walk owes a pass over the physical bitmap only
+        // when a partial heap seed was actually installed; an all-HBPS
+        // (or seed-covers-everything) mount restores complete.
+        background_pages_remaining: if partial_heap_seeded {
+            agg.bitmap.page_count() as u64
+        } else {
+            0
+        },
+        transient_retries: 0,
+        degraded: Vec::new(),
+    })
+}
+
+/// Apply a fault plan's scribbles to a persisted TopAA image — the damage
+/// the torture driver inflicts between crash and remount. Scribbles aimed
+/// at absent structures (or at the nonexistent second page of a heap
+/// block) hit unused media and are ignored.
+pub fn apply_scribbles(image: &mut TopAaImage, plan: &FaultPlan) {
+    for s in &plan.scribbles {
+        match s.target {
+            StructureId::Group(i) => {
+                if let Some(Some(block)) = image.rg_blocks.get_mut(i) {
+                    match block {
+                        RgTopAa::Heap(page) => {
+                            if s.page == PageSel::First {
+                                s.apply(page);
+                            }
+                        }
+                        RgTopAa::Hbps(hist, list) => s.apply(match s.page {
+                            PageSel::First => hist,
+                            PageSel::Second => list,
+                        }),
+                    }
+                }
+            }
+            StructureId::Volume(i) => {
+                if let Some(Some((hist, list))) = image.vol_pages.get_mut(i) {
+                    s.apply(match s.page {
+                        PageSel::First => hist,
+                        PageSel::Second => list,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Fault-free [`mount_auto_with`]: fast-path every structure, degrading
+/// any whose persisted state fails its CRC or structural validation.
+pub fn mount_auto(agg: &mut Aggregate, image: &TopAaImage) -> MountStats {
+    let plan = FaultPlan::none();
+    let mut session = FaultSession::new(&plan);
+    mount_auto_with(agg, image, &mut session, RetryPolicy::default())
+}
+
+/// Degraded-mode mount: seed every cache from the TopAA image where
+/// possible, and fall back to a cold bitmap scan *per structure* where
+/// not. Unlike [`mount_with_topaa`], this never returns an error and
+/// never leaves a cache-configured structure without its cache: a corrupt
+/// TopAA block or a persistently unreadable metafile costs that one
+/// group/volume a bitmap walk (recorded in [`MountStats::degraded`])
+/// while everything else keeps the fast path. Transient read errors are
+/// retried within `retry`'s budget and surface only as
+/// [`MountStats::transient_retries`].
+pub fn mount_auto_with(
+    agg: &mut Aggregate,
+    image: &TopAaImage,
+    faults: &mut FaultSession<'_>,
+    retry: RetryPolicy,
+) -> MountStats {
+    let cpu = agg.config().cpu;
+    let mut stats = MountStats::default();
+    let mut partial_heap_seeded = false;
+
+    let want_group_caches = agg.config().raid_aware_cache;
+    for i in 0..agg.groups.len() {
+        if !want_group_caches {
+            continue;
+        }
+        let (read, retries) = faulted_read(faults, StructureId::Group(i), retry);
+        stats.transient_retries += retries as u64;
+        let seeded = read.and_then(|()| match image.rg_blocks.get(i).and_then(Option::as_ref) {
+            Some(RgTopAa::Heap(block)) => {
+                stats.metafile_blocks_read += 1;
+                let entries = topaa::deserialize_raid_aware(block)?;
+                let g = &mut agg.groups[i];
+                let max: Vec<u32> = (0..g.topology.aa_count())
+                    .map(|a| g.topology.aa_blocks(AaId(a)) as u32)
+                    .collect();
+                let cache = RaidAwareCache::seeded(max, &entries)?;
+                partial_heap_seeded |= !cache.is_complete();
+                g.cache = Some(GroupCache::Heap(cache));
+                Ok(())
+            }
+            Some(RgTopAa::Hbps(hist, list)) => {
+                stats.metafile_blocks_read += 2;
+                agg.groups[i].cache =
+                    Some(GroupCache::Hbps(Box::new(Hbps::from_pages(hist, list)?)));
+                Ok(())
+            }
+            None => Err(WaflError::CorruptMetafile {
+                reason: "TopAA image missing for this group".into(),
+            }),
+        });
+        if let Err(e) = seeded {
+            // Per-structure degradation: recompute this group's cache
+            // from the authoritative bitmap (§3.4's fallback), leaving
+            // every other structure on the fast path.
+            crate::aging::rebuild_rg_cache(agg, i)
+                .expect("cold cache rebuild from the authoritative bitmap");
+            let pages = agg.groups[i]
+                .geometry
+                .data_blocks()
+                .div_ceil(BITS_PER_BITMAP_BLOCK);
+            stats.metafile_blocks_read += pages;
+            stats.degraded.push(DegradationEvent {
+                part: DegradedPart::Group(i),
+                reason: e.to_string(),
+                pages_scanned: pages,
+            });
+        }
+    }
+
+    for i in 0..agg.vols.len() {
+        if !agg.vols[i].config().aa_cache {
+            continue;
+        }
+        let (read, retries) = faulted_read(faults, StructureId::Volume(i), retry);
+        stats.transient_retries += retries as u64;
+        let seeded = read.and_then(|()| match image.vol_pages.get(i).and_then(Option::as_ref) {
+            Some((hist, list)) => {
+                stats.metafile_blocks_read += 2;
+                let v = &mut agg.vols[i];
+                v.cache = Some(RaidAgnosticCache::from_topaa(
+                    v.topology.clone(),
+                    hist,
+                    list,
+                )?);
+                Ok(())
+            }
+            None => Err(WaflError::CorruptMetafile {
+                reason: "TopAA image missing for this volume".into(),
+            }),
+        });
+        if let Err(e) = seeded {
+            let v = &mut agg.vols[i];
+            v.cache = Some(
+                RaidAgnosticCache::build(v.topology.clone(), &v.bitmap)
+                    .expect("cold cache rebuild from the authoritative bitmap"),
+            );
+            let pages = v.bitmap.page_count() as u64;
+            stats.metafile_blocks_read += pages;
+            stats.degraded.push(DegradationEvent {
+                part: DegradedPart::Volume(i),
+                reason: e.to_string(),
+                pages_scanned: pages,
+            });
+        }
+    }
+
+    stats.first_cp_ready_us =
+        stats.metafile_blocks_read as f64 * (cpu.us_per_metafile_read + cpu.us_per_scan_page);
+    stats.background_pages_remaining = if partial_heap_seeded {
+        agg.bitmap.page_count() as u64
+    } else {
+        0
+    };
+    stats
+}
+
+/// One metafile read against the fault session, retried within `retry`'s
+/// budget. Returns the settled result and the retries consumed.
+fn faulted_read(
+    faults: &mut FaultSession<'_>,
+    target: StructureId,
+    retry: RetryPolicy,
+) -> (WaflResult<()>, u32) {
+    retry.run(|| match faults.on_read(target) {
+        ReadOutcome::Ok => Ok(()),
+        ReadOutcome::Transient => Err(WaflError::TransientIo {
+            reason: format!("metafile read failed for {target:?}"),
+        }),
+        ReadOutcome::Persistent => Err(WaflError::CorruptMetafile {
+            reason: format!("metafile persistently unreadable for {target:?}"),
+        }),
     })
 }
 
@@ -166,6 +383,8 @@ pub fn mount_cold(agg: &mut Aggregate) -> WaflResult<MountStats> {
         metafile_blocks_read: pages,
         first_cp_ready_us: pages as f64 * (cpu.us_per_metafile_read + cpu.us_per_scan_page),
         background_pages_remaining: 0,
+        transient_retries: 0,
+        degraded: Vec::new(),
     })
 }
 
@@ -203,9 +422,7 @@ mod tests {
                 // 64-stripe AAs -> 2048 AAs per group, so the 512-entry
                 // TopAA seed is a strict subset and the background rebuild
                 // has real work to do.
-                aa_policy_override: Some(wafl_types::AaSizingPolicy::Stripes {
-                    stripes: 64,
-                }),
+                aa_policy_override: Some(wafl_types::AaSizingPolicy::Stripes { stripes: 64 }),
                 ..AggregateConfig::single_group(RaidGroupSpec {
                     data_devices: 4,
                     parity_devices: 1,
@@ -218,8 +435,8 @@ mod tests {
                     FlexVolConfig {
                         size_blocks: 8 * 32768,
                         aa_cache: true,
-                    aa_blocks: None,
-                },
+                        aa_blocks: None,
+                    },
                     40_000,
                 );
                 vols

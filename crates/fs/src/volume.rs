@@ -6,9 +6,7 @@ use crate::snapshot::{Snapshot, SnapshotId};
 use std::collections::{HashMap, HashSet};
 use wafl_bitmap::Bitmap;
 use wafl_core::{AaTopology, RaidAgnosticCache, ScoreDeltaBatch};
-use wafl_types::{
-    AaSizingPolicy, Vbn, VolumeId, WaflError, WaflResult, RAID_AGNOSTIC_AA_BLOCKS,
-};
+use wafl_types::{AaSizingPolicy, Vbn, VolumeId, WaflError, WaflResult, RAID_AGNOSTIC_AA_BLOCKS};
 
 /// Sentinel for "no mapping".
 const UNMAPPED: u64 = u64::MAX;
@@ -147,12 +145,7 @@ impl FlexVol {
     /// snapshot pins it — those become delayed frees; pinned pairs detach
     /// instead and free when their last snapshot goes. Called by the CP
     /// engine only.
-    pub(crate) fn remap(
-        &mut self,
-        logical: u64,
-        vvbn: Vbn,
-        pvbn: Vbn,
-    ) -> Option<(Vbn, Vbn)> {
+    pub(crate) fn remap(&mut self, logical: u64, vvbn: Vbn, pvbn: Vbn) -> Option<(Vbn, Vbn)> {
         let old_v = self.logical_map[logical as usize];
         self.logical_map[logical as usize] = vvbn.get();
         self.vvbn_map.insert(vvbn.get(), pvbn.get());
@@ -242,8 +235,8 @@ mod tests {
             FlexVolConfig {
                 size_blocks: 4 * RAID_AGNOSTIC_AA_BLOCKS,
                 aa_cache: true,
-                    aa_blocks: None,
-                },
+                aa_blocks: None,
+            },
             1000,
         )
         .unwrap()
@@ -292,8 +285,8 @@ mod tests {
             FlexVolConfig {
                 size_blocks: RAID_AGNOSTIC_AA_BLOCKS,
                 aa_cache: false,
-                    aa_blocks: None,
-                },
+                aa_blocks: None,
+            },
             100,
         )
         .unwrap();

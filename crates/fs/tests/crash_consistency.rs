@@ -1,0 +1,374 @@
+//! Crash-consistency and degraded-mount integration tests.
+//!
+//! The torture driver closes the loop the paper leaves to WAFL Iron
+//! (§3.4): damage the persisted TopAA state, tear a consistency point at
+//! a scheduled crash site, remount in degraded mode, and prove the
+//! system either checks clean or repairs to clean — then keeps serving
+//! CPs. Every schedule is derived from a seed, so any failure reproduces
+//! from its seed alone.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use wafl_faults::{
+    CrashSite, FaultPlan, FaultSession, PageSel, PlanShape, ReadErrorFault, ScribbleFault,
+    StructureId, PERSISTENT,
+};
+use wafl_fs::mount::{self, DegradedPart};
+use wafl_fs::{aging, iron, Aggregate, AggregateConfig, CpOutcome, FlexVolConfig, RaidGroupSpec};
+use wafl_media::MediaProfile;
+use wafl_types::{RetryPolicy, VolumeId};
+
+const GROUPS: usize = 2;
+const VOLS: usize = 2;
+const VOL_BLOCKS: u64 = 4 * 32768;
+const WRITTEN: u64 = 4096;
+
+/// Two RAID groups, two volumes, aged with enough churn that every cache
+/// has meaningful content and the delayed-free machinery carries state.
+fn aged_agg(batched_frees: bool) -> Aggregate {
+    let spec = RaidGroupSpec {
+        data_devices: 4,
+        parity_devices: 1,
+        device_blocks: 16 * 4096,
+        profile: MediaProfile::hdd(),
+    };
+    let mut cfg = AggregateConfig::single_group(spec.clone());
+    cfg.raid_groups.push(spec);
+    cfg.batched_frees = batched_frees;
+    if batched_frees {
+        cfg.free_pages_per_cp = 2;
+    }
+    let vol_cfgs: Vec<_> = (0..VOLS)
+        .map(|_| {
+            (
+                FlexVolConfig {
+                    size_blocks: VOL_BLOCKS,
+                    aa_cache: true,
+                    aa_blocks: None,
+                },
+                30_000,
+            )
+        })
+        .collect();
+    let mut a = Aggregate::new(cfg, &vol_cfgs, 3).unwrap();
+    for v in 0..VOLS {
+        aging::fill_volume(&mut a, VolumeId(v as u32), WRITTEN as usize).unwrap();
+        aging::random_overwrite_churn(
+            &mut a,
+            VolumeId(v as u32),
+            6_000,
+            WRITTEN as usize,
+            v as u64,
+        )
+        .unwrap();
+    }
+    a
+}
+
+/// Bitmap pages one RAID group's cold rebuild scans.
+fn group_pages(a: &Aggregate, i: usize) -> u64 {
+    a.groups()[i]
+        .geometry
+        .data_blocks()
+        .div_ceil(wafl_types::BITS_PER_BITMAP_BLOCK)
+}
+
+// ---------------------------------------------------------------------
+// Satellite: orphan accounting surfaced instead of discarded.
+// ---------------------------------------------------------------------
+
+#[test]
+fn orphaned_aging_seeds_are_counted_not_flagged() {
+    let mut a = aged_agg(false);
+    let before = iron::check(&a).unwrap();
+    assert!(before.is_clean(), "{before:?}");
+    assert_eq!(before.orphaned_blocks, 0);
+
+    aging::seed_rg_random_occupancy(&mut a, 1, 0.3, 7).unwrap();
+    let report = iron::check(&a).unwrap();
+    assert!(report.orphaned_blocks > 0, "{report:?}");
+    assert!(
+        report.is_clean(),
+        "orphans are fixture state, not damage: {report:?}"
+    );
+    // Repair on a clean-but-orphaned aggregate is a no-op.
+    let repaired = iron::repair(&mut a).unwrap();
+    assert_eq!(repaired.repairs, 0, "{repaired:?}");
+    assert_eq!(repaired.orphaned_blocks, report.orphaned_blocks);
+}
+
+// ---------------------------------------------------------------------
+// Satellite: per-structure degradation with mixed mount cost.
+// ---------------------------------------------------------------------
+
+#[test]
+fn scribbled_group_degrades_alone_others_fast_path() {
+    let mut a = aged_agg(false);
+    let mut image = mount::save_topaa(&a);
+    mount::crash(&mut a);
+
+    let plan = FaultPlan::scribble(StructureId::Group(0), PageSel::First, 42);
+    mount::apply_scribbles(&mut image, &plan);
+    let stats = mount::mount_auto(&mut a, &image);
+
+    assert_eq!(stats.degraded.len(), 1, "{:?}", stats.degraded);
+    let ev = &stats.degraded[0];
+    assert_eq!(ev.part, DegradedPart::Group(0));
+    assert_eq!(ev.pages_scanned, group_pages(&a, 0));
+    // Mixed cost: more than an all-fast mount (1 block per heap group +
+    // 2 per volume), less than an all-cold one (every bitmap page).
+    let fast = (GROUPS + 2 * VOLS) as u64;
+    let cold: u64 = (0..GROUPS).map(|i| group_pages(&a, i)).sum::<u64>()
+        + a.volumes()
+            .iter()
+            .map(|v| v.bitmap().page_count() as u64)
+            .sum::<u64>();
+    assert!(
+        stats.metafile_blocks_read > fast && stats.metafile_blocks_read < cold,
+        "mixed mount read {} blocks (fast={fast}, cold={cold})",
+        stats.metafile_blocks_read
+    );
+    // Every structure has an operational cache; the degraded group's is
+    // complete (cold rebuilds scan everything), so less background debt
+    // than a fully fast mount would owe it.
+    assert!(a.groups()[0].cache().unwrap().is_complete());
+    for v in a.volumes() {
+        assert!(v.cache().is_some());
+    }
+    // And the aggregate still serves a CP.
+    for l in 0..500 {
+        a.client_overwrite(VolumeId(0), l).unwrap();
+    }
+    a.run_cp().unwrap();
+    assert!(iron::check(&a).unwrap().is_clean());
+}
+
+#[test]
+fn every_structure_scribbled_still_mounts() {
+    let mut a = aged_agg(false);
+    let mut image = mount::save_topaa(&a);
+    mount::crash(&mut a);
+
+    let mut plan = FaultPlan::none();
+    for g in 0..GROUPS {
+        plan.scribbles.push(ScribbleFault {
+            target: StructureId::Group(g),
+            page: PageSel::First,
+            offset: 64,
+            len: 48,
+            pattern_seed: g as u64,
+        });
+    }
+    for v in 0..VOLS {
+        for page in [PageSel::First, PageSel::Second] {
+            plan.scribbles.push(ScribbleFault {
+                target: StructureId::Volume(v),
+                page,
+                offset: 512,
+                len: 16,
+                pattern_seed: 100 + v as u64,
+            });
+        }
+    }
+    mount::apply_scribbles(&mut image, &plan);
+    let stats = mount::mount_auto(&mut a, &image);
+    assert_eq!(stats.degraded.len(), GROUPS + VOLS, "{:?}", stats.degraded);
+    for g in a.groups() {
+        assert!(g.cache().is_some());
+    }
+    for v in a.volumes() {
+        assert!(v.cache().is_some());
+    }
+    for l in 0..500 {
+        a.client_overwrite(VolumeId(1), l).unwrap();
+    }
+    a.run_cp().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Transient vs persistent metafile read errors.
+// ---------------------------------------------------------------------
+
+#[test]
+fn transient_read_errors_are_retried_not_degraded() {
+    let mut a = aged_agg(false);
+    let image = mount::save_topaa(&a);
+    mount::crash(&mut a);
+
+    let plan = FaultPlan {
+        read_errors: vec![ReadErrorFault {
+            target: StructureId::Group(0),
+            failures: 2,
+        }],
+        ..FaultPlan::default()
+    };
+    let mut session = FaultSession::new(&plan);
+    let stats = mount::mount_auto_with(&mut a, &image, &mut session, RetryPolicy::default());
+    assert_eq!(stats.transient_retries, 2);
+    assert!(stats.degraded.is_empty(), "{:?}", stats.degraded);
+    assert!(!a.groups()[0].cache().unwrap().is_complete(), "fast path");
+}
+
+#[test]
+fn transient_errors_beyond_retry_budget_degrade() {
+    let mut a = aged_agg(false);
+    let image = mount::save_topaa(&a);
+    mount::crash(&mut a);
+
+    let plan = FaultPlan {
+        read_errors: vec![ReadErrorFault {
+            target: StructureId::Volume(0),
+            failures: 10, // more than the retry budget, but not PERSISTENT
+        }],
+        ..FaultPlan::default()
+    };
+    let mut session = FaultSession::new(&plan);
+    let stats =
+        mount::mount_auto_with(&mut a, &image, &mut session, RetryPolicy { max_retries: 3 });
+    assert_eq!(stats.degraded.len(), 1);
+    assert_eq!(stats.degraded[0].part, DegradedPart::Volume(0));
+    assert_eq!(stats.transient_retries, 3, "budget fully consumed");
+    assert!(a.volumes()[0].cache().is_some());
+}
+
+#[test]
+fn persistent_read_error_degrades_only_its_structure() {
+    let mut a = aged_agg(false);
+    let image = mount::save_topaa(&a);
+    mount::crash(&mut a);
+
+    let plan = FaultPlan {
+        read_errors: vec![ReadErrorFault {
+            target: StructureId::Volume(1),
+            failures: PERSISTENT,
+        }],
+        ..FaultPlan::default()
+    };
+    let mut session = FaultSession::new(&plan);
+    let stats = mount::mount_auto_with(&mut a, &image, &mut session, RetryPolicy::default());
+    assert_eq!(stats.transient_retries, 0, "no point retrying");
+    assert_eq!(stats.degraded.len(), 1);
+    assert_eq!(stats.degraded[0].part, DegradedPart::Volume(1));
+    for l in 0..200 {
+        a.client_overwrite(VolumeId(1), l).unwrap();
+    }
+    a.run_cp().unwrap();
+    assert!(iron::check(&a).unwrap().is_clean());
+}
+
+#[test]
+fn missing_image_structures_degrade_instead_of_erroring() {
+    let mut a = aged_agg(false);
+    let mut image = mount::save_topaa(&a);
+    mount::crash(&mut a);
+    image.rg_blocks[1] = None;
+    image.vol_pages[0] = None;
+    let stats = mount::mount_auto(&mut a, &image);
+    let parts: Vec<_> = stats.degraded.iter().map(|e| e.part).collect();
+    assert_eq!(
+        parts,
+        vec![DegradedPart::Group(1), DegradedPart::Volume(0)],
+        "{:?}",
+        stats.degraded
+    );
+}
+
+// ---------------------------------------------------------------------
+// The torture loop: traffic → torn CP + corruption → degraded remount →
+// check/repair → more traffic. Seeded and fully reproducible.
+// ---------------------------------------------------------------------
+
+fn torture_one(seed: u64) {
+    let batched = seed.is_multiple_of(2);
+    let mut agg = aged_agg(batched);
+    let shape = PlanShape {
+        groups: GROUPS,
+        volumes: VOLS,
+        max_progress: 600,
+    };
+    let plan = FaultPlan::random(seed, shape);
+
+    // Client traffic since the last CP: overwrites with a sprinkle of
+    // deletes, so the torn CP has binds, delayed frees, and deletions
+    // in flight.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7051_7051);
+    for _ in 0..600 {
+        let vol = VolumeId(rng.random_range(0..VOLS as u32));
+        let logical = rng.random_range(0..WRITTEN);
+        if rng.random_bool(0.05) {
+            let _ = agg.client_delete(vol, logical);
+        } else {
+            agg.client_overwrite(vol, logical).unwrap();
+        }
+    }
+
+    // The TopAA image persisted by the *previous* CP survives the crash;
+    // only a CP that reached its TopAA-persist step refreshes it.
+    let mut image = mount::save_topaa(&agg);
+    match agg
+        .run_cp_with_faults(plan.crash)
+        .unwrap_or_else(|e| panic!("seed {seed}: CP failed outright: {e}"))
+    {
+        CpOutcome::Completed(_) | CpOutcome::Crashed(CrashSite::AfterTopAaPersist) => {
+            image = mount::save_topaa(&agg);
+        }
+        CpOutcome::Crashed(_) => {} // image stays one CP stale
+    }
+
+    mount::crash(&mut agg);
+    mount::apply_scribbles(&mut image, &plan);
+    let mut session = FaultSession::new(&plan);
+    let stats = mount::mount_auto_with(&mut agg, &image, &mut session, RetryPolicy::default());
+
+    // Invariant 1: degraded mount always completes with operational caches.
+    for g in agg.groups() {
+        assert!(g.cache().is_some(), "seed {seed}: group cache missing");
+    }
+    for v in agg.volumes() {
+        assert!(v.cache().is_some(), "seed {seed}: volume cache missing");
+    }
+
+    // Invariant 2: the aggregate checks clean, or repairs to clean.
+    let report = iron::check(&agg).unwrap();
+    if !report.is_clean() {
+        let repaired = iron::repair(&mut agg).unwrap();
+        assert!(
+            repaired.repairs > 0,
+            "seed {seed}: dirty check but no repairs: {repaired:?} (mount: {stats:?})"
+        );
+        let after = iron::check(&agg).unwrap();
+        assert!(
+            after.is_clean(),
+            "seed {seed}: still dirty after repair: {after:?} (was {report:?})"
+        );
+    }
+
+    // Invariant 3: the remounted aggregate keeps serving CPs.
+    for _ in 0..300 {
+        let vol = VolumeId(rng.random_range(0..VOLS as u32));
+        agg.client_overwrite(vol, rng.random_range(0..WRITTEN))
+            .unwrap();
+    }
+    agg.run_cp()
+        .unwrap_or_else(|e| panic!("seed {seed}: post-remount CP failed: {e}"));
+    assert!(
+        iron::check(&agg).unwrap().is_clean(),
+        "seed {seed}: dirty after post-remount CP"
+    );
+}
+
+#[test]
+fn torture_smoke() {
+    for seed in 0..25 {
+        torture_one(seed);
+    }
+}
+
+/// The full acceptance run: `cargo test -p wafl-fs --test crash_consistency -- --ignored`
+#[test]
+#[ignore = "long-running: 200 seeded crash/corrupt/remount schedules"]
+fn torture_full() {
+    for seed in 0..200 {
+        torture_one(seed);
+    }
+}

@@ -7,8 +7,8 @@
 fn main() {
     let (scale, json) = wafl_harness::cli_scale();
     let backoff = std::env::args().any(|a| a == "--backoff");
-    let result = wafl_harness::experiments::fig7::run_with_backoff(scale, backoff)
-        .expect("fig7 failed");
+    let result =
+        wafl_harness::experiments::fig7::run_with_backoff(scale, backoff).expect("fig7 failed");
     println!("{}", result.to_markdown());
     wafl_harness::maybe_write_json(&json, &result);
 }

@@ -1,0 +1,11 @@
+//! Degraded-mount cost ladder and seeded torture-recovery summary.
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin recovery
+//!         [--scale small|paper] [--json out.json]`
+
+fn main() {
+    let (scale, json) = wafl_harness::cli_scale();
+    let result = wafl_harness::experiments::recovery::run(scale).expect("recovery failed");
+    println!("{}", result.to_markdown());
+    wafl_harness::maybe_write_json(&json, &result);
+}

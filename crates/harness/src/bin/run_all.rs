@@ -4,7 +4,9 @@
 //! Usage: `cargo run --release -p wafl-harness --bin run_all
 //!         [--scale small|paper]`
 
-use wafl_harness::experiments::{ext_reclamation, fig10, fig6, fig7, fig8, fig9, table_cpu};
+use wafl_harness::experiments::{
+    ext_reclamation, fig10, fig6, fig7, fig8, fig9, recovery, table_cpu,
+};
 
 fn main() {
     let (scale, _) = wafl_harness::cli_scale();
@@ -20,6 +22,8 @@ fn main() {
     let f10 = fig10::run(scale).expect("fig10");
     eprintln!("running extension experiments (reclamation)...");
     let ext = ext_reclamation::run_experiment(scale).expect("ext_reclamation");
+    eprintln!("running recovery (degraded mount + torture)...");
+    let rec = recovery::run(scale).expect("recovery");
     let tc = table_cpu::from_fig6(&f6);
     println!("# Reproduction report ({:?} scale)\n", scale);
     println!("{}\n", f6.to_markdown());
@@ -29,4 +33,5 @@ fn main() {
     println!("{}\n", f9.to_markdown());
     println!("{}\n", f10.to_markdown());
     println!("{}\n", ext.to_markdown());
+    println!("{}\n", rec.to_markdown());
 }

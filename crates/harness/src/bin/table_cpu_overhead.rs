@@ -7,8 +7,7 @@
 
 fn main() {
     let (scale, json) = wafl_harness::cli_scale();
-    let result =
-        wafl_harness::experiments::table_cpu::run(scale).expect("table_cpu failed");
+    let result = wafl_harness::experiments::table_cpu::run(scale).expect("table_cpu failed");
     println!("{}", result.to_markdown());
     wafl_harness::maybe_write_json(&json, &result);
 }

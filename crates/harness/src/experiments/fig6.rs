@@ -314,8 +314,7 @@ mod tests {
     #[test]
     fn fig6_shapes_hold() {
         let r = run(Scale::Small).unwrap();
-        let [both, vol_only, agg_only, none] =
-            [&r.arms[0], &r.arms[1], &r.arms[2], &r.arms[3]];
+        let [both, vol_only, agg_only, none] = [&r.arms[0], &r.arms[1], &r.arms[2], &r.arms[3]];
 
         // Cache-guided physical picks are emptier than random picks.
         assert!(

@@ -70,8 +70,8 @@ pub fn run_with_backoff(scale: Scale, backoff: bool) -> WaflResult<Fig7Result> {
             FlexVolConfig {
                 size_blocks: agg_blocks.div_ceil(32768) * 32768,
                 aa_cache: true,
-                    aa_blocks: None,
-                },
+                aa_blocks: None,
+            },
             working_set,
         )],
         5,
@@ -138,10 +138,7 @@ impl Fig7Result {
         }
         let mut out =
             String::from("## Figure 7 — disk usage across differently aged RAID groups\n\n");
-        out += &markdown_table(
-            &["RAID group", "aging", "disk", "blocks/s"],
-            &rows,
-        );
+        out += &markdown_table(&["RAID group", "aging", "disk", "blocks/s"], &rows);
         out += "\n";
         let rg_rows: Vec<Vec<String>> = self
             .groups
@@ -212,8 +209,7 @@ mod tests {
         let no_backoff = run_with_backoff(Scale::Small, false).unwrap();
         let with_backoff = run_with_backoff(Scale::Small, true).unwrap();
         let aged_share = |r: &Fig7Result| {
-            let blocks =
-                |g: &RgUsage| g.disk_blocks_per_s.iter().sum::<f64>();
+            let blocks = |g: &RgUsage| g.disk_blocks_per_s.iter().sum::<f64>();
             let aged = blocks(&r.groups[0]) + blocks(&r.groups[1]);
             let total: f64 = r.groups.iter().map(blocks).sum();
             aged / total

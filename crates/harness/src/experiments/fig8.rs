@@ -71,21 +71,15 @@ fn run_arm(scale: Scale, name: &str, policy: AaSizingPolicy) -> WaflResult<Arm> 
             FlexVolConfig {
                 size_blocks: agg_blocks.div_ceil(32768) * 32768 * 2,
                 aa_cache: true,
-                    aa_blocks: None,
-                },
+                aa_blocks: None,
+            },
             working_set,
         )],
         3,
     )?;
     let stripes_per_aa = agg.groups()[0].stripes_per_aa;
     aging::fill_volume(&mut agg, VolumeId(0), ops_per_cp)?;
-    aging::random_overwrite_churn(
-        &mut agg,
-        VolumeId(0),
-        working_set * 3 / 2,
-        ops_per_cp,
-        19,
-    )?;
+    aging::random_overwrite_churn(&mut agg, VolumeId(0), working_set * 3 / 2, ops_per_cp, 19)?;
     agg.reset_media_stats();
     agg.reset_cache_stats();
 
@@ -145,8 +139,16 @@ impl Fig8Result {
     /// Render the figure's series and summary.
     pub fn to_markdown(&self) -> String {
         let mut rows = Vec::new();
-        rows.extend(curve_rows(&self.small.name, &self.small.curve, self.clients));
-        rows.extend(curve_rows(&self.large.name, &self.large.curve, self.clients));
+        rows.extend(curve_rows(
+            &self.small.name,
+            &self.small.curve,
+            self.clients,
+        ));
+        rows.extend(curve_rows(
+            &self.large.name,
+            &self.large.curve,
+            self.clients,
+        ));
         let mut out = String::from("## Figure 8 — AA sizing on SSD\n\n");
         out += &markdown_table(
             &[

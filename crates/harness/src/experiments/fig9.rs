@@ -81,8 +81,8 @@ fn run_arm(scale: Scale, name: &str, policy: AaSizingPolicy) -> WaflResult<Arm> 
             FlexVolConfig {
                 size_blocks: agg_blocks.div_ceil(32768) * 32768,
                 aa_cache: true,
-                    aa_blocks: None,
-                },
+                aa_blocks: None,
+            },
             working_set,
         )],
         7,
@@ -149,7 +149,11 @@ impl Fig9Result {
     /// Render the figure's series and summary.
     pub fn to_markdown(&self) -> String {
         let mut rows = Vec::new();
-        rows.extend(curve_rows(&self.small.name, &self.small.curve, self.clients));
+        rows.extend(curve_rows(
+            &self.small.name,
+            &self.small.curve,
+            self.clients,
+        ));
         rows.extend(curve_rows(
             &self.aligned.name,
             &self.aligned.curve,

@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod recovery;
 pub mod table_cpu;
 
 use crate::latency::WindowCost;

@@ -98,8 +98,11 @@ mod tests {
             r.us_per_op_without_vol_cache
         );
         // Base per-op cost lands in the paper's few-hundred-µs regime.
-        assert!((150.0..600.0).contains(&r.us_per_op_with_cache),
-            "us/op {}", r.us_per_op_with_cache);
+        assert!(
+            (150.0..600.0).contains(&r.us_per_op_with_cache),
+            "us/op {}",
+            r.us_per_op_with_cache
+        );
         // Maintenance cost is a rounding error.
         assert!(r.cache_cpu_fraction < 0.01);
         assert!(r.to_markdown().contains("293"));

@@ -98,8 +98,7 @@ mod tests {
     #[test]
     fn op_presets_ordered() {
         assert!(
-            MediaProfile::ssd().over_provisioning
-                < MediaProfile::ssd_high_op().over_provisioning
+            MediaProfile::ssd().over_provisioning < MediaProfile::ssd_high_op().over_provisioning
         );
     }
 }

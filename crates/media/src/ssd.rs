@@ -93,9 +93,8 @@ impl SsdFtl {
         }
         let gc_reserve = 4usize;
         let logical_ebs = (logical_pages as u64).div_ceil(erase_block_pages as u64);
-        let physical_ebs = ((logical_ebs as f64) * (1.0 + op)).ceil() as u64
-            + gc_reserve as u64
-            + 1; // +1 for the active block
+        let physical_ebs =
+            ((logical_ebs as f64) * (1.0 + op)).ceil() as u64 + gc_reserve as u64 + 1; // +1 for the active block
         let physical_pages = physical_ebs * erase_block_pages as u64;
         if physical_pages > UNMAPPED as u64 {
             return Err(WaflError::InvalidConfig {

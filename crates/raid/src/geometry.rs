@@ -1,9 +1,7 @@
 //! PVBN ↔ device mapping for one RAID group.
 
 use serde::{Deserialize, Serialize};
-use wafl_types::{
-    AaId, DeviceId, Dbn, RaidGroupId, StripeId, Vbn, WaflError, WaflResult,
-};
+use wafl_types::{AaId, Dbn, DeviceId, RaidGroupId, StripeId, Vbn, WaflError, WaflResult};
 
 /// A block's physical location: which device of the group, and where on it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -113,11 +111,9 @@ impl RaidGeometry {
                 ),
             });
         }
-        Ok(Vbn(
-            self.base_vbn.get()
-                + loc.device.get() as u64 * self.device_blocks
-                + loc.dbn.get(),
-        ))
+        Ok(Vbn(self.base_vbn.get()
+            + loc.device.get() as u64 * self.device_blocks
+            + loc.dbn.get()))
     }
 
     /// The stripe containing a PVBN (the stripe index equals the DBN).
@@ -156,9 +152,7 @@ impl RaidGeometry {
         let len = end - start;
         let base = self.base_vbn.get();
         let dev_blocks = self.device_blocks;
-        (0..self.data_devices).map(move |d| {
-            (Vbn(base + d as u64 * dev_blocks + start), len)
-        })
+        (0..self.data_devices).map(move |d| (Vbn(base + d as u64 * dev_blocks + start), len))
     }
 
     /// The AA containing `vbn` for the given AA height.
@@ -193,15 +187,24 @@ mod tests {
         // First block of each device.
         assert_eq!(
             g.vbn_to_loc(Vbn(5000)).unwrap(),
-            DeviceLoc { device: DeviceId(0), dbn: Dbn(0) }
+            DeviceLoc {
+                device: DeviceId(0),
+                dbn: Dbn(0)
+            }
         );
         assert_eq!(
             g.vbn_to_loc(Vbn(6000)).unwrap(),
-            DeviceLoc { device: DeviceId(1), dbn: Dbn(0) }
+            DeviceLoc {
+                device: DeviceId(1),
+                dbn: Dbn(0)
+            }
         );
         assert_eq!(
             g.vbn_to_loc(Vbn(7000)).unwrap(),
-            DeviceLoc { device: DeviceId(2), dbn: Dbn(0) }
+            DeviceLoc {
+                device: DeviceId(2),
+                dbn: Dbn(0)
+            }
         );
     }
 
@@ -211,10 +214,16 @@ mod tests {
         assert!(g.vbn_to_loc(Vbn(4999)).is_err());
         assert!(g.vbn_to_loc(Vbn(8000)).is_err());
         assert!(g
-            .loc_to_vbn(DeviceLoc { device: DeviceId(3), dbn: Dbn(0) })
+            .loc_to_vbn(DeviceLoc {
+                device: DeviceId(3),
+                dbn: Dbn(0)
+            })
             .is_err());
         assert!(g
-            .loc_to_vbn(DeviceLoc { device: DeviceId(0), dbn: Dbn(1000) })
+            .loc_to_vbn(DeviceLoc {
+                device: DeviceId(0),
+                dbn: Dbn(1000)
+            })
             .is_err());
     }
 
@@ -224,7 +233,10 @@ mod tests {
         // Blocks at DBN 7 on all three devices share stripe 7.
         for dev in 0..3u32 {
             let vbn = g
-                .loc_to_vbn(DeviceLoc { device: DeviceId(dev), dbn: Dbn(7) })
+                .loc_to_vbn(DeviceLoc {
+                    device: DeviceId(dev),
+                    dbn: Dbn(7),
+                })
                 .unwrap();
             assert_eq!(g.stripe_of(vbn).unwrap(), StripeId(7));
         }

@@ -71,10 +71,7 @@ impl CpWriteAnalysis {
 ///
 /// `blocks` need not be sorted; duplicates are an error upstream (a VBN is
 /// allocated once per CP) and are debug-asserted here.
-pub fn analyze_cp_write(
-    geometry: &RaidGeometry,
-    blocks: &[Vbn],
-) -> WaflResult<CpWriteAnalysis> {
+pub fn analyze_cp_write(geometry: &RaidGeometry, blocks: &[Vbn]) -> WaflResult<CpWriteAnalysis> {
     let d = geometry.data_devices as usize;
     let mut per_device: Vec<Vec<u64>> = vec![Vec::new(); d];
     // Blocks written per stripe, keyed densely by stripe id. A CP writes a
@@ -147,7 +144,7 @@ pub fn analyze_cp_write(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wafl_types::{DeviceId, Dbn, RaidGroupId};
+    use wafl_types::{Dbn, DeviceId, RaidGroupId};
 
     fn g() -> RaidGeometry {
         RaidGeometry::new(RaidGroupId(0), 4, 1, 10_000, Vbn(0)).unwrap()
@@ -164,11 +161,14 @@ mod tests {
     #[test]
     fn empty_write_is_zero_cost() {
         let a = analyze_cp_write(&g(), &[]).unwrap();
-        assert_eq!(a, CpWriteAnalysis {
-            per_device_blocks: vec![0; 4],
-            per_device_chains: vec![0; 4],
-            ..CpWriteAnalysis::default()
-        });
+        assert_eq!(
+            a,
+            CpWriteAnalysis {
+                per_device_blocks: vec![0; 4],
+                per_device_chains: vec![0; 4],
+                ..CpWriteAnalysis::default()
+            }
+        );
         assert_eq!(a.full_stripe_fraction(), 0.0);
         assert_eq!(a.mean_chain_len(), 0.0);
     }
@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn partial_stripe_picks_cheaper_parity_path() {
         let g = g(); // 4 data + 1 parity
-        // One block in a stripe: RMW = 1+1 = 2 reads, reconstruct = 3.
+                     // One block in a stripe: RMW = 1+1 = 2 reads, reconstruct = 3.
         let a = analyze_cp_write(&g, &[vbn(&g, 0, 7)]).unwrap();
         assert_eq!(a.partial_stripes, 1);
         assert_eq!(a.parity_reads, 2);

@@ -5,11 +5,9 @@ use wafl_raid::{analyze_cp_write, RaidGeometry};
 use wafl_types::{AaId, RaidGroupId, Vbn};
 
 fn geometry() -> impl Strategy<Value = RaidGeometry> {
-    (1u32..12, 0u32..3, 64u64..20_000, 0u64..1_000_000).prop_map(
-        |(data, parity, blocks, base)| {
-            RaidGeometry::new(RaidGroupId(0), data, parity, blocks, Vbn(base)).unwrap()
-        },
-    )
+    (1u32..12, 0u32..3, 64u64..20_000, 0u64..1_000_000).prop_map(|(data, parity, blocks, base)| {
+        RaidGeometry::new(RaidGroupId(0), data, parity, blocks, Vbn(base)).unwrap()
+    })
 }
 
 proptest! {

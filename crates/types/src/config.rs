@@ -47,9 +47,7 @@ impl ChecksumStyle {
     pub fn data_fraction(self) -> f64 {
         match self {
             ChecksumStyle::Sector520 => 1.0,
-            ChecksumStyle::Azcs => {
-                (AZCS_REGION_BLOCKS - 1) as f64 / AZCS_REGION_BLOCKS as f64
-            }
+            ChecksumStyle::Azcs => (AZCS_REGION_BLOCKS - 1) as f64 / AZCS_REGION_BLOCKS as f64,
         }
     }
 }
@@ -196,8 +194,15 @@ mod tests {
         // 2 MiB erase block = 512 blocks of 4 KiB.
         let p = AaSizingPolicy::for_media(MediaType::Ssd, ChecksumStyle::Sector520, 512);
         let stripes = p.stripes_per_aa().unwrap();
-        assert!(stripes >= 2 * 512, "AA must exceed 2 erase blocks per Fig 4 (B)");
-        assert_eq!(stripes % 512, 0, "AA column is a whole number of erase blocks");
+        assert!(
+            stripes >= 2 * 512,
+            "AA must exceed 2 erase blocks per Fig 4 (B)"
+        );
+        assert_eq!(
+            stripes % 512,
+            0,
+            "AA column is a whole number of erase blocks"
+        );
     }
 
     #[test]
@@ -215,8 +220,7 @@ mod tests {
 
     #[test]
     fn object_store_is_raid_agnostic() {
-        let p =
-            AaSizingPolicy::for_media(MediaType::ObjectStore, ChecksumStyle::Sector520, 0);
+        let p = AaSizingPolicy::for_media(MediaType::ObjectStore, ChecksumStyle::Sector520, 0);
         assert_eq!(p.blocks_per_aa(), Some(RAID_AGNOSTIC_AA_BLOCKS));
         assert!(!MediaType::ObjectStore.uses_raid());
     }

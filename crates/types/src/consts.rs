@@ -43,9 +43,18 @@ pub const HBPS_BIN_WIDTH: u32 = 1024;
 pub const HBPS_LIST_CAPACITY: usize = 1000;
 
 /// Number of (AA, score) entries persisted per RAID-aware AA cache in the
-/// TopAA metafile (§3.4: "one 4KiB block ... fills with the 512 best AAs
-/// and their scores"). `512 * 8 B = 4 KiB`.
-pub const TOPAA_RAID_AWARE_ENTRIES: usize = 512;
+/// TopAA metafile. The paper (§3.4) fills the whole 4 KiB block with "the
+/// 512 best AAs and their scores"; this reproduction reserves the trailing
+/// [`TOPAA_CRC_BYTES`] of the block for a CRC64 so damaged blocks are
+/// *detected* rather than trusted (the paper's recovery story — "WAFL Iron
+/// is used to recompute and recover them" — presupposes detection, which a
+/// headerless block cannot provide). `511 * 8 B + 8 B = 4 KiB`. The
+/// deviation is documented in `docs/recovery.md`.
+pub const TOPAA_RAID_AWARE_ENTRIES: usize = 511;
+
+/// Bytes reserved at the tail of each persisted TopAA block / HBPS page
+/// for a CRC64 of the preceding bytes.
+pub const TOPAA_CRC_BYTES: usize = 8;
 
 /// The maximum achievable score of a RAID-agnostic AA — an entirely free AA
 /// (§3.3.2: "a best score is 32K").
@@ -75,8 +84,9 @@ mod tests {
 
     #[test]
     fn topaa_entries_fill_one_block() {
-        // 512 entries x (u32 aa, u32 score) = 4096 bytes, one metafile block.
-        assert_eq!(TOPAA_RAID_AWARE_ENTRIES * 8, BLOCK_SIZE);
+        // 511 entries x (u32 aa, u32 score) plus the trailing CRC64 fill
+        // exactly one 4 KiB metafile block.
+        assert_eq!(TOPAA_RAID_AWARE_ENTRIES * 8 + TOPAA_CRC_BYTES, BLOCK_SIZE);
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub enum WaflError {
         /// Human-readable reason.
         reason: String,
     },
+    /// An I/O operation failed in a way that may succeed if retried
+    /// (flaky path, transient media error). Callers decide the retry
+    /// budget via `RetryPolicy`; see [`WaflError::is_transient`].
+    TransientIo {
+        /// Human-readable description of what failed.
+        reason: String,
+    },
     /// A configuration was internally inconsistent (e.g. zero devices in a
     /// RAID group).
     InvalidConfig {
@@ -62,10 +69,21 @@ impl fmt::Display for WaflError {
             WaflError::CorruptMetafile { reason } => {
                 write!(f, "corrupt metafile: {reason}")
             }
+            WaflError::TransientIo { reason } => {
+                write!(f, "transient I/O error: {reason}")
+            }
             WaflError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
             }
         }
+    }
+}
+
+impl WaflError {
+    /// True for failures worth retrying; everything else is a hard error
+    /// (consistency violation, corruption, bad configuration).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, WaflError::TransientIo { .. })
     }
 }
 
@@ -98,5 +116,26 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<WaflError>();
+    }
+
+    #[test]
+    fn only_transient_io_is_transient() {
+        assert!(WaflError::TransientIo {
+            reason: "flaky read".into()
+        }
+        .is_transient());
+        for e in [
+            WaflError::SpaceExhausted,
+            WaflError::CorruptMetafile {
+                reason: "bad crc".into(),
+            },
+            WaflError::InvalidConfig { reason: "x".into() },
+            WaflError::VbnOutOfRange {
+                vbn: Vbn(9),
+                space_len: 1,
+            },
+        ] {
+            assert!(!e.is_transient(), "{e}");
+        }
     }
 }

@@ -21,12 +21,15 @@
 
 mod config;
 mod consts;
+pub mod crc64;
 mod error;
 mod ids;
+mod retry;
 mod score;
 
 pub use config::{AaSizingPolicy, ChecksumStyle, MediaType};
 pub use consts::*;
 pub use error::{WaflError, WaflResult};
 pub use ids::{AaId, Dbn, DeviceId, RaidGroupId, StripeId, TetrisId, Vbn, VolumeId};
+pub use retry::RetryPolicy;
 pub use score::{AaScore, ScoreDelta};

@@ -1,0 +1,101 @@
+//! Bounded retry of transient I/O failures.
+
+use crate::WaflResult;
+
+/// How many times a transient failure is retried before being treated as
+/// persistent. A policy is a budget, not a loop: callers run
+/// [`RetryPolicy::run`] around each faulty operation and surface the
+/// consumed retry count (e.g. in `MountStats::transient_retries`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries after the first attempt (so an operation runs at
+    /// most `max_retries + 1` times).
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        // Transient faults in the injector clear within a few attempts;
+        // real storage stacks likewise bound inline retries low and punt
+        // to recovery beyond that.
+        RetryPolicy { max_retries: 3 }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_retries: 0 }
+    }
+
+    /// Run `attempt` until it succeeds, fails hard, or the retry budget
+    /// is exhausted. Returns the final result plus the number of retries
+    /// consumed (0 when the first attempt settled it).
+    pub fn run<T>(&self, mut attempt: impl FnMut() -> WaflResult<T>) -> (WaflResult<T>, u32) {
+        let mut retries = 0u32;
+        loop {
+            match attempt() {
+                Err(e) if e.is_transient() && retries < self.max_retries => {
+                    retries += 1;
+                }
+                settled => return (settled, retries),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WaflError;
+
+    fn flaky(fail_first: u32) -> impl FnMut() -> WaflResult<u32> {
+        let mut calls = 0u32;
+        move || {
+            calls += 1;
+            if calls <= fail_first {
+                Err(WaflError::TransientIo {
+                    reason: format!("attempt {calls}"),
+                })
+            } else {
+                Ok(calls)
+            }
+        }
+    }
+
+    #[test]
+    fn succeeds_within_budget() {
+        let policy = RetryPolicy { max_retries: 3 };
+        let (result, retries) = policy.run(flaky(2));
+        assert_eq!(result, Ok(3));
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn first_try_uses_no_retries() {
+        let (result, retries) = RetryPolicy::default().run(flaky(0));
+        assert_eq!(result, Ok(1));
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_the_transient_error() {
+        let policy = RetryPolicy { max_retries: 2 };
+        let (result, retries) = policy.run(flaky(10));
+        assert!(matches!(result, Err(WaflError::TransientIo { .. })));
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn hard_errors_are_never_retried() {
+        let policy = RetryPolicy { max_retries: 5 };
+        let mut calls = 0;
+        let (result, retries) = policy.run(|| {
+            calls += 1;
+            Err::<(), _>(WaflError::SpaceExhausted)
+        });
+        assert_eq!(result, Err(WaflError::SpaceExhausted));
+        assert_eq!(retries, 0);
+        assert_eq!(calls, 1);
+    }
+}

@@ -113,7 +113,9 @@ mod tests {
         let d = ScoreDelta::freed(7).merge(ScoreDelta::allocated(3));
         assert_eq!(d, ScoreDelta(4));
         assert!(!d.is_zero());
-        assert!(ScoreDelta::freed(3).merge(ScoreDelta::allocated(3)).is_zero());
+        assert!(ScoreDelta::freed(3)
+            .merge(ScoreDelta::allocated(3))
+            .is_zero());
     }
 
     #[test]

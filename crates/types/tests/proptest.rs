@@ -1,9 +1,7 @@
 //! Property-based tests for sizing policies and score arithmetic.
 
 use proptest::prelude::*;
-use wafl_types::{
-    AaScore, AaSizingPolicy, ChecksumStyle, MediaType, ScoreDelta, AZCS_DATA_BLOCKS,
-};
+use wafl_types::{AaScore, AaSizingPolicy, ChecksumStyle, MediaType, ScoreDelta, AZCS_DATA_BLOCKS};
 
 proptest! {
     #[test]

@@ -14,9 +14,12 @@
 //!
 //! [`run`] drives any generator against an [`Aggregate`], flushing a CP
 //! every `ops_per_cp` operations and accumulating the costs the harness
-//! turns into latency/throughput curves.
+//! turns into latency/throughput curves. [`torture`] drives a generator
+//! into a seeded crash/corruption/remount round instead.
 
 #![warn(missing_docs)]
+
+pub mod torture;
 
 use rand::prelude::*;
 use rand::rngs::StdRng;

@@ -1,0 +1,106 @@
+//! Reusable crash/corruption torture rounds.
+//!
+//! One round is the recovery loop `docs/recovery.md` describes: drive
+//! client traffic from a [`Workload`](crate::Workload), tear the CP at
+//! the plan's crash site, damage the persisted TopAA image, remount in
+//! degraded mode, and audit (repairing if the audit is dirty). The plan
+//! comes from [`FaultPlan::random`], so a round is reproducible from its
+//! seed and the aggregate's shape alone.
+//!
+//! The harness uses this to summarize recovery behavior over many seeds;
+//! `crates/fs/tests/crash_consistency.rs` carries the assertion-heavy
+//! twin of this loop.
+
+use crate::{Op, Workload};
+use serde::{Deserialize, Serialize};
+use wafl_faults::{CrashSite, FaultPlan, FaultSession, PlanShape};
+use wafl_fs::{iron, mount, Aggregate, CpOutcome};
+use wafl_types::{RetryPolicy, WaflResult};
+
+/// What one torture round did and how recovery went.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TortureRound {
+    /// The seed the round's fault plan was generated from.
+    pub seed: u64,
+    /// Where the CP was cut short, if the plan scheduled a crash.
+    pub crashed: Option<String>,
+    /// Structures the remount degraded to a cold bitmap scan.
+    pub degraded_structures: usize,
+    /// Transient read failures absorbed by retries during the remount.
+    pub transient_retries: u64,
+    /// True when the post-remount audit found nothing to fix.
+    pub clean_on_arrival: bool,
+    /// Repairs `iron::repair` performed (zero when clean on arrival).
+    pub repairs: u64,
+}
+
+/// Run one seeded torture round against `agg`.
+///
+/// Returns an error only when the machinery itself fails (e.g. space
+/// exhaustion during traffic); fault recovery outcomes — degradations,
+/// repairs — are data in the returned [`TortureRound`]. After a round
+/// the aggregate is remounted, audited clean or repaired, and ready for
+/// more traffic.
+pub fn torture_round(
+    agg: &mut Aggregate,
+    workload: &mut dyn Workload,
+    ops: u64,
+    seed: u64,
+) -> WaflResult<TortureRound> {
+    let shape = PlanShape {
+        groups: agg.groups().len(),
+        volumes: agg.volumes().len(),
+        max_progress: ops.max(1),
+    };
+    let plan = FaultPlan::random(seed, shape);
+
+    for _ in 0..ops {
+        match workload.next_op() {
+            Op::Write { vol, logical } => agg.client_overwrite(vol, logical)?,
+            Op::Read { vol, logical } => {
+                let _ = agg.client_read(vol, logical); // unmapped reads are fine
+            }
+            Op::Delete { vol, logical } => {
+                let _ = agg.client_delete(vol, logical);
+            }
+        }
+    }
+
+    // The persisted image a crash leaves behind is the previous CP's;
+    // only a CP that reaches its TopAA-persist step refreshes it.
+    let mut image = mount::save_topaa(agg);
+    let crashed = match agg.run_cp_with_faults(plan.crash)? {
+        CpOutcome::Completed(_) => {
+            image = mount::save_topaa(agg);
+            None
+        }
+        CpOutcome::Crashed(site) => {
+            if site == CrashSite::AfterTopAaPersist {
+                image = mount::save_topaa(agg);
+            }
+            Some(format!("{site:?}"))
+        }
+    };
+
+    mount::crash(agg);
+    mount::apply_scribbles(&mut image, &plan);
+    let mut session = FaultSession::new(&plan);
+    let stats = mount::mount_auto_with(agg, &image, &mut session, RetryPolicy::default());
+
+    let report = iron::check(agg)?;
+    let clean_on_arrival = report.is_clean();
+    let repairs = if clean_on_arrival {
+        0
+    } else {
+        iron::repair(agg)?.repairs
+    };
+
+    Ok(TortureRound {
+        seed,
+        crashed,
+        degraded_structures: stats.degraded.len(),
+        transient_retries: stats.transient_retries,
+        clean_on_arrival,
+        repairs,
+    })
+}

@@ -37,8 +37,14 @@ fn main() {
         agg.client_overwrite(vol, logical).unwrap();
     }
     let cp = agg.run_cp().unwrap();
-    println!("first CP : {} blocks, {} metafile pages dirtied,", cp.blocks_written, cp.metafile_pages);
-    println!("           {:.0}% full-stripe writes (fresh AAs -> near 100%)", cp.full_stripe_fraction() * 100.0);
+    println!(
+        "first CP : {} blocks, {} metafile pages dirtied,",
+        cp.blocks_written, cp.metafile_pages
+    );
+    println!(
+        "           {:.0}% full-stripe writes (fresh AAs -> near 100%)",
+        cp.full_stripe_fraction() * 100.0
+    );
 
     // COW overwrites: new blocks allocated, old ones freed at the CP.
     for logical in 0..10_000 {

@@ -35,8 +35,7 @@ fn main() {
     .unwrap();
     let vol = VolumeId(0);
     aging::fill_volume(&mut agg, vol, 4096).unwrap();
-    let occupied =
-        |a: &Aggregate| a.bitmap().space_len() - a.bitmap().free_blocks();
+    let occupied = |a: &Aggregate| a.bitmap().space_len() - a.bitmap().free_blocks();
     println!("filled    : {:>7} blocks live", occupied(&agg));
 
     let snap = agg.snapshot_create(vol).unwrap();
@@ -78,6 +77,10 @@ fn main() {
     let report = iron::check(&agg).unwrap();
     println!(
         "iron      : {}",
-        if report.is_clean() { "clean" } else { "FINDINGS" }
+        if report.is_clean() {
+            "clean"
+        } else {
+            "FINDINGS"
+        }
     );
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, tests — and optionally the full
+# crash-consistency torture loop.
+#
+#   scripts/ci.sh            # fast gates (fmt, clippy, tests)
+#   scripts/ci.sh --torture  # fast gates + 200-seed torture run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo test -q
+
+if [[ "${1:-}" == "--torture" ]]; then
+  run cargo test --release -p wafl-fs --test crash_consistency -- --ignored
+fi
+
+echo "CI gates passed."

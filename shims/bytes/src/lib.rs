@@ -1,0 +1,103 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! every external dependency is replaced by a local shim exposing exactly
+//! the API surface the workspace uses (see `shims/README.md`). Here that
+//! is cursor-style little-endian reads/writes over byte slices — the
+//! subset the TopAA/HBPS serializers need.
+
+/// Read cursor over a shrinking `&[u8]`.
+pub trait Buf {
+    /// Remaining readable bytes.
+    fn remaining(&self) -> usize;
+    /// Pop `n` bytes off the front.
+    fn advance(&mut self, n: usize);
+    /// Copy out the next `N`-byte array and advance.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Read a little-endian `u32` and advance.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    /// Read a little-endian `u64` and advance.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    /// Read one byte and advance.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.split_at(N);
+        *self = tail;
+        head.try_into().expect("split_at returned N bytes")
+    }
+}
+
+/// Write cursor over a shrinking `&mut [u8]`.
+pub trait BufMut {
+    /// Remaining writable bytes.
+    fn remaining_mut(&self) -> usize;
+    /// Write `src` at the front and advance past it.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Write a little-endian `u32` and advance.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64` and advance.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write one byte and advance.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn remaining_mut(&self) -> usize {
+        self.len()
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        let (head, tail) = std::mem::take(self).split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u32_u64() {
+        let mut block = [0u8; 16];
+        let mut w = &mut block[..];
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(0x0123_4567_89AB_CDEF);
+        w.put_u32_le(7);
+        assert_eq!(w.remaining_mut(), 0);
+        let mut r = &block[..];
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps `wafl-bench` compiling and runnable without crates.io: each
+//! benchmark runs a short warm-up plus a fixed measurement loop and
+//! prints the mean per-iteration time. No statistics, HTML reports, or
+//! comparison against saved baselines — use real criterion for serious
+//! numbers; this exists so `cargo bench` stays exercisable offline and
+//! the benches keep compiling under `cargo check`/`clippy`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const MEASURE_ITERS: u64 = 30;
+
+/// Benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(id, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Accepted for API compatibility; configuration is fixed.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut BenchmarkGroup {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut BenchmarkGroup {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id), self.throughput.as_ref());
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut BenchmarkGroup {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0), self.throughput.as_ref());
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Units of work per iteration, echoed in the report.
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup.
+pub enum BatchSize {
+    /// Setup once per small batch of iterations.
+    LargeInput,
+    /// Setup before every iteration.
+    PerIteration,
+    /// Setup once per large batch of iterations.
+    SmallInput,
+}
+
+/// Timer handed to each benchmark closure.
+#[derive(Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the fixed iteration budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += MEASURE_ITERS;
+    }
+
+    /// Time `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            black_box(routine(input));
+        }
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<&Throughput>) {
+        if self.iters == 0 {
+            println!("{id:<50} (no iterations recorded)");
+            return;
+        }
+        let per_iter = self.total.as_secs_f64() / self.iters as f64;
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:>10.1} MiB/s", *b as f64 / per_iter / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(e)) => {
+                format!("  {:>10.0} elem/s", *e as f64 / per_iter)
+            }
+            None => String::new(),
+        };
+        println!("{id:<50} {:>12.3} us/iter{rate}", per_iter * 1e6);
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_and_group_run() {
+        let mut c = Criterion::default();
+        c.bench_function("shim/add", |b| b.iter(|| black_box(1u64) + 1));
+        let mut g = c.benchmark_group("shim/group");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter_batched(
+                || vec![0u8; n as usize],
+                |v| v.len(),
+                BatchSize::PerIteration,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,411 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: integer-range
+//! and tuple strategies, `prop_map`, `Just`, `prop_oneof!` (weighted and
+//! unweighted), `proptest::collection::{vec, hash_set}`, and the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!` macros with
+//! `ProptestConfig::with_cases`. Cases are generated from a seed derived
+//! deterministically from the test's module path and name, so failures
+//! reproduce run-to-run. No shrinking: a failing case panics with the
+//! generated inputs visible via the assertion message instead of being
+//! minimized. That loses convenience, not coverage.
+
+/// Deterministic case generation.
+pub mod test_runner {
+    /// SplitMix64 generator driving all strategies.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Construct from an explicit seed.
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng(seed)
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Seed for `case` of the test identified by `name` (FNV-1a over the
+    /// name, mixed with the case index).
+    pub fn case_seed(name: &str, case: u32) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ ((case as u64) << 32 | case as u64)
+    }
+
+    /// How many cases each property runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` cases (the `#![proptest_config(...)]` knob).
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // Real proptest's default; these tests are cheap enough.
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// One weighted arm of a [`Union`].
+    type UnionArm<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+    /// Weighted choice between strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<UnionArm<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union with no arms yet; `prop_oneof!` adds them.
+        pub fn empty() -> Union<V> {
+            Union { arms: Vec::new() }
+        }
+
+        /// Add an arm with the given relative weight.
+        pub fn arm<S>(mut self, weight: u32, strat: S) -> Union<V>
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            assert!(weight > 0, "prop_oneof weights must be positive");
+            self.arms
+                .push((weight, Box::new(move |rng| strat.generate(rng))));
+            self
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one arm");
+            let mut pick = rng.next_u64() % total;
+            for (w, gen_fn) in &self.arms {
+                if pick < *w as u64 {
+                    return gen_fn(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick within total")
+        }
+    }
+
+    macro_rules! impl_strategy_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_tuple! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Element-count bounds for collection strategies.
+    pub struct SizeRange(std::ops::Range<usize>);
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange(r)
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange(*r.start()..r.end() + 1)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let span = (self.0.end - self.0.start) as u64;
+            self.0.start + (rng.next_u64() % span) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>`; duplicates may make the set
+    /// smaller than the drawn length (real proptest retries — the
+    /// workspace only uses sizes as loose bounds, so this is fine).
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::hash_set`.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob import for property tests.
+pub mod prelude {
+    pub use super::strategy::{Just, Strategy};
+    pub use super::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run each property as seeded cases (no shrinking; see crate docs).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($items:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($items)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(
+                        $crate::test_runner::case_seed(
+                            concat!(module_path!(), "::", stringify!($name)),
+                            __case,
+                        ),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted (`w => strat`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {{
+        let __u = $crate::strategy::Union::empty();
+        $(let __u = __u.arm($weight, $strat);)+
+        __u
+    }};
+    ($($strat:expr),+ $(,)?) => {{
+        let __u = $crate::strategy::Union::empty();
+        $(let __u = __u.arm(1, $strat);)+
+        __u
+    }};
+}
+
+/// Assert inside a property (panics; no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        prop_oneof![
+            3 => (0u32..10, 0u32..10).prop_map(|(a, b)| a + b),
+            1 => Just(99u32),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            x in 5u64..100,
+            pair in (0i32..3, 10usize..=12),
+            v in crate::collection::vec(0u32..50, 1..8),
+            s in crate::collection::hash_set(0u8..=200, 0..20),
+            y in small(),
+        ) {
+            prop_assert!((5..100).contains(&x));
+            prop_assert!((0..3).contains(&pair.0));
+            prop_assert!((10..=12).contains(&pair.1));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 50));
+            prop_assert!(s.len() < 20);
+            prop_assert!(y < 19 || y == 99, "oneof arms only: {}", y);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let a = crate::test_runner::case_seed("m::t", 3);
+        let b = crate::test_runner::case_seed("m::t", 3);
+        assert_eq!(a, b);
+        assert_ne!(a, crate::test_runner::case_seed("m::t", 4));
+        assert_ne!(a, crate::test_runner::case_seed("m::u", 3));
+    }
+}

@@ -1,0 +1,273 @@
+//! Offline stand-in for the `rand` crate (0.10 API surface).
+//!
+//! Implements the subset the workspace uses — `StdRng::seed_from_u64`,
+//! `Rng::{random_range, random_bool}`, `SliceRandom::shuffle`, and
+//! `seq::index::sample` — over a xoshiro256++ core seeded via SplitMix64.
+//! Deterministic for a given seed, which is all the simulator and tests
+//! require; no `OsRng`, no `thread_rng`, no distributions.
+
+/// Sources of randomness: the uniform primitives everything builds on.
+pub trait RngCore {
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, expanded via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A half-open or inclusive range that `Rng::random_range` can sample.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Uniform value from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (not the real
+    /// `StdRng`'s ChaCha12 — cryptographic strength buys nothing in a
+    /// simulator and the period/equidistribution are ample).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, as rand_core does for small seeds.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna, public domain reference).
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// In-place shuffling of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Index sampling without replacement.
+    pub mod index {
+        use super::super::RngCore;
+
+        /// The sampled indices, iterable as `usize`.
+        #[derive(Clone, Debug)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// True when no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Iterate the indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Extract the underlying vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Sample `amount` distinct indices from `0..length` (Floyd's
+        /// algorithm), in random order.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} distinct indices from 0..{length}"
+            );
+            let mut chosen: std::collections::HashSet<usize> =
+                std::collections::HashSet::with_capacity(amount);
+            let mut out = Vec::with_capacity(amount);
+            for j in length - amount..length {
+                let t = (rng.next_u64() % (j as u64 + 1)) as usize;
+                let pick = if chosen.contains(&t) { j } else { t };
+                chosen.insert(pick);
+                out.push(pick);
+            }
+            use super::SliceRandom;
+            out.shuffle(rng);
+            IndexVec(out)
+        }
+    }
+}
+
+/// The usual glob import: the traits plus `StdRng`, matching the real
+/// crate's prelude.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let i = rng.random_range(-500i32..500);
+            assert!((-500..500).contains(&i));
+            let u = rng.random_range(0u32..=5);
+            assert!(u <= 5);
+            let s = rng.random_range(0usize..3);
+            assert!(s < 3);
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_honoured() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to be identity");
+    }
+
+    #[test]
+    fn index_sample_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let picks = super::seq::index::sample(&mut rng, 1000, 100);
+        assert_eq!(picks.len(), 100);
+        let set: std::collections::HashSet<usize> = picks.iter().collect();
+        assert_eq!(set.len(), 100, "indices must be distinct");
+        assert!(picks.iter().all(|i| i < 1000));
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Exposes the parallel-iterator API subset the workspace uses —
+//! `par_iter`, `par_iter_mut`, `into_par_iter`, and the `map`/`zip`/
+//! `enumerate`/`reduce`/`collect` combinators — but executes
+//! sequentially. Results are identical to rayon's (the workspace only
+//! uses order-preserving adapters and associative reductions); only
+//! wall-clock parallelism is lost, which the simulator's cost model
+//! does not depend on.
+
+/// A "parallel" iterator: a plain iterator wrapped so that rayon's
+/// combinator signatures (notably the two-argument `reduce`) resolve.
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    /// Map each item.
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Pair items with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    /// Pair items with their index.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Rayon-style reduction: `identity` seeds each (here: the single)
+    /// chunk, `op` combines.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = std::ops::Range<$t>;
+            fn into_par_iter(self) -> Par<Self::Iter> {
+                Par(self)
+            }
+        }
+    )*};
+}
+
+impl_into_par_range!(u32, u64, usize, i32, i64);
+
+/// `par_iter()` for shared slices (and, via deref, vecs and arrays).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = &'a Self::Item>;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+/// `par_iter_mut()` for unique slices (and, via deref, vecs).
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = &'a mut Self::Item>;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        Par(self.iter_mut())
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_over_range() {
+        let v: Vec<u64> = (0u64..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn zip_enumerate_map_collect() {
+        let mut a = vec![1u32, 2, 3];
+        let b = [10u32, 20, 30];
+        let out: Vec<u32> = a
+            .par_iter_mut()
+            .zip(b.par_iter())
+            .enumerate()
+            .map(|(i, (x, y))| {
+                *x += y;
+                *x + i as u32
+            })
+            .collect();
+        assert_eq!(out, vec![11, 23, 35]);
+        assert_eq!(a, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn two_arg_reduce() {
+        let data = [(1u64, 2u64), (3, 4), (5, 6)];
+        let (a, b) = data
+            .par_iter()
+            .map(|&(x, y)| (x, y))
+            .reduce(|| (0, 0), |p, q| (p.0 + q.0, p.1 + q.1));
+        assert_eq!((a, b), (9, 12));
+    }
+
+    #[test]
+    fn par_iter_on_fixed_array() {
+        let configs = [(true, true), (false, true)];
+        let n: Vec<usize> = configs.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert_eq!(n, vec![0, 1]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever serializes (via `serde_json::to_string_pretty`)
+//! and never deserializes, so this shim collapses serde's data model to a
+//! single JSON-emitting method. `Serialize` writes compact JSON straight
+//! into a `String`; `Deserialize` is a no-op marker so existing
+//! `#[derive(Serialize, Deserialize)]` lines keep compiling unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-emitting serialization.
+pub trait Serialize {
+    /// Append `self` as compact JSON to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// No-op marker kept so `#[derive(Deserialize)]` and trait bounds still
+/// compile; nothing in the workspace parses JSON back.
+pub trait Deserialize {}
+
+macro_rules! impl_serialize_display_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                // `to_string` on integers is already valid JSON.
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_display_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    let s = self.to_string();
+                    out.push_str(&s);
+                    // `5f64.to_string()` is "5"; keep it a JSON number
+                    // either way (integers are valid), so nothing to fix.
+                } else {
+                    // Real serde_json errors on non-finite floats; the
+                    // harness only emits measured durations/counts, so
+                    // map the pathological case to null instead.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+/// Escape and quote `s` per JSON.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+fn write_json_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_seq(self.iter(), out);
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in self {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_json_string(k.as_ref(), out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_json(&self, out: &mut String) {
+        // Sort keys so output is deterministic across runs.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.as_ref().cmp(b.0.as_ref()));
+        out.push('{');
+        let mut first = true;
+        for (k, v) in entries {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_json_string(k.as_ref(), out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(&42u64), "42");
+        assert_eq!(json(&-7i32), "-7");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&f64::NAN), "null");
+        assert_eq!(json(&"a\"b\n".to_string()), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(json(&Some(5u8)), "5");
+        assert_eq!(json(&Option::<u8>::None), "null");
+        assert_eq!(json(&(1u8, "x".to_string())), r#"[1,"x"]"#);
+    }
+}

@@ -1,0 +1,343 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the shim `serde::Serialize` (JSON emission, externally-tagged
+//! enum convention) and the marker `serde::Deserialize`. Parses the item
+//! by walking the raw `TokenStream` — no `syn`/`quote` available offline —
+//! which is sufficient because the workspace derives only on plain
+//! non-generic structs and enums with no `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input parsed into.
+enum Item {
+    /// `struct S { a: T, b: U }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T, U);` — field count only.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+impl Item {
+    fn name(&self) -> &str {
+        match self {
+            Item::NamedStruct { name, .. }
+            | Item::TupleStruct { name, .. }
+            | Item::UnitStruct { name }
+            | Item::Enum { name, .. } => name,
+        }
+    }
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derive the JSON-emitting `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => gen_named_fields_body(fields, "&self.", ""),
+        Item::TupleStruct { arity: 1, .. } => {
+            "serde::Serialize::serialize_json(&self.0, out);".to_string()
+        }
+        Item::TupleStruct { arity, .. } => {
+            let mut b = String::from("out.push('[');\n");
+            for i in 0..*arity {
+                if i > 0 {
+                    b.push_str("out.push(',');\n");
+                }
+                b.push_str(&format!(
+                    "serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            b.push_str("out.push(']');");
+            b
+        }
+        Item::UnitStruct { .. } => "out.push_str(\"null\");".to_string(),
+        Item::Enum { name, variants } => gen_enum_body(name, variants),
+    };
+    let out = format!(
+        "impl serde::Serialize for {} {{\n\
+         fn serialize_json(&self, out: &mut String) {{\n{}\n}}\n}}",
+        item.name(),
+        body
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive the no-op `Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl serde::Deserialize for {} {{}}", item.name())
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+/// Emit statements serializing named fields as a JSON object.
+/// `access` prefixes each field name (`&self.` for structs, `` for
+/// match-bound struct-variant fields, which are already references).
+fn gen_named_fields_body(fields: &[String], access: &str, indent: &str) -> String {
+    let mut b = format!("{indent}out.push('{{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            b.push_str(&format!("{indent}out.push(',');\n"));
+        }
+        b.push_str(&format!("{indent}out.push_str(\"\\\"{f}\\\":\");\n"));
+        b.push_str(&format!(
+            "{indent}serde::Serialize::serialize_json({access}{f}, out);\n"
+        ));
+    }
+    b.push_str(&format!("{indent}out.push('}}');"));
+    b
+}
+
+/// Emit the match over enum variants, externally tagged:
+/// unit → `"Name"`, one-field tuple → `{"Name":v}`,
+/// n-field tuple → `{"Name":[v0,…]}`, struct → `{"Name":{…}}`.
+fn gen_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut b = String::from("match self {\n");
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                b.push_str(&format!(
+                    "{name}::{vn} => {{ serde::write_json_string(\"{vn}\", out); }}\n"
+                ));
+            }
+            VariantShape::Tuple(arity) => {
+                let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                b.push_str(&format!("{name}::{vn}({}) => {{\n", binds.join(", ")));
+                b.push_str("out.push('{');\n");
+                b.push_str(&format!("serde::write_json_string(\"{vn}\", out);\n"));
+                b.push_str("out.push(':');\n");
+                if *arity == 1 {
+                    b.push_str("serde::Serialize::serialize_json(f0, out);\n");
+                } else {
+                    b.push_str("out.push('[');\n");
+                    for (i, bind) in binds.iter().enumerate() {
+                        if i > 0 {
+                            b.push_str("out.push(',');\n");
+                        }
+                        b.push_str(&format!("serde::Serialize::serialize_json({bind}, out);\n"));
+                    }
+                    b.push_str("out.push(']');\n");
+                }
+                b.push_str("out.push('}');\n}\n");
+            }
+            VariantShape::Struct(fields) => {
+                b.push_str(&format!("{name}::{vn} {{ {} }} => {{\n", fields.join(", ")));
+                b.push_str("out.push('{');\n");
+                b.push_str(&format!("serde::write_json_string(\"{vn}\", out);\n"));
+                b.push_str("out.push(':');\n");
+                b.push_str(&gen_named_fields_body(fields, "", ""));
+                b.push_str("\nout.push('}');\n}\n");
+            }
+        }
+    }
+    b.push('}');
+    b
+}
+
+// ---- token-stream parsing ------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Possible pub(crate)/pub(super) restriction.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    match tokens.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim does not support generic type `{name}`")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "enum" {
+                Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                }
+            } else {
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert_eq!(kind, "struct", "parenthesized body on non-struct `{name}`");
+            Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+        other => panic!("unsupported item body for `{name}`: {other:?}"),
+    }
+}
+
+/// Field names of `{ a: T, b: U }`, skipping attributes, visibility, and
+/// types (tracking `<...>` depth so commas inside generics don't split).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            panic!("expected field name, got {tok:?}")
+        };
+        fields.push(id.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{id}`, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle depth 0.
+        let mut angle: i32 = 0;
+        let mut prev = ' ';
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                let c = p.as_char();
+                match c {
+                    '<' => angle += 1,
+                    // Don't count the `>` of `->` as closing an angle.
+                    '>' if prev != '-' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+                prev = c;
+            } else {
+                prev = ' ';
+            }
+        }
+    }
+    fields
+}
+
+/// Count fields of a tuple struct/variant body (angle-depth aware).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut angle: i32 = 0;
+    let mut prev = ' ';
+    for tok in body {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tok {
+            let c = p.as_char();
+            match c {
+                '<' => angle += 1,
+                '>' if prev != '-' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+            prev = c;
+        } else {
+            prev = ' ';
+        }
+    }
+    // `(T, U)` has one top-level comma and two fields; a trailing comma
+    // `(T, U,)` would overcount, but none appear in this workspace.
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip per-variant attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tok) = tokens.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            panic!("expected variant name, got {tok:?}")
+        };
+        let name = id.to_string();
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}

@@ -1,0 +1,118 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The workspace's only use is `to_string_pretty` on derive-serialized
+//! result structs, so this shim serializes compactly via the shim
+//! `serde::Serialize` trait and then re-indents (2 spaces, like real
+//! serde_json's pretty printer).
+
+use std::fmt;
+
+/// Serialization error. The shim's emitter is infallible, so this is
+/// never constructed; it exists so call sites can keep `?`/`Result`
+/// plumbing unchanged.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as pretty-printed JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut compact = String::new();
+    value.serialize_json(&mut compact);
+    Ok(pretty(&compact))
+}
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut compact = String::new();
+    value.serialize_json(&mut compact);
+    Ok(compact)
+}
+
+/// Re-indent compact JSON with two-space indentation. Walks the text
+/// tracking string/escape state, so braces inside strings are untouched.
+fn pretty(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let push_indent = |out: &mut String, n: usize| {
+        for _ in 0..n {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    // Keep empty containers on one line.
+                    out.push(c);
+                    out.push(close);
+                    chars.next();
+                } else {
+                    out.push(c);
+                    indent += 1;
+                    out.push('\n');
+                    push_indent(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                out.push('\n');
+                push_indent(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                out.push('\n');
+                push_indent(&mut out, indent);
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_prints_nested_objects() {
+        let got = super::pretty(r#"{"a":1,"b":[1,2],"c":{"d":"x,{}","e":[]}}"#);
+        let want = "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ],\n  \"c\": {\n    \"d\": \"x,{}\",\n    \"e\": []\n  }\n}";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn to_string_pretty_via_trait() {
+        let v = vec![1u32, 2];
+        assert_eq!(super::to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+        assert_eq!(super::to_string(&v).unwrap(), "[1,2]");
+    }
+}

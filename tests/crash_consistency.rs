@@ -55,11 +55,9 @@ fn stale_topaa_image_is_safe() {
     let cache = g.cache().unwrap();
     for aa in 0..g.topology().aa_count() {
         let aa = wafl_repro::types::AaId(aa);
-        if g.cache().unwrap().score_of(aa).get() > 0 || true {
-            let truth = g.topology().score_from_bitmap(agg.bitmap(), aa);
-            let cached = cache.score_of(aa);
-            assert_eq!(cached, truth, "post-rebuild score mismatch at {aa}");
-        }
+        let truth = g.topology().score_from_bitmap(agg.bitmap(), aa);
+        let cached = cache.score_of(aa);
+        assert_eq!(cached, truth, "post-rebuild score mismatch at {aa}");
     }
 }
 
@@ -92,8 +90,7 @@ fn corrupted_topaa_blocks_are_rejected() {
     let mut image = mount::save_topaa(&agg);
 
     // Scribble the RAID-aware block: scores out of order.
-    if let Some(wafl_repro::fs::mount::RgTopAa::Heap(block)) = image.rg_blocks[0].as_mut()
-    {
+    if let Some(wafl_repro::fs::mount::RgTopAa::Heap(block)) = image.rg_blocks[0].as_mut() {
         block[4..8].copy_from_slice(&0u32.to_le_bytes());
         block[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
     }
@@ -136,5 +133,8 @@ fn mount_without_any_image_equals_cold_build() {
     assert!(stats.metafile_blocks_read > 0);
     assert_eq!(stats.background_pages_remaining, 0);
     let best_cold = agg.groups()[0].cache().unwrap().best().unwrap().1;
-    assert_eq!(best_live, best_cold, "cold rebuild recovers the live best score");
+    assert_eq!(
+        best_live, best_cold,
+        "cold rebuild recovers the live best score"
+    );
 }

@@ -26,9 +26,7 @@ fn check_invariants(agg: &Aggregate, orphan_blocks: u64) {
                     "mapped vvbn {vvbn} must be allocated in {}",
                     vol.id
                 );
-                let pvbn = vol
-                    .lookup_vvbn(vvbn)
-                    .expect("mapped vvbn must have a pvbn");
+                let pvbn = vol.lookup_vvbn(vvbn).expect("mapped vvbn must have a pvbn");
                 assert!(
                     !agg.bitmap().is_free(pvbn).unwrap(),
                     "mapped pvbn {pvbn} must be allocated"
@@ -162,11 +160,7 @@ fn full_lifecycle_age_crash_remount_continue() {
     check_invariants(&agg, 0);
 
     // Traffic resumes against the seeded caches.
-    let mut w = OltpMix::new(
-        vec![(VolumeId(0), 40_000), (VolumeId(1), 30_000)],
-        0.5,
-        10,
-    );
+    let mut w = OltpMix::new(vec![(VolumeId(0), 40_000), (VolumeId(1), 30_000)], 0.5, 10);
     run(&mut agg, &mut w, 20_000, 2048).unwrap();
     mount::complete_background_rebuild(&mut agg).unwrap();
     for g in agg.groups() {

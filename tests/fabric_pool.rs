@@ -52,7 +52,9 @@ fn object_store_range_uses_hbps_cache() {
     assert!(agg.groups()[0].cache().is_some());
     assert!(agg.groups()[0].hbps_cache().is_none());
     assert!(agg.groups()[1].cache().is_none());
-    let hbps = agg.groups()[1].hbps_cache().expect("object range uses HBPS");
+    let hbps = agg.groups()[1]
+        .hbps_cache()
+        .expect("object range uses HBPS");
     // Constant two-page memory, tracking all the range's AAs.
     assert_eq!(hbps.memory_bytes(), 2 * 4096);
     assert_eq!(hbps.tracked(), 8);
@@ -145,9 +147,8 @@ fn object_writes_pack_into_few_puts_when_colocated() {
     };
     let guided = run_with(true);
     let random = run_with(false);
-    let per_block = |cp: &wafl_repro::fs::CpStats| {
-        cp.per_rg[1].media_us / cp.per_rg[1].blocks.max(1) as f64
-    };
+    let per_block =
+        |cp: &wafl_repro::fs::CpStats| cp.per_rg[1].media_us / cp.per_rg[1].blocks.max(1) as f64;
     assert!(
         per_block(&guided) <= per_block(&random) * 1.05,
         "cache-guided object writes should not cost more per block: \

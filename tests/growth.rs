@@ -2,7 +2,9 @@
 //! reproducing the imbalanced-aging situation Figure 7 studies — old
 //! groups fragmented, new groups empty — through the real growth path.
 
-use wafl_repro::fs::{aging, iron, mount, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_repro::fs::{
+    aging, iron, mount, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec,
+};
 use wafl_repro::media::MediaProfile;
 use wafl_repro::types::{MediaType, VolumeId};
 use wafl_repro::workloads::{run, OltpMix, RandomOverwrite};
@@ -130,8 +132,5 @@ fn can_grow_with_an_object_store_tier() {
         })
         .is_err());
     assert_eq!(a.groups().len(), 2);
-    assert_eq!(
-        a.groups()[1].profile.media,
-        MediaType::ObjectStore
-    );
+    assert_eq!(a.groups()[1].profile.media, MediaType::ObjectStore);
 }

@@ -2,7 +2,9 @@
 //! deletion bursts, and their interaction with cleaning, mounting, and
 //! the paper's free-space nonuniformity story (§4.1.1).
 
-use wafl_repro::fs::{aging, cleaning, iron, mount, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_repro::fs::{
+    aging, cleaning, iron, mount, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec,
+};
 use wafl_repro::media::MediaProfile;
 use wafl_repro::types::VolumeId;
 use wafl_repro::workloads::{run, RandomOverwrite};
@@ -58,10 +60,7 @@ fn snapshot_pins_blocks_through_overwrites() {
     assert_eq!(stats.blocks_released, 20_000);
     assert_eq!(stats.blocks_still_referenced, 40_000);
     a.run_cp().unwrap();
-    assert_eq!(
-        a.bitmap().space_len() - a.bitmap().free_blocks(),
-        60_000
-    );
+    assert_eq!(a.bitmap().space_len() - a.bitmap().free_blocks(), 60_000);
     assert!(iron::check(&a).unwrap().is_clean());
 }
 

@@ -5,10 +5,10 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use wafl_repro::fs::snapshot::SnapshotId;
 use wafl_repro::fs::{
     cleaning, iron, mount, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec,
 };
-use wafl_repro::fs::snapshot::SnapshotId;
 use wafl_repro::media::MediaProfile;
 use wafl_repro::types::VolumeId;
 
@@ -163,7 +163,10 @@ impl Driver {
         assert_eq!(report.broken_mappings, 0, "step {step}: {report:?}");
         assert_eq!(report.owner_mismatches, 0, "step {step}: {report:?}");
         assert_eq!(report.leaked_blocks, 0, "step {step}: {report:?}");
-        assert_eq!(report.volume_accounting_errors, 0, "step {step}: {report:?}");
+        assert_eq!(
+            report.volume_accounting_errors, 0,
+            "step {step}: {report:?}"
+        );
         if report.stale_scores > 0 {
             iron::repair(&mut self.agg).unwrap();
             let fixed = iron::check(&self.agg).unwrap();
