@@ -19,6 +19,15 @@ pub struct DirtyStats {
     pub bits_flipped: u64,
 }
 
+/// Per-AA free-count summary: one counter per allocation area of a flat
+/// (RAID-agnostic) AA tiling, maintained incrementally by every bit flip.
+struct AaSummary {
+    /// Blocks per AA of the tiling this summary indexes.
+    aa_blocks: u64,
+    /// Free blocks per AA, `space_len.div_ceil(aa_blocks)` entries.
+    counts: Vec<u32>,
+}
+
 /// The activemap of one block-number space: one bit per VBN, grouped into
 /// 4 KiB pages exactly as the on-disk metafile would be.
 ///
@@ -31,12 +40,33 @@ pub struct DirtyStats {
 /// assert!(!map.is_free(Vbn(42)).unwrap());
 /// assert!(map.allocate(Vbn(42)).is_err()); // double allocation caught
 ///
-/// // AA scores are range popcounts (§3.3).
+/// // AA scores are range free-counts (§3.3), answered from the per-page
+/// // summary counters where whole pages are covered.
 /// assert_eq!(map.free_count_range(Vbn(0), 32_768), 32_767);
 ///
 /// // Each CP's metafile I/O is the dirty-page count (§2.5).
 /// assert_eq!(map.take_dirty_stats().pages_dirtied, 1);
 /// ```
+///
+/// # Free-count summaries
+///
+/// The paper's premise is that "a linear walk of the bitmap metafiles" to
+/// recompute AA scores is too expensive to do on demand (§3.4). The bitmap
+/// therefore keeps a two-level summary, maintained incrementally by
+/// [`Bitmap::allocate`]/[`Bitmap::free`]/[`Bitmap::extend`]:
+///
+/// * **per page** — a `u16` free-bit count per 4 KiB metafile page
+///   (2 bytes per 32 Ki tracked blocks ≈ 0.006 % overhead). Range
+///   queries answer fully-covered pages from the counter and popcount
+///   only the partial edge pages; skip-scans jump over pages whose
+///   counter is zero.
+/// * **per AA** — an optional `u32` free count per allocation area of a
+///   flat tiling ([`Bitmap::enable_aa_summary`]), making a whole-space
+///   score rebuild a sequential copy instead of a popcount walk.
+///
+/// Debug builds verify every touched counter against the popcount ground
+/// truth on each mutation, and the whole summary at every
+/// [`Bitmap::take_dirty_stats`] (i.e. every consistency point).
 ///
 /// Invariants enforced at runtime (not just in debug builds) because the
 /// paper's system treats them as consistency checks:
@@ -50,6 +80,11 @@ pub struct Bitmap {
     stats: DirtyStats,
     space_len: u64,
     free_blocks: u64,
+    /// Free bits per page (32 Ki max fits `u16`), kept exact by every
+    /// mutation. Index parallel to `pages`.
+    page_free: Vec<u16>,
+    /// Optional per-AA counters for one configured flat tiling.
+    aa_summary: Option<AaSummary>,
 }
 
 impl Bitmap {
@@ -67,13 +102,64 @@ impl Bitmap {
                 last.set_allocated(i);
             }
         }
+        let page_free = (0..page_count as u64)
+            .map(|p| BITS_PER_BITMAP_BLOCK.min(space_len - p * BITS_PER_BITMAP_BLOCK) as u16)
+            .collect();
         Bitmap {
             dirty: vec![false; page_count],
             pages,
             stats: DirtyStats::default(),
             space_len,
             free_blocks: space_len,
+            page_free,
+            aa_summary: None,
         }
+    }
+
+    /// Enable the per-AA free-count summary for a flat tiling of
+    /// `aa_blocks` consecutive VBNs per AA (the trailing AA may be
+    /// short). From this point every allocate/free/extend keeps the
+    /// counters exact, and [`Bitmap::aa_free_counts`] answers whole-space
+    /// score rebuilds without touching a single bitmap word.
+    ///
+    /// Calling it again (same or different `aa_blocks`) rebuilds from the
+    /// current bit state.
+    pub fn enable_aa_summary(&mut self, aa_blocks: u64) -> WaflResult<()> {
+        if aa_blocks == 0 {
+            return Err(WaflError::InvalidConfig {
+                reason: "aa_blocks for the AA summary must be positive".into(),
+            });
+        }
+        self.aa_summary = Some(AaSummary {
+            aa_blocks,
+            counts: self.compute_aa_counts(aa_blocks),
+        });
+        Ok(())
+    }
+
+    /// Per-AA free counts for a tiling of `aa_blocks`, if that summary is
+    /// enabled and matches. Entry `i` is the free-block count of the AA
+    /// covering `i*aa_blocks .. (i+1)*aa_blocks` — exactly the AA score
+    /// of §3.3, served in O(1).
+    pub fn aa_free_counts(&self, aa_blocks: u64) -> Option<&[u32]> {
+        self.aa_summary
+            .as_ref()
+            .filter(|s| s.aa_blocks == aa_blocks)
+            .map(|s| s.counts.as_slice())
+    }
+
+    /// The AA size of the enabled per-AA summary, if any.
+    pub fn aa_summary_blocks(&self) -> Option<u64> {
+        self.aa_summary.as_ref().map(|s| s.aa_blocks)
+    }
+
+    /// Free counts per AA recomputed from the page counters (partial edge
+    /// pages popcounted). Used to (re)build the AA summary.
+    fn compute_aa_counts(&self, aa_blocks: u64) -> Vec<u32> {
+        let aa_count = self.space_len.div_ceil(aa_blocks);
+        (0..aa_count)
+            .map(|aa| self.free_count_range(Vbn(aa * aa_blocks), aa_blocks))
+            .collect()
     }
 
     /// Number of VBNs in the space.
@@ -88,7 +174,11 @@ impl Bitmap {
         self.pages.len()
     }
 
-    /// Total free blocks in the space (maintained incrementally — O(1)).
+    /// Total free blocks in the space — the top level of the free-count
+    /// summary, maintained incrementally so this is O(1) on every call
+    /// (it is hot in `free_fraction`, CP statistics, and harness
+    /// reports). Debug builds re-prove it against the popcount total at
+    /// every CP via [`Bitmap::verify_summary`].
     #[inline]
     pub fn free_blocks(&self) -> u64 {
         self.free_blocks
@@ -143,7 +233,12 @@ impl Bitmap {
             });
         }
         self.free_blocks -= 1;
+        self.page_free[p] -= 1;
+        if let Some(s) = self.aa_summary.as_mut() {
+            s.counts[(vbn.get() / s.aa_blocks) as usize] -= 1;
+        }
         self.mark_dirty(p);
+        self.debug_check_counters(vbn, p);
         Ok(())
     }
 
@@ -157,16 +252,73 @@ impl Bitmap {
             });
         }
         self.free_blocks += 1;
+        self.page_free[p] += 1;
+        if let Some(s) = self.aa_summary.as_mut() {
+            s.counts[(vbn.get() / s.aa_blocks) as usize] += 1;
+        }
         self.mark_dirty(p);
+        self.debug_check_counters(vbn, p);
         Ok(())
+    }
+
+    /// Debug-build parity check: the mutated page's (and AA's) summary
+    /// counter must equal the popcount ground truth. Compiled out of
+    /// release builds.
+    #[inline]
+    fn debug_check_counters(&self, vbn: Vbn, page: usize) {
+        if cfg!(debug_assertions) {
+            debug_assert_eq!(
+                self.page_free[page] as u32,
+                self.pages[page].free_count(),
+                "page {page} summary counter diverged from popcount"
+            );
+            if let Some(s) = self.aa_summary.as_ref() {
+                let aa = vbn.get() / s.aa_blocks;
+                debug_assert_eq!(
+                    s.counts[aa as usize],
+                    self.free_count_range_popcount(Vbn(aa * s.aa_blocks), s.aa_blocks),
+                    "AA {aa} summary counter diverged from popcount"
+                );
+            }
+        }
     }
 
     /// Number of free blocks in `start .. start+len` (clamped to the
     /// space). This is how an AA score is computed from the metafile
-    /// (§3.3: "computed by consulting bitmap metafiles").
+    /// (§3.3: "computed by consulting bitmap metafiles") — but pages the
+    /// range fully covers are answered from the per-page summary counter,
+    /// so only the two partial edge pages ever cost a popcount.
     pub fn free_count_range(&self, start: Vbn, len: u64) -> u32 {
         let start = start.get().min(self.space_len);
-        let end = (start + len).min(self.space_len);
+        let end = start.saturating_add(len).min(self.space_len);
+        if start >= end {
+            return 0;
+        }
+        let mut total = 0u32;
+        let mut pos = start;
+        while pos < end {
+            let page = (pos / BITS_PER_BITMAP_BLOCK) as usize;
+            let in_page = pos % BITS_PER_BITMAP_BLOCK;
+            let page_end = ((page as u64 + 1) * BITS_PER_BITMAP_BLOCK).min(end);
+            if in_page == 0 && page_end - pos == BITS_PER_BITMAP_BLOCK {
+                total += self.page_free[page] as u32;
+            } else {
+                let in_page_end = in_page + (page_end - pos);
+                total += self.pages[page].free_count_range(in_page, in_page_end);
+            }
+            pos = page_end;
+        }
+        total
+    }
+
+    /// [`Bitmap::free_count_range`] computed by raw popcount only, never
+    /// consulting the summary counters. This is the pre-summary
+    /// implementation, kept as the ground truth the debug assertions,
+    /// property tests, and `BENCH_bitmap` before/after benches compare
+    /// against.
+    pub fn free_count_range_popcount(&self, start: Vbn, len: u64) -> u32 {
+        let start = start.get().min(self.space_len);
+        let end = start.saturating_add(len).min(self.space_len);
         if start >= end {
             return 0;
         }
@@ -183,7 +335,10 @@ impl Bitmap {
         total
     }
 
-    /// First free VBN at or after `from`, or `None`.
+    /// First free VBN at or after `from`, or `None`. Pages whose summary
+    /// counter is zero are skipped without touching their words, so a
+    /// nearly full bitmap costs one counter load per full page instead of
+    /// a 4 KiB word walk.
     pub fn first_free_from(&self, from: Vbn) -> Option<Vbn> {
         if from.get() >= self.space_len {
             return None;
@@ -191,6 +346,11 @@ impl Bitmap {
         let mut page = (from.get() / BITS_PER_BITMAP_BLOCK) as usize;
         let mut in_page = from.get() % BITS_PER_BITMAP_BLOCK;
         while page < self.pages.len() {
+            if self.page_free[page] == 0 {
+                page += 1;
+                in_page = 0;
+                continue;
+            }
             if let Some(i) = self.pages[page].first_free_from(in_page) {
                 let vbn = page as u64 * BITS_PER_BITMAP_BLOCK + i;
                 // Tail padding is allocated, so vbn < space_len always holds;
@@ -201,6 +361,106 @@ impl Bitmap {
             in_page = 0;
         }
         None
+    }
+
+    /// Free blocks in page `page`, from the summary counter — O(1).
+    /// `None` if `page` is out of range.
+    pub fn page_free_count(&self, page: usize) -> Option<u32> {
+        self.page_free.get(page).map(|&c| c as u32)
+    }
+
+    /// All per-page free counts (one `u16` per 4 KiB metafile page).
+    pub fn page_free_counts(&self) -> &[u16] {
+        &self.page_free
+    }
+
+    /// Count summary counters (per-page, per-AA, plus the top-level
+    /// free-block total) that disagree with the popcount ground truth.
+    /// Zero on a healthy bitmap; nonzero only if memory damage (or a bug)
+    /// corrupted the summary. Iron audits consume this and repair with
+    /// [`Bitmap::rebuild_summary`].
+    pub fn summary_divergences(&self) -> u64 {
+        let mut bad = 0u64;
+        let mut total = 0u64;
+        for (p, page) in self.pages.iter().enumerate() {
+            let truth = page.free_count();
+            if self.page_free[p] as u32 != truth {
+                bad += 1;
+            }
+            total += truth as u64;
+        }
+        if self.free_blocks != total {
+            bad += 1;
+        }
+        if let Some(s) = self.aa_summary.as_ref() {
+            for (aa, &count) in s.counts.iter().enumerate() {
+                let start = Vbn(aa as u64 * s.aa_blocks);
+                if count != self.free_count_range_popcount(start, s.aa_blocks) {
+                    bad += 1;
+                }
+            }
+        }
+        bad
+    }
+
+    /// Fault-injection hook: overwrite one per-page summary counter
+    /// without touching the raw bits — a memory scribble on derived
+    /// state, so crash/corruption tests can exercise the Iron summary
+    /// audit. No-op if `page` is out of range.
+    pub fn scribble_page_counter(&mut self, page: usize, value: u16) {
+        if let Some(c) = self.page_free.get_mut(page) {
+            *c = value;
+        }
+    }
+
+    /// Recompute every summary counter from the raw bits — what WAFL Iron
+    /// does for damaged derived state: recompute, don't fabricate.
+    pub fn rebuild_summary(&mut self) {
+        for (p, page) in self.pages.iter().enumerate() {
+            self.page_free[p] = page.free_count() as u16;
+        }
+        self.free_blocks = self.page_free.iter().map(|&c| c as u64).sum();
+        if let Some(aa_blocks) = self.aa_summary_blocks() {
+            let counts = self.compute_aa_counts(aa_blocks);
+            self.aa_summary = Some(AaSummary { aa_blocks, counts });
+        }
+    }
+
+    /// Verify every summary counter (per-page, per-AA, and the top-level
+    /// free-block total) against the popcount ground truth. Panics on the
+    /// first divergence. Debug builds run this at every
+    /// [`Bitmap::take_dirty_stats`] — i.e. every consistency point — so a
+    /// crash/remount cycle can never carry a stale summary forward
+    /// unnoticed; tests and Iron audits may call it directly.
+    pub fn verify_summary(&self) {
+        let mut total = 0u64;
+        for (p, page) in self.pages.iter().enumerate() {
+            let truth = page.free_count();
+            assert_eq!(
+                self.page_free[p] as u32, truth,
+                "page {p} summary counter diverged from popcount"
+            );
+            total += truth as u64;
+        }
+        assert_eq!(
+            self.free_blocks, total,
+            "free_blocks counter diverged from popcount total"
+        );
+        if let Some(s) = self.aa_summary.as_ref() {
+            assert_eq!(
+                s.counts.len() as u64,
+                self.space_len.div_ceil(s.aa_blocks),
+                "AA summary length diverged from the tiling"
+            );
+            for (aa, &count) in s.counts.iter().enumerate() {
+                let start = Vbn(aa as u64 * s.aa_blocks);
+                assert_eq!(
+                    count,
+                    self.free_count_range_popcount(start, s.aa_blocks),
+                    "AA {aa} summary counter diverged from popcount"
+                );
+            }
+        }
     }
 
     /// Iterate free VBNs in `start .. start+len` in ascending order.
@@ -238,8 +498,13 @@ impl Bitmap {
 
     /// Take and reset the dirty-page statistics. Called once per CP by the
     /// consistency-point engine; the returned counts model that CP's
-    /// metafile-block I/O.
+    /// metafile-block I/O. Debug builds verify the whole free-count
+    /// summary against popcount ground truth here, so every CP boundary
+    /// re-proves the counters exact.
     pub fn take_dirty_stats(&mut self) -> DirtyStats {
+        if cfg!(debug_assertions) {
+            self.verify_summary();
+        }
         let out = self.stats;
         self.stats = DirtyStats::default();
         self.dirty.iter_mut().for_each(|d| *d = false);
@@ -272,6 +537,7 @@ impl Bitmap {
                 let was = self.pages[page].set_free(v % BITS_PER_BITMAP_BLOCK);
                 debug_assert!(was, "tail padding must have been allocated");
                 self.free_blocks += 1;
+                self.page_free[page] += 1;
             }
         }
         // Append whole pages.
@@ -280,9 +546,13 @@ impl Bitmap {
             self.pages.push(BitmapPage::new_free());
             self.dirty.push(false);
             let page_start = (self.pages.len() as u64 - 1) * BITS_PER_BITMAP_BLOCK;
-            self.free_blocks += BITS_PER_BITMAP_BLOCK.min(new_len - page_start);
+            let free = BITS_PER_BITMAP_BLOCK.min(new_len - page_start);
+            self.free_blocks += free;
+            self.page_free.push(free as u16);
         }
-        // Pad the new tail.
+        // Pad the new tail. The pushed counter above already excludes the
+        // padding, and set_allocated on padding bits flips real bits only
+        // for freshly pushed pages (whose counter accounts for them).
         let new_tail = new_len % BITS_PER_BITMAP_BLOCK;
         if new_tail != 0 {
             let last = self.pages.last_mut().expect("pages exist after extend");
@@ -291,6 +561,16 @@ impl Bitmap {
             }
         }
         self.space_len = new_len;
+        // The AA tiling over the grown space has more (and re-shaped
+        // trailing) AAs: rebuild its counters from the page summaries.
+        // Growth is a RAID-group-addition-frequency event, not a hot path.
+        if let Some(aa_blocks) = self.aa_summary_blocks() {
+            let counts = self.compute_aa_counts(aa_blocks);
+            self.aa_summary = Some(AaSummary { aa_blocks, counts });
+        }
+        if cfg!(debug_assertions) {
+            self.verify_summary();
+        }
         Ok(())
     }
 
@@ -298,11 +578,6 @@ impl Bitmap {
     /// `None` if `page` is out of range.
     pub fn page(&self, page: usize) -> Option<&BitmapPage> {
         self.pages.get(page)
-    }
-
-    /// All pages, for parallel scans.
-    pub(crate) fn pages(&self) -> &[BitmapPage] {
-        &self.pages
     }
 }
 
@@ -402,6 +677,32 @@ mod tests {
             b.allocate(Vbn(v)).unwrap();
         }
         assert_eq!(b.first_free_from(Vbn(0)), Some(Vbn(32768)));
+    }
+
+    #[test]
+    fn first_free_worst_case_lands_in_last_page() {
+        // Worst case for the pre-summary word-walk: every page except
+        // the last is completely allocated and the only free bit is the
+        // final VBN. The skip-scan must answer from three counter reads
+        // plus one page walk instead of scanning 2048 words.
+        const PAGES: u64 = 4;
+        let len = PAGES * BITS_PER_BITMAP_BLOCK;
+        let mut b = Bitmap::new(len);
+        for v in 0..len - 1 {
+            b.allocate(Vbn(v)).unwrap();
+        }
+        for p in 0..PAGES as usize - 1 {
+            assert_eq!(b.page_free_count(p), Some(0));
+        }
+        assert_eq!(b.page_free_count(PAGES as usize - 1), Some(1));
+        assert_eq!(b.first_free_from(Vbn(0)), Some(Vbn(len - 1)));
+        assert_eq!(b.first_free_from(Vbn(len - 1)), Some(Vbn(len - 1)));
+        // Once that bit goes too, the scan exhausts via counters alone.
+        b.allocate(Vbn(len - 1)).unwrap();
+        assert_eq!(b.first_free_from(Vbn(0)), None);
+        b.free(Vbn(17)).unwrap();
+        assert_eq!(b.first_free_from(Vbn(0)), Some(Vbn(17)));
+        assert_eq!(b.first_free_from(Vbn(18)), None);
     }
 
     #[test]

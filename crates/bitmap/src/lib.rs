@@ -6,12 +6,18 @@
 //!
 //! * [`BitmapPage`] — one 4 KiB metafile block holding 32 Ki bits.
 //! * [`Bitmap`] — a whole activemap: allocate/free with consistency checks,
-//!   popcount queries over arbitrary VBN ranges, free-run iteration, and
+//!   free-count queries over arbitrary VBN ranges, free-run iteration, and
 //!   **dirty-page accounting**. Dirty pages are the currency of §2.5: every
 //!   metafile block touched during a consistency point is a block that must
 //!   be read, updated, and written back, so the experiments count them.
-//! * [`scan`] — rayon-parallel whole-bitmap scans used to (re)build AA
-//!   caches (§3.4's "background work can rebuild the entire cache").
+//!   A two-level **free-count summary** (a `u16` per page plus optional
+//!   per-AA counters) is maintained incrementally by every mutation, so
+//!   range free-counts, AA scores, and first-free skip-scans no longer
+//!   popcount raw bits on hot paths; debug builds verify the counters
+//!   against popcount ground truth on every mutation and every CP.
+//! * [`scan`] — whole-bitmap scans used to (re)build AA caches (§3.4's
+//!   "background work can rebuild the entire cache"): summary-driven when
+//!   counters exist, rayon-parallel popcount otherwise.
 //!
 //! A bit value of `1` means **allocated**; `0` means free. A fresh bitmap
 //! is entirely free.

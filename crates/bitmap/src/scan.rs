@@ -13,23 +13,48 @@ use crate::bitmap::Bitmap;
 use rayon::prelude::*;
 use wafl_types::{AaId, AaScore};
 
+/// The one score-computation body behind [`scores_seq`] and
+/// [`scores_par`], so the summary fast path can never diverge between
+/// them:
+///
+/// 1. a matching per-AA summary ([`Bitmap::aa_free_counts`]) turns the
+///    whole rebuild into a sequential counter copy — O(1) per AA, no
+///    bitmap words touched (parallelism would only add overhead);
+/// 2. otherwise each AA is a [`Bitmap::free_count_range`], which answers
+///    fully-covered pages from the per-page counters and popcounts only
+///    the partial edges, fanned out over rayon when `parallel`.
+fn scores_generic(bitmap: &Bitmap, aa_blocks: u64, parallel: bool) -> Vec<(AaId, AaScore)> {
+    assert!(aa_blocks > 0, "aa_blocks must be positive");
+    if let Some(counts) = bitmap.aa_free_counts(aa_blocks) {
+        return counts
+            .iter()
+            .enumerate()
+            .map(|(aa, &c)| (AaId(aa as u32), AaScore(c)))
+            .collect();
+    }
+    let aa_count = bitmap.space_len().div_ceil(aa_blocks);
+    let score_one = |aa: u64| {
+        let start = wafl_types::Vbn(aa * aa_blocks);
+        let score = bitmap.free_count_range(start, aa_blocks);
+        (AaId(aa as u32), AaScore(score))
+    };
+    if parallel {
+        (0..aa_count).into_par_iter().map(score_one).collect()
+    } else {
+        (0..aa_count).map(score_one).collect()
+    }
+}
+
 /// Compute the score (free-block count) of every AA of `aa_blocks`
 /// consecutive VBNs, in AA order. The trailing partial AA, if any, is
 /// included; its score reflects only in-range blocks because the bitmap
 /// pads its tail with allocated bits.
 ///
 /// Runs sequentially; see [`scores_par`] for the rayon version used by
-/// background rebuilds.
+/// background rebuilds. Both answer from the free-count summary where one
+/// is available (see [`scores_popcount`] for the raw-walk ground truth).
 pub fn scores_seq(bitmap: &Bitmap, aa_blocks: u64) -> Vec<(AaId, AaScore)> {
-    assert!(aa_blocks > 0, "aa_blocks must be positive");
-    let aa_count = bitmap.space_len().div_ceil(aa_blocks);
-    (0..aa_count)
-        .map(|aa| {
-            let start = wafl_types::Vbn(aa * aa_blocks);
-            let score = bitmap.free_count_range(start, aa_blocks);
-            (AaId(aa as u32), AaScore(score))
-        })
-        .collect()
+    scores_generic(bitmap, aa_blocks, false)
 }
 
 /// Parallel version of [`scores_seq`]. Identical output.
@@ -38,23 +63,35 @@ pub fn scores_seq(bitmap: &Bitmap, aa_blocks: u64) -> Vec<(AaId, AaScore)> {
 /// default is exactly one page), each task reduces whole pages and never
 /// shares a cache line with its neighbour.
 pub fn scores_par(bitmap: &Bitmap, aa_blocks: u64) -> Vec<(AaId, AaScore)> {
+    scores_generic(bitmap, aa_blocks, true)
+}
+
+/// Every AA's score by raw popcount walk — the pre-summary
+/// implementation ("a linear walk of the bitmap metafiles", §3.4), never
+/// consulting a counter. Property tests pin [`scores_par`] to this, and
+/// the `BENCH_bitmap` baseline measures the summary's speedup against it.
+pub fn scores_popcount(bitmap: &Bitmap, aa_blocks: u64) -> Vec<(AaId, AaScore)> {
     assert!(aa_blocks > 0, "aa_blocks must be positive");
     let aa_count = bitmap.space_len().div_ceil(aa_blocks);
     (0..aa_count)
-        .into_par_iter()
         .map(|aa| {
             let start = wafl_types::Vbn(aa * aa_blocks);
-            let score = bitmap.free_count_range(start, aa_blocks);
+            let score = bitmap.free_count_range_popcount(start, aa_blocks);
             (AaId(aa as u32), AaScore(score))
         })
         .collect()
 }
 
-/// Per-page free counts (one entry per 4 KiB metafile block), parallel.
-/// This is the natural unit for RAID-agnostic AAs (1 AA = 1 page) and is
-/// also used by the mount-time cost model: a full walk reads every page.
+/// Per-page free counts (one entry per 4 KiB metafile block), straight
+/// from the per-page summary counters — no bitmap words are read. This is
+/// the natural unit for RAID-agnostic AAs (1 AA = 1 page) and is also
+/// used by the mount-time cost model: a full walk reads every page.
 pub fn page_free_counts(bitmap: &Bitmap) -> Vec<u32> {
-    bitmap.pages().par_iter().map(|p| p.free_count()).collect()
+    bitmap
+        .page_free_counts()
+        .iter()
+        .map(|&c| c as u32)
+        .collect()
 }
 
 /// Number of metafile pages a full cache-rebuild walk must read.

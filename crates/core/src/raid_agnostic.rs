@@ -101,9 +101,10 @@ impl RaidAgnosticCache {
     }
 
     /// Claim the best AA for writing. The returned score is the exact
-    /// current score (recomputed from one bitmap range — one page popcount
-    /// for the default sizing). `None` when the cache is empty; callers
-    /// should then replenish and retry.
+    /// current score (read from the bitmap's per-AA summary counter when
+    /// one is enabled — O(1) — and otherwise one summary-accelerated
+    /// range count). `None` when the cache is empty; callers should then
+    /// replenish and retry.
     pub fn pick_best(&mut self, bitmap: &Bitmap) -> Option<(AaId, AaScore)> {
         let (aa, _bound) = self.hbps.take_best()?;
         let exact = self.topology.score_from_bitmap(bitmap, aa);
@@ -114,9 +115,10 @@ impl RaidAgnosticCache {
 
     /// Apply one CP's batched deltas (§3.3: "updates to the HBPS get
     /// efficiently batched at the CP boundary"). The bitmap must already
-    /// reflect the CP's allocations and frees; each touched AA costs one
-    /// range popcount to recover its new score, and the old score is
-    /// reconstructed from the delta — no per-AA score array exists.
+    /// reflect the CP's allocations and frees; each touched AA reads its
+    /// new score from the free-count summary (O(1) with the per-AA
+    /// counters volumes enable), and the old score is reconstructed from
+    /// the delta — no per-AA score array exists.
     pub fn apply_cp_batch(&mut self, batch: &mut ScoreDeltaBatch, bitmap: &Bitmap) {
         for (aa, delta) in batch.drain() {
             let new = self.topology.score_from_bitmap(bitmap, aa);
@@ -128,7 +130,8 @@ impl RaidAgnosticCache {
 
     /// Replenish the list from a full scan if it has drained (§3.3.2's
     /// background scan). Returns `true` if a scan ran — the caller charges
-    /// its cost (`bitmap.page_count()` page reads).
+    /// its cost (`bitmap.page_count()` page reads; the in-memory rescan
+    /// itself is a summary-counter copy, not a popcount walk).
     pub fn maybe_replenish(&mut self, bitmap: &Bitmap) -> bool {
         if !self.hbps.needs_replenish(self.low_water) {
             return false;

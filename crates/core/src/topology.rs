@@ -198,7 +198,17 @@ impl AaTopology {
     /// "the number of free blocks in the AA, computed by consulting bitmap
     /// metafiles"). For RAID-aware topologies the bitmap indexes the
     /// aggregate's physical VBNs; for RAID-agnostic ones, the flat space.
+    ///
+    /// A RAID-agnostic topology whose tiling matches the bitmap's enabled
+    /// per-AA summary reads the counter directly — O(1), no bitmap words
+    /// touched. Everything else goes through the range query, which the
+    /// per-page counters keep at O(partial edge pages).
     pub fn score_from_bitmap(&self, bitmap: &Bitmap, aa: AaId) -> AaScore {
+        if let AaTopology::RaidAgnostic { aa_blocks, .. } = self {
+            if let Some(counts) = bitmap.aa_free_counts(*aa_blocks) {
+                return AaScore(counts.get(aa.index()).copied().unwrap_or(0));
+            }
+        }
         let mut free = 0u32;
         for (start, len) in self.aa_vbn_ranges(aa) {
             free += bitmap.free_count_range(start, len);
@@ -207,10 +217,15 @@ impl AaTopology {
     }
 
     /// Compute every AA's score with one walk (the expensive path the
-    /// TopAA metafile avoids at mount, §3.4). Sequential; the parallel
-    /// variant lives in `wafl_bitmap::scan` and is used by background
-    /// rebuilds.
+    /// TopAA metafile avoids at mount, §3.4). RAID-agnostic tilings reuse
+    /// the summary-aware scan kernel; RAID-aware tilings walk their
+    /// per-device ranges, each range a summary-accelerated count.
+    /// Sequential; the parallel variant lives in `wafl_bitmap::scan` and
+    /// is used by background rebuilds.
     pub fn all_scores(&self, bitmap: &Bitmap) -> Vec<(AaId, AaScore)> {
+        if let AaTopology::RaidAgnostic { aa_blocks, .. } = self {
+            return wafl_bitmap::scan::scores_seq(bitmap, *aa_blocks);
+        }
         (0..self.aa_count())
             .map(|a| (AaId(a), self.score_from_bitmap(bitmap, AaId(a))))
             .collect()

@@ -645,6 +645,11 @@ impl Aggregate {
                         best
                     }
                 } else {
+                    // No cache: weight by raw free space. The per-page
+                    // summary counters answer this in O(pages-touched-
+                    // partially) — full pages never popcount, so quota
+                    // computation stays cheap even on million-block
+                    // groups.
                     self.bitmap
                         .free_count_range(g.geometry.base_vbn, g.geometry.data_blocks())
                         as f64

@@ -53,6 +53,10 @@ pub struct IronReport {
     /// Cached AA scores that disagree with the bitmaps (active AAs are
     /// exempt — they legitimately lag until their drain completes).
     pub stale_scores: u64,
+    /// Bitmap free-count summary counters (per-page, per-AA, or the
+    /// top-level total) that disagree with the popcount ground truth of
+    /// the raw bits — scribbled derived state, rebuilt by repair.
+    pub stale_summary_counters: u64,
     /// Volumes whose occupancy count disagrees with their live mappings.
     pub volume_accounting_errors: u64,
     /// Repairs performed (zero for a pure check).
@@ -68,6 +72,7 @@ impl IronReport {
             && self.leaked_blocks == 0
             && self.leaked_vvbns == 0
             && self.stale_scores == 0
+            && self.stale_summary_counters == 0
             && self.volume_accounting_errors == 0
     }
 }
@@ -185,6 +190,15 @@ pub fn check(agg: &Aggregate) -> WaflResult<IronReport> {
             }
         }
     }
+
+    // Phase 5: the bitmap free-count summaries are derived state exactly
+    // like the caches — every counter must match a popcount of the raw
+    // bits. (This is the audit that makes "crash/remount never leaves a
+    // stale summary" a checked invariant rather than a hope.)
+    report.stale_summary_counters += agg.bitmap.summary_divergences();
+    for vol in &agg.vols {
+        report.stale_summary_counters += vol.bitmap().summary_divergences();
+    }
     Ok(report)
 }
 
@@ -197,6 +211,16 @@ pub fn repair(agg: &mut Aggregate) -> WaflResult<IronReport> {
     let mut report = check(agg)?;
     if report.is_clean() {
         return Ok(report);
+    }
+    // Rebuild scribbled free-count summaries FIRST: the repairs below
+    // mutate bitmaps through allocate/free, which maintain the summary
+    // incrementally and therefore need sane counters to start from.
+    if report.stale_summary_counters > 0 {
+        agg.bitmap.rebuild_summary();
+        for vol in &mut agg.vols {
+            vol.bitmap.rebuild_summary();
+        }
+        report.repairs += report.stale_summary_counters;
     }
     // Recompute ownership from the volume maps — every *referenced* pair
     // (`vvbn_entries`: active plus snapshot-pinned), not just the live
@@ -341,6 +365,23 @@ mod tests {
         assert!(check(&a).unwrap().is_clean());
         // The repaired system keeps serving traffic.
         for l in 0..1000 {
+            a.client_overwrite(VolumeId(0), l).unwrap();
+        }
+        a.run_cp().unwrap();
+    }
+
+    #[test]
+    fn scribbled_summary_counter_is_detected_and_repaired() {
+        let mut a = agg();
+        // Scribble a per-page free-count summary counter on the physical
+        // bitmap: the bits are intact, only derived state is damaged.
+        a.bitmap.scribble_page_counter(3, u16::MAX);
+        let report = check(&a).unwrap();
+        assert!(report.stale_summary_counters > 0, "{report:?}");
+        repair(&mut a).unwrap();
+        assert!(check(&a).unwrap().is_clean());
+        // And the repaired summary keeps serving allocation traffic.
+        for l in 0..500 {
             a.client_overwrite(VolumeId(0), l).unwrap();
         }
         a.run_cp().unwrap();

@@ -391,6 +391,10 @@ pub fn mount_cold(agg: &mut Aggregate) -> WaflResult<MountStats> {
 /// Finish a TopAA-seeded mount: the background walk that completes every
 /// RAID-aware max-heap with authoritative scores. Returns the pages
 /// scanned (its cost runs behind client traffic, not in front of it).
+/// The *modelled* cost stays a full metafile walk — the paper's §3.4
+/// I/O — but the in-memory recomputation is summary-driven: each AA's
+/// score comes from the free-count counters, not a popcount over raw
+/// bits, so the rebuild no longer competes with client CPs for CPU.
 pub fn complete_background_rebuild(agg: &mut Aggregate) -> WaflResult<u64> {
     let bitmap = &agg.bitmap;
     let mut scanned = 0u64;

@@ -84,7 +84,11 @@ impl FlexVol {
             cfg.size_blocks,
             AaSizingPolicy::ConsecutiveVbns { blocks: aa_blocks },
         )?;
-        let bitmap = Bitmap::new(cfg.size_blocks);
+        let mut bitmap = Bitmap::new(cfg.size_blocks);
+        // Per-AA free-count summary: every score query (CP batch apply,
+        // replenish scans, Iron audits, mount rebuilds) reads a counter
+        // instead of popcounting the AA's bits.
+        bitmap.enable_aa_summary(aa_blocks)?;
         let cache = if cfg.aa_cache {
             Some(RaidAgnosticCache::build(topology.clone(), &bitmap)?)
         } else {

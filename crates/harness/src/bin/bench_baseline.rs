@@ -1,0 +1,217 @@
+//! Records the free-count-summary performance baseline: whole-bitmap
+//! score rebuild (summary versus the retained popcount walk) at 1 Mi
+//! blocks, summary-accelerated range counts, and the CP overwrite
+//! workload — written as `BENCH_bitmap.json` and `BENCH_cp.json` for the
+//! repo record (see `docs/perf.md`).
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin bench_baseline
+//!         [--out-dir <dir>]` (default: current directory). Run via
+//! `scripts/bench_baseline.sh` so the JSONs land at the repo root.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use wafl_bitmap::{scan, Bitmap};
+use wafl_fs::{Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_media::MediaProfile;
+use wafl_types::{Vbn, VolumeId, BITS_PER_BITMAP_BLOCK};
+
+/// 1 Mi blocks = 32 bitmap pages = a 4 GiB space at 4 KiB blocks.
+const SPACE: u64 = 32 * BITS_PER_BITMAP_BLOCK;
+const FILL: f64 = 0.55;
+const AA_BLOCKS: u64 = BITS_PER_BITMAP_BLOCK;
+
+fn aged(space: u64, fill: f64, seed: u64) -> Bitmap {
+    let mut b = Bitmap::new(space);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target = (space as f64 * fill) as u64;
+    let mut allocated = 0;
+    while allocated < target {
+        if b.allocate(Vbn(rng.random_range(0..space))).is_ok() {
+            allocated += 1;
+        }
+    }
+    b
+}
+
+/// Mean nanoseconds per call over `iters` timed iterations (plus a short
+/// untimed warm-up).
+fn time_ns<R>(iters: u64, mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..iters.div_ceil(10).min(50) {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+#[derive(Serialize)]
+struct BitmapBaseline {
+    space_blocks: u64,
+    fill_fraction: f64,
+    aa_blocks: u64,
+    /// Pre-summary implementation: raw popcount walk over every word.
+    rebuild_popcount_ns: f64,
+    /// Whole-page counts answered from the per-page summary.
+    rebuild_page_summary_ns: f64,
+    /// Per-AA counters (volume bitmaps): a counter copy.
+    rebuild_aa_summary_ns: f64,
+    speedup_page_summary: f64,
+    speedup_aa_summary: f64,
+    /// 16-page range count, popcount versus summary.
+    range_count_16_pages_popcount_ns: f64,
+    range_count_16_pages_summary_ns: f64,
+    /// `first_free_from` when only the last page has a free bit.
+    first_free_last_page_ns: f64,
+}
+
+fn bitmap_baseline() -> BitmapBaseline {
+    let plain = aged(SPACE, FILL, 42);
+    let mut with_aa = aged(SPACE, FILL, 42);
+    with_aa.enable_aa_summary(AA_BLOCKS).unwrap();
+
+    let rebuild_popcount_ns = time_ns(2_000, || scan::scores_popcount(&plain, AA_BLOCKS));
+    let rebuild_page_summary_ns = time_ns(200_000, || scan::scores_seq(&plain, AA_BLOCKS));
+    let rebuild_aa_summary_ns = time_ns(200_000, || scan::scores_seq(&with_aa, AA_BLOCKS));
+
+    let start = Vbn(3 * BITS_PER_BITMAP_BLOCK + 1000);
+    let len = 16 * BITS_PER_BITMAP_BLOCK;
+    let range_count_16_pages_popcount_ns =
+        time_ns(10_000, || plain.free_count_range_popcount(start, len));
+    let range_count_16_pages_summary_ns = time_ns(200_000, || plain.free_count_range(start, len));
+
+    let mut nearly_full = Bitmap::new(SPACE);
+    for v in 0..SPACE - 1 {
+        nearly_full.allocate(Vbn(v)).unwrap();
+    }
+    let first_free_last_page_ns = time_ns(200_000, || nearly_full.first_free_from(Vbn(0)));
+
+    BitmapBaseline {
+        space_blocks: SPACE,
+        fill_fraction: FILL,
+        aa_blocks: AA_BLOCKS,
+        rebuild_popcount_ns,
+        rebuild_page_summary_ns,
+        rebuild_aa_summary_ns,
+        speedup_page_summary: rebuild_popcount_ns / rebuild_page_summary_ns,
+        speedup_aa_summary: rebuild_popcount_ns / rebuild_aa_summary_ns,
+        range_count_16_pages_popcount_ns,
+        range_count_16_pages_summary_ns,
+        first_free_last_page_ns,
+    }
+}
+
+#[derive(Serialize)]
+struct CpSeries {
+    rounds: u64,
+    ops_per_round: u64,
+    ops_per_second: f64,
+    mean_round_ms: f64,
+    mean_cp_flush_ms: f64,
+}
+
+#[derive(Serialize)]
+struct CpBaseline {
+    caches_on: CpSeries,
+    caches_off: CpSeries,
+}
+
+/// The `cp_engine` bench workload (random overwrites + CP flush),
+/// re-measured here so CP latency is part of the recorded baseline.
+fn cp_series(caches: bool) -> CpSeries {
+    const ROUNDS: u64 = 24;
+    const OPS: u64 = 8192;
+    let mut agg = Aggregate::new(
+        AggregateConfig {
+            raid_aware_cache: caches,
+            ..AggregateConfig::single_group(RaidGroupSpec {
+                data_devices: 4,
+                parity_devices: 1,
+                device_blocks: 64 * 4096,
+                profile: MediaProfile::hdd(),
+            })
+        },
+        &[(
+            FlexVolConfig {
+                size_blocks: 16 * BITS_PER_BITMAP_BLOCK,
+                aa_cache: caches,
+                aa_blocks: None,
+            },
+            200_000,
+        )],
+        1,
+    )
+    .unwrap();
+    wafl_fs::aging::fill_volume(&mut agg, VolumeId(0), 8192).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let round = |agg: &mut Aggregate, rng: &mut StdRng| {
+        for _ in 0..OPS {
+            agg.client_overwrite(VolumeId(0), rng.random_range(0..200_000))
+                .unwrap();
+        }
+        let cp = Instant::now();
+        agg.run_cp().unwrap();
+        cp.elapsed()
+    };
+    // Warm up (primes caches and the delayed-free log).
+    for _ in 0..4 {
+        round(&mut agg, &mut rng);
+    }
+    let start = Instant::now();
+    let mut cp_total = 0.0f64;
+    for _ in 0..ROUNDS {
+        cp_total += round(&mut agg, &mut rng).as_secs_f64();
+    }
+    let total = start.elapsed().as_secs_f64();
+    CpSeries {
+        rounds: ROUNDS,
+        ops_per_round: OPS,
+        ops_per_second: (ROUNDS * OPS) as f64 / total,
+        mean_round_ms: total * 1e3 / ROUNDS as f64,
+        mean_cp_flush_ms: cp_total * 1e3 / ROUNDS as f64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| ".".into());
+
+    eprintln!("measuring bitmap score-rebuild baseline ({SPACE} blocks)...");
+    let bitmap = bitmap_baseline();
+    eprintln!(
+        "  rebuild: popcount {:.0} ns, page summary {:.0} ns ({:.0}x), \
+         per-AA summary {:.0} ns ({:.0}x)",
+        bitmap.rebuild_popcount_ns,
+        bitmap.rebuild_page_summary_ns,
+        bitmap.speedup_page_summary,
+        bitmap.rebuild_aa_summary_ns,
+        bitmap.speedup_aa_summary,
+    );
+
+    eprintln!("measuring CP overwrite workload...");
+    let cp = CpBaseline {
+        caches_on: cp_series(true),
+        caches_off: cp_series(false),
+    };
+    eprintln!(
+        "  caches on: {:.0} ops/s, mean CP flush {:.2} ms",
+        cp.caches_on.ops_per_second, cp.caches_on.mean_cp_flush_ms
+    );
+
+    for (name, json) in [
+        ("BENCH_bitmap.json", serde_json::to_string_pretty(&bitmap)),
+        ("BENCH_cp.json", serde_json::to_string_pretty(&cp)),
+    ] {
+        let path = format!("{out_dir}/{name}");
+        std::fs::write(&path, json.expect("serialize")).expect("write baseline json");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerate the recorded performance baseline (BENCH_bitmap.json and
+# BENCH_cp.json at the repo root). Run on an otherwise idle machine;
+# numbers are means over fixed iteration counts, see docs/perf.md.
+#
+#   scripts/bench_baseline.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p wafl-harness --bin bench_baseline -- --out-dir .

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, tests — and optionally the full
-# crash-consistency torture loop.
+# crash-consistency torture loop or a benchmark smoke run.
 #
-#   scripts/ci.sh            # fast gates (fmt, clippy, tests)
-#   scripts/ci.sh --torture  # fast gates + 200-seed torture run
+#   scripts/ci.sh               # fast gates (fmt, clippy, tests)
+#   scripts/ci.sh --torture     # fast gates + 200-seed torture run
+#   scripts/ci.sh --bench-smoke # fast gates + one untimed iteration of
+#                               # every criterion bench (compile + run)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +20,10 @@ run cargo test -q
 
 if [[ "${1:-}" == "--torture" ]]; then
   run cargo test --release -p wafl-fs --test crash_consistency -- --ignored
+fi
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  run cargo bench -p wafl-bench -- --test
 fi
 
 echo "CI gates passed."

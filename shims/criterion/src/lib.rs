@@ -7,12 +7,22 @@
 //! numbers; this exists so `cargo bench` stays exercisable offline and
 //! the benches keep compiling under `cargo check`/`clippy`.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 const WARMUP_ITERS: u64 = 3;
 const MEASURE_ITERS: u64 = 30;
+
+/// Smoke mode: `cargo bench -- --test` (real criterion's "compile and
+/// run once" flag). Every benchmark executes a single untimed iteration
+/// so CI can prove the benches still run without paying measurement
+/// time.
+fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Benchmark registry/driver.
 #[derive(Default)]
@@ -126,6 +136,11 @@ pub struct Bencher {
 impl Bencher {
     /// Time `routine` over the fixed iteration budget.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if smoke_mode() {
+            black_box(routine());
+            self.iters += 1;
+            return;
+        }
         for _ in 0..WARMUP_ITERS {
             black_box(routine());
         }
@@ -143,6 +158,12 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> R,
     {
+        if smoke_mode() {
+            let input = setup();
+            black_box(routine(input));
+            self.iters += 1;
+            return;
+        }
         for _ in 0..WARMUP_ITERS {
             let input = setup();
             black_box(routine(input));
@@ -157,6 +178,10 @@ impl Bencher {
     }
 
     fn report(&self, id: &str, throughput: Option<&Throughput>) {
+        if smoke_mode() {
+            println!("{id:<50} ok (smoke: 1 iteration, untimed)");
+            return;
+        }
         if self.iters == 0 {
             println!("{id:<50} (no iterations recorded)");
             return;
