@@ -27,8 +27,8 @@ fn bin_sweep(c: &mut Criterion) {
                 let (aa, old) = scores[i % scores.len()];
                 i += 1;
                 let new = AaScore((old.get() + 9_000) % 32_769);
-                hbps.on_score_change(aa, old, new);
-                hbps.on_score_change(aa, new, old);
+                hbps.on_score_change(aa, old, new).unwrap();
+                hbps.on_score_change(aa, new, old).unwrap();
             })
         });
     }
@@ -50,7 +50,7 @@ fn list_capacity_sweep(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("take_cycle", cap), &cap, |b, _| {
             b.iter(|| {
                 if hbps.take_best().is_none() {
-                    hbps.replenish(scores.iter().copied());
+                    hbps.replenish(scores.iter().copied()).unwrap();
                 }
             })
         });

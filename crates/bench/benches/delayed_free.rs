@@ -27,7 +27,7 @@ fn log_free_cost(c: &mut Criterion) {
             DelayedFreeLog::new,
             |mut log| {
                 for &v in &frees {
-                    log.log_free(v);
+                    log.log_free(v).unwrap();
                 }
                 log
             },
@@ -48,7 +48,7 @@ fn process_vs_immediate(c: &mut Criterion) {
                 let mut log = DelayedFreeLog::new();
                 for &v in &frees {
                     bitmap.allocate(v).unwrap();
-                    log.log_free(v);
+                    log.log_free(v).unwrap();
                 }
                 (bitmap, log)
             },

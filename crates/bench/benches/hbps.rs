@@ -26,8 +26,8 @@ fn score_change(c: &mut Criterion) {
             let (aa, old) = scores[i % scores.len()];
             i += 1;
             let new = AaScore((old.get() + 5_000) % 32_769);
-            hbps.on_score_change(aa, old, new);
-            hbps.on_score_change(aa, new, old);
+            hbps.on_score_change(aa, old, new).unwrap();
+            hbps.on_score_change(aa, new, old).unwrap();
         })
     });
 }
@@ -39,10 +39,10 @@ fn take_and_retrack(c: &mut Criterion) {
         b.iter(|| {
             if let Some((aa, bound)) = hbps.take_best() {
                 // Simulate the CP-boundary re-entry of the drained AA.
-                hbps.on_score_change(aa, bound, AaScore(0));
-                hbps.on_score_change(aa, AaScore(0), bound);
+                hbps.on_score_change(aa, bound, AaScore(0)).unwrap();
+                hbps.on_score_change(aa, AaScore(0), bound).unwrap();
             } else {
-                hbps.replenish(scores.iter().copied());
+                hbps.replenish(scores.iter().copied()).unwrap();
             }
         })
     });

@@ -97,6 +97,37 @@ impl HbpsConfig {
     }
 }
 
+/// Cumulative maintenance counters for one [`Hbps`] instance.
+///
+/// Volatile observability state: never persisted to the TopAA pages, and
+/// reset by [`Hbps::take_stats`] so callers can scrape deltas into an
+/// external metrics registry at CP boundaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HbpsStats {
+    /// Score changes that moved an AA between histogram bins.
+    pub bin_moves: u64,
+    /// Single-element boundary moves performed while walking a list hole
+    /// across deeper segments (the §3.3.2 rotation trick).
+    pub boundary_rotations: u64,
+    /// Entries actually inserted into the list page.
+    pub list_inserts: u64,
+    /// Entries evicted from the deepest segment to admit a better AA.
+    pub list_evictions: u64,
+    /// Full list rebuilds via [`Hbps::replenish`].
+    pub refills: u64,
+}
+
+impl HbpsStats {
+    /// Accumulate another instance's counters into this one.
+    pub fn merge(&mut self, other: HbpsStats) {
+        self.bin_moves += other.bin_moves;
+        self.boundary_rotations += other.boundary_rotations;
+        self.list_inserts += other.list_inserts;
+        self.list_evictions += other.list_evictions;
+        self.refills += other.refills;
+    }
+}
+
 /// The two-page histogram-based partial sort. See the module docs.
 ///
 /// ```
@@ -116,8 +147,10 @@ impl HbpsConfig {
 /// assert!(bound.get() >= 32_768 - 1024);
 ///
 /// // Score changes are O(bins): histogram count moves plus at most one
-/// // list element per deeper bin.
-/// hbps.on_score_change(AaId(3), AaScore(21), AaScore(30_000));
+/// // list element per deeper bin. Scores beyond the configured space are
+/// // rejected rather than silently clamped.
+/// hbps.on_score_change(AaId(3), AaScore(21), AaScore(30_000)).unwrap();
+/// assert!(hbps.on_score_change(AaId(3), AaScore(30_000), AaScore(40_000)).is_err());
 /// ```
 pub struct Hbps {
     cfg: HbpsConfig,
@@ -127,6 +160,8 @@ pub struct Hbps {
     list: Vec<AaId>,
     /// Entries in `list` belonging to each bin.
     seg_len: Vec<u32>,
+    /// Volatile maintenance counters (not persisted).
+    stats: HbpsStats,
 }
 
 impl Hbps {
@@ -138,6 +173,7 @@ impl Hbps {
             list: Vec::with_capacity(cfg.list_capacity),
             seg_len: vec![0; cfg.bins],
             cfg,
+            stats: HbpsStats::default(),
         })
     }
 
@@ -148,7 +184,7 @@ impl Hbps {
     ) -> WaflResult<Hbps> {
         let mut h = Hbps::new(cfg)?;
         for (aa, score) in scores {
-            h.track_new(aa, score);
+            h.track_new(aa, score)?;
         }
         Ok(h)
     }
@@ -160,10 +196,53 @@ impl Hbps {
 
     /// The bin holding `score`. Bin 0 covers `(max - width, max]`; the
     /// last bin additionally covers score 0.
+    ///
+    /// Scores above `max_score` are outside the configured score space: a
+    /// free-count can never exceed the AA size, so an oversized score
+    /// means the caller's accounting is broken. Debug builds assert;
+    /// release builds clamp into bin 0 (misbinning one AA degrades pick
+    /// quality, never correctness). Mutation paths reject such scores via
+    /// [`Hbps::try_bin_of`] instead of reaching this clamp.
     #[inline]
     pub fn bin_of(&self, score: AaScore) -> usize {
+        debug_assert!(
+            score.get() <= self.cfg.max_score,
+            "score {} exceeds HBPS max_score {}",
+            score.get(),
+            self.cfg.max_score
+        );
         let s = score.get().min(self.cfg.max_score);
         (((self.cfg.max_score - s) / self.cfg.bin_width()) as usize).min(self.cfg.bins - 1)
+    }
+
+    /// Like [`Hbps::bin_of`], but rejects scores outside the configured
+    /// score space instead of clamping them into the best bin.
+    #[inline]
+    pub fn try_bin_of(&self, score: AaScore) -> WaflResult<usize> {
+        if score.get() > self.cfg.max_score {
+            return Err(WaflError::InvalidConfig {
+                reason: format!(
+                    "score {} exceeds HBPS max_score {}",
+                    score.get(),
+                    self.cfg.max_score
+                ),
+            });
+        }
+        Ok(
+            (((self.cfg.max_score - score.get()) / self.cfg.bin_width()) as usize)
+                .min(self.cfg.bins - 1),
+        )
+    }
+
+    /// Maintenance counters accumulated since construction or the last
+    /// [`Hbps::take_stats`] call.
+    pub fn stats(&self) -> HbpsStats {
+        self.stats
+    }
+
+    /// Return and reset the maintenance counters (delta scrape).
+    pub fn take_stats(&mut self) -> HbpsStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Total AAs tracked by the histogram.
@@ -192,21 +271,24 @@ impl Hbps {
     }
 
     /// Begin tracking a new AA with the given score (histogram count plus
-    /// list insertion if it qualifies).
-    pub fn track_new(&mut self, aa: AaId, score: AaScore) {
-        let bin = self.bin_of(score);
+    /// list insertion if it qualifies). Rejects scores above `max_score`.
+    pub fn track_new(&mut self, aa: AaId, score: AaScore) -> WaflResult<()> {
+        let bin = self.try_bin_of(score)?;
         self.counts[bin] += 1;
         self.try_insert_listed(aa, bin);
+        Ok(())
     }
 
     /// Apply a score change for `aa`. The caller supplies the old score
     /// (derivable from the bitmap and the CP's delta); the structure
     /// itself stores no per-AA state — that is what keeps it two pages.
-    pub fn on_score_change(&mut self, aa: AaId, old: AaScore, new: AaScore) {
-        let (ob, nb) = (self.bin_of(old), self.bin_of(new));
+    /// Either score above `max_score` is rejected as [`WaflError::InvalidConfig`].
+    pub fn on_score_change(&mut self, aa: AaId, old: AaScore, new: AaScore) -> WaflResult<()> {
+        let (ob, nb) = (self.try_bin_of(old)?, self.try_bin_of(new)?);
         if ob == nb {
-            return; // same bin: counts unchanged, in-bin order irrelevant
+            return Ok(()); // same bin: counts unchanged, in-bin order irrelevant
         }
+        self.stats.bin_moves += 1;
         // Saturate rather than assert: a TopAA image written less often
         // than every CP restores counts that lag the bitmaps. Histogram
         // drift degrades pick quality, never allocation correctness (the
@@ -220,13 +302,16 @@ impl Hbps {
             // Not in the list; it may now qualify (freed into a top bin).
             self.try_insert_listed(aa, nb);
         }
+        Ok(())
     }
 
-    /// Stop tracking `aa` entirely (e.g. the FlexVol shrank).
-    pub fn untrack(&mut self, aa: AaId, score: AaScore) {
-        let bin = self.bin_of(score);
+    /// Stop tracking `aa` entirely (e.g. the FlexVol shrank). Rejects
+    /// scores above `max_score`.
+    pub fn untrack(&mut self, aa: AaId, score: AaScore) -> WaflResult<()> {
+        let bin = self.try_bin_of(score)?;
         self.counts[bin] = self.counts[bin].saturating_sub(1);
         self.remove_listed(aa, bin);
+        Ok(())
     }
 
     /// The best available AA: the first list entry, which belongs to the
@@ -280,14 +365,20 @@ impl Hbps {
     }
 
     /// Rebuild from an authoritative full scan (the background replenish).
-    /// Resets both pages.
-    pub fn replenish(&mut self, scores: impl IntoIterator<Item = (AaId, AaScore)>) {
+    /// Resets both pages. Fails (leaving the structure mid-rebuild but
+    /// internally consistent) if a supplied score exceeds `max_score`.
+    pub fn replenish(
+        &mut self,
+        scores: impl IntoIterator<Item = (AaId, AaScore)>,
+    ) -> WaflResult<()> {
         self.counts.iter_mut().for_each(|c| *c = 0);
         self.seg_len.iter_mut().for_each(|l| *l = 0);
         self.list.clear();
+        self.stats.refills += 1;
         for (aa, score) in scores {
-            self.track_new(aa, score);
+            self.track_new(aa, score)?;
         }
+        Ok(())
     }
 
     /// Constant memory: exactly two metafile pages (§3.3.2: "this AA cache
@@ -309,6 +400,7 @@ impl Hbps {
                     // Evict the last entry (end of the deepest segment).
                     self.list.pop();
                     self.seg_len[deepest] -= 1;
+                    self.stats.list_evictions += 1;
                 }
                 _ => return, // not better than anything listed
             }
@@ -328,9 +420,11 @@ impl Hbps {
             }
             self.list[hole] = self.list[start];
             hole = start;
+            self.stats.boundary_rotations += 1;
         }
         self.list[hole] = aa;
         self.seg_len[bin] += 1;
+        self.stats.list_inserts += 1;
     }
 
     /// Remove `aa` from `bin`'s segment if present. Returns whether it was.
@@ -370,6 +464,7 @@ impl Hbps {
             self.list[hole] = self.list[last];
             hole = last;
             next_seg_start = last + 1;
+            self.stats.boundary_rotations += 1;
         }
         debug_assert_eq!(hole, self.list.len() - 1);
         self.list.pop();
@@ -542,16 +637,131 @@ mod tests {
         assert_eq!(h.bin_of(AaScore(30 * 1024 + 1)), 1);
         assert_eq!(h.bin_of(AaScore(1)), 31);
         assert_eq!(h.bin_of(AaScore(0)), 31);
-        // Scores above max clamp into bin 0 rather than panic.
-        assert_eq!(h.bin_of(AaScore(u32::MAX)), 0);
+        // Scores above max are outside the score space: the checked
+        // mapping and every mutation path reject them.
+        assert!(matches!(
+            h.try_bin_of(AaScore(32 * 1024 + 1)),
+            Err(WaflError::InvalidConfig { .. })
+        ));
+        assert!(h.try_bin_of(AaScore(u32::MAX)).is_err());
+    }
+
+    #[test]
+    fn oversized_scores_are_rejected_by_mutation_paths() {
+        let mut h = Hbps::new(small_cfg()).unwrap();
+        let too_big = AaScore(321);
+        assert!(h.track_new(AaId(1), too_big).is_err());
+        assert_eq!(h.tracked(), 0, "failed track must not count");
+        h.track_new(AaId(1), AaScore(320)).unwrap();
+        assert!(h.on_score_change(AaId(1), AaScore(320), too_big).is_err());
+        assert!(h.on_score_change(AaId(1), too_big, AaScore(320)).is_err());
+        assert!(h.untrack(AaId(1), too_big).is_err());
+        assert_eq!(h.tracked(), 1, "failed mutations must not disturb state");
+        assert!(Hbps::build(small_cfg(), [(AaId(9), too_big)]).is_err());
+        assert!(h.replenish([(AaId(9), too_big)]).is_err());
+        h.assert_invariants();
+    }
+
+    #[test]
+    fn bin_edges_map_per_paper_ranges() {
+        // Width 10 over 0..=320: bin 0 = (310, 320], bin 1 = (300, 310],
+        // ..., bin 31 = [0, 10].
+        let h = Hbps::new(small_cfg()).unwrap();
+        let w = h.config().bin_width();
+        assert_eq!(w, 10);
+        assert_eq!(h.bin_of(AaScore(320)), 0); // exactly max_score
+        assert_eq!(h.bin_of(AaScore(311)), 0); // lower edge of bin 0 + 1
+        assert_eq!(h.bin_of(AaScore(310)), 1); // exactly max_score - width
+        assert_eq!(h.bin_of(AaScore(309)), 1); // one below the edge
+        assert_eq!(h.bin_of(AaScore(301)), 1);
+        assert_eq!(h.bin_of(AaScore(300)), 2);
+        assert_eq!(h.bin_of(AaScore(10)), 31);
+        assert_eq!(h.bin_of(AaScore(1)), 31);
+        assert_eq!(h.bin_of(AaScore(0)), 31); // zero shares the last bin
+        for s in [0u32, 1, 9, 10, 11, 309, 310, 311, 320] {
+            assert_eq!(h.try_bin_of(AaScore(s)).unwrap(), h.bin_of(AaScore(s)));
+        }
+    }
+
+    #[test]
+    fn best_bin_query_bound_at_edges() {
+        let mut h = Hbps::new(small_cfg()).unwrap();
+        // A score exactly at max_score reports the bin-0 upper bound.
+        h.track_new(AaId(1), AaScore(320)).unwrap();
+        assert_eq!(h.peek_best().unwrap(), (AaId(1), AaScore(320)));
+        h.take_best().unwrap();
+        // A score exactly at max_score - width sits in bin 1, whose upper
+        // bound is max_score - width: the reported bound never overstates
+        // by more than one bin width.
+        h.track_new(AaId(2), AaScore(310)).unwrap();
+        let (aa, bound) = h.peek_best().unwrap();
+        assert_eq!((aa, bound), (AaId(2), AaScore(310)));
+        h.take_best().unwrap();
+        // Score 0 lands in the worst bin; its reported bound is that
+        // bin's upper edge (one width), not zero.
+        h.track_new(AaId(3), AaScore(0)).unwrap();
+        assert_eq!(h.peek_best().unwrap(), (AaId(3), AaScore(10)));
+        h.assert_invariants();
+    }
+
+    #[test]
+    fn boundary_rotation_at_bin_edges() {
+        let mut h = Hbps::new(small_cfg()).unwrap();
+        // Populate three adjacent segments via edge scores.
+        h.track_new(AaId(0), AaScore(320)).unwrap(); // bin 0
+        h.track_new(AaId(1), AaScore(310)).unwrap(); // bin 1
+        h.track_new(AaId(2), AaScore(309)).unwrap(); // bin 1
+        h.track_new(AaId(3), AaScore(300)).unwrap(); // bin 2
+        h.assert_invariants();
+        let before = h.stats();
+        // Crossing a single edge (309 -> 311) moves the AA from bin 1 to
+        // bin 0: one bin move, and the insert rotates one boundary element
+        // per deeper nonempty segment it passes.
+        h.on_score_change(AaId(2), AaScore(309), AaScore(311))
+            .unwrap();
+        let after = h.stats();
+        assert_eq!(after.bin_moves - before.bin_moves, 1);
+        assert!(after.boundary_rotations > before.boundary_rotations);
+        h.assert_invariants();
+        // Same-bin edge movement (311 -> 320 within bin 0) is a no-op.
+        let before = h.stats();
+        h.on_score_change(AaId(2), AaScore(311), AaScore(320))
+            .unwrap();
+        assert_eq!(h.stats(), before);
+        // Drain in bin order: the rotated structure still yields bin 0
+        // entries first.
+        let order: Vec<AaId> = std::iter::from_fn(|| h.take_best().map(|(aa, _)| aa)).collect();
+        assert_eq!(order.len(), 4);
+        assert!(order[..2].contains(&AaId(0)) && order[..2].contains(&AaId(2)));
+        assert_eq!(order[2], AaId(1));
+        assert_eq!(order[3], AaId(3));
+        h.assert_invariants();
+    }
+
+    #[test]
+    fn stats_track_maintenance_and_reset() {
+        let mut h = Hbps::new(small_cfg()).unwrap();
+        for i in 0..12 {
+            h.track_new(AaId(i), AaScore(100 + i.min(5))).unwrap();
+        }
+        h.on_score_change(AaId(0), AaScore(100), AaScore(319))
+            .unwrap();
+        h.replenish((0..12).map(|i| (AaId(i), AaScore(100))))
+            .unwrap();
+        let s = h.take_stats();
+        assert!(s.list_inserts >= 10);
+        assert!(s.list_evictions >= 1, "insert into a full list evicts");
+        assert_eq!(s.bin_moves, 1);
+        assert_eq!(s.refills, 1);
+        assert_eq!(h.take_stats(), HbpsStats::default(), "take resets");
     }
 
     #[test]
     fn best_comes_from_best_bin() {
         let mut h = Hbps::new(small_cfg()).unwrap();
-        h.track_new(AaId(1), AaScore(50));
-        h.track_new(AaId(2), AaScore(315)); // bin 0
-        h.track_new(AaId(3), AaScore(200));
+        h.track_new(AaId(1), AaScore(50)).unwrap();
+        h.track_new(AaId(2), AaScore(315)).unwrap(); // bin 0
+        h.track_new(AaId(3), AaScore(200)).unwrap();
         let (aa, bound) = h.peek_best().unwrap();
         assert_eq!(aa, AaId(2));
         assert_eq!(bound, AaScore(320));
@@ -561,9 +771,9 @@ mod tests {
     #[test]
     fn take_best_drains_in_bin_order() {
         let mut h = Hbps::new(small_cfg()).unwrap();
-        h.track_new(AaId(1), AaScore(5)); // worst bin
-        h.track_new(AaId(2), AaScore(315)); // bin 0
-        h.track_new(AaId(3), AaScore(305)); // bin 1 (301..=310)
+        h.track_new(AaId(1), AaScore(5)).unwrap(); // worst bin
+        h.track_new(AaId(2), AaScore(315)).unwrap(); // bin 0
+        h.track_new(AaId(3), AaScore(305)).unwrap(); // bin 1 (301..=310)
         let first = h.take_best().unwrap().0;
         assert_eq!(first, AaId(2));
         let second = h.take_best().unwrap().0;
@@ -581,11 +791,11 @@ mod tests {
         let mut h = Hbps::new(small_cfg()).unwrap();
         // 10-entry capacity; insert 20 mediocre then 10 great AAs.
         for i in 0..20 {
-            h.track_new(AaId(i), AaScore(100)); // bin 21
+            h.track_new(AaId(i), AaScore(100)).unwrap(); // bin 21
         }
         assert_eq!(h.list_len(), 10);
         for i in 20..30 {
-            h.track_new(AaId(i), AaScore(315)); // bin 0 evicts mediocre
+            h.track_new(AaId(i), AaScore(315)).unwrap(); // bin 0 evicts mediocre
         }
         h.assert_invariants();
         assert_eq!(h.list_len(), 10);
@@ -601,19 +811,22 @@ mod tests {
     #[test]
     fn score_change_moves_between_bins() {
         let mut h = Hbps::new(small_cfg()).unwrap();
-        h.track_new(AaId(1), AaScore(100));
-        h.track_new(AaId(2), AaScore(200));
+        h.track_new(AaId(1), AaScore(100)).unwrap();
+        h.track_new(AaId(2), AaScore(200)).unwrap();
         // AA 1 gets lots of frees: moves to bin 0.
-        h.on_score_change(AaId(1), AaScore(100), AaScore(320));
+        h.on_score_change(AaId(1), AaScore(100), AaScore(320))
+            .unwrap();
         assert_eq!(h.peek_best().unwrap().0, AaId(1));
         // AA 1 gets consumed: drops to the worst bin.
-        h.on_score_change(AaId(1), AaScore(320), AaScore(0));
+        h.on_score_change(AaId(1), AaScore(320), AaScore(0))
+            .unwrap();
         assert_eq!(h.peek_best().unwrap().0, AaId(2));
         h.assert_invariants();
         // Same-bin movement is a no-op (bin width 10: 200 and 199 share
         // the (190, 200] bin).
         let counts_before = h.bin_counts().to_vec();
-        h.on_score_change(AaId(2), AaScore(200), AaScore(199));
+        h.on_score_change(AaId(2), AaScore(200), AaScore(199))
+            .unwrap();
         assert_eq!(h.bin_counts(), &counts_before[..]);
     }
 
@@ -621,13 +834,14 @@ mod tests {
     fn unlisted_aa_joins_list_when_freed_into_top_bins() {
         let mut h = Hbps::new(small_cfg()).unwrap();
         for i in 0..10 {
-            h.track_new(AaId(i), AaScore(250));
+            h.track_new(AaId(i), AaScore(250)).unwrap();
         }
         // AA 100 starts poor and unlisted (list is full of 250s).
-        h.track_new(AaId(100), AaScore(10));
+        h.track_new(AaId(100), AaScore(10)).unwrap();
         assert_eq!(h.list_len(), 10);
         // Frees push it into bin 0: it must displace a 250.
-        h.on_score_change(AaId(100), AaScore(10), AaScore(319));
+        h.on_score_change(AaId(100), AaScore(10), AaScore(319))
+            .unwrap();
         assert_eq!(h.peek_best().unwrap().0, AaId(100));
         h.assert_invariants();
     }
@@ -636,7 +850,7 @@ mod tests {
     fn needs_replenish_when_list_drains() {
         let mut h = Hbps::new(small_cfg()).unwrap();
         for i in 0..5 {
-            h.track_new(AaId(i), AaScore(300));
+            h.track_new(AaId(i), AaScore(300)).unwrap();
         }
         assert!(!h.needs_replenish(3));
         h.take_best();
@@ -644,7 +858,8 @@ mod tests {
         h.take_best();
         assert!(h.needs_replenish(3));
         // Replenish from a fresh scan restores the full picture.
-        h.replenish((0..5).map(|i| (AaId(i), AaScore(300))));
+        h.replenish((0..5).map(|i| (AaId(i), AaScore(300))))
+            .unwrap();
         assert_eq!(h.list_len(), 5);
         assert!(!h.needs_replenish(3));
         h.assert_invariants();
@@ -654,7 +869,7 @@ mod tests {
     fn round_trip_through_pages() {
         let mut h = Hbps::new(HbpsConfig::default()).unwrap();
         for i in 0..5000u32 {
-            h.track_new(AaId(i), AaScore((i * 7) % 32769));
+            h.track_new(AaId(i), AaScore((i * 7) % 32769)).unwrap();
         }
         let (p1, p2) = h.to_pages();
         let h2 = Hbps::from_pages(&p1, &p2).unwrap();
@@ -704,9 +919,9 @@ mod tests {
     #[test]
     fn untrack_removes_everywhere() {
         let mut h = Hbps::new(small_cfg()).unwrap();
-        h.track_new(AaId(1), AaScore(300));
-        h.track_new(AaId(2), AaScore(100));
-        h.untrack(AaId(1), AaScore(300));
+        h.track_new(AaId(1), AaScore(300)).unwrap();
+        h.track_new(AaId(2), AaScore(100)).unwrap();
+        h.untrack(AaId(1), AaScore(300)).unwrap();
         assert_eq!(h.tracked(), 1);
         assert_eq!(h.peek_best().unwrap().0, AaId(2));
         h.assert_invariants();

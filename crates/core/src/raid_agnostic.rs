@@ -2,7 +2,7 @@
 //! bitmap (§3.3.2).
 
 use crate::batch::ScoreDeltaBatch;
-use crate::hbps::{Hbps, HbpsConfig};
+use crate::hbps::{Hbps, HbpsConfig, HbpsStats};
 use crate::topology::AaTopology;
 use wafl_bitmap::Bitmap;
 use wafl_types::{AaId, AaScore, ScoreDelta, WaflError, WaflResult, BLOCK_SIZE};
@@ -119,26 +119,31 @@ impl RaidAgnosticCache {
     /// new score from the free-count summary (O(1) with the per-AA
     /// counters volumes enable), and the old score is reconstructed from
     /// the delta — no per-AA score array exists.
-    pub fn apply_cp_batch(&mut self, batch: &mut ScoreDeltaBatch, bitmap: &Bitmap) {
+    pub fn apply_cp_batch(
+        &mut self,
+        batch: &mut ScoreDeltaBatch,
+        bitmap: &Bitmap,
+    ) -> WaflResult<()> {
         for (aa, delta) in batch.drain() {
             let new = self.topology.score_from_bitmap(bitmap, aa);
             let max = self.topology.aa_blocks(aa) as u32;
             let old = new.apply(ScoreDelta(-delta.0), max);
-            self.hbps.on_score_change(aa, old, new);
+            self.hbps.on_score_change(aa, old, new)?;
         }
+        Ok(())
     }
 
     /// Replenish the list from a full scan if it has drained (§3.3.2's
     /// background scan). Returns `true` if a scan ran — the caller charges
     /// its cost (`bitmap.page_count()` page reads; the in-memory rescan
     /// itself is a summary-counter copy, not a popcount walk).
-    pub fn maybe_replenish(&mut self, bitmap: &Bitmap) -> bool {
+    pub fn maybe_replenish(&mut self, bitmap: &Bitmap) -> WaflResult<bool> {
         if !self.hbps.needs_replenish(self.low_water) {
-            return false;
+            return Ok(false);
         }
-        self.hbps.replenish(self.topology.all_scores(bitmap));
+        self.hbps.replenish(self.topology.all_scores(bitmap))?;
         self.stats.replenish_scans += 1;
-        true
+        Ok(true)
     }
 
     /// Pick-quality statistics.
@@ -164,6 +169,12 @@ impl RaidAgnosticCache {
     /// Access to the embedded HBPS (read-only; for diagnostics/benches).
     pub fn hbps(&self) -> &Hbps {
         &self.hbps
+    }
+
+    /// Return and reset the embedded HBPS's maintenance counters (delta
+    /// scrape for an external metrics registry).
+    pub fn take_hbps_stats(&mut self) -> HbpsStats {
+        self.hbps.take_stats()
     }
 }
 
@@ -216,7 +227,7 @@ mod tests {
             bitmap.allocate(Vbn(v)).unwrap();
         }
         batch.record_allocated(AaId(1), 2000 - 1024);
-        cache.apply_cp_batch(&mut batch, &bitmap);
+        cache.apply_cp_batch(&mut batch, &bitmap).unwrap();
         // Best picks now come from AAs 2 and 3 only.
         let (a, s) = cache.pick_best(&bitmap).unwrap();
         assert!(a.get() >= 2);
@@ -232,11 +243,11 @@ mod tests {
         let mut cache = RaidAgnosticCache::build(t, &bitmap).unwrap();
         // Drain everything the list holds.
         while cache.pick_best(&bitmap).is_some() {}
-        assert!(cache.maybe_replenish(&bitmap));
+        assert!(cache.maybe_replenish(&bitmap).unwrap());
         assert!(cache.pick_best(&bitmap).is_some());
         assert_eq!(cache.stats().replenish_scans, 1);
         // A full list does not replenish again.
-        assert!(!cache.maybe_replenish(&bitmap));
+        assert!(!cache.maybe_replenish(&bitmap).unwrap());
     }
 
     #[test]

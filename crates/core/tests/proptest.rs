@@ -157,7 +157,7 @@ proptest! {
                 HbpsOp::ScoreChange(aa, new) => {
                     let aa = aa % n;
                     let old = shadow[&aa];
-                    hbps.on_score_change(AaId(aa), AaScore(old), AaScore(new));
+                    hbps.on_score_change(AaId(aa), AaScore(old), AaScore(new)).unwrap();
                     shadow.insert(aa, new);
                     // A score change may re-list a previously taken AA.
                     taken.remove(&aa);
@@ -169,7 +169,7 @@ proptest! {
                     if hbps.needs_replenish(4) {
                         hbps.replenish(
                             shadow.iter().map(|(&k, &v)| (AaId(k), AaScore(v))),
-                        );
+                        ).unwrap();
                         taken.clear();
                     }
                     if let Some((aa, bound)) = hbps.take_best() {

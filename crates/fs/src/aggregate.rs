@@ -2,6 +2,7 @@
 
 use crate::config::{AggregateConfig, FlexVolConfig, RaidGroupSpec};
 use crate::delayed_free::DelayedFreeLog;
+use crate::obs::FsObs;
 use crate::volume::FlexVol;
 use std::collections::HashSet;
 use wafl_bitmap::Bitmap;
@@ -193,6 +194,9 @@ pub struct Aggregate {
     pub(crate) free_log: DelayedFreeLog,
     /// Completed CPs.
     pub(crate) cp_count: u64,
+    /// Observability handles for the allocator pipeline. Host state: the
+    /// counters survive simulated crashes and remounts of this instance.
+    pub(crate) obs: FsObs,
 }
 
 /// Owner sentinel: block free / untracked.
@@ -336,6 +340,7 @@ impl Aggregate {
             pvbn_owner: vec![OWNER_NONE; space],
             free_log: DelayedFreeLog::new(),
             cp_count: 0,
+            obs: FsObs::default(),
         })
     }
 
@@ -563,6 +568,13 @@ impl Aggregate {
     /// The delayed-free log (empty unless `batched_frees` is configured).
     pub fn free_log(&self) -> &DelayedFreeLog {
         &self.free_log
+    }
+
+    /// The metrics registry observing this aggregate's allocator pipeline.
+    /// See `docs/observability.md` for the metric catalog;
+    /// `Registry::snapshot_json` exports everything as one JSON object.
+    pub fn obs(&self) -> &wafl_obs::Registry {
+        self.obs.registry()
     }
 
     /// Reset AA-cache pick statistics on all volumes (post-aging).

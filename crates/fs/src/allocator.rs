@@ -45,6 +45,13 @@ pub(crate) struct AllocOutcome {
     pub blocks_examined: u64,
     /// Bitmap pages scanned by replenish walks triggered while planning.
     pub replenish_pages: u64,
+    /// `(true_best - picked, bin_width)` score error for each HBPS-guided
+    /// pick, in blocks. The §3.3.2 bound keeps the error under one bin
+    /// width; heap picks are exact and record nothing.
+    pub pick_errors: Vec<(u32, u32)>,
+    /// Picks served by the linear bitmap sweep instead of a cache (the
+    /// cache-less degraded-mount fallback, or baseline-mode exhaustion).
+    pub sweep_picks: u64,
 }
 
 /// Drain free VBNs of `aa` from `bitmap` (read-only) in write order, up to
@@ -84,7 +91,7 @@ pub(crate) fn plan_raid_group(
     quota: usize,
     mode: AllocatorMode,
     seed: u64,
-) -> AllocOutcome {
+) -> WaflResult<AllocOutcome> {
     let mut out = AllocOutcome::default();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut tried: HashSet<AaId> = HashSet::new();
@@ -126,7 +133,7 @@ pub(crate) fn plan_raid_group(
                             break;
                         }
                         if hbps.needs_replenish(4) {
-                            hbps.replenish(g.topology.all_scores(bitmap));
+                            hbps.replenish(g.topology.all_scores(bitmap))?;
                             out.replenish_pages += (g.geometry.data_blocks() / 32_768).max(1);
                         }
                         match hbps.take_best() {
@@ -135,6 +142,17 @@ pub(crate) fn plan_raid_group(
                                 if score.get() == 0 {
                                     continue; // stale entry; pick again
                                 }
+                                let true_best = g
+                                    .topology
+                                    .all_scores(bitmap)
+                                    .into_iter()
+                                    .map(|(_, s)| s.get())
+                                    .max()
+                                    .unwrap_or(score.get());
+                                out.pick_errors.push((
+                                    true_best.saturating_sub(score.get()),
+                                    hbps.config().bin_width(),
+                                ));
                                 out.picked.push((aa, score));
                                 g.active_aa = Some(aa);
                                 aa
@@ -183,7 +201,7 @@ pub(crate) fn plan_raid_group(
             break; // quota met mid-AA; stays active for the next CP
         }
     }
-    out
+    Ok(out)
 }
 
 /// Like [`drain_ranges`] but resilient to the planner re-visiting an AA
@@ -223,23 +241,44 @@ pub(crate) fn allocate_vvbns(
             Some(aa) => aa,
             None => {
                 let picked = match mode {
-                    AllocatorMode::CacheGuided => {
-                        let cache = vol.cache.as_mut().expect("cache-guided without a cache");
-                        match cache.pick_best(&vol.bitmap) {
-                            Some((aa, score)) if score.get() > 0 => Some((aa, score)),
-                            _ => {
-                                // List drained: replenish from a scan and
-                                // retry once; the scan cost is charged to
-                                // the CP (§3.3.2's background scan).
-                                if cache.maybe_replenish(&vol.bitmap) {
-                                    out.replenish_pages += vol.bitmap.page_count() as u64;
-                                    cache.pick_best(&vol.bitmap).filter(|(_, s)| s.get() > 0)
-                                } else {
-                                    None
+                    AllocatorMode::CacheGuided => match vol.cache.as_mut() {
+                        Some(cache) => {
+                            let pick = match cache.pick_best(&vol.bitmap) {
+                                Some((aa, score)) if score.get() > 0 => Some((aa, score)),
+                                _ => {
+                                    // List drained: replenish from a scan
+                                    // and retry once; the scan cost is
+                                    // charged to the CP (§3.3.2's
+                                    // background scan).
+                                    if cache.maybe_replenish(&vol.bitmap)? {
+                                        out.replenish_pages += vol.bitmap.page_count() as u64;
+                                        cache.pick_best(&vol.bitmap).filter(|(_, s)| s.get() > 0)
+                                    } else {
+                                        None
+                                    }
                                 }
+                            };
+                            if let Some((_, score)) = pick {
+                                let true_best = vol
+                                    .topology
+                                    .all_scores(&vol.bitmap)
+                                    .into_iter()
+                                    .map(|(_, s)| s.get())
+                                    .max()
+                                    .unwrap_or(score.get());
+                                out.pick_errors.push((
+                                    true_best.saturating_sub(score.get()),
+                                    cache.hbps().config().bin_width(),
+                                ));
                             }
+                            pick
                         }
-                    }
+                        // A degraded mount can leave a cache-guided volume
+                        // without its HBPS. Fall through to the linear
+                        // sweep below rather than panicking; the cache is
+                        // rebuilt at the next clean mount.
+                        None => None,
+                    },
                     AllocatorMode::RandomAa => {
                         attempts += 1;
                         if attempts > 4 * aa_count.max(8) {
@@ -269,6 +308,7 @@ pub(crate) fn allocate_vvbns(
                         let Some(vbn) = vol.bitmap.first_free_from(Vbn(0)) else {
                             return Err(WaflError::SpaceExhausted);
                         };
+                        out.sweep_picks += 1;
                         let aa = vol.topology.aa_of_vbn(vbn)?;
                         let score = vol.topology.score_from_bitmap(&vol.bitmap, aa);
                         out.picked.push((aa, score));
@@ -377,6 +417,37 @@ mod tests {
         let out = allocate_vvbns(&mut v, 100, 7, AllocatorMode::CacheGuided).unwrap();
         assert!(out.picked[0].0.get() >= 1);
         assert_eq!(out.picked[0].1, AaScore(32768));
+    }
+
+    #[test]
+    fn cache_guided_without_cache_falls_back_to_sweep() {
+        // Regression: a degraded mount leaves `cache = None`; CacheGuided
+        // allocation used to panic on `.expect("cache-guided without a
+        // cache")`. It must fall back to the linear sweep instead.
+        let mut v = vol(true);
+        v.cache = None;
+        let out = allocate_vvbns(&mut v, 100, 7, AllocatorMode::CacheGuided).unwrap();
+        assert_eq!(out.vbns.len(), 100);
+        assert!(out.sweep_picks >= 1, "sweep fallback should be counted");
+        assert!(out.pick_errors.is_empty(), "sweep picks record no error");
+        assert_eq!(v.bitmap().free_blocks(), 4 * 32768 - 100);
+    }
+
+    #[test]
+    fn pick_error_stays_under_one_bin_width() {
+        let mut v = vol(true);
+        // Skew free space so AAs have distinct scores, then let the cache
+        // (rebalanced at build time) pick; the HBPS bound caps the error.
+        for b in 0..10_000u64 {
+            v.bitmap.allocate(Vbn(b)).unwrap();
+        }
+        let mut cache = wafl_core::RaidAgnosticCache::build(v.topology.clone(), &v.bitmap).unwrap();
+        std::mem::swap(v.cache.as_mut().unwrap(), &mut cache);
+        let out = allocate_vvbns(&mut v, 100, 7, AllocatorMode::CacheGuided).unwrap();
+        assert!(!out.pick_errors.is_empty());
+        for &(err, width) in &out.pick_errors {
+            assert!(err < width, "pick error {err} >= bin width {width}");
+        }
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub fn clean_top_aas(
                 live.len(),
                 AllocatorMode::CacheGuided,
                 0xC1EA_u64 ^ aa.get() as u64,
-            )
+            )?
         };
         if plan.vbns.len() < live.len() {
             // Not enough room elsewhere: put everything back and stop.

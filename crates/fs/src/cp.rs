@@ -235,10 +235,17 @@ impl Aggregate {
             })
             .collect();
         let mut vol_outcomes = vol_outcomes.into_iter().collect::<WaflResult<Vec<_>>>()?;
+        // Observability accumulators (exported after the CP commits).
+        let mut pick_errors: Vec<(u32, u32)> = Vec::new();
+        let mut sweep_picks = 0u64;
+        let mut batch_sizes: Vec<u64> = Vec::new();
+        let mut heap_batch_sizes: Vec<u64> = Vec::new();
         for out in &vol_outcomes {
             stats.vol_picks += out.picked.len() as u64;
             stats.replenish_pages += out.replenish_pages;
             stats.blocks_examined += out.blocks_examined;
+            pick_errors.extend_from_slice(&out.pick_errors);
+            sweep_picks += out.sweep_picks;
         }
         for (vol, out) in self.vols.iter().zip(&vol_outcomes) {
             for &(aa, score) in &out.picked {
@@ -255,7 +262,7 @@ impl Aggregate {
         };
         let quotas = self.rg_quotas(n);
         let bitmap = &self.bitmap;
-        let plans: Vec<AllocOutcome> = self
+        let plans: Vec<WaflResult<AllocOutcome>> = self
             .groups
             .par_iter_mut()
             .zip(quotas.par_iter())
@@ -264,6 +271,7 @@ impl Aggregate {
                 plan_raid_group(g, bitmap, quota, mode, cp_seed ^ (0xABCD + i as u64))
             })
             .collect();
+        let plans = plans.into_iter().collect::<WaflResult<Vec<_>>>()?;
         // Apply the plans to the shared bitmap (serial, cheap bit sets).
         if let Some(site @ CrashSite::AfterBlockWrites(limit)) = crash {
             // Power loss after `limit` physical block writes hit stable
@@ -295,6 +303,9 @@ impl Aggregate {
         for (g, plan) in self.groups.iter().zip(&plans) {
             stats.agg_picks += plan.picked.len() as u64;
             stats.blocks_examined += plan.blocks_examined;
+            stats.replenish_pages += plan.replenish_pages;
+            pick_errors.extend_from_slice(&plan.pick_errors);
+            sweep_picks += plan.sweep_picks;
             for &(aa, score) in &plan.picked {
                 let max = g.topology.aa_blocks(aa) as f64;
                 stats.agg_pick_free_sum += score.get() as f64 / max.max(1.0);
@@ -315,7 +326,7 @@ impl Aggregate {
                     shortfall,
                     mode,
                     cp_seed ^ (0xF00D + i as u64),
-                );
+                )?;
                 if plan.vbns.is_empty() {
                     continue;
                 }
@@ -326,6 +337,9 @@ impl Aggregate {
                 shortfall -= plan.vbns.len();
                 stats.agg_picks += plan.picked.len() as u64;
                 stats.blocks_examined += plan.blocks_examined;
+                stats.replenish_pages += plan.replenish_pages;
+                pick_errors.extend_from_slice(&plan.pick_errors);
+                sweep_picks += plan.sweep_picks;
                 for &(aa, score) in &plan.picked {
                     let max = g.topology.aa_blocks(aa) as f64;
                     stats.agg_pick_free_sum += score.get() as f64 / max.max(1.0);
@@ -418,7 +432,7 @@ impl Aggregate {
             // outright (leaked) when not.
             if self.cfg.batched_frees {
                 for pvbn in std::mem::take(&mut self.delayed_pvbn_frees) {
-                    self.free_log.log_free(pvbn);
+                    self.free_log.log_free(pvbn)?;
                 }
                 let pending = self.free_log.pending_vbns();
                 let k = (k as usize).min(pending.len());
@@ -446,7 +460,7 @@ impl Aggregate {
             // §3.3.2's second HBPS use: log the frees; the background
             // processor applies them below, fullest page first.
             for pvbn in std::mem::take(&mut self.delayed_pvbn_frees) {
-                self.free_log.log_free(pvbn);
+                self.free_log.log_free(pvbn)?;
             }
             let budget = self.cfg.free_pages_per_cp;
             let Aggregate {
@@ -522,7 +536,12 @@ impl Aggregate {
         for g in &mut self.groups {
             match g.cache.as_mut() {
                 Some(GroupCache::Heap(cache)) => {
-                    cache_ops += g.batch.touched_aas() as u64;
+                    let touched = g.batch.touched_aas() as u64;
+                    cache_ops += touched;
+                    if touched > 0 {
+                        batch_sizes.push(touched);
+                        heap_batch_sizes.push(touched);
+                    }
                     cache.apply_batch(&mut g.batch);
                     // Drained AAs are reinserted below, post-batch.
                 }
@@ -530,12 +549,16 @@ impl Aggregate {
                     // Like the volume path: derive old scores from the
                     // post-CP bitmap and the batched delta; no per-AA
                     // score array exists (§3.3.2).
-                    cache_ops += g.batch.touched_aas() as u64;
+                    let touched = g.batch.touched_aas() as u64;
+                    cache_ops += touched;
+                    if touched > 0 {
+                        batch_sizes.push(touched);
+                    }
                     for (aa, delta) in g.batch.drain() {
                         let new = g.topology.score_from_bitmap(bitmap_ref, aa);
                         let max = g.topology.aa_blocks(aa) as u32;
                         let old = new.apply(wafl_types::ScoreDelta(-delta.0), max);
-                        hbps.on_score_change(aa, old, new);
+                        hbps.on_score_change(aa, old, new)?;
                     }
                 }
                 None => {
@@ -564,40 +587,54 @@ impl Aggregate {
                 cache_ops += 1;
             }
         }
-        let (vol_cache_ops, vol_replenish_pages) = self
+        let vol_results: Vec<WaflResult<(u64, u64)>> = self
             .vols
             .par_iter_mut()
             .map(|vol| {
                 if let Some(cache) = vol.cache.as_mut() {
                     let touched = vol.batch.touched_aas() as u64;
-                    cache.apply_cp_batch(&mut vol.batch, &vol.bitmap);
+                    cache.apply_cp_batch(&mut vol.batch, &vol.bitmap)?;
                     // §3.3.2's background scan: if takes have drained the
                     // list faster than frees re-populate it — or quality
                     // degraded — walk the bitmap and rebuild.
-                    let pages = if cache.maybe_replenish(&vol.bitmap) {
+                    let pages = if cache.maybe_replenish(&vol.bitmap)? {
                         vol.bitmap.page_count() as u64
                     } else {
                         0
                     };
-                    (touched, pages)
+                    Ok((touched, pages))
                 } else {
                     let _ = vol.batch.drain().count();
-                    (0, 0)
+                    Ok((0, 0))
                 }
             })
-            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
-        cache_ops += vol_cache_ops;
-        stats.replenish_pages += vol_replenish_pages;
+            .collect();
+        for r in vol_results {
+            let (touched, pages) = r?;
+            cache_ops += touched;
+            stats.replenish_pages += pages;
+            if touched > 0 {
+                batch_sizes.push(touched);
+            }
+        }
 
         // ---- 9. CPU model (§4.1.2) --------------------------------------
+        // The per-phase terms below come from the simulated cost model
+        // only (no wall clocks in the CP path); they are summed into
+        // `cpu_us` and exported individually to the phase histograms.
         let cpu = self.cfg.cpu;
+        let client_us = n as f64 * cpu.base_us_per_op;
+        let metafile_us = pages as f64 * cpu.us_per_metafile_page;
+        let blocks_us = n as f64 * cpu.us_per_block;
+        let alloc_scan_us = stats.blocks_examined as f64 * cpu.us_per_alloc_candidate;
         stats.cache_maintenance_us = cache_ops as f64 * cpu.us_per_cache_op;
-        stats.cpu_us = n as f64 * cpu.base_us_per_op
-            + pages as f64 * cpu.us_per_metafile_page
-            + n as f64 * cpu.us_per_block
-            + stats.blocks_examined as f64 * cpu.us_per_alloc_candidate
+        let replenish_us = stats.replenish_pages as f64 * cpu.us_per_scan_page;
+        stats.cpu_us = client_us
+            + metafile_us
+            + blocks_us
+            + alloc_scan_us
             + stats.cache_maintenance_us
-            + stats.replenish_pages as f64 * cpu.us_per_scan_page;
+            + replenish_us;
 
         self.cp_count += 1;
         stats.cp_index = self.cp_count - 1;
@@ -606,9 +643,60 @@ impl Aggregate {
             // committed; the difference is whether the caller's TopAA
             // image is one CP stale, which only the caller (holding the
             // persisted image) can model. Either way the process dies
-            // here and the in-memory stats die with it.
+            // here and the in-memory stats die with it — a crashed CP
+            // exports no metrics, like a crashed host losing its RAM.
             self.lose_volatile_state();
             return Ok(CpOutcome::Crashed(site));
+        }
+
+        // ---- 10. observability export ----------------------------------
+        self.obs.cp_completed.inc(1);
+        self.obs.aas_claimed.inc(stats.vol_picks + stats.agg_picks);
+        self.obs.blocks_examined.inc(stats.blocks_examined);
+        self.obs.replenish_pages.inc(stats.replenish_pages);
+        self.obs.sweep_fallback_picks.inc(sweep_picks);
+        for (err, width) in pick_errors {
+            self.obs
+                .pick_score_error
+                .observe(err as f64 / width.max(1) as f64);
+        }
+        for &b in &batch_sizes {
+            self.obs.cp_batch_size.observe(b as f64);
+        }
+        for &b in &heap_batch_sizes {
+            self.obs.heap_rebalance_batch.observe(b as f64);
+        }
+        self.obs.cp_phase_client_us.observe(client_us);
+        self.obs.cp_phase_metafile_us.observe(metafile_us);
+        self.obs.cp_phase_blocks_us.observe(blocks_us);
+        self.obs.cp_phase_alloc_scan_us.observe(alloc_scan_us);
+        self.obs
+            .cp_phase_cache_us
+            .observe(stats.cache_maintenance_us);
+        self.obs.cp_phase_replenish_us.observe(replenish_us);
+        self.obs.cp_phase_media_us.observe(stats.media_us);
+        // Delta-scrape the maintenance counters of every cache structure
+        // (plain u64s in wafl-core; this is their only reader).
+        let free_log_delta = self.free_log.take_hbps_stats();
+        self.obs.record_hbps_stats(free_log_delta);
+        for g in &mut self.groups {
+            match g.cache.as_mut() {
+                Some(GroupCache::Heap(cache)) => {
+                    let delta = cache.take_stats();
+                    self.obs.record_heap_stats(delta);
+                }
+                Some(GroupCache::Hbps(hbps)) => {
+                    let delta = hbps.take_stats();
+                    self.obs.record_hbps_stats(delta);
+                }
+                None => {}
+            }
+        }
+        for vol in &mut self.vols {
+            if let Some(cache) = vol.cache.as_mut() {
+                let delta = cache.take_hbps_stats();
+                self.obs.record_hbps_stats(delta);
+            }
         }
         Ok(CpOutcome::Completed(stats))
     }

@@ -20,7 +20,7 @@
 
 use std::collections::HashMap;
 use wafl_bitmap::Bitmap;
-use wafl_core::{Hbps, HbpsConfig};
+use wafl_core::{Hbps, HbpsConfig, HbpsStats};
 use wafl_types::{AaId, AaScore, Vbn, WaflResult, BITS_PER_BITMAP_BLOCK};
 
 /// Results of one processing pass.
@@ -92,18 +92,22 @@ impl DelayedFreeLog {
 
     /// Log a freed VBN. The block stays allocated in the bitmap (and thus
     /// invisible to the allocator) until a processing pass applies it.
-    pub fn log_free(&mut self, vbn: Vbn) {
+    /// Fails only if the page's pending count would exceed the ranking
+    /// structure's score space (impossible for in-range VBNs: a page holds
+    /// at most `max_score` bits).
+    pub fn log_free(&mut self, vbn: Vbn) -> WaflResult<()> {
         let page = vbn.get() / BITS_PER_BITMAP_BLOCK;
         let entry = self.per_page.entry(page).or_default();
         let old = entry.len() as u32;
         entry.push(vbn);
         if old == 0 {
-            self.hbps.track_new(AaId(page as u32), AaScore(1));
+            self.hbps.track_new(AaId(page as u32), AaScore(1))?;
         } else {
             self.hbps
-                .on_score_change(AaId(page as u32), AaScore(old), AaScore(old + 1));
+                .on_score_change(AaId(page as u32), AaScore(old), AaScore(old + 1))?;
         }
         self.total_pending += 1;
+        Ok(())
     }
 
     /// Apply the pending frees of up to `page_budget` pages — best
@@ -125,7 +129,7 @@ impl DelayedFreeLog {
                     .iter()
                     .map(|(&p, v)| (AaId(p as u32), AaScore(v.len() as u32)))
                     .collect();
-                self.hbps.replenish(scores);
+                self.hbps.replenish(scores)?;
             }
             let Some((page, _bound)) = self.hbps.take_best() else {
                 break;
@@ -147,7 +151,7 @@ impl DelayedFreeLog {
                 stats.frees_applied += 1;
             }
             self.total_pending -= count as u64;
-            self.hbps.untrack(page, AaScore(count));
+            self.hbps.untrack(page, AaScore(count))?;
             stats.pages_processed += 1;
         }
         Ok(stats)
@@ -170,6 +174,12 @@ impl DelayedFreeLog {
     pub fn ranking_memory_bytes(&self) -> usize {
         self.hbps.memory_bytes()
     }
+
+    /// Return and reset the ranking HBPS's maintenance counters (delta
+    /// scrape for an external metrics registry).
+    pub fn take_hbps_stats(&mut self) -> HbpsStats {
+        self.hbps.take_stats()
+    }
 }
 
 #[cfg(test)]
@@ -184,7 +194,7 @@ mod tests {
         }
         let mut log = DelayedFreeLog::new();
         for v in 0..500 {
-            log.log_free(Vbn(v));
+            log.log_free(Vbn(v)).unwrap();
         }
         assert_eq!(log.pending(), 500);
         assert_eq!(bitmap.free_blocks(), 4 * 32768 - 1000, "not yet applied");
@@ -208,13 +218,13 @@ mod tests {
         let mut log = DelayedFreeLog::new();
         // Page 3 has the most pending frees, page 0 the fewest.
         for i in 0..10 {
-            log.log_free(Vbn(i));
+            log.log_free(Vbn(i)).unwrap();
         }
         for i in 0..900 {
-            log.log_free(Vbn(3 * 32768 + i));
+            log.log_free(Vbn(3 * 32768 + i)).unwrap();
         }
         for i in 0..300 {
-            log.log_free(Vbn(6 * 32768 + i));
+            log.log_free(Vbn(6 * 32768 + i)).unwrap();
         }
         let mut order = Vec::new();
         log.process(&mut bitmap, 1, |v, _| {
@@ -243,7 +253,7 @@ mod tests {
         for p in 0..32u64 {
             for i in 0..5 {
                 bitmap.allocate(Vbn(p * 32768 + i)).unwrap();
-                log.log_free(Vbn(p * 32768 + i));
+                log.log_free(Vbn(p * 32768 + i)).unwrap();
             }
         }
         assert_eq!(log.pending_pages(), 32);
@@ -260,7 +270,7 @@ mod tests {
         let mut bitmap = Bitmap::new(1024 * 32768);
         for p in 0..1024u64 {
             bitmap.allocate(Vbn(p * 32768)).unwrap();
-            log.log_free(Vbn(p * 32768));
+            log.log_free(Vbn(p * 32768)).unwrap();
         }
         assert_eq!(log.ranking_memory_bytes(), 2 * 4096);
     }
@@ -298,7 +308,7 @@ mod tests {
         // Batched: log everything, then process page-at-a-time.
         let mut log = DelayedFreeLog::new();
         for &v in &frees {
-            log.log_free(v);
+            log.log_free(v).unwrap();
         }
         let mut batched_pages = 0;
         while log.pending() > 0 {

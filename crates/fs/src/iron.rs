@@ -79,6 +79,7 @@ impl IronReport {
 
 /// Audit the aggregate without modifying it.
 pub fn check(agg: &Aggregate) -> WaflResult<IronReport> {
+    agg.obs.iron_audits.inc(1);
     let mut report = IronReport::default();
 
     // Phase 1: logical mapping chains resolve through allocated bits.
@@ -303,6 +304,7 @@ pub fn repair(agg: &mut Aggregate) -> WaflResult<IronReport> {
             report.repairs += 1;
         }
     }
+    agg.obs.iron_repairs.inc(report.repairs);
     Ok(report)
 }
 

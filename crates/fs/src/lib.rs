@@ -37,6 +37,7 @@ mod cp;
 pub mod delayed_free;
 pub mod iron;
 pub mod mount;
+pub mod obs;
 pub mod snapshot;
 mod volume;
 

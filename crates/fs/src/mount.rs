@@ -142,6 +142,7 @@ pub fn crash(agg: &mut Aggregate) {
 pub fn mount_with_topaa(agg: &mut Aggregate, image: &TopAaImage) -> WaflResult<MountStats> {
     let cpu = agg.config().cpu;
     let mut blocks_read = 0u64;
+    let mut seed_hits = 0u64;
     let mut partial_heap_seeded = false;
     for (i, block) in image.rg_blocks.iter().enumerate() {
         let g = &mut agg.groups[i];
@@ -155,11 +156,13 @@ pub fn mount_with_topaa(agg: &mut Aggregate, image: &TopAaImage) -> WaflResult<M
                 let seeded = RaidAwareCache::seeded(max, &entries)?;
                 partial_heap_seeded |= !seeded.is_complete();
                 g.cache = Some(GroupCache::Heap(seeded));
+                seed_hits += 1;
             }
             Some(RgTopAa::Hbps(hist, list)) => {
                 blocks_read += 2;
                 // HBPS restores complete — like a volume cache.
                 g.cache = Some(GroupCache::Hbps(Box::new(Hbps::from_pages(hist, list)?)));
+                seed_hits += 1;
             }
             None => {}
         }
@@ -173,8 +176,10 @@ pub fn mount_with_topaa(agg: &mut Aggregate, image: &TopAaImage) -> WaflResult<M
             hist,
             list,
         )?);
+        seed_hits += 1;
         // HBPS restores complete — no background debt for volumes.
     }
+    agg.obs.mount_seed_hits.inc(seed_hits);
     Ok(MountStats {
         metafile_blocks_read: blocks_read,
         first_cp_ready_us: blocks_read as f64 * (cpu.us_per_metafile_read + cpu.us_per_scan_page),
@@ -250,6 +255,7 @@ pub fn mount_auto_with(
 ) -> MountStats {
     let cpu = agg.config().cpu;
     let mut stats = MountStats::default();
+    let mut seed_hits = 0u64;
     let mut partial_heap_seeded = false;
 
     let want_group_caches = agg.config().raid_aware_cache;
@@ -270,12 +276,14 @@ pub fn mount_auto_with(
                 let cache = RaidAwareCache::seeded(max, &entries)?;
                 partial_heap_seeded |= !cache.is_complete();
                 g.cache = Some(GroupCache::Heap(cache));
+                seed_hits += 1;
                 Ok(())
             }
             Some(RgTopAa::Hbps(hist, list)) => {
                 stats.metafile_blocks_read += 2;
                 agg.groups[i].cache =
                     Some(GroupCache::Hbps(Box::new(Hbps::from_pages(hist, list)?)));
+                seed_hits += 1;
                 Ok(())
             }
             None => Err(WaflError::CorruptMetafile {
@@ -316,6 +324,7 @@ pub fn mount_auto_with(
                     hist,
                     list,
                 )?);
+                seed_hits += 1;
                 Ok(())
             }
             None => Err(WaflError::CorruptMetafile {
@@ -345,6 +354,12 @@ pub fn mount_auto_with(
     } else {
         0
     };
+    agg.obs.mount_seed_hits.inc(seed_hits);
+    agg.obs.mount_degradations.inc(stats.degraded.len() as u64);
+    agg.obs
+        .mount_cold_pages
+        .inc(stats.degraded.iter().map(|d| d.pages_scanned).sum());
+    agg.obs.mount_retries.inc(stats.transient_retries);
     stats
 }
 
@@ -379,6 +394,7 @@ pub fn mount_cold(agg: &mut Aggregate) -> WaflResult<MountStats> {
         pages += v.bitmap.page_count() as u64;
         v.cache = Some(RaidAgnosticCache::build(v.topology.clone(), &v.bitmap)?);
     }
+    agg.obs.mount_cold_pages.inc(pages);
     Ok(MountStats {
         metafile_blocks_read: pages,
         first_cp_ready_us: pages as f64 * (cpu.us_per_metafile_read + cpu.us_per_scan_page),
@@ -502,6 +518,40 @@ mod tests {
         assert!(a.groups()[0].cache().unwrap().is_complete());
         // Idempotent.
         assert_eq!(complete_background_rebuild(&mut a).unwrap(), 0);
+    }
+
+    #[test]
+    fn cp_with_cacheless_volume_falls_back_instead_of_panicking() {
+        // Regression: a volume running cache-guided without its HBPS
+        // (traffic admitted against a degraded structure) used to panic in
+        // `allocate_vvbns`. It must take the linear-sweep fallback.
+        let mut a = aged_agg(1);
+        a.vols[0].cache = None;
+        a.vols[0].active_aa = None;
+        for l in 0..500 {
+            a.client_overwrite(VolumeId(0), l).unwrap();
+        }
+        let s = a.run_cp().unwrap();
+        assert_eq!(s.blocks_written, 500);
+        assert!(
+            a.obs()
+                .counter_value("allocator.sweep_fallback_picks")
+                .unwrap()
+                >= 1,
+            "sweep fallback must be visible in the metrics"
+        );
+    }
+
+    #[test]
+    fn mount_paths_record_metrics() {
+        let mut a = aged_agg(1);
+        let image = save_topaa(&a);
+        crash(&mut a);
+        mount_with_topaa(&mut a, &image).unwrap();
+        assert_eq!(a.obs().counter_value("mount.topaa_seed_hits"), Some(2));
+        crash(&mut a);
+        mount_cold(&mut a).unwrap();
+        assert_eq!(a.obs().counter_value("mount.cold_scan_pages"), Some(16 + 8));
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Pre-registered observability handles for the allocator pipeline.
+//!
+//! Every [`Aggregate`](crate::Aggregate) owns one [`FsObs`], built around a
+//! shared [`wafl_obs::Registry`]. The hot paths never format metric names
+//! or touch the registry lock: each emitting site clones its handle once at
+//! construction and bumps an atomic. `docs/observability.md` catalogs every
+//! metric, its unit, and its emitting site.
+//!
+//! Durations recorded here come exclusively from the CP engine's simulated
+//! cost model ([`CpuModel`](crate::CpuModel) and the media models) — no
+//! `std::time` is read anywhere below the harness layer.
+
+use wafl_core::{HbpsStats, HeapCacheStats};
+use wafl_obs::{Counter, Histogram, Registry};
+
+/// Bucket bounds for the chosen-AA score error, in bin widths. The HBPS
+/// guarantee is error < 1 bin width, so everything should land in the
+/// first two buckets; the tail exists to make violations visible.
+const PICK_ERROR_BOUNDS: &[f64] = &[0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// Bucket bounds for score-delta batch sizes (touched AAs per structure
+/// per CP).
+const BATCH_SIZE_BOUNDS: &[f64] = &[1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0];
+
+/// Bucket bounds for simulated per-phase CP latencies, in microseconds.
+const PHASE_US_BOUNDS: &[f64] = &[10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0];
+
+/// The aggregate's observability handles, one per metric.
+///
+/// Counters accumulate over the aggregate's lifetime; they survive
+/// crashes and remounts of the same in-memory [`Aggregate`](crate::Aggregate)
+/// (the registry is host state, not file-system state).
+#[derive(Clone, Debug)]
+pub struct FsObs {
+    registry: Registry,
+
+    // ---- fs::allocator --------------------------------------------------
+    /// AAs claimed by the write allocator (volume and RAID-group picks).
+    pub(crate) aas_claimed: Counter,
+    /// Candidate blocks examined while draining active AAs.
+    pub(crate) blocks_examined: Counter,
+    /// Bitmap pages charged to HBPS replenish scans.
+    pub(crate) replenish_pages: Counter,
+    /// Picks served by the linear bitmap sweep (cache-less or stale-cache
+    /// fallback — e.g. a degraded-mount volume running without its cache).
+    pub(crate) sweep_fallback_picks: Counter,
+    /// Chosen-AA score error vs. the true best at pick time, in bin
+    /// widths. The §3.3.2 guarantee bounds this below 1.0.
+    pub(crate) pick_score_error: Histogram,
+
+    // ---- core::hbps (scraped at CP boundaries) --------------------------
+    /// HBPS score changes that crossed a bin boundary.
+    pub(crate) hbps_bin_moves: Counter,
+    /// HBPS single-element boundary rotations in the list page.
+    pub(crate) hbps_boundary_rotations: Counter,
+    /// HBPS list-page insertions.
+    pub(crate) hbps_list_inserts: Counter,
+    /// HBPS list-page evictions (deepest segment displaced).
+    pub(crate) hbps_list_evictions: Counter,
+    /// HBPS full list refills (replenish scans).
+    pub(crate) hbps_list_refills: Counter,
+
+    // ---- core::heap_cache (scraped at CP boundaries) --------------------
+    /// RAID-aware heap CP-boundary rebalances.
+    pub(crate) heap_rebalances: Counter,
+    /// Per-AA score updates applied across heap rebalances.
+    pub(crate) heap_rebalance_updates: Counter,
+    /// Heap element swaps while restoring order.
+    pub(crate) heap_sift_swaps: Counter,
+    /// Touched AAs per heap rebalance batch.
+    pub(crate) heap_rebalance_batch: Histogram,
+
+    // ---- fs::cp ---------------------------------------------------------
+    /// Consistency points completed (crashed CPs are not counted).
+    pub(crate) cp_completed: Counter,
+    /// Touched AAs per score-delta batch (per structure per CP).
+    pub(crate) cp_batch_size: Histogram,
+    /// Simulated CP CPU time: fixed per-op overheads.
+    pub(crate) cp_phase_client_us: Histogram,
+    /// Simulated CP CPU time: bitmap metafile page updates.
+    pub(crate) cp_phase_metafile_us: Histogram,
+    /// Simulated CP CPU time: per-block write processing.
+    pub(crate) cp_phase_blocks_us: Histogram,
+    /// Simulated CP CPU time: allocation candidate examination.
+    pub(crate) cp_phase_alloc_scan_us: Histogram,
+    /// Simulated CP CPU time: AA-cache maintenance.
+    pub(crate) cp_phase_cache_us: Histogram,
+    /// Simulated CP CPU time: replenish bitmap scans.
+    pub(crate) cp_phase_replenish_us: Histogram,
+    /// Simulated media time for the CP's device writes (slowest device).
+    pub(crate) cp_phase_media_us: Histogram,
+
+    // ---- fs::mount ------------------------------------------------------
+    /// Structures (groups + volumes) fast-pathed from a TopAA seed.
+    pub(crate) mount_seed_hits: Counter,
+    /// DegradationEvents: structures that fell back to a cold scan.
+    pub(crate) mount_degradations: Counter,
+    /// Bitmap pages walked by cold-scan cache rebuilds.
+    pub(crate) mount_cold_pages: Counter,
+    /// Transient read failures absorbed by mount retries.
+    pub(crate) mount_retries: Counter,
+
+    // ---- fs::iron -------------------------------------------------------
+    /// Full `iron::check` audits run.
+    pub(crate) iron_audits: Counter,
+    /// Repairs performed by `iron::repair`.
+    pub(crate) iron_repairs: Counter,
+}
+
+impl FsObs {
+    /// Register every pipeline metric against `registry`.
+    pub fn new(registry: Registry) -> FsObs {
+        FsObs {
+            aas_claimed: registry.counter("allocator.aas_claimed"),
+            blocks_examined: registry.counter("allocator.blocks_examined"),
+            replenish_pages: registry.counter("allocator.replenish_pages"),
+            sweep_fallback_picks: registry.counter("allocator.sweep_fallback_picks"),
+            pick_score_error: registry
+                .histogram("allocator.pick_score_error_bin_widths", PICK_ERROR_BOUNDS),
+            hbps_bin_moves: registry.counter("hbps.bin_moves"),
+            hbps_boundary_rotations: registry.counter("hbps.boundary_rotations"),
+            hbps_list_inserts: registry.counter("hbps.list_inserts"),
+            hbps_list_evictions: registry.counter("hbps.list_evictions"),
+            hbps_list_refills: registry.counter("hbps.list_refills"),
+            heap_rebalances: registry.counter("heap.rebalances"),
+            heap_rebalance_updates: registry.counter("heap.rebalance_updates"),
+            heap_sift_swaps: registry.counter("heap.sift_swaps"),
+            heap_rebalance_batch: registry.histogram("heap.rebalance_batch_aas", BATCH_SIZE_BOUNDS),
+            cp_completed: registry.counter("cp.completed"),
+            cp_batch_size: registry.histogram("cp.score_delta_batch_aas", BATCH_SIZE_BOUNDS),
+            cp_phase_client_us: registry.histogram("cp.phase.client_ops_us", PHASE_US_BOUNDS),
+            cp_phase_metafile_us: registry.histogram("cp.phase.metafile_us", PHASE_US_BOUNDS),
+            cp_phase_blocks_us: registry.histogram("cp.phase.block_writes_us", PHASE_US_BOUNDS),
+            cp_phase_alloc_scan_us: registry.histogram("cp.phase.alloc_scan_us", PHASE_US_BOUNDS),
+            cp_phase_cache_us: registry.histogram("cp.phase.cache_maintenance_us", PHASE_US_BOUNDS),
+            cp_phase_replenish_us: registry
+                .histogram("cp.phase.replenish_scan_us", PHASE_US_BOUNDS),
+            cp_phase_media_us: registry.histogram("cp.phase.media_us", PHASE_US_BOUNDS),
+            mount_seed_hits: registry.counter("mount.topaa_seed_hits"),
+            mount_degradations: registry.counter("mount.degradation_events"),
+            mount_cold_pages: registry.counter("mount.cold_scan_pages"),
+            mount_retries: registry.counter("mount.transient_retries"),
+            iron_audits: registry.counter("iron.audits_run"),
+            iron_repairs: registry.counter("iron.counters_repaired"),
+            registry,
+        }
+    }
+
+    /// The shared registry backing these handles.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Fold one HBPS maintenance-stats delta into the counters.
+    pub(crate) fn record_hbps_stats(&self, s: HbpsStats) {
+        self.hbps_bin_moves.inc(s.bin_moves);
+        self.hbps_boundary_rotations.inc(s.boundary_rotations);
+        self.hbps_list_inserts.inc(s.list_inserts);
+        self.hbps_list_evictions.inc(s.list_evictions);
+        self.hbps_list_refills.inc(s.refills);
+    }
+
+    /// Fold one heap-cache maintenance-stats delta into the counters.
+    pub(crate) fn record_heap_stats(&self, s: HeapCacheStats) {
+        self.heap_rebalances.inc(s.rebalances);
+        self.heap_rebalance_updates.inc(s.rebalance_updates);
+        self.heap_sift_swaps.inc(s.sift_swaps);
+    }
+}
+
+impl Default for FsObs {
+    fn default() -> FsObs {
+        FsObs::new(Registry::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_one_registry() {
+        let obs = FsObs::default();
+        obs.aas_claimed.inc(4);
+        obs.record_hbps_stats(HbpsStats {
+            bin_moves: 2,
+            ..Default::default()
+        });
+        obs.record_heap_stats(HeapCacheStats {
+            rebalances: 1,
+            ..Default::default()
+        });
+        let reg = obs.registry();
+        assert_eq!(reg.counter_value("allocator.aas_claimed"), Some(4));
+        assert_eq!(reg.counter_value("hbps.bin_moves"), Some(2));
+        assert_eq!(reg.counter_value("heap.rebalances"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_mentions_every_subsystem() {
+        let obs = FsObs::default();
+        let json = obs.registry().snapshot_json();
+        for key in [
+            "allocator.aas_claimed",
+            "allocator.pick_score_error_bin_widths",
+            "hbps.bin_moves",
+            "heap.rebalances",
+            "cp.completed",
+            "cp.phase.media_us",
+            "mount.topaa_seed_hits",
+            "iron.audits_run",
+        ] {
+            assert!(json.contains(key), "snapshot missing {key}");
+        }
+    }
+}

@@ -122,7 +122,9 @@ struct CpBaseline {
 
 /// The `cp_engine` bench workload (random overwrites + CP flush),
 /// re-measured here so CP latency is part of the recorded baseline.
-fn cp_series(caches: bool) -> CpSeries {
+/// Also returns the aggregate's observability snapshot so the allocator
+/// pipeline's counters land in the baseline record (`BENCH_obs.json`).
+fn cp_series(caches: bool) -> (CpSeries, String) {
     const ROUNDS: u64 = 24;
     const OPS: u64 = 8192;
     let mut agg = Aggregate::new(
@@ -167,13 +169,14 @@ fn cp_series(caches: bool) -> CpSeries {
         cp_total += round(&mut agg, &mut rng).as_secs_f64();
     }
     let total = start.elapsed().as_secs_f64();
-    CpSeries {
+    let series = CpSeries {
         rounds: ROUNDS,
         ops_per_round: OPS,
         ops_per_second: (ROUNDS * OPS) as f64 / total,
         mean_round_ms: total * 1e3 / ROUNDS as f64,
         mean_cp_flush_ms: cp_total * 1e3 / ROUNDS as f64,
-    }
+    };
+    (series, agg.obs().snapshot_json())
 }
 
 fn main() {
@@ -197,9 +200,11 @@ fn main() {
     );
 
     eprintln!("measuring CP overwrite workload...");
+    let (caches_on, obs_snapshot) = cp_series(true);
+    let (caches_off, _) = cp_series(false);
     let cp = CpBaseline {
-        caches_on: cp_series(true),
-        caches_off: cp_series(false),
+        caches_on,
+        caches_off,
     };
     eprintln!(
         "  caches on: {:.0} ops/s, mean CP flush {:.2} ms",
@@ -209,6 +214,9 @@ fn main() {
     for (name, json) in [
         ("BENCH_bitmap.json", serde_json::to_string_pretty(&bitmap)),
         ("BENCH_cp.json", serde_json::to_string_pretty(&cp)),
+        // Allocator-pipeline metrics of the caches-on run, verbatim from
+        // the registry (already JSON).
+        ("BENCH_obs.json", Ok(obs_snapshot)),
     ] {
         let path = format!("{out_dir}/{name}");
         std::fs::write(&path, json.expect("serialize")).expect("write baseline json");

@@ -1,0 +1,118 @@
+//! Observability smoke gate: runs a small cache-guided aggregate through
+//! client traffic, CPs, a crash/remount cycle, and an iron audit, then
+//! asserts the metrics registry actually saw the allocator pipeline.
+//!
+//! Invariants checked (the CI `--obs-smoke` contract):
+//!
+//! - the snapshot covers allocator, HBPS, CP, and mount metric families;
+//! - the headline counters are nonzero after real work;
+//! - every cache-guided pick's score error stays within one HBPS bin
+//!   width of the true best AA (the paper's 3.125 % bound, §2.3).
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin obs_smoke`.
+//! Prints the JSON snapshot on success; panics (nonzero exit) on any
+//! violated invariant.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use wafl_fs::{iron, mount, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_media::MediaProfile;
+use wafl_types::{VolumeId, BITS_PER_BITMAP_BLOCK};
+
+fn smoke_aggregate() -> Aggregate {
+    Aggregate::new(
+        AggregateConfig {
+            raid_aware_cache: true,
+            ..AggregateConfig::single_group(RaidGroupSpec {
+                data_devices: 4,
+                parity_devices: 1,
+                device_blocks: 16 * 4096,
+                profile: MediaProfile::hdd(),
+            })
+        },
+        &[(
+            FlexVolConfig {
+                size_blocks: 4 * BITS_PER_BITMAP_BLOCK,
+                aa_cache: true,
+                aa_blocks: None,
+            },
+            60_000,
+        )],
+        1,
+    )
+    .expect("smoke aggregate")
+}
+
+fn main() {
+    let mut agg = smoke_aggregate();
+    wafl_fs::aging::fill_volume(&mut agg, VolumeId(0), 8_192).expect("fill");
+
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..6 {
+        for _ in 0..2_000 {
+            agg.client_overwrite(VolumeId(0), rng.random_range(0..60_000))
+                .expect("overwrite");
+        }
+        agg.run_cp().expect("cp");
+    }
+
+    // Crash and remount from a saved TopAA image so the mount metrics
+    // fire, then audit so the iron metrics fire.
+    let image = mount::save_topaa(&agg);
+    mount::crash(&mut agg);
+    mount::mount_auto(&mut agg, &image);
+    let audit = iron::check(&agg).expect("audit");
+    assert!(
+        audit.is_clean(),
+        "smoke aggregate must audit clean: {audit:?}"
+    );
+
+    let obs = agg.obs();
+    let snapshot = obs.snapshot_json();
+
+    // Family coverage: one representative key per subsystem.
+    for key in [
+        "allocator.aas_claimed",
+        "allocator.blocks_examined",
+        "allocator.pick_score_error_bin_widths",
+        "hbps.bin_moves",
+        "heap.rebalances",
+        "cp.completed",
+        "cp.phase.client_ops_us",
+        "cp.phase.media_us",
+        "mount.topaa_seed_hits",
+        "iron.audits_run",
+    ] {
+        assert!(
+            snapshot.contains(&format!("\"{key}\"")),
+            "snapshot missing metric {key}"
+        );
+    }
+
+    // Headline counters must be nonzero after real traffic.
+    let nonzero = |name: &str| {
+        let v = obs.counter_value(name).unwrap_or(0);
+        assert!(v > 0, "counter {name} expected nonzero, got {v}");
+        v
+    };
+    nonzero("cp.completed");
+    nonzero("allocator.aas_claimed");
+    nonzero("allocator.blocks_examined");
+    nonzero("mount.topaa_seed_hits");
+    nonzero("iron.audits_run");
+
+    // The paper's bound: a cache-guided pick is at most one bin width
+    // below the true best score. The histogram stores err / bin_width,
+    // so its max must not exceed 1.0.
+    let err = obs
+        .histogram_handle("allocator.pick_score_error_bin_widths")
+        .expect("pick-error histogram registered");
+    assert!(
+        err.max() <= 1.0 + 1e-9,
+        "chosen-AA score error exceeded one bin width: {}",
+        err.max()
+    );
+
+    println!("{snapshot}");
+    eprintln!("obs smoke passed: all invariant metrics present and in bounds.");
+}

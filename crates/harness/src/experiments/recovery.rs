@@ -11,7 +11,7 @@
 //!    over a seed range, counting crash sites, degradations, and repair
 //!    outcomes. Every round must end audited-clean.
 
-use crate::report::markdown_table;
+use crate::report::{markdown_table, metrics_block};
 use crate::Scale;
 use serde::{Deserialize, Serialize};
 use wafl_faults::{FaultPlan, PageSel, StructureId};
@@ -49,6 +49,9 @@ pub struct RecoveryResult {
     pub rounds_repaired: u64,
     /// Transient read failures absorbed by retries across all rounds.
     pub transient_retries: u64,
+    /// Observability snapshot of the torture aggregate after the last
+    /// round (`wafl_obs::Registry::snapshot_json`).
+    pub metrics_json: String,
 }
 
 fn aged(groups: usize, vols: usize, scale: Scale) -> WaflResult<Aggregate> {
@@ -137,6 +140,7 @@ pub fn run(scale: Scale) -> WaflResult<RecoveryResult> {
         rounds_degraded: 0,
         rounds_repaired: 0,
         transient_retries: 0,
+        metrics_json: String::new(),
     };
     for seed in 0..rounds {
         let round = torture_round(&mut agg, &mut workload, ops_per_round, seed)?;
@@ -151,6 +155,7 @@ pub fn run(scale: Scale) -> WaflResult<RecoveryResult> {
             });
         }
     }
+    result.metrics_json = agg.obs().snapshot_json();
     Ok(result)
 }
 
@@ -172,7 +177,7 @@ impl RecoveryResult {
         format!(
             "## Recovery — degraded-mount cost and torture summary\n\n{}\n\
              Torture: {} rounds, {} crashed, {} degraded, {} repaired, \
-             {} transient retries absorbed; all rounds audited clean.\n",
+             {} transient retries absorbed; all rounds audited clean.\n\n{}",
             markdown_table(
                 &["mount path", "blocks read", "first-CP µs", "degraded"],
                 &rows
@@ -182,6 +187,7 @@ impl RecoveryResult {
             self.rounds_degraded,
             self.rounds_repaired,
             self.transient_retries,
+            metrics_block(&self.metrics_json),
         )
     }
 }
@@ -206,5 +212,9 @@ mod tests {
         assert_eq!(r.rounds, 20);
         assert!(r.rounds_crashed > 0, "random plans should crash some CPs");
         assert!(r.to_markdown().contains("audited clean"));
+        // The torture aggregate's metrics ride along in the report.
+        assert!(r.metrics_json.contains("mount.topaa_seed_hits"));
+        assert!(r.metrics_json.contains("iron.audits_run"));
+        assert!(r.to_markdown().contains("### Metrics"));
     }
 }

@@ -34,6 +34,13 @@ pub fn curve_rows(label: &str, points: &[LoadPoint], clients: f64) -> Vec<Vec<St
         .collect()
 }
 
+/// Render an observability snapshot (the JSON from
+/// `wafl_obs::Registry::snapshot_json`) as a fenced markdown block, for
+/// embedding in experiment reports.
+pub fn metrics_block(snapshot_json: &str) -> String {
+    format!("### Metrics\n\n```json\n{snapshot_json}\n```\n")
+}
+
 /// Format a ratio as a signed percentage, e.g. `+24.0 %`.
 pub fn pct(x: f64) -> String {
     format!("{:+.1} %", x * 100.0)

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, tests — and optionally the full
-# crash-consistency torture loop or a benchmark smoke run.
+# Local CI gate: formatting, lints, tests, the observability smoke check
+# — and optionally the full crash-consistency torture loop or a
+# benchmark smoke run.
 #
-#   scripts/ci.sh               # fast gates (fmt, clippy, tests)
+#   scripts/ci.sh               # fast gates (fmt, clippy, tests, obs smoke)
 #   scripts/ci.sh --torture     # fast gates + 200-seed torture run
 #   scripts/ci.sh --bench-smoke # fast gates + one untimed iteration of
 #                               # every criterion bench (compile + run)
+#   scripts/ci.sh --obs-smoke   # the observability smoke check alone
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,9 +16,23 @@ run() {
   "$@"
 }
 
+# Metrics invariants on a small cache-guided volume: snapshot covers the
+# allocator/HBPS/CP/mount families and every cache-guided pick stays
+# within one bin width of the true best score.
+obs_smoke() {
+  run cargo run --release -p wafl-harness --bin obs_smoke >/dev/null
+}
+
+if [[ "${1:-}" == "--obs-smoke" ]]; then
+  obs_smoke
+  echo "CI gates passed."
+  exit 0
+fi
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test -q
+obs_smoke
 
 if [[ "${1:-}" == "--torture" ]]; then
   run cargo test --release -p wafl-fs --test crash_consistency -- --ignored
