@@ -413,6 +413,46 @@ impl Bitmap {
         }
     }
 
+    /// Recompute the summary counters covering one metafile page from the
+    /// raw bits: the page's free counter, the top-level free-block total,
+    /// and any per-AA counters whose tiling intersects the page. This is
+    /// the structure-scoped repair the runtime scrubber schedules — a
+    /// single page's worth of popcounting instead of a whole-space
+    /// [`Bitmap::rebuild_summary`]. Returns the number of counters that
+    /// actually changed (0 when the summary was already exact, or `page`
+    /// is out of range).
+    pub fn rebuild_page_summary(&mut self, page: usize) -> u64 {
+        let Some(pg) = self.pages.get(page) else {
+            return 0;
+        };
+        let mut fixed = 0u64;
+        let truth = pg.free_count() as u16;
+        if self.page_free[page] != truth {
+            self.page_free[page] = truth;
+            fixed += 1;
+        }
+        let total: u64 = self.page_free.iter().map(|&c| c as u64).sum();
+        if self.free_blocks != total {
+            self.free_blocks = total;
+            fixed += 1;
+        }
+        let page_start = page as u64 * BITS_PER_BITMAP_BLOCK;
+        let page_end = (page_start + BITS_PER_BITMAP_BLOCK).min(self.space_len);
+        if let Some(aa_blocks) = self.aa_summary_blocks() {
+            let first_aa = (page_start / aa_blocks) as usize;
+            let last_aa = (page_end.saturating_sub(1) / aa_blocks) as usize;
+            for aa in first_aa..=last_aa {
+                let truth = self.free_count_range_popcount(Vbn(aa as u64 * aa_blocks), aa_blocks);
+                let s = self.aa_summary.as_mut().expect("aa summary present");
+                if s.counts[aa] != truth {
+                    s.counts[aa] = truth;
+                    fixed += 1;
+                }
+            }
+        }
+        fixed
+    }
+
     /// Recompute every summary counter from the raw bits — what WAFL Iron
     /// does for damaged derived state: recompute, don't fabricate.
     pub fn rebuild_summary(&mut self) {
@@ -631,6 +671,24 @@ mod tests {
         b.free(Vbn(10)).unwrap();
         assert!(b.is_free(Vbn(10)).unwrap());
         assert_eq!(b.free_blocks(), 1000);
+    }
+
+    #[test]
+    fn rebuild_page_summary_fixes_only_the_scribbled_page() {
+        let mut b = Bitmap::new(3 * BITS_PER_BITMAP_BLOCK);
+        b.enable_aa_summary(BITS_PER_BITMAP_BLOCK / 4).unwrap();
+        for v in 0..100 {
+            b.allocate(Vbn(v)).unwrap();
+        }
+        b.scribble_page_counter(1, 7);
+        // The scribble hit page 1's counter only; the tracked total, AA
+        // counters, and other pages are still exact, so the repair fixes
+        // exactly one counter.
+        assert_eq!(b.rebuild_page_summary(1), 1);
+        b.verify_summary();
+        // Repairing a clean page is a no-op, as is an out-of-range page.
+        assert_eq!(b.rebuild_page_summary(0), 0);
+        assert_eq!(b.rebuild_page_summary(999), 0);
     }
 
     #[test]

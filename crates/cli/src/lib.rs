@@ -53,6 +53,8 @@ pub struct SimulateOpts {
     pub check: bool,
     /// Emit JSON instead of text.
     pub json: bool,
+    /// Online-scrub budget: verification units per CP (0 disables).
+    pub scrub: u64,
 }
 
 impl Default for SimulateOpts {
@@ -73,6 +75,7 @@ impl Default for SimulateOpts {
             trim: false,
             check: false,
             json: false,
+            scrub: 0,
         }
     }
 }
@@ -179,6 +182,7 @@ pub fn parse(args: &[String]) -> Command {
                 o.trim = kv.contains_key("trim");
                 o.check = kv.contains_key("check");
                 o.json = kv.contains_key("json");
+                o.scrub = get(&kv, "scrub", o.scrub)?;
                 if !["overwrite", "oltp", "sequential", "churn"].contains(&o.workload.as_str()) {
                     return Err(format!("unknown workload '{}'", o.workload));
                 }
@@ -213,6 +217,7 @@ USAGE:
                     [--ops N] [--ops-per-cp N]
                     [--no-agg-cache] [--no-vol-cache]
                     [--batched-frees] [--trim] [--check] [--json]
+                    [--scrub UNITS_PER_CP]
   wafl-sim mount-bench [--vols N] [--vol-blocks N] [--device-blocks N]
   wafl-sim help
 ";
@@ -242,6 +247,50 @@ pub struct SimulateReport {
     pub smr_interventions: u64,
     /// Iron findings, when `--check` was given.
     pub iron: Option<wafl_fs::iron::IronReport>,
+    /// Runtime health and scrub metrics, when `--check` was given.
+    pub health: Option<HealthReport>,
+}
+
+/// Aggregate health summary printed by `--check`: the scrubber's state
+/// machine plus the metric families the observability layer exports.
+#[derive(Debug, serde::Serialize)]
+pub struct HealthReport {
+    /// Health state: `healthy`, `degraded(n)`, or `read-only`.
+    pub state: String,
+    /// AAs the allocator is currently avoiding.
+    pub quarantined_aas: u64,
+    /// Cache structures under structure quarantine.
+    pub quarantined_structures: u64,
+    /// Repair tickets awaiting processing.
+    pub pending_repairs: usize,
+    /// Scrub verification units read since mount.
+    pub scrub_pages_scanned: u64,
+    /// Faults the scrubber has detected.
+    pub scrub_faults_detected: u64,
+    /// Repairs completed and verified clean.
+    pub scrub_repairs_succeeded: u64,
+    /// Aggregate free fraction gauge.
+    pub free_fraction: f64,
+    /// Delayed-free log backlog, blocks.
+    pub delayed_free_backlog: f64,
+}
+
+fn health_report(agg: &Aggregate) -> HealthReport {
+    let status = agg.scrub_status();
+    let reg = agg.obs();
+    HealthReport {
+        state: status.health.to_string(),
+        quarantined_aas: status.quarantined_aas,
+        quarantined_structures: status.quarantined_structures,
+        pending_repairs: status.pending_repairs,
+        scrub_pages_scanned: reg.counter_value("scrub.pages_scanned").unwrap_or(0),
+        scrub_faults_detected: reg.counter_value("scrub.faults_detected").unwrap_or(0),
+        scrub_repairs_succeeded: reg.counter_value("scrub.repairs_succeeded").unwrap_or(0),
+        free_fraction: reg.gauge_value("space.free_fraction").unwrap_or(0.0),
+        delayed_free_backlog: reg
+            .gauge_value("delayed_free.backlog_blocks")
+            .unwrap_or(0.0),
+    }
 }
 
 /// Run the `simulate` subcommand.
@@ -271,6 +320,7 @@ pub fn run_simulate(o: &SimulateOpts) -> WaflResult<SimulateReport> {
         raid_aware_cache: !o.no_agg_cache,
         batched_frees: o.batched_frees,
         trim_on_free: o.trim,
+        scrub_pages_per_cp: o.scrub,
         ..AggregateConfig::single_group(spec)
     };
     let working = ((agg_blocks as f64 * o.fill) as u64).max(1024);
@@ -319,6 +369,7 @@ pub fn run_simulate(o: &SimulateOpts) -> WaflResult<SimulateReport> {
     } else {
         None
     };
+    let health = o.check.then(|| health_report(&agg));
     Ok(SimulateReport {
         ops: o.ops,
         cps: stats.cps,
@@ -331,6 +382,7 @@ pub fn run_simulate(o: &SimulateOpts) -> WaflResult<SimulateReport> {
         write_amplification: agg.mean_write_amplification(),
         smr_interventions: agg.groups().iter().map(|g| g.smr_interventions()).sum(),
         iron: iron_report,
+        health,
     })
 }
 
@@ -378,6 +430,23 @@ impl SimulateReport {
                 s,
                 "iron check             {:>12}",
                 if iron.is_clean() { "clean" } else { "FINDINGS" }
+            );
+        }
+        if let Some(h) = &self.health {
+            let _ = writeln!(s, "health                 {:>12}", h.state);
+            let _ = writeln!(s, "quarantined AAs        {:>12}", h.quarantined_aas);
+            let _ = writeln!(s, "pending repairs        {:>12}", h.pending_repairs);
+            let _ = writeln!(s, "scrub units scanned    {:>12}", h.scrub_pages_scanned);
+            let _ = writeln!(s, "scrub faults detected  {:>12}", h.scrub_faults_detected);
+            let _ = writeln!(
+                s,
+                "scrub repairs ok       {:>12}",
+                h.scrub_repairs_succeeded
+            );
+            let _ = writeln!(
+                s,
+                "delayed-free backlog   {:>12}",
+                h.delayed_free_backlog as u64
             );
         }
         s
@@ -434,10 +503,11 @@ mod tests {
         let Command::Simulate(o) = parse(&args(
             "simulate --media hdd --devices 6 --parity 2 --device-blocks 8192 \
              --fill 0.8 --churn 0 --workload oltp --ops 1000 --ops-per-cp 128 \
-             --no-vol-cache --batched-frees --check --json",
+             --no-vol-cache --batched-frees --check --json --scrub 4",
         )) else {
             panic!("expected simulate");
         };
+        assert_eq!(o.scrub, 4);
         assert_eq!(o.media, MediaType::Hdd);
         assert_eq!(o.devices, 6);
         assert_eq!(o.parity, 2);
@@ -474,6 +544,7 @@ mod tests {
             ops: 5_000,
             churn: 0.5,
             check: true,
+            scrub: 2,
             ..SimulateOpts::default()
         };
         let r = run_simulate(&o).unwrap();
@@ -481,9 +552,14 @@ mod tests {
         assert!(r.cps > 0);
         assert!(r.write_amplification >= 1.0);
         assert!(r.iron.as_ref().unwrap().is_clean());
+        let health = r.health.as_ref().unwrap();
+        assert_eq!(health.state, "healthy");
+        assert_eq!(health.quarantined_aas, 0);
+        assert!(health.scrub_pages_scanned > 0, "scrub budget ran");
         let text = r.to_text();
         assert!(text.contains("write amplification"));
         assert!(text.contains("clean"));
+        assert!(text.contains("health"));
     }
 
     #[test]

@@ -126,6 +126,46 @@ pub enum CrashSite {
     AfterTopAaPersist,
 }
 
+/// Which piece of *live, in-memory* free-space metadata a runtime
+/// scribble corrupts. Unlike [`ScribbleFault`] (which damages persisted
+/// page images before a remount), these fire while the aggregate is
+/// serving traffic — the latent corruption the runtime scrubber exists
+/// to catch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuntimeTarget {
+    /// One per-page free-count summary counter of the aggregate bitmap.
+    AggSummaryPage {
+        /// Metafile page index (reduced modulo the page count on apply).
+        page: usize,
+    },
+    /// One per-page free-count summary counter of a FlexVol bitmap.
+    VolSummaryPage {
+        /// Volume index (reduced modulo the volume count on apply).
+        vol: usize,
+        /// Metafile page index (reduced modulo the page count on apply).
+        page: usize,
+    },
+    /// A cached AA score inside a RAID group's in-memory TopAA cache.
+    GroupCacheScore {
+        /// Group index (reduced modulo the group count on apply).
+        group: usize,
+    },
+}
+
+/// A scheduled in-memory corruption: at the start of the consistency
+/// point numbered `at_cp`, the target counter/score is XORed with a
+/// non-zero value derived from `value_seed`, guaranteeing a change.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeScribbleFault {
+    /// What live structure is damaged.
+    pub target: RuntimeTarget,
+    /// CP count at whose start the scribble fires (fires on the first CP
+    /// with `cp_count >= at_cp`, exactly once).
+    pub at_cp: u64,
+    /// Seed for the corrupting value.
+    pub value_seed: u64,
+}
+
 /// A complete, immutable fault schedule.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
@@ -135,6 +175,11 @@ pub struct FaultPlan {
     pub read_errors: Vec<ReadErrorFault>,
     /// Optional mid-CP crash point.
     pub crash: Option<CrashSite>,
+    /// In-memory corruptions fired mid-run at scheduled CP counts.
+    pub runtime_scribbles: Vec<RuntimeScribbleFault>,
+    /// Read failures observed by the runtime scrubber's verify reads
+    /// (a separate channel from `read_errors`, which fire at mount).
+    pub scrub_read_errors: Vec<ReadErrorFault>,
 }
 
 /// Dimensions of the system a random plan is generated against.
@@ -231,6 +276,65 @@ impl FaultPlan {
         plan
     }
 
+    /// Generate a random *runtime* schedule from `seed`: 1–2 in-memory
+    /// scribbles at CP counts in `[1, cps)` plus occasionally a transient
+    /// scrub-read error, and (30% of seeds) a crash site to tear a CP
+    /// while repairs may be pending. Scrub-read errors here are always
+    /// transient — a persistent verify failure pins its structure in
+    /// quarantine forever, which is its own (deliberate, non-random)
+    /// test scenario.
+    pub fn random_runtime(seed: u64, shape: PlanShape, cps: u64) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5C0B_5C0B_5C0B_5C0B);
+        let mut plan = FaultPlan::default();
+        let cps = cps.max(2);
+
+        let pick_runtime_target = |rng: &mut StdRng| match rng.random_range(0u32..3) {
+            0 => RuntimeTarget::AggSummaryPage {
+                page: rng.random_range(0usize..1024),
+            },
+            1 if shape.volumes > 0 => RuntimeTarget::VolSummaryPage {
+                vol: rng.random_range(0..shape.volumes),
+                page: rng.random_range(0usize..1024),
+            },
+            _ => RuntimeTarget::GroupCacheScore {
+                group: rng.random_range(0..shape.groups.max(1)),
+            },
+        };
+
+        let n_scribbles = [1usize, 1, 1, 2, 2][rng.random_range(0usize..5)];
+        for _ in 0..n_scribbles {
+            plan.runtime_scribbles.push(RuntimeScribbleFault {
+                target: pick_runtime_target(&mut rng),
+                at_cp: rng.random_range(1..cps),
+                value_seed: rng.next_u64(),
+            });
+        }
+
+        if rng.random_bool(0.3) {
+            let target = if shape.volumes > 0 && rng.random_bool(0.4) {
+                StructureId::Volume(rng.random_range(0..shape.volumes))
+            } else {
+                StructureId::Group(rng.random_range(0..shape.groups.max(1)))
+            };
+            plan.scrub_read_errors.push(ReadErrorFault {
+                target,
+                failures: rng.random_range(1u32..=3),
+            });
+        }
+
+        if rng.random_bool(0.3) {
+            let progress = rng.random_range(0..shape.max_progress.max(1));
+            plan.crash = Some(match rng.random_range(0u32..5) {
+                0 => CrashSite::AfterBlockWrites(progress),
+                1 => CrashSite::AfterBind,
+                2 => CrashSite::MidFreeLogApply(progress),
+                3 => CrashSite::BeforeTopAaPersist,
+                _ => CrashSite::AfterTopAaPersist,
+            });
+        }
+        plan
+    }
+
     /// Scribbles aimed at `target`.
     pub fn scribbles_for(&self, target: StructureId) -> impl Iterator<Item = &ScribbleFault> + '_ {
         self.scribbles.iter().filter(move |s| s.target == target)
@@ -255,6 +359,8 @@ pub enum ReadOutcome {
 pub struct FaultSession<'a> {
     plan: &'a FaultPlan,
     attempts: std::collections::HashMap<StructureId, u32>,
+    scrub_attempts: std::collections::HashMap<StructureId, u32>,
+    fired_runtime: Vec<bool>,
 }
 
 impl<'a> FaultSession<'a> {
@@ -263,6 +369,8 @@ impl<'a> FaultSession<'a> {
         FaultSession {
             plan,
             attempts: std::collections::HashMap::new(),
+            scrub_attempts: std::collections::HashMap::new(),
+            fired_runtime: vec![false; plan.runtime_scribbles.len()],
         }
     }
 
@@ -286,6 +394,44 @@ impl<'a> FaultSession<'a> {
         } else {
             ReadOutcome::Ok
         }
+    }
+
+    /// Record a *scrub* read attempt against `target` and report its
+    /// outcome. A separate attempt channel from [`FaultSession::on_read`]
+    /// so mount-time and runtime failure schedules don't consume each
+    /// other's budgets.
+    pub fn on_scrub_read(&mut self, target: StructureId) -> ReadOutcome {
+        let Some(fault) = self
+            .plan
+            .scrub_read_errors
+            .iter()
+            .find(|f| f.target == target)
+        else {
+            return ReadOutcome::Ok;
+        };
+        if fault.is_persistent() {
+            return ReadOutcome::Persistent;
+        }
+        let seen = self.scrub_attempts.entry(target).or_insert(0);
+        if *seen < fault.failures {
+            *seen += 1;
+            ReadOutcome::Transient
+        } else {
+            ReadOutcome::Ok
+        }
+    }
+
+    /// Runtime scribbles due at CP count `cp` that have not fired yet,
+    /// in plan order. Each is returned exactly once across the session.
+    pub fn take_due_runtime_scribbles(&mut self, cp: u64) -> Vec<RuntimeScribbleFault> {
+        let mut due = Vec::new();
+        for (i, fault) in self.plan.runtime_scribbles.iter().enumerate() {
+            if !self.fired_runtime[i] && fault.at_cp <= cp {
+                self.fired_runtime[i] = true;
+                due.push(*fault);
+            }
+        }
+        due
     }
 
     /// The crash point, if the plan schedules one.
@@ -383,6 +529,104 @@ mod tests {
                 ReadOutcome::Persistent
             );
         }
+    }
+
+    #[test]
+    fn runtime_plans_are_seed_deterministic_and_bounded() {
+        let shape = PlanShape {
+            groups: 2,
+            volumes: 3,
+            max_progress: 1000,
+        };
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..200 {
+            let a = FaultPlan::random_runtime(seed, shape, 24);
+            let b = FaultPlan::random_runtime(seed, shape, 24);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+            distinct.insert(format!("{a:?}"));
+            assert!(
+                !a.runtime_scribbles.is_empty(),
+                "seed {seed} injects nothing"
+            );
+            for f in &a.runtime_scribbles {
+                assert!((1..24).contains(&f.at_cp));
+                match f.target {
+                    RuntimeTarget::VolSummaryPage { vol, .. } => assert!(vol < 3),
+                    RuntimeTarget::GroupCacheScore { group } => assert!(group < 2),
+                    RuntimeTarget::AggSummaryPage { .. } => {}
+                }
+            }
+            for f in &a.scrub_read_errors {
+                assert!(!f.is_persistent(), "runtime read errors must clear");
+                assert!((1..=3).contains(&f.failures));
+            }
+        }
+        assert!(
+            distinct.len() > 100,
+            "only {} distinct plans",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn runtime_scribbles_fire_exactly_once_when_due() {
+        let plan = FaultPlan {
+            runtime_scribbles: vec![
+                RuntimeScribbleFault {
+                    target: RuntimeTarget::AggSummaryPage { page: 0 },
+                    at_cp: 3,
+                    value_seed: 1,
+                },
+                RuntimeScribbleFault {
+                    target: RuntimeTarget::GroupCacheScore { group: 0 },
+                    at_cp: 5,
+                    value_seed: 2,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        let mut session = FaultSession::new(&plan);
+        assert!(session.take_due_runtime_scribbles(2).is_empty());
+        assert_eq!(session.take_due_runtime_scribbles(3).len(), 1);
+        assert!(session.take_due_runtime_scribbles(4).is_empty());
+        // A skipped CP count still delivers the overdue fault, once.
+        assert_eq!(session.take_due_runtime_scribbles(9).len(), 1);
+        assert!(session.take_due_runtime_scribbles(10).is_empty());
+    }
+
+    #[test]
+    fn scrub_reads_use_their_own_attempt_channel() {
+        let plan = FaultPlan {
+            read_errors: vec![ReadErrorFault {
+                target: StructureId::Group(0),
+                failures: 1,
+            }],
+            scrub_read_errors: vec![ReadErrorFault {
+                target: StructureId::Group(0),
+                failures: 2,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut session = FaultSession::new(&plan);
+        // Mount-time reads consume only the mount-time schedule...
+        assert_eq!(
+            session.on_read(StructureId::Group(0)),
+            ReadOutcome::Transient
+        );
+        assert_eq!(session.on_read(StructureId::Group(0)), ReadOutcome::Ok);
+        // ...and the scrub schedule still has both failures left.
+        assert_eq!(
+            session.on_scrub_read(StructureId::Group(0)),
+            ReadOutcome::Transient
+        );
+        assert_eq!(
+            session.on_scrub_read(StructureId::Group(0)),
+            ReadOutcome::Transient
+        );
+        assert_eq!(
+            session.on_scrub_read(StructureId::Group(0)),
+            ReadOutcome::Ok
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::config::{AggregateConfig, FlexVolConfig, RaidGroupSpec};
 use crate::delayed_free::DelayedFreeLog;
 use crate::obs::FsObs;
+use crate::scrub::{HealthState, ScrubState, ScrubStatus};
 use crate::volume::FlexVol;
 use std::collections::HashSet;
 use wafl_bitmap::Bitmap;
@@ -97,6 +98,14 @@ pub struct RaidGroupState {
     /// each device's open checksum region (`u64::MAX` = no open stream).
     /// Indexed like `media` (data devices then parity).
     pub(crate) azcs_next: Vec<u64>,
+    /// Physical AAs the runtime scrubber has quarantined: their summary
+    /// counters disagreed with the popcount ground truth, so allocation
+    /// must not land on them until the scheduled repair clears.
+    pub(crate) quarantined_aas: std::collections::BTreeSet<wafl_types::AaId>,
+    /// Structure-level quarantine: the group's TopAA cache is suspect
+    /// (degraded at mount, or a scrub verify failed). Allocation bypasses
+    /// it and sweeps the bitmap until the quarantine lifts.
+    pub(crate) cache_quarantined: bool,
 }
 
 impl RaidGroupState {
@@ -120,6 +129,17 @@ impl RaidGroupState {
             Some(GroupCache::Hbps(h)) => Some(h),
             _ => None,
         }
+    }
+
+    /// Physical AAs currently quarantined by the runtime scrubber.
+    pub fn quarantined_aas(&self) -> Vec<wafl_types::AaId> {
+        self.quarantined_aas.iter().copied().collect()
+    }
+
+    /// Whether the group's TopAA cache is structure-quarantined
+    /// (allocation bypasses it and sweeps the bitmap).
+    pub fn cache_quarantined(&self) -> bool {
+        self.cache_quarantined
     }
 
     /// Mean write amplification across this group's SSDs (1.0 for
@@ -197,6 +217,8 @@ pub struct Aggregate {
     /// Observability handles for the allocator pipeline. Host state: the
     /// counters survive simulated crashes and remounts of this instance.
     pub(crate) obs: FsObs,
+    /// Runtime scrubber: cursor, repair tickets, health state machine.
+    pub(crate) scrub: ScrubState,
 }
 
 /// Owner sentinel: block free / untracked.
@@ -314,6 +336,8 @@ impl Aggregate {
                 batch: ScoreDeltaBatch::new(),
                 active_aa: None,
                 azcs_next: vec![u64::MAX; device_count],
+                quarantined_aas: std::collections::BTreeSet::new(),
+                cache_quarantined: false,
             });
         }
         let bitmap = Bitmap::new(base);
@@ -328,6 +352,7 @@ impl Aggregate {
             .map(|(i, &(vcfg, logical))| FlexVol::new(VolumeId(i as u32), vcfg, logical))
             .collect::<WaflResult<Vec<_>>>()?;
         let space = bitmap.space_len() as usize;
+        let scrub = ScrubState::new(cfg.scrub_pages_per_cp);
         Ok(Aggregate {
             cfg,
             bitmap,
@@ -341,6 +366,7 @@ impl Aggregate {
             free_log: DelayedFreeLog::new(),
             cp_count: 0,
             obs: FsObs::default(),
+            scrub,
         })
     }
 
@@ -411,6 +437,8 @@ impl Aggregate {
             batch: ScoreDeltaBatch::new(),
             active_aa: None,
             azcs_next: vec![u64::MAX; device_count],
+            quarantined_aas: std::collections::BTreeSet::new(),
+            cache_quarantined: false,
         };
         if self.cfg.raid_aware_cache {
             g.cache = Some(build_group_cache(&g, &self.bitmap)?);
@@ -420,9 +448,26 @@ impl Aggregate {
         Ok(id)
     }
 
+    /// Reject a client mutation while the scrubber has the aggregate in
+    /// [`HealthState::ReadOnly`] (a repair exhausted its retry budget;
+    /// allocation can no longer trust the free-space metadata).
+    fn check_writable(&self) -> WaflResult<()> {
+        if self.scrub.health() == HealthState::ReadOnly {
+            return Err(WaflError::ReadOnly {
+                reason: self
+                    .scrub
+                    .read_only_reason()
+                    .unwrap_or("scrub escalation")
+                    .to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// Queue a client overwrite of `logical` in `vol` for the next CP.
     /// Repeated writes to the same block within one CP coalesce (§2.1).
     pub fn client_overwrite(&mut self, vol: VolumeId, logical: u64) -> WaflResult<()> {
+        self.check_writable()?;
         let v = self.vols.get(vol.index()).ok_or(WaflError::InvalidConfig {
             reason: format!("no volume {vol}"),
         })?;
@@ -444,6 +489,7 @@ impl Aggregate {
     /// one of the §2.2 fragmentation sources). Deleting an unmapped block
     /// is a no-op, matching hole-punching semantics.
     pub fn client_delete(&mut self, vol: VolumeId, logical: u64) -> WaflResult<()> {
+        self.check_writable()?;
         let v = self.vols.get(vol.index()).ok_or(WaflError::InvalidConfig {
             reason: format!("no volume {vol}"),
         })?;
@@ -568,6 +614,38 @@ impl Aggregate {
     /// The delayed-free log (empty unless `batched_frees` is configured).
     pub fn free_log(&self) -> &DelayedFreeLog {
         &self.free_log
+    }
+
+    /// Current aggregate health, as driven by the runtime scrubber.
+    pub fn health(&self) -> HealthState {
+        self.scrub.health()
+    }
+
+    /// Snapshot of the runtime scrubber: health, pending repairs,
+    /// quarantine census.
+    pub fn scrub_status(&self) -> ScrubStatus {
+        crate::scrub::status(self)
+    }
+
+    /// Replace the scrubber's repair retry/backoff policy (tests and
+    /// harness runs that need faster escalation or tighter backoff).
+    pub fn set_scrub_retry_policy(&mut self, policy: wafl_types::RetryPolicy) {
+        self.scrub.set_policy(policy);
+    }
+
+    /// Quarantine physical AAs of `group` directly (tests exercising the
+    /// allocator's avoidance paths without staging real corruption).
+    pub fn quarantine_physical_aas(&mut self, group: usize, aas: &[wafl_types::AaId]) {
+        if let Some(g) = self.groups.get_mut(group) {
+            g.quarantined_aas.extend(aas.iter().copied());
+        }
+    }
+
+    /// Quarantine virtual AAs of volume `vol` directly (test hook).
+    pub fn quarantine_virtual_aas(&mut self, vol: VolumeId, aas: &[wafl_types::AaId]) {
+        if let Some(v) = self.vols.get_mut(vol.index()) {
+            v.quarantined_aas.extend(aas.iter().copied());
+        }
     }
 
     /// The metrics registry observing this aggregate's allocator pipeline.

@@ -81,6 +81,50 @@ fn drain_ranges(
     true
 }
 
+/// Popcount an AA's free blocks directly from the raw bits, bypassing the
+/// summary-accelerated score paths. The quarantine machinery uses this:
+/// when summaries (or the cache built from them) are suspect, the raw
+/// bitmap words are the only state still trusted.
+fn popcount_score(topology: &wafl_core::AaTopology, bitmap: &wafl_bitmap::Bitmap, aa: AaId) -> u32 {
+    topology
+        .aa_vbn_ranges(aa)
+        .iter()
+        .map(|&(start, len)| bitmap.free_count_range_popcount(start, len))
+        .sum()
+}
+
+/// Plan physical allocations with the group's cache structure-quarantined:
+/// walk the AAs in order, skipping quarantined ones, scoring each by
+/// popcount. No AA becomes active — the sweep makes no claim the repaired
+/// cache would have to honor later.
+fn plan_group_quarantine_sweep(
+    g: &mut RaidGroupState,
+    bitmap: &wafl_bitmap::Bitmap,
+    quota: usize,
+    out: &mut AllocOutcome,
+) {
+    for aa in 0..g.topology.aa_count() {
+        if out.vbns.len() >= quota {
+            break;
+        }
+        let aa = AaId(aa);
+        if g.quarantined_aas.contains(&aa) {
+            continue;
+        }
+        let score = popcount_score(&g.topology, bitmap, aa);
+        if score == 0 {
+            continue;
+        }
+        out.sweep_picks += 1;
+        out.picked.push((aa, AaScore(score)));
+        let before = out.vbns.len();
+        let ranges = g.topology.aa_write_ranges(aa);
+        drain_ranges(&ranges, bitmap, quota, out);
+        g.batch
+            .record_allocated(aa, (out.vbns.len() - before) as u32);
+    }
+}
+
 /// Plan `quota` physical allocations from one RAID group. Reads the
 /// shared physical bitmap; mutates only group-local state (cache, batch,
 /// active AA), so plans for different groups run in parallel. The
@@ -97,31 +141,69 @@ pub(crate) fn plan_raid_group(
     let mut tried: HashSet<AaId> = HashSet::new();
     let aa_count = g.topology.aa_count();
     let mut attempts = 0u32;
+    // Structure quarantine: the cache's scores are suspect, so don't
+    // consult it at all — sweep the bitmap with popcount scoring instead.
+    if mode == AllocatorMode::CacheGuided && g.cache_quarantined {
+        g.active_aa = None;
+        plan_group_quarantine_sweep(g, bitmap, quota, &mut out);
+        return Ok(out);
+    }
     while out.vbns.len() < quota {
         // Continue the active AA, or claim a new one. The active AA joins
         // `tried` so the random picker cannot re-pick it after this plan
         // drains it — the plan phase reads a bitmap snapshot, so a fresh
         // `score_from_bitmap` would be stale and cause double allocation.
         let aa = match g.active_aa {
+            // A quarantine landed on the active AA: stop draining it and
+            // hand it back to the heap (popcount-scored — its summary
+            // counters are exactly what is suspect) so it returns to
+            // rotation once the repair releases it.
+            Some(aa) if g.quarantined_aas.contains(&aa) => {
+                g.active_aa = None;
+                let score = popcount_score(&g.topology, bitmap, aa);
+                if let Some(GroupCache::Heap(cache)) = g.cache.as_mut() {
+                    if !cache.contains(aa) {
+                        cache.insert(aa, AaScore(score))?;
+                    }
+                }
+                continue;
+            }
             Some(aa) => {
                 tried.insert(aa);
                 aa
             }
             None => match mode {
                 AllocatorMode::CacheGuided => match g.cache.as_mut() {
-                    Some(GroupCache::Heap(cache)) => match cache.take_best() {
-                        Some((aa, score)) if score.get() > 0 => {
-                            out.picked.push((aa, score));
-                            g.active_aa = Some(aa);
-                            aa
+                    Some(GroupCache::Heap(cache)) => {
+                        // Set quarantined AAs aside while claiming, then
+                        // put every one of them back — they must neither
+                        // be picked nor leak out of the heap.
+                        let mut set_aside: Vec<(AaId, AaScore)> = Vec::new();
+                        let claimed = loop {
+                            match cache.take_best() {
+                                Some((aa, score)) if g.quarantined_aas.contains(&aa) => {
+                                    set_aside.push((aa, score));
+                                }
+                                other => break other,
+                            }
+                        };
+                        for (aa, score) in set_aside {
+                            cache.insert(aa, score)?;
                         }
-                        Some((aa, _)) => {
-                            // Best AA is full: the group is exhausted.
-                            out.drained.push(aa);
-                            break;
+                        match claimed {
+                            Some((aa, score)) if score.get() > 0 => {
+                                out.picked.push((aa, score));
+                                g.active_aa = Some(aa);
+                                aa
+                            }
+                            Some((aa, _)) => {
+                                // Best AA is full: the group is exhausted.
+                                out.drained.push(aa);
+                                break;
+                            }
+                            None => break,
                         }
-                        None => break,
-                    },
+                    }
                     Some(GroupCache::Hbps(hbps)) => {
                         // The HBPS bound is a bin edge; the exact score
                         // comes from the bitmap, as in §3.3. An empty or
@@ -138,6 +220,9 @@ pub(crate) fn plan_raid_group(
                         }
                         match hbps.take_best() {
                             Some((aa, _bound)) => {
+                                if g.quarantined_aas.contains(&aa) {
+                                    continue; // attempts bound caps this
+                                }
                                 let score = g.topology.score_from_bitmap(bitmap, aa);
                                 if score.get() == 0 {
                                     continue; // stale entry; pick again
@@ -168,7 +253,7 @@ pub(crate) fn plan_raid_group(
                         break; // group effectively full
                     }
                     let aa = AaId(rng.random_range(0..aa_count));
-                    if !tried.insert(aa) {
+                    if !tried.insert(aa) || g.quarantined_aas.contains(&aa) {
                         continue;
                     }
                     let score = g.topology.score_from_bitmap(bitmap, aa);
@@ -238,9 +323,20 @@ pub(crate) fn allocate_vvbns(
     let mut attempts = 0u32;
     while out.vbns.len() < n {
         let aa = match vol.active_aa {
+            // A quarantine landed on the active AA: stop draining it and
+            // pick elsewhere (the pick paths below skip quarantined AAs,
+            // so this cannot loop).
+            Some(aa) if vol.quarantined_aas.contains(&aa) => {
+                vol.active_aa = None;
+                continue;
+            }
             Some(aa) => aa,
             None => {
                 let picked = match mode {
+                    // Structure quarantine: the cache's scores are suspect;
+                    // ignore it and use the popcount sweep below, exactly
+                    // like the cache-less degraded-mount path.
+                    AllocatorMode::CacheGuided if vol.cache_quarantined => None,
                     AllocatorMode::CacheGuided => match vol.cache.as_mut() {
                         Some(cache) => {
                             let pick = match cache.pick_best(&vol.bitmap) {
@@ -257,6 +353,18 @@ pub(crate) fn allocate_vvbns(
                                         None
                                     }
                                 }
+                            };
+                            let pick = match pick {
+                                Some((aa, _)) if vol.quarantined_aas.contains(&aa) => {
+                                    // Quarantined pick: retry within the
+                                    // attempts bound, then sweep.
+                                    attempts += 1;
+                                    if attempts <= 4 * aa_count.max(8) {
+                                        continue;
+                                    }
+                                    None
+                                }
+                                p => p,
                             };
                             if let Some((_, score)) = pick {
                                 let true_best = vol
@@ -285,7 +393,7 @@ pub(crate) fn allocate_vvbns(
                             None
                         } else {
                             let aa = AaId(rng.random_range(0..aa_count));
-                            if !tried.insert(aa) {
+                            if !tried.insert(aa) || vol.quarantined_aas.contains(&aa) {
                                 continue;
                             }
                             let score = vol.topology.score_from_bitmap(&vol.bitmap, aa);
@@ -304,13 +412,25 @@ pub(crate) fn allocate_vvbns(
                     }
                     None => {
                         // Fall back to a linear sweep before declaring the
-                        // space full.
-                        let Some(vbn) = vol.bitmap.first_free_from(Vbn(0)) else {
+                        // space full: first non-quarantined AA with free
+                        // blocks, scored by popcount (a quarantined
+                        // volume's summaries are exactly what is suspect).
+                        let mut found = None;
+                        for aa in 0..aa_count {
+                            let aa = AaId(aa);
+                            if vol.quarantined_aas.contains(&aa) {
+                                continue;
+                            }
+                            let score = popcount_score(&vol.topology, &vol.bitmap, aa);
+                            if score > 0 {
+                                found = Some((aa, AaScore(score)));
+                                break;
+                            }
+                        }
+                        let Some((aa, score)) = found else {
                             return Err(WaflError::SpaceExhausted);
                         };
                         out.sweep_picks += 1;
-                        let aa = vol.topology.aa_of_vbn(vbn)?;
-                        let score = vol.topology.score_from_bitmap(&vol.bitmap, aa);
                         out.picked.push((aa, score));
                         vol.active_aa = Some(aa);
                         aa

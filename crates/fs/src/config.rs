@@ -60,6 +60,11 @@ pub struct AggregateConfig {
     /// Metafile pages the delayed-free processor may write per CP when
     /// `batched_frees` is on.
     pub free_pages_per_cp: usize,
+    /// Scrub units (bitmap summary pages / TopAA cache structures) the
+    /// runtime scrubber verifies per CP. `0` disables online scrub —
+    /// corruption is then only caught at remount, as before. See
+    /// `docs/recovery.md` ("Runtime scrub & quarantine").
+    pub scrub_pages_per_cp: u64,
     /// CPU cost model for the per-op overhead accounting (§4.1.2).
     pub cpu: CpuModel,
 }
@@ -78,6 +83,7 @@ impl AggregateConfig {
             ssd_tier_bias: 1.0,
             batched_frees: false,
             free_pages_per_cp: 4,
+            scrub_pages_per_cp: 0,
             cpu: CpuModel::default(),
         }
     }

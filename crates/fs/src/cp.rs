@@ -6,7 +6,7 @@ use crate::aggregate::{pack_owner, Aggregate, DeviceMedia, DirtyBlock, GroupCach
 use crate::allocator::{allocate_vvbns, plan_raid_group, AllocOutcome, AllocatorMode};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use wafl_faults::CrashSite;
+use wafl_faults::{CrashSite, FaultSession};
 use wafl_raid::analyze_cp_write;
 use wafl_types::{ChecksumStyle, Vbn, WaflError, WaflResult, AZCS_DATA_BLOCKS, AZCS_REGION_BLOCKS};
 
@@ -168,7 +168,7 @@ impl Aggregate {
     /// Run one consistency point over every operation collected since the
     /// last. Returns the CP's cost and layout statistics.
     pub fn run_cp(&mut self) -> WaflResult<CpStats> {
-        match self.run_cp_inner(None)? {
+        match self.run_cp_inner(None, None)? {
             CpOutcome::Completed(stats) => Ok(stats),
             CpOutcome::Crashed(_) => unreachable!("no crash site was scheduled"),
         }
@@ -181,10 +181,38 @@ impl Aggregate {
     /// returns [`CpOutcome::Crashed`] — the torn state is then the
     /// recovery stack's problem, not an `Err`.
     pub fn run_cp_with_faults(&mut self, crash: Option<CrashSite>) -> WaflResult<CpOutcome> {
-        self.run_cp_inner(crash)
+        self.run_cp_inner(crash, None)
     }
 
-    fn run_cp_inner(&mut self, crash: Option<CrashSite>) -> WaflResult<CpOutcome> {
+    /// [`Aggregate::run_cp_with_faults`] plus a live [`FaultSession`]: due
+    /// runtime scribbles fire at the CP's start (in-memory corruption of
+    /// summary counters / cached scores while the aggregate serves
+    /// traffic), and the runtime scrubber's verify reads go through the
+    /// session's scrub read-error schedule.
+    pub fn run_cp_with_session(
+        &mut self,
+        crash: Option<CrashSite>,
+        faults: Option<&mut FaultSession<'_>>,
+    ) -> WaflResult<CpOutcome> {
+        self.run_cp_inner(crash, faults)
+    }
+
+    fn run_cp_inner(
+        &mut self,
+        crash: Option<CrashSite>,
+        mut faults: Option<&mut FaultSession<'_>>,
+    ) -> WaflResult<CpOutcome> {
+        // ---- 0. runtime fault injection + scrub step --------------------
+        // Scribbles land first (memory corruption strikes at arbitrary
+        // points; the CP boundary is where the simulation quantizes it),
+        // then the scrubber gets its budgeted verification pass — before
+        // any allocation of this CP trusts the summary counters.
+        if let Some(session) = faults.as_deref_mut() {
+            crate::scrub::apply_due_runtime_scribbles(self, session);
+        }
+        if self.scrub.enabled() {
+            crate::scrub::run_step(self, faults)?;
+        }
         let dirty = std::mem::take(&mut self.dirty);
         self.dirty_set.clear();
         let n = dirty.len();
@@ -697,6 +725,31 @@ impl Aggregate {
                 let delta = cache.take_hbps_stats();
                 self.obs.record_hbps_stats(delta);
             }
+        }
+        // Space gauges: cheap scalars from the summary counters. The
+        // per-group gauges are name-formatted (dynamic group count) —
+        // once per completed CP, not on any hot path.
+        self.obs
+            .gauge_free_fraction
+            .set(self.bitmap.free_fraction());
+        self.obs
+            .gauge_delayed_free_backlog
+            .set(self.free_log.pending() as f64);
+        for (i, g) in self.groups.iter().enumerate() {
+            let data = g.geometry.data_blocks();
+            let free = self.bitmap.free_count_range(g.geometry.base_vbn, data);
+            self.obs
+                .registry()
+                .gauge(&format!("group.{i}.free_fraction"))
+                .set(free as f64 / data.max(1) as f64);
+            let active_score = g
+                .active_aa
+                .map(|aa| g.topology.score_from_bitmap(&self.bitmap, aa).get())
+                .unwrap_or(0);
+            self.obs
+                .registry()
+                .gauge(&format!("group.{i}.active_aa_score"))
+                .set(active_score as f64);
         }
         Ok(CpOutcome::Completed(stats))
     }

@@ -38,6 +38,7 @@ pub mod delayed_free;
 pub mod iron;
 pub mod mount;
 pub mod obs;
+pub mod scrub;
 pub mod snapshot;
 mod volume;
 
@@ -45,4 +46,5 @@ pub use aggregate::{Aggregate, RaidGroupState};
 pub use allocator::AllocatorMode;
 pub use config::{AggregateConfig, CpuModel, FlexVolConfig, RaidGroupSpec};
 pub use cp::{CpOutcome, CpStats};
+pub use scrub::{HealthState, ScrubStatus};
 pub use volume::FlexVol;

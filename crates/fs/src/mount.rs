@@ -127,11 +127,18 @@ pub fn crash(agg: &mut Aggregate) {
         g.cache = None;
         g.active_aa = None;
         g.azcs_next.iter_mut().for_each(|n| *n = u64::MAX);
+        g.quarantined_aas.clear();
+        g.cache_quarantined = false;
     }
     for v in agg.vols.iter_mut() {
         v.cache = None;
         v.active_aa = None;
+        v.quarantined_aas.clear();
+        v.cache_quarantined = false;
     }
+    // The scrubber's cursor, tickets, and health are volatile too: the
+    // remount re-derives health from its own degradation events.
+    agg.scrub.reset_volatile();
     agg.lose_volatile_state();
 }
 
@@ -306,6 +313,10 @@ pub fn mount_auto_with(
                 reason: e.to_string(),
                 pages_scanned: pages,
             });
+            // A degraded-at-mount structure starts quarantined: its cold-
+            // rebuilt cache is trusted only after the first clean scrub
+            // pass over it (or `complete_background_rebuild`) releases it.
+            agg.groups[i].cache_quarantined = true;
         }
     }
 
@@ -344,6 +355,7 @@ pub fn mount_auto_with(
                 reason: e.to_string(),
                 pages_scanned: pages,
             });
+            agg.vols[i].cache_quarantined = true;
         }
     }
 
@@ -360,6 +372,10 @@ pub fn mount_auto_with(
         .mount_cold_pages
         .inc(stats.degraded.iter().map(|d| d.pages_scanned).sum());
     agg.obs.mount_retries.inc(stats.transient_retries);
+    // Reflect the mount's degradations in the health state machine (the
+    // scrub-state fix: a degraded mount used to report Healthy until the
+    // first scrub step happened to run).
+    crate::scrub::refresh_health(agg);
     stats
 }
 
@@ -414,16 +430,29 @@ pub fn mount_cold(agg: &mut Aggregate) -> WaflResult<MountStats> {
 pub fn complete_background_rebuild(agg: &mut Aggregate) -> WaflResult<u64> {
     let bitmap = &agg.bitmap;
     let mut scanned = 0u64;
+    let mut released = false;
     for g in agg.groups.iter_mut() {
         let Some(GroupCache::Heap(cache)) = g.cache.as_mut() else {
             continue; // HBPS ranges restore complete from their two pages
         };
-        if cache.is_complete() {
+        // Complete and trusted: nothing to do. A quarantined heap is
+        // recomputed even when complete (a degraded mount cold-rebuilt
+        // it, but only an authoritative pass lifts the quarantine).
+        if cache.is_complete() && !g.cache_quarantined {
             continue;
         }
         let scores = g.topology.all_scores(bitmap);
         cache.absorb_rebuild(&scores)?;
         scanned += bitmap.page_count() as u64;
+        // The heap now carries authoritative scores for every AA: a
+        // mount-time structure quarantine on this group is settled.
+        if g.cache_quarantined {
+            g.cache_quarantined = false;
+            released = true;
+        }
+    }
+    if released {
+        crate::scrub::refresh_health(agg);
     }
     Ok(scanned)
 }

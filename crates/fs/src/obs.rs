@@ -11,7 +11,7 @@
 //! `std::time` is read anywhere below the harness layer.
 
 use wafl_core::{HbpsStats, HeapCacheStats};
-use wafl_obs::{Counter, Histogram, Registry};
+use wafl_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Bucket bounds for the chosen-AA score error, in bin widths. The HBPS
 /// guarantee is error < 1 bin width, so everything should land in the
@@ -105,6 +105,44 @@ pub struct FsObs {
     pub(crate) iron_audits: Counter,
     /// Repairs performed by `iron::repair`.
     pub(crate) iron_repairs: Counter,
+
+    // ---- fs::scrub ------------------------------------------------------
+    /// Verification units checked by the runtime scrubber (budgeted, so
+    /// this advances by exactly `scrub_pages_per_cp` per CP).
+    pub(crate) scrub_pages_scanned: Counter,
+    /// Scrub verifies that found a divergence (or an unreadable
+    /// structure) in a previously unticketed unit.
+    pub(crate) scrub_faults_detected: Counter,
+    /// AAs newly quarantined by scrub detections.
+    pub(crate) scrub_aas_quarantined: Counter,
+    /// AAs and structure flags released after successful repairs (or
+    /// clean passes over mount-quarantined structures).
+    pub(crate) scrub_released: Counter,
+    /// Repair tickets scheduled by scrub detections.
+    pub(crate) scrub_repairs_scheduled: Counter,
+    /// Repair tickets that completed (repair applied and re-verified
+    /// clean).
+    pub(crate) scrub_repairs_succeeded: Counter,
+    /// Transient read failures absorbed by scrub repair retries.
+    pub(crate) scrub_read_retries: Counter,
+    /// Summary counters rewritten by structure-scoped scrub repairs.
+    pub(crate) scrub_counters_repaired: Counter,
+
+    // ---- health gauges --------------------------------------------------
+    /// Health state machine position: 0 healthy, 1 degraded, 2 read-only.
+    pub(crate) gauge_health_state: Gauge,
+    /// AAs currently quarantined across all groups and volumes.
+    pub(crate) gauge_quarantined_aas: Gauge,
+    /// Cache structures currently under structure quarantine.
+    pub(crate) gauge_quarantined_structures: Gauge,
+    /// Repair tickets awaiting processing.
+    pub(crate) gauge_pending_repairs: Gauge,
+
+    // ---- space gauges (exported at CP boundaries) -----------------------
+    /// Fraction of the physical space free.
+    pub(crate) gauge_free_fraction: Gauge,
+    /// Delayed-free log backlog in blocks (0 unless `batched_frees`).
+    pub(crate) gauge_delayed_free_backlog: Gauge,
 }
 
 impl FsObs {
@@ -142,6 +180,20 @@ impl FsObs {
             mount_retries: registry.counter("mount.transient_retries"),
             iron_audits: registry.counter("iron.audits_run"),
             iron_repairs: registry.counter("iron.counters_repaired"),
+            scrub_pages_scanned: registry.counter("scrub.pages_scanned"),
+            scrub_faults_detected: registry.counter("scrub.faults_detected"),
+            scrub_aas_quarantined: registry.counter("scrub.aas_quarantined"),
+            scrub_released: registry.counter("scrub.released"),
+            scrub_repairs_scheduled: registry.counter("scrub.repairs_scheduled"),
+            scrub_repairs_succeeded: registry.counter("scrub.repairs_succeeded"),
+            scrub_read_retries: registry.counter("scrub.read_retries"),
+            scrub_counters_repaired: registry.counter("scrub.counters_repaired"),
+            gauge_health_state: registry.gauge("health.state"),
+            gauge_quarantined_aas: registry.gauge("health.quarantined_aas"),
+            gauge_quarantined_structures: registry.gauge("health.quarantined_structures"),
+            gauge_pending_repairs: registry.gauge("health.pending_repairs"),
+            gauge_free_fraction: registry.gauge("space.free_fraction"),
+            gauge_delayed_free_backlog: registry.gauge("delayed_free.backlog_blocks"),
             registry,
         }
     }
@@ -209,6 +261,12 @@ mod tests {
             "cp.phase.media_us",
             "mount.topaa_seed_hits",
             "iron.audits_run",
+            "scrub.pages_scanned",
+            "scrub.faults_detected",
+            "health.state",
+            "health.quarantined_aas",
+            "space.free_fraction",
+            "delayed_free.backlog_blocks",
         ] {
             assert!(json.contains(key), "snapshot missing {key}");
         }

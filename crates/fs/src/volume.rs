@@ -46,6 +46,14 @@ pub struct FlexVol {
     /// The AA currently being drained (kept across CPs until exhausted,
     /// §3.1 — all free VBNs of a picked AA are assigned in order).
     pub(crate) active_aa: Option<wafl_types::AaId>,
+    /// Virtual AAs the runtime scrubber has quarantined: their summary
+    /// counters disagreed with the popcount ground truth, so allocation
+    /// must not trust (or land on) them until the scheduled repair clears.
+    pub(crate) quarantined_aas: std::collections::BTreeSet<wafl_types::AaId>,
+    /// Structure-level quarantine: the volume's AA cache is suspect
+    /// (degraded at mount, or a scrub verify failed). Allocation bypasses
+    /// the cache and sweeps the bitmap until the quarantine lifts.
+    pub(crate) cache_quarantined: bool,
     /// Snapshots pinning old block versions (see [`crate::snapshot`]).
     pub(crate) snapshots: Vec<Snapshot>,
     /// vvbn -> number of snapshots pinning it.
@@ -105,6 +113,8 @@ impl FlexVol {
             batch: ScoreDeltaBatch::new(),
             delayed_vvbn_frees: Vec::new(),
             active_aa: None,
+            quarantined_aas: std::collections::BTreeSet::new(),
+            cache_quarantined: false,
             snapshots: Vec::new(),
             snap_refs: HashMap::new(),
             detached: HashSet::new(),
@@ -126,6 +136,17 @@ impl FlexVol {
     /// Virtual space size.
     pub fn size_blocks(&self) -> u64 {
         self.cfg.size_blocks
+    }
+
+    /// Virtual AAs currently quarantined by the runtime scrubber.
+    pub fn quarantined_aas(&self) -> Vec<wafl_types::AaId> {
+        self.quarantined_aas.iter().copied().collect()
+    }
+
+    /// Whether the volume's AA cache is structure-quarantined (allocation
+    /// bypasses it and sweeps the bitmap).
+    pub fn cache_quarantined(&self) -> bool {
+        self.cache_quarantined
     }
 
     /// Free virtual VBNs.

@@ -223,8 +223,12 @@ fn transient_errors_beyond_retry_budget_degrade() {
         ..FaultPlan::default()
     };
     let mut session = FaultSession::new(&plan);
-    let stats =
-        mount::mount_auto_with(&mut a, &image, &mut session, RetryPolicy { max_retries: 3 });
+    let stats = mount::mount_auto_with(
+        &mut a,
+        &image,
+        &mut session,
+        RetryPolicy::with_max_retries(3),
+    );
     assert_eq!(stats.degraded.len(), 1);
     assert_eq!(stats.degraded[0].part, DegradedPart::Volume(0));
     assert_eq!(stats.transient_retries, 3, "budget fully consumed");

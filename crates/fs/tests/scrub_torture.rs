@@ -1,0 +1,151 @@
+//! Runtime-scrub torture: seeded rounds of mid-run in-memory corruption
+//! against an online, traffic-serving aggregate.
+//!
+//! Each round (driven by `wafl_workloads::torture::scrub_torture_round`)
+//! generates a [`FaultPlan::random_runtime`] schedule from its seed —
+//! counter scribbles, transient scrub-read errors, sometimes a torn CP —
+//! and asserts the detect → quarantine → repair → release cycle: no
+//! allocation ever lands in a quarantined AA, health returns to Healthy,
+//! and every bitmap summary converges back to popcount ground truth.
+//!
+//! **Release-only**: a debug build's bitmap summary assertion fires on
+//! the first non-empty CP after a scribble lands — deliberately, and
+//! before the scrubber's budgeted scan can reach it. The full run is
+//! `scripts/ci.sh --scrub-torture`, i.e.
+//! `cargo test --release -p wafl-fs --test scrub_torture -- --ignored`.
+//! Any failure reproduces from its printed seed alone.
+
+use wafl_fs::{aging, Aggregate, AggregateConfig, FlexVolConfig, HealthState, RaidGroupSpec};
+use wafl_media::MediaProfile;
+use wafl_types::{VolumeId, WaflError};
+use wafl_workloads::torture::scrub_torture_round;
+use wafl_workloads::OltpMix;
+
+const VOLS: usize = 2;
+const VOL_BLOCKS: u64 = 4 * 32768;
+const WRITTEN: u64 = 4096;
+
+/// 28 verification units at 16 per CP: a full scrub cycle is 2 CPs, so
+/// detection always outruns the 2-step healthy hysteresis.
+const SCRUB_BUDGET: u64 = 16;
+
+/// Two groups, two cache-guided volumes, aged enough that heap and HBPS
+/// caches carry real scores for the score-scribble fault to corrupt.
+fn scrub_agg() -> Aggregate {
+    let spec = RaidGroupSpec {
+        data_devices: 4,
+        parity_devices: 1,
+        device_blocks: 16 * 4096,
+        profile: MediaProfile::hdd(),
+    };
+    let mut cfg = AggregateConfig::single_group(spec.clone());
+    cfg.raid_groups.push(spec);
+    cfg.scrub_pages_per_cp = SCRUB_BUDGET;
+    let vol_cfgs: Vec<_> = (0..VOLS)
+        .map(|_| {
+            (
+                FlexVolConfig {
+                    size_blocks: VOL_BLOCKS,
+                    aa_cache: true,
+                    aa_blocks: None,
+                },
+                30_000,
+            )
+        })
+        .collect();
+    let mut agg = Aggregate::new(cfg, &vol_cfgs, 3).unwrap();
+    for v in 0..VOLS {
+        aging::fill_volume(&mut agg, VolumeId(v as u32), WRITTEN as usize).unwrap();
+    }
+    agg
+}
+
+fn torture_one(seed: u64) {
+    let mut agg = scrub_agg();
+    let luns: Vec<_> = (0..VOLS).map(|v| (VolumeId(v as u32), WRITTEN)).collect();
+    let mut workload = OltpMix::new(luns, 0.3, seed);
+
+    let round = scrub_torture_round(&mut agg, &mut workload, 16, 512, seed)
+        .unwrap_or_else(|e| panic!("seed {seed}: round machinery failed: {e}"));
+
+    // Invariant 1: the allocator never touched a quarantined AA.
+    assert_eq!(
+        round.quarantine_violations, 0,
+        "seed {seed}: allocations landed in quarantined AAs: {round:?}"
+    );
+
+    // Invariant 2: in an uninterrupted round every scheduled scribble
+    // corrupts live state, so the scrubber must have detected faults.
+    // (A torn CP can legitimately heal corruption by rebuilding from
+    // the raw bits before the scan reaches it.)
+    if round.crashed.is_none() {
+        assert!(
+            round.faults_detected >= 1,
+            "seed {seed}: {} scribbles landed but none detected: {round:?}",
+            round.scribbles_scheduled
+        );
+    }
+
+    // Settle: one more full scrub cycle catches anything still latent
+    // (a scribble can land inside the round's final hysteresis window),
+    // then bounded draining lets its repair ticket complete.
+    for _ in 0..3 {
+        agg.run_cp().unwrap();
+    }
+    let mut extra = 0;
+    while agg.health() != HealthState::Healthy {
+        assert!(
+            extra < 64,
+            "seed {seed}: health wedged at {:?}",
+            agg.scrub_status()
+        );
+        agg.run_cp().unwrap();
+        extra += 1;
+    }
+
+    // Invariant 3: quarantine fully released, summaries back to truth.
+    let status = agg.scrub_status();
+    assert_eq!(status.quarantined_aas, 0, "seed {seed}: {status:?}");
+    assert_eq!(status.pending_repairs, 0, "seed {seed}: {status:?}");
+    assert_eq!(
+        agg.bitmap().summary_divergences(),
+        0,
+        "seed {seed}: aggregate summaries diverge after recovery"
+    );
+    for (v, vol) in agg.volumes().iter().enumerate() {
+        assert_eq!(
+            vol.bitmap().summary_divergences(),
+            0,
+            "seed {seed}: volume {v} summaries diverge after recovery"
+        );
+    }
+
+    // Invariant 4: the recovered aggregate keeps serving traffic.
+    for i in 0..300u64 {
+        match agg.client_overwrite(VolumeId((i % VOLS as u64) as u32), i % WRITTEN) {
+            Ok(()) | Err(WaflError::SpaceExhausted) => {}
+            Err(e) => panic!("seed {seed}: post-recovery write failed: {e}"),
+        }
+    }
+    agg.run_cp()
+        .unwrap_or_else(|e| panic!("seed {seed}: post-recovery CP failed: {e}"));
+    assert_eq!(agg.health(), HealthState::Healthy, "seed {seed}");
+}
+
+/// The full acceptance run:
+/// `cargo test --release -p wafl-fs --test scrub_torture -- --ignored`.
+#[test]
+#[ignore = "long-running, release-only: 200 seeded runtime corruption schedules"]
+// A const block would fail the *compile* of debug test builds; the guard
+// must only fire when the ignored test is actually run.
+#[allow(clippy::assertions_on_constants)]
+fn scrub_torture_full() {
+    assert!(
+        !cfg!(debug_assertions),
+        "run with --release: debug bitmap assertions fire on latent \
+         scribbles before the scrubber can repair them"
+    );
+    for seed in 0..200 {
+        torture_one(seed);
+    }
+}

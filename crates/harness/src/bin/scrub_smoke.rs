@@ -1,0 +1,157 @@
+//! Online-scrub smoke gate: runs a small cache-guided aggregate through
+//! client traffic with the CP-budgeted scrubber enabled, lands two
+//! in-memory counter scribbles mid-run, and asserts the full
+//! detect → quarantine → repair → release → Healthy cycle completes.
+//!
+//! Invariants checked (the CI scrub-smoke contract):
+//!
+//! - both injected faults are detected within one full scrub cycle;
+//! - detection quarantines at least one AA and degrades health;
+//! - repairs land, quarantines release, and hysteresis returns the
+//!   aggregate to Healthy with zero summary divergences;
+//! - the health/scrub gauge families are exported with settled values.
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin scrub_smoke`.
+//! (Release matters: a debug build's bitmap summary assertion fires on
+//! the first non-empty CP after a scribble, before the scrubber can
+//! repair it — exactly the window this gate exists to exercise.)
+//! Prints the JSON snapshot on success; panics (nonzero exit) on any
+//! violated invariant.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use wafl_faults::{FaultPlan, FaultSession, RuntimeScribbleFault, RuntimeTarget};
+use wafl_fs::{Aggregate, AggregateConfig, FlexVolConfig, HealthState, RaidGroupSpec};
+use wafl_media::MediaProfile;
+use wafl_types::{VolumeId, BITS_PER_BITMAP_BLOCK};
+
+fn smoke_aggregate() -> Aggregate {
+    Aggregate::new(
+        AggregateConfig {
+            raid_aware_cache: true,
+            scrub_pages_per_cp: 8,
+            ..AggregateConfig::single_group(RaidGroupSpec {
+                data_devices: 4,
+                parity_devices: 1,
+                device_blocks: 16 * 4096,
+                profile: MediaProfile::hdd(),
+            })
+        },
+        &[(
+            FlexVolConfig {
+                size_blocks: 4 * BITS_PER_BITMAP_BLOCK,
+                aa_cache: true,
+                aa_blocks: None,
+            },
+            60_000,
+        )],
+        1,
+    )
+    .expect("smoke aggregate")
+}
+
+fn main() {
+    let mut agg = smoke_aggregate();
+    wafl_fs::aging::fill_volume(&mut agg, VolumeId(0), 8_192).expect("fill");
+    assert_eq!(agg.health(), HealthState::Healthy);
+
+    // Two mid-run scribbles: one aggregate bitmap-page counter, one
+    // volume bitmap-page counter. Both are pure in-memory corruption —
+    // the raw bits stay true, so popcount repair must fully recover.
+    let at_cp = agg.cp_count() + 1;
+    let plan = FaultPlan {
+        runtime_scribbles: vec![
+            RuntimeScribbleFault {
+                target: RuntimeTarget::AggSummaryPage { page: 1 },
+                at_cp,
+                value_seed: 0xDEAD_BEEF_0001,
+            },
+            RuntimeScribbleFault {
+                target: RuntimeTarget::VolSummaryPage { vol: 0, page: 2 },
+                at_cp: at_cp + 1,
+                value_seed: 0xDEAD_BEEF_0002,
+            },
+        ],
+        ..FaultPlan::none()
+    };
+    let mut session = FaultSession::new(&plan);
+
+    // 14 verification units at 8/CP: a full scrub cycle is 2 CPs, so
+    // both faults must be detected within 4 traffic CPs of landing.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut saw_quarantine = false;
+    let mut saw_degraded = false;
+    for _ in 0..8 {
+        for _ in 0..2_000 {
+            agg.client_overwrite(VolumeId(0), rng.random_range(0..60_000))
+                .expect("overwrite");
+        }
+        agg.run_cp_with_session(None, Some(&mut session))
+            .expect("cp");
+        let status = agg.scrub_status();
+        saw_quarantine |= status.quarantined_aas > 0;
+        saw_degraded |= matches!(status.health, HealthState::Degraded(_));
+    }
+
+    let obs = agg.obs();
+    let detected = obs.counter_value("scrub.faults_detected").unwrap_or(0);
+    assert!(
+        detected >= 2,
+        "expected both scribbles detected, saw {detected}"
+    );
+    assert!(saw_quarantine, "detection never quarantined an AA");
+    assert!(saw_degraded, "health never left Healthy under faults");
+
+    // Drain with empty CPs until repairs land and hysteresis closes.
+    let mut drained = 0;
+    while agg.health() != HealthState::Healthy {
+        assert!(drained < 20, "health wedged: {:?}", agg.scrub_status());
+        agg.run_cp_with_session(None, Some(&mut session))
+            .expect("drain cp");
+        drained += 1;
+    }
+
+    let status = agg.scrub_status();
+    assert_eq!(
+        status.quarantined_aas, 0,
+        "release left quarantine: {status:?}"
+    );
+    assert_eq!(status.pending_repairs, 0, "tickets left over: {status:?}");
+    assert_eq!(
+        agg.bitmap().summary_divergences(),
+        0,
+        "aggregate summaries still diverge after repair"
+    );
+    for vol in agg.volumes() {
+        assert_eq!(
+            vol.bitmap().summary_divergences(),
+            0,
+            "volume summaries still diverge after repair"
+        );
+    }
+
+    let obs = agg.obs();
+    let repaired = obs.counter_value("scrub.repairs_succeeded").unwrap_or(0);
+    assert!(repaired >= 2, "expected both repairs, saw {repaired}");
+
+    // Gauge families must be exported with settled values.
+    assert_eq!(obs.gauge_value("health.state"), Some(0.0));
+    assert_eq!(obs.gauge_value("health.quarantined_aas"), Some(0.0));
+    assert_eq!(obs.gauge_value("health.pending_repairs"), Some(0.0));
+    let free = obs.gauge_value("space.free_fraction").unwrap_or(-1.0);
+    assert!((0.0..=1.0).contains(&free), "free fraction gauge: {free}");
+    assert!(
+        obs.gauge_value("group.0.free_fraction").is_some(),
+        "per-group free-fraction gauge missing"
+    );
+    assert!(
+        obs.gauge_value("group.0.active_aa_score").is_some(),
+        "per-group active-AA score gauge missing"
+    );
+
+    println!("{}", obs.snapshot_json());
+    eprintln!(
+        "scrub smoke passed: {detected} faults detected, {repaired} repaired, \
+         healthy after {drained} drain CPs."
+    );
+}

@@ -49,6 +49,13 @@ pub enum WaflError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The aggregate's health state machine has escalated to read-only:
+    /// repeated unrepairable metadata faults make further writes unsafe.
+    /// Reads and consistency points (which drive scrub repairs) continue.
+    ReadOnly {
+        /// Human-readable reason (which structure forced the escalation).
+        reason: String,
+    },
 }
 
 impl fmt::Display for WaflError {
@@ -74,6 +81,9 @@ impl fmt::Display for WaflError {
             }
             WaflError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
+            }
+            WaflError::ReadOnly { reason } => {
+                write!(f, "aggregate is read-only: {reason}")
             }
         }
     }

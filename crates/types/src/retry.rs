@@ -6,11 +6,20 @@ use crate::WaflResult;
 /// persistent. A policy is a budget, not a loop: callers run
 /// [`RetryPolicy::run`] around each faulty operation and surface the
 /// consumed retry count (e.g. in `MountStats::transient_retries`).
+///
+/// Beyond the inline budget, deferred consumers (the runtime scrubber's
+/// repair scheduler) space repeated attempts with capped exponential
+/// backoff measured in consistency-point counts: attempt `n` waits
+/// `min(backoff_base_cps << n, backoff_cap_cps)` CPs before retrying.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Maximum retries after the first attempt (so an operation runs at
     /// most `max_retries + 1` times).
     pub max_retries: u32,
+    /// Delay before the first deferred retry, in CP counts.
+    pub backoff_base_cps: u64,
+    /// Ceiling on the exponential deferred-retry delay, in CP counts.
+    pub backoff_cap_cps: u64,
 }
 
 impl Default for RetryPolicy {
@@ -18,14 +27,39 @@ impl Default for RetryPolicy {
         // Transient faults in the injector clear within a few attempts;
         // real storage stacks likewise bound inline retries low and punt
         // to recovery beyond that.
-        RetryPolicy { max_retries: 3 }
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_cps: 1,
+            backoff_cap_cps: 32,
+        }
     }
 }
 
 impl RetryPolicy {
-    /// Never retry.
+    /// Never retry; deferred attempts reschedule one CP out.
     pub fn none() -> RetryPolicy {
-        RetryPolicy { max_retries: 0 }
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base_cps: 1,
+            backoff_cap_cps: 1,
+        }
+    }
+
+    /// An inline-retry-only policy (the historical constructor shape).
+    pub fn with_max_retries(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// CPs to wait before deferred attempt number `attempt` (0-based):
+    /// capped exponential, never below one CP.
+    pub fn backoff_cps(&self, attempt: u32) -> u64 {
+        let base = self.backoff_base_cps.max(1);
+        let cap = self.backoff_cap_cps.max(base);
+        base.saturating_mul(1u64.checked_shl(attempt.min(63)).unwrap_or(u64::MAX))
+            .min(cap)
     }
 
     /// Run `attempt` until it succeeds, fails hard, or the retry budget
@@ -65,7 +99,7 @@ mod tests {
 
     #[test]
     fn succeeds_within_budget() {
-        let policy = RetryPolicy { max_retries: 3 };
+        let policy = RetryPolicy::with_max_retries(3);
         let (result, retries) = policy.run(flaky(2));
         assert_eq!(result, Ok(3));
         assert_eq!(retries, 2);
@@ -80,15 +114,37 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_returns_the_transient_error() {
-        let policy = RetryPolicy { max_retries: 2 };
+        let policy = RetryPolicy::with_max_retries(2);
         let (result, retries) = policy.run(flaky(10));
         assert!(matches!(result, Err(WaflError::TransientIo { .. })));
         assert_eq!(retries, 2);
     }
 
     #[test]
+    fn backoff_is_capped_exponential() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            backoff_base_cps: 2,
+            backoff_cap_cps: 16,
+        };
+        assert_eq!(policy.backoff_cps(0), 2);
+        assert_eq!(policy.backoff_cps(1), 4);
+        assert_eq!(policy.backoff_cps(2), 8);
+        assert_eq!(policy.backoff_cps(3), 16);
+        assert_eq!(policy.backoff_cps(10), 16);
+        assert_eq!(policy.backoff_cps(200), 16, "huge attempts must not wrap");
+        // A degenerate zero-base policy still waits at least one CP.
+        let zero = RetryPolicy {
+            max_retries: 0,
+            backoff_base_cps: 0,
+            backoff_cap_cps: 0,
+        };
+        assert_eq!(zero.backoff_cps(0), 1);
+    }
+
+    #[test]
     fn hard_errors_are_never_retried() {
-        let policy = RetryPolicy { max_retries: 5 };
+        let policy = RetryPolicy::with_max_retries(5);
         let mut calls = 0;
         let (result, retries) = policy.run(|| {
             calls += 1;

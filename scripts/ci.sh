@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, tests, the observability smoke check
-# — and optionally the full crash-consistency torture loop or a
-# benchmark smoke run.
+# Local CI gate: formatting, lints, tests, the observability and scrub
+# smoke checks — and optionally one of the release-mode torture loops or
+# a benchmark smoke run.
 #
-#   scripts/ci.sh               # fast gates (fmt, clippy, tests, obs smoke)
-#   scripts/ci.sh --torture     # fast gates + 200-seed torture run
-#   scripts/ci.sh --bench-smoke # fast gates + one untimed iteration of
-#                               # every criterion bench (compile + run)
-#   scripts/ci.sh --obs-smoke   # the observability smoke check alone
+#   scripts/ci.sh                 # fast gates (fmt, clippy, tests, smokes)
+#   scripts/ci.sh --torture       # fast gates + 200-seed crash torture
+#   scripts/ci.sh --scrub-torture # fast gates + 200-seed runtime-scrub
+#                                 # torture (release: debug builds assert
+#                                 # on latent counter scribbles)
+#   scripts/ci.sh --bench-smoke   # fast gates + one untimed iteration of
+#                                 # every criterion bench (compile + run)
+#   scripts/ci.sh --obs-smoke     # the observability smoke check alone
+#   scripts/ci.sh --scrub-smoke   # the scrub smoke check alone
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,8 +27,20 @@ obs_smoke() {
   run cargo run --release -p wafl-harness --bin obs_smoke >/dev/null
 }
 
+# Online-scrub invariants: two injected counter scribbles are detected,
+# quarantined, repaired, and released, and health returns to Healthy.
+scrub_smoke() {
+  run cargo run --release -p wafl-harness --bin scrub_smoke >/dev/null
+}
+
 if [[ "${1:-}" == "--obs-smoke" ]]; then
   obs_smoke
+  echo "CI gates passed."
+  exit 0
+fi
+
+if [[ "${1:-}" == "--scrub-smoke" ]]; then
+  scrub_smoke
   echo "CI gates passed."
   exit 0
 fi
@@ -33,9 +49,14 @@ run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test -q
 obs_smoke
+scrub_smoke
 
 if [[ "${1:-}" == "--torture" ]]; then
   run cargo test --release -p wafl-fs --test crash_consistency -- --ignored
+fi
+
+if [[ "${1:-}" == "--scrub-torture" ]]; then
+  run cargo test --release -p wafl-fs --test scrub_torture -- --ignored
 fi
 
 if [[ "${1:-}" == "--bench-smoke" ]]; then
