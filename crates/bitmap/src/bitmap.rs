@@ -261,6 +261,134 @@ impl Bitmap {
         Ok(())
     }
 
+    /// Allocate the run `start .. start+len` in bulk: whole-word bit
+    /// stores, one summary-counter update per touched page and per touched
+    /// AA, and one dirty mark per page — instead of the per-bit loop's
+    /// per-block bookkeeping. `DirtyStats` accounting is identical to
+    /// `len` calls of [`Bitmap::allocate`].
+    ///
+    /// Atomic: if any bit in the run is already allocated (or the run
+    /// leaves the space), the error names the first offending VBN and the
+    /// bitmap is left untouched.
+    pub fn allocate_run(&mut self, start: Vbn, len: u64) -> WaflResult<()> {
+        self.mutate_run(start, len, true)
+    }
+
+    /// Free the run `start .. start+len` in bulk. Counterpart of
+    /// [`Bitmap::allocate_run`]; errors (without mutating) if any bit in
+    /// the run is already free.
+    pub fn free_run(&mut self, start: Vbn, len: u64) -> WaflResult<()> {
+        self.mutate_run(start, len, false)
+    }
+
+    fn mutate_run(&mut self, start: Vbn, len: u64, alloc: bool) -> WaflResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let s = start.get();
+        let end = s.saturating_add(len);
+        if s >= self.space_len || end > self.space_len {
+            // Same VBN the per-bit loop would have tripped on: the start
+            // if it is already out of range, else the first VBN past the
+            // space.
+            let vbn = if s >= self.space_len {
+                start
+            } else {
+                Vbn(self.space_len)
+            };
+            return Err(WaflError::VbnOutOfRange {
+                vbn,
+                space_len: self.space_len,
+            });
+        }
+        // Pass 1: verify the whole run is in the expected state, so a
+        // mismatch mid-run cannot leave a half-applied mutation.
+        let mut pos = s;
+        while pos < end {
+            let p = (pos / BITS_PER_BITMAP_BLOCK) as usize;
+            let in_page = pos % BITS_PER_BITMAP_BLOCK;
+            let page_end = ((p as u64 + 1) * BITS_PER_BITMAP_BLOCK).min(end);
+            let in_page_end = in_page + (page_end - pos);
+            let bad = if alloc {
+                self.pages[p].first_allocated_in(in_page, in_page_end)
+            } else {
+                self.pages[p].first_free_in(in_page, in_page_end)
+            };
+            if let Some(i) = bad {
+                return Err(WaflError::BitmapStateMismatch {
+                    vbn: Vbn(p as u64 * BITS_PER_BITMAP_BLOCK + i),
+                    expected_free: alloc,
+                });
+            }
+            pos = page_end;
+        }
+        // Pass 2: apply with word stores; each touched page costs one
+        // counter update and one dirty mark.
+        let mut pos = s;
+        while pos < end {
+            let p = (pos / BITS_PER_BITMAP_BLOCK) as usize;
+            let in_page = pos % BITS_PER_BITMAP_BLOCK;
+            let page_end = ((p as u64 + 1) * BITS_PER_BITMAP_BLOCK).min(end);
+            let in_page_end = in_page + (page_end - pos);
+            let touched = (page_end - pos) as u16;
+            if alloc {
+                self.pages[p].set_range_allocated(in_page, in_page_end);
+                self.page_free[p] -= touched;
+            } else {
+                self.pages[p].set_range_free(in_page, in_page_end);
+                self.page_free[p] += touched;
+            }
+            if !self.dirty[p] {
+                self.dirty[p] = true;
+                self.stats.pages_dirtied += 1;
+            }
+            pos = page_end;
+        }
+        self.stats.bits_flipped += len;
+        if alloc {
+            self.free_blocks -= len;
+        } else {
+            self.free_blocks += len;
+        }
+        if let Some(sm) = self.aa_summary.as_mut() {
+            let first_aa = s / sm.aa_blocks;
+            let last_aa = (end - 1) / sm.aa_blocks;
+            for aa in first_aa..=last_aa {
+                let aa_start = aa * sm.aa_blocks;
+                let aa_end = aa_start + sm.aa_blocks;
+                let overlap = (end.min(aa_end) - s.max(aa_start)) as u32;
+                if alloc {
+                    sm.counts[aa as usize] -= overlap;
+                } else {
+                    sm.counts[aa as usize] += overlap;
+                }
+            }
+        }
+        if cfg!(debug_assertions) {
+            self.debug_check_counters(start, (s / BITS_PER_BITMAP_BLOCK) as usize);
+            self.debug_check_counters(Vbn(end - 1), ((end - 1) / BITS_PER_BITMAP_BLOCK) as usize);
+        }
+        Ok(())
+    }
+
+    /// Iterate the maximal runs of consecutive free VBNs in
+    /// `start .. start+len` as `(run_start, run_len)` pairs, ascending.
+    /// Fully-allocated pages are skipped from their summary counter and
+    /// free stretches advance word-at-a-time, so walking an AA costs
+    /// O(words touched), not O(bits).
+    pub fn free_runs_in_range(
+        &self,
+        start: Vbn,
+        len: u64,
+    ) -> impl Iterator<Item = (Vbn, u64)> + '_ {
+        let end = start.get().saturating_add(len).min(self.space_len);
+        FreeRunIter {
+            bitmap: self,
+            next: start.get(),
+            end,
+        }
+    }
+
     /// Debug-build parity check: the mutated page's (and AA's) summary
     /// counter must equal the popcount ground truth. Compiled out of
     /// release builds.
@@ -640,6 +768,44 @@ impl Iterator for FreeIter<'_> {
     }
 }
 
+struct FreeRunIter<'a> {
+    bitmap: &'a Bitmap,
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for FreeRunIter<'_> {
+    type Item = (Vbn, u64);
+
+    fn next(&mut self) -> Option<(Vbn, u64)> {
+        if self.next >= self.end {
+            return None;
+        }
+        let start = self.bitmap.first_free_from(Vbn(self.next))?;
+        if start.get() >= self.end {
+            return None;
+        }
+        // Extend the run page by page: a page whose remainder holds no
+        // allocated bit is consumed whole, so long runs cost one probe
+        // per 32 Ki bits rather than one per bit.
+        let mut pos = start.get();
+        while pos < self.end {
+            let p = (pos / BITS_PER_BITMAP_BLOCK) as usize;
+            let in_page = pos % BITS_PER_BITMAP_BLOCK;
+            match self.bitmap.pages[p].first_allocated_in(in_page, BITS_PER_BITMAP_BLOCK) {
+                Some(i) => {
+                    pos = p as u64 * BITS_PER_BITMAP_BLOCK + i;
+                    break;
+                }
+                None => pos = (p as u64 + 1) * BITS_PER_BITMAP_BLOCK,
+            }
+        }
+        let run_end = pos.min(self.end);
+        self.next = run_end + 1; // +1: the bit at run_end is allocated
+        Some((start, run_end - start.get()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -689,6 +855,71 @@ mod tests {
         // Repairing a clean page is a no-op, as is an out-of-range page.
         assert_eq!(b.rebuild_page_summary(0), 0);
         assert_eq!(b.rebuild_page_summary(999), 0);
+    }
+
+    #[test]
+    fn run_mutators_match_per_bit_loop_and_are_atomic() {
+        // Run crossing a page boundary on a summary-enabled bitmap.
+        let mut bulk = Bitmap::new(3 * BITS_PER_BITMAP_BLOCK);
+        bulk.enable_aa_summary(BITS_PER_BITMAP_BLOCK / 4).unwrap();
+        let mut bit = Bitmap::new(3 * BITS_PER_BITMAP_BLOCK);
+        bit.enable_aa_summary(BITS_PER_BITMAP_BLOCK / 4).unwrap();
+        let (start, len) = (BITS_PER_BITMAP_BLOCK - 100, 300);
+        bulk.allocate_run(Vbn(start), len).unwrap();
+        for v in start..start + len {
+            bit.allocate(Vbn(v)).unwrap();
+        }
+        assert_eq!(bulk.free_blocks(), bit.free_blocks());
+        assert_eq!(
+            bulk.aa_free_counts(BITS_PER_BITMAP_BLOCK / 4),
+            bit.aa_free_counts(BITS_PER_BITMAP_BLOCK / 4)
+        );
+        assert_eq!(bulk.take_dirty_stats(), bit.take_dirty_stats());
+        // Atomic: a mid-run conflict reports the first offending VBN and
+        // leaves the bitmap untouched.
+        let before = bulk.free_blocks();
+        let err = bulk.allocate_run(Vbn(start - 10), 20).unwrap_err();
+        assert!(matches!(
+            err,
+            WaflError::BitmapStateMismatch { vbn, expected_free: true } if vbn == Vbn(start)
+        ));
+        assert_eq!(bulk.free_blocks(), before);
+        bulk.verify_summary();
+        // Free the run back in bulk; out-of-range runs also fail cleanly.
+        bulk.free_run(Vbn(start), len).unwrap();
+        assert_eq!(bulk.free_blocks(), 3 * BITS_PER_BITMAP_BLOCK);
+        bulk.verify_summary();
+        assert!(matches!(
+            bulk.allocate_run(Vbn(3 * BITS_PER_BITMAP_BLOCK - 1), 2),
+            Err(WaflError::VbnOutOfRange { .. })
+        ));
+        assert!(bulk.allocate_run(Vbn(0), 0).is_ok());
+    }
+
+    #[test]
+    fn free_runs_in_range_yields_maximal_runs() {
+        let mut b = Bitmap::new(2 * BITS_PER_BITMAP_BLOCK);
+        // Carve the space into: [0,5) allocated, [5,100) free, [100,101)
+        // allocated, then free across the page boundary until a late
+        // allocated bit, then free tail.
+        b.allocate_run(Vbn(0), 5).unwrap();
+        b.allocate(Vbn(100)).unwrap();
+        let late = BITS_PER_BITMAP_BLOCK + 50;
+        b.allocate(Vbn(late)).unwrap();
+        let runs: Vec<_> = b.free_runs_in_range(Vbn(0), u64::MAX).collect();
+        assert_eq!(
+            runs,
+            vec![
+                (Vbn(5), 95),
+                (Vbn(101), late - 101),
+                (Vbn(late + 1), 2 * BITS_PER_BITMAP_BLOCK - (late + 1)),
+            ]
+        );
+        // Clamped range splits mid-run.
+        let clamped: Vec<_> = b.free_runs_in_range(Vbn(50), 100).collect();
+        assert_eq!(clamped, vec![(Vbn(50), 50), (Vbn(101), 49)]);
+        // Fully allocated range yields nothing.
+        assert_eq!(b.free_runs_in_range(Vbn(0), 5).count(), 0);
     }
 
     #[test]

@@ -123,6 +123,92 @@ impl BitmapPage {
         }
     }
 
+    /// Visit the word indices and masks covering bits `start..end`:
+    /// `f(word_index, mask)` once per touched word. The mask selects only
+    /// in-range bits, so edge words are handled without branching at the
+    /// call sites.
+    #[inline]
+    fn for_range_words(start: u64, end: u64, mut f: impl FnMut(usize, u64)) {
+        debug_assert!(start < end && end <= Self::bits());
+        let (first_word, last_word) = ((start / 64) as usize, ((end - 1) / 64) as usize);
+        for wi in first_word..=last_word {
+            let mut mask = u64::MAX;
+            if wi == first_word {
+                mask &= u64::MAX << (start % 64);
+            }
+            if wi == last_word {
+                let top = end - (last_word as u64) * 64; // 1..=64 bits kept
+                if top < 64 {
+                    mask &= (1u64 << top) - 1;
+                }
+            }
+            f(wi, mask);
+        }
+    }
+
+    /// First *allocated* bit in `start..end`, or `None` if the whole range
+    /// is free. One popcount-free word test per touched word.
+    pub fn first_allocated_in(&self, start: u64, end: u64) -> Option<u64> {
+        debug_assert!(start <= end && end <= Self::bits());
+        if start == end {
+            return None;
+        }
+        let mut found = None;
+        Self::for_range_words(start, end, |wi, mask| {
+            if found.is_none() {
+                let hit = self.words[wi] & mask;
+                if hit != 0 {
+                    found = Some(wi as u64 * 64 + hit.trailing_zeros() as u64);
+                }
+            }
+        });
+        found
+    }
+
+    /// First *free* bit in `start..end`, or `None` if the whole range is
+    /// allocated.
+    pub fn first_free_in(&self, start: u64, end: u64) -> Option<u64> {
+        debug_assert!(start <= end && end <= Self::bits());
+        if start == end {
+            return None;
+        }
+        let mut found = None;
+        Self::for_range_words(start, end, |wi, mask| {
+            if found.is_none() {
+                let hit = !self.words[wi] & mask;
+                if hit != 0 {
+                    found = Some(wi as u64 * 64 + hit.trailing_zeros() as u64);
+                }
+            }
+        });
+        found
+    }
+
+    /// Set every bit in `start..end` allocated with whole-word stores.
+    /// The caller must have verified the range is free (see
+    /// [`BitmapPage::first_allocated_in`]); this does not re-check.
+    pub fn set_range_allocated(&mut self, start: u64, end: u64) {
+        if start == end {
+            return;
+        }
+        let words = &mut self.words;
+        Self::for_range_words(start, end, |wi, mask| {
+            words[wi] |= mask;
+        });
+    }
+
+    /// Clear every bit in `start..end` with whole-word stores. The caller
+    /// must have verified the range is allocated.
+    pub fn set_range_free(&mut self, start: u64, end: u64) {
+        if start == end {
+            return;
+        }
+        let words = &mut self.words;
+        Self::for_range_words(start, end, |wi, mask| {
+            words[wi] &= !mask;
+        });
+    }
+
     /// Iterate maximal runs of consecutive free bits as `(start, len)`
     /// pairs, in ascending order.
     pub fn free_runs(&self) -> FreeRuns<'_> {
@@ -254,5 +340,38 @@ mod tests {
         let mut p = BitmapPage::new_full();
         p.set_free(32767);
         assert_eq!(p.free_runs().collect::<Vec<_>>(), vec![(32767, 1)]);
+    }
+
+    #[test]
+    fn range_probes_find_first_mismatched_bit() {
+        let mut p = BitmapPage::new_free();
+        p.set_allocated(130);
+        assert_eq!(p.first_allocated_in(0, 32768), Some(130));
+        assert_eq!(p.first_allocated_in(0, 130), None);
+        assert_eq!(p.first_allocated_in(130, 131), Some(130));
+        assert_eq!(p.first_allocated_in(131, 32768), None);
+        assert_eq!(p.first_allocated_in(5, 5), None);
+        assert_eq!(p.first_free_in(130, 131), None);
+        assert_eq!(p.first_free_in(129, 132), Some(129));
+    }
+
+    #[test]
+    fn range_setters_match_per_bit_loop() {
+        // Runs chosen to cross word boundaries and end mid-word.
+        for (start, end) in [(0u64, 64u64), (3, 200), (60, 68), (64, 128), (100, 101)] {
+            let mut bulk = BitmapPage::new_free();
+            let mut per_bit = BitmapPage::new_free();
+            bulk.set_range_allocated(start, end);
+            for i in start..end {
+                per_bit.set_allocated(i);
+            }
+            assert_eq!(bulk.words(), per_bit.words(), "alloc {start}..{end}");
+            bulk.set_range_free(start, end);
+            for i in start..end {
+                per_bit.set_free(i);
+            }
+            assert_eq!(bulk.words(), per_bit.words(), "free {start}..{end}");
+            assert_eq!(bulk.free_count(), 32768);
+        }
     }
 }

@@ -273,11 +273,27 @@ pub struct HealthReport {
     pub free_fraction: f64,
     /// Delayed-free log backlog, blocks.
     pub delayed_free_backlog: f64,
+    /// Per-volume metrics, keyed by the registry's `vol=<id>.<name>`
+    /// labels (updated at CP boundaries).
+    pub volumes: std::collections::BTreeMap<String, f64>,
 }
 
 fn health_report(agg: &Aggregate) -> HealthReport {
     let status = agg.scrub_status();
     let reg = agg.obs();
+    let mut volumes = std::collections::BTreeMap::new();
+    for vol in agg.volumes() {
+        let gauge = wafl_fs::obs::FsObs::vol_metric_name(vol.id, "space.free_fraction");
+        if let Some(v) = reg.gauge_value(&gauge) {
+            volumes.insert(gauge, v);
+        }
+        for counter in ["allocator.cursor_hits", "allocator.cursor_misses"] {
+            let name = wafl_fs::obs::FsObs::vol_metric_name(vol.id, counter);
+            if let Some(v) = reg.counter_value(&name) {
+                volumes.insert(name, v as f64);
+            }
+        }
+    }
     HealthReport {
         state: status.health.to_string(),
         quarantined_aas: status.quarantined_aas,
@@ -290,6 +306,7 @@ fn health_report(agg: &Aggregate) -> HealthReport {
         delayed_free_backlog: reg
             .gauge_value("delayed_free.backlog_blocks")
             .unwrap_or(0.0),
+        volumes,
     }
 }
 
@@ -556,6 +573,12 @@ mod tests {
         assert_eq!(health.state, "healthy");
         assert_eq!(health.quarantined_aas, 0);
         assert!(health.scrub_pages_scanned > 0, "scrub budget ran");
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        assert!(
+            json.contains("\"vol=0.space.free_fraction\""),
+            "--check JSON must carry per-volume vol=<id> labels: {json}"
+        );
+        assert!(json.contains("\"vol=0.allocator.cursor_misses\""));
         let text = r.to_text();
         assert!(text.contains("write amplification"));
         assert!(text.contains("clean"));

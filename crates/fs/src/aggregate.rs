@@ -106,6 +106,9 @@ pub struct RaidGroupState {
     /// (degraded at mount, or a scrub verify failed). Allocation bypasses
     /// it and sweeps the bitmap until the quarantine lifts.
     pub(crate) cache_quarantined: bool,
+    /// HBPS picks seen by this group, for the sampled pick-error audit
+    /// (1 in `pick_audit_sample` picks pays for a ground-truth scan).
+    pub(crate) pick_audit_tick: u64,
 }
 
 impl RaidGroupState {
@@ -338,6 +341,7 @@ impl Aggregate {
                 azcs_next: vec![u64::MAX; device_count],
                 quarantined_aas: std::collections::BTreeSet::new(),
                 cache_quarantined: false,
+                pick_audit_tick: 0,
             });
         }
         let bitmap = Bitmap::new(base);
@@ -439,6 +443,7 @@ impl Aggregate {
             azcs_next: vec![u64::MAX; device_count],
             quarantined_aas: std::collections::BTreeSet::new(),
             cache_quarantined: false,
+            pick_audit_tick: 0,
         };
         if self.cfg.raid_aware_cache {
             g.cache = Some(build_group_cache(&g, &self.bitmap)?);

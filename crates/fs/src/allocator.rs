@@ -17,7 +17,6 @@ use crate::aggregate::{GroupCache, RaidGroupState};
 use crate::volume::FlexVol;
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use std::collections::HashSet;
 use wafl_types::{AaId, AaScore, Vbn, WaflError, WaflResult};
 
 /// How AAs are selected for writing.
@@ -52,6 +51,39 @@ pub(crate) struct AllocOutcome {
     /// Picks served by the linear bitmap sweep instead of a cache (the
     /// cache-less degraded-mount fallback, or baseline-mode exhaustion).
     pub sweep_picks: u64,
+    /// The VBNs of `vbns` coalesced into maximal consecutive runs, in the
+    /// same order. The apply phase walks these through the bulk bitmap
+    /// mutators instead of flipping one bit at a time.
+    pub runs: Vec<(Vbn, u64)>,
+    /// Drains that resumed from the volume's per-AA cursor instead of
+    /// re-walking the AA's allocated prefix.
+    pub cursor_hits: u64,
+    /// Drains that started from the AA's first VBN (no cursor, cursor on
+    /// another AA, or cursor invalidated by frees/quarantine/replenish).
+    pub cursor_misses: u64,
+}
+
+/// Dense "already tried" set over AA ids for one plan call — replaces a
+/// `HashSet` on the random-pick path so each membership test is a word
+/// index and a mask instead of a hash.
+struct AaBitset {
+    words: Vec<u64>,
+}
+
+impl AaBitset {
+    fn new(aa_count: u32) -> Self {
+        Self {
+            words: vec![0; aa_count.div_ceil(64) as usize],
+        }
+    }
+
+    /// Insert `aa`; returns `true` if it was not already present.
+    fn insert(&mut self, aa: AaId) -> bool {
+        let (w, bit) = ((aa.get() / 64) as usize, 1u64 << (aa.get() % 64));
+        let fresh = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        fresh
+    }
 }
 
 /// Drain free VBNs of `aa` from `bitmap` (read-only) in write order, up to
@@ -64,16 +96,24 @@ fn drain_ranges(
 ) -> bool {
     for &(start, len) in ranges {
         let mut last_taken: Option<u64> = None;
-        for vbn in bitmap.iter_free_in_range(start, len) {
-            if out.vbns.len() >= quota {
+        for (run_start, run_len) in bitmap.free_runs_in_range(start, len) {
+            let remaining = (quota - out.vbns.len()) as u64;
+            if remaining == 0 {
                 // Quota hit mid-range: examined up to the previous take.
                 if let Some(last) = last_taken {
                     out.blocks_examined += last - start.get() + 1;
                 }
                 return false;
             }
-            out.vbns.push(vbn);
-            last_taken = Some(vbn.get());
+            let take = run_len.min(remaining);
+            out.vbns.extend((0..take).map(|i| Vbn(run_start.get() + i)));
+            out.runs.push((run_start, take));
+            last_taken = Some(run_start.get() + take - 1);
+            if take < run_len {
+                // Quota hit mid-run.
+                out.blocks_examined += run_start.get() + take - start.get();
+                return false;
+            }
         }
         // Range fully consumed (or empty): every position was examined.
         out.blocks_examined += len;
@@ -135,12 +175,17 @@ pub(crate) fn plan_raid_group(
     quota: usize,
     mode: AllocatorMode,
     seed: u64,
+    pick_audit_sample: u32,
 ) -> WaflResult<AllocOutcome> {
     let mut out = AllocOutcome::default();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut tried: HashSet<AaId> = HashSet::new();
+    let mut tried = AaBitset::new(g.topology.aa_count());
     let aa_count = g.topology.aa_count();
     let mut attempts = 0u32;
+    // Exact ground-truth best score, computed at most once per plan call
+    // (the plan phase reads a bitmap snapshot, so it cannot change
+    // mid-plan). Only sampled picks pay for it; see the HBPS arm below.
+    let mut audited_best: Option<u32> = None;
     // Structure quarantine: the cache's scores are suspect, so don't
     // consult it at all — sweep the bitmap with popcount scoring instead.
     if mode == AllocatorMode::CacheGuided && g.cache_quarantined {
@@ -227,17 +272,29 @@ pub(crate) fn plan_raid_group(
                                 if score.get() == 0 {
                                     continue; // stale entry; pick again
                                 }
-                                let true_best = g
-                                    .topology
-                                    .all_scores(bitmap)
-                                    .into_iter()
-                                    .map(|(_, s)| s.get())
-                                    .max()
-                                    .unwrap_or(score.get());
-                                out.pick_errors.push((
-                                    true_best.saturating_sub(score.get()),
-                                    hbps.config().bin_width(),
-                                ));
+                                // The exact audit costs a full-group score
+                                // scan, so it no longer rides every pick:
+                                // sample 1-in-N picks (N from config), and
+                                // amortize even those through a per-plan
+                                // memo — one scan per group per CP at most,
+                                // the §3.3 CP-boundary discipline.
+                                g.pick_audit_tick = g.pick_audit_tick.wrapping_add(1);
+                                if pick_audit_sample > 0
+                                    && g.pick_audit_tick.is_multiple_of(pick_audit_sample as u64)
+                                {
+                                    let true_best = *audited_best.get_or_insert_with(|| {
+                                        g.topology
+                                            .all_scores(bitmap)
+                                            .into_iter()
+                                            .map(|(_, s)| s.get())
+                                            .max()
+                                            .unwrap_or(score.get())
+                                    });
+                                    out.pick_errors.push((
+                                        true_best.saturating_sub(score.get()),
+                                        hbps.config().bin_width(),
+                                    ));
+                                }
                                 out.picked.push((aa, score));
                                 g.active_aa = Some(aa);
                                 aa
@@ -271,7 +328,7 @@ pub(crate) fn plan_raid_group(
         // The plan phase must also skip VBNs it already took itself.
         let before = out.vbns.len();
         let ranges = g.topology.aa_write_ranges(aa);
-        let exhausted = drain_plan_ranges(&ranges, bitmap, quota, &mut out, before);
+        let exhausted = drain_ranges(&ranges, bitmap, quota, &mut out);
         let taken = (out.vbns.len() - before) as u32;
         g.batch.record_allocated(aa, taken);
         if exhausted {
@@ -289,24 +346,6 @@ pub(crate) fn plan_raid_group(
     Ok(out)
 }
 
-/// Like [`drain_ranges`] but resilient to the planner re-visiting an AA
-/// whose earlier VBNs it already took in this plan (possible when frees
-/// land in the active AA between CPs): skips VBNs present in `out` from
-/// index `from`.
-fn drain_plan_ranges(
-    ranges: &[(Vbn, u64)],
-    bitmap: &wafl_bitmap::Bitmap,
-    quota: usize,
-    out: &mut AllocOutcome,
-    from: usize,
-) -> bool {
-    debug_assert!(from <= out.vbns.len());
-    // Within a single plan call an AA is only drained once, so no
-    // duplicates can occur; delegate directly.
-    let _ = from;
-    drain_ranges(ranges, bitmap, quota, out)
-}
-
 /// Allocate `n` virtual VBNs from a volume, updating its bitmap and batch
 /// in place (the volume owns both, so this runs in parallel across
 /// volumes).
@@ -318,7 +357,7 @@ pub(crate) fn allocate_vvbns(
 ) -> WaflResult<AllocOutcome> {
     let mut out = AllocOutcome::default();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut tried: HashSet<AaId> = HashSet::new();
+    let mut tried = AaBitset::new(vol.topology.aa_count());
     let aa_count = vol.topology.aa_count();
     let mut attempts = 0u32;
     while out.vbns.len() < n {
@@ -328,6 +367,7 @@ pub(crate) fn allocate_vvbns(
             // so this cannot loop).
             Some(aa) if vol.quarantined_aas.contains(&aa) => {
                 vol.active_aa = None;
+                vol.invalidate_drain_cursor();
                 continue;
             }
             Some(aa) => aa,
@@ -348,6 +388,11 @@ pub(crate) fn allocate_vvbns(
                                     // background scan).
                                     if cache.maybe_replenish(&vol.bitmap)? {
                                         out.replenish_pages += vol.bitmap.page_count() as u64;
+                                        // The replenish scan re-derives AA
+                                        // scores from scratch; the cursor's
+                                        // resume point is no longer known
+                                        // to be ahead of every free block.
+                                        vol.drain_cursor = None;
                                         cache.pick_best(&vol.bitmap).filter(|(_, s)| s.get() > 0)
                                     } else {
                                         None
@@ -367,13 +412,26 @@ pub(crate) fn allocate_vvbns(
                                 p => p,
                             };
                             if let Some((_, score)) = pick {
+                                // True-best from the per-AA free-count
+                                // summary: O(aa_count) counter reads, not a
+                                // bitmap scan. Volume bitmaps always carry
+                                // the summary (enabled at creation), so the
+                                // audit population stays complete; the
+                                // popcount scan remains only as a paranoia
+                                // fallback.
                                 let true_best = vol
-                                    .topology
-                                    .all_scores(&vol.bitmap)
-                                    .into_iter()
-                                    .map(|(_, s)| s.get())
-                                    .max()
-                                    .unwrap_or(score.get());
+                                    .bitmap
+                                    .aa_summary_blocks()
+                                    .and_then(|ab| vol.bitmap.aa_free_counts(ab))
+                                    .and_then(|counts| counts.iter().copied().max())
+                                    .unwrap_or_else(|| {
+                                        vol.topology
+                                            .all_scores(&vol.bitmap)
+                                            .into_iter()
+                                            .map(|(_, s)| s.get())
+                                            .max()
+                                            .unwrap_or(score.get())
+                                    });
                                 out.pick_errors.push((
                                     true_best.saturating_sub(score.get()),
                                     cache.hbps().config().bin_width(),
@@ -438,23 +496,51 @@ pub(crate) fn allocate_vvbns(
                 }
             }
         };
-        // Drain (allocating as we go — the volume owns its bitmap).
+        // Drain (allocating as we go — the volume owns its bitmap). A
+        // valid cursor lets the walk resume just past the last run this
+        // AA handed out, instead of re-examining its allocated prefix on
+        // every re-entry.
+        let mut ranges = vol.topology.aa_vbn_ranges(aa);
+        match vol.drain_cursor {
+            Some((cursor_aa, resume)) if cursor_aa == aa => {
+                out.cursor_hits += 1;
+                ranges.retain_mut(|(start, len)| {
+                    let end = start.get() + *len;
+                    if end <= resume.get() {
+                        false // entirely behind the cursor
+                    } else {
+                        if start.get() < resume.get() {
+                            *len = end - resume.get();
+                            *start = resume;
+                        }
+                        true
+                    }
+                });
+            }
+            _ => out.cursor_misses += 1,
+        }
         let mut plan = AllocOutcome::default();
-        let ranges = vol.topology.aa_vbn_ranges(aa);
         let exhausted = drain_ranges(&ranges, &vol.bitmap, n - out.vbns.len(), &mut plan);
-        for &vbn in &plan.vbns {
-            vol.bitmap.allocate(vbn)?;
+        for &(start, len) in &plan.runs {
+            vol.bitmap.allocate_run(start, len)?;
         }
         vol.batch.record_allocated(aa, plan.vbns.len() as u32);
         out.blocks_examined += plan.blocks_examined;
         out.vbns.extend_from_slice(&plan.vbns);
+        out.runs.extend_from_slice(&plan.runs);
         if exhausted {
             vol.active_aa = None;
+            vol.drain_cursor = None;
             if plan.vbns.is_empty() && out.vbns.len() < n && mode == AllocatorMode::CacheGuided {
                 // Stale pick with nothing free; loop to pick again. The
                 // linear-sweep fallback above bounds this.
                 continue;
             }
+        } else {
+            // Quota met mid-AA: the next drain resumes one past the last
+            // VBN taken (frees into this AA invalidate the cursor).
+            let last = plan.vbns.last().expect("quota>0 and not exhausted");
+            vol.drain_cursor = Some((aa, Vbn(last.get() + 1)));
         }
     }
     Ok(out)
@@ -499,6 +585,48 @@ mod tests {
         assert_eq!(out2.vbns[0].get(), out.vbns.last().unwrap().get() + 1);
         assert!(out2.picked.is_empty(), "no new pick while an AA is active");
         assert_eq!(v.active_aa, Some(aa));
+    }
+
+    #[test]
+    fn drain_cursor_resumes_and_never_skips_freed_blocks() {
+        let mut v = vol(true);
+        let out = allocate_vvbns(&mut v, 100, 7, AllocatorMode::CacheGuided).unwrap();
+        assert_eq!((out.cursor_hits, out.cursor_misses), (0, 1));
+        assert_eq!(out.runs, vec![(Vbn(0), 100)], "contiguous drain is one run");
+        assert!(v.drain_cursor.is_some());
+        // The second drain resumes from the cursor: no re-walk of the
+        // allocated prefix, so only the 50 taken blocks are examined.
+        let out2 = allocate_vvbns(&mut v, 50, 8, AllocatorMode::CacheGuided).unwrap();
+        assert_eq!((out2.cursor_hits, out2.cursor_misses), (1, 0));
+        assert_eq!(out2.blocks_examined, 50);
+        assert_eq!(out2.vbns[0], Vbn(100));
+        // Interleaved frees behind the cursor (the CP delayed-free path)
+        // must invalidate it; the next drain then finds the freed blocks
+        // instead of skipping them.
+        v.delayed_vvbn_frees.extend([Vbn(10), Vbn(11), Vbn(12)]);
+        v.flush_delayed_frees().unwrap();
+        assert!(
+            v.drain_cursor.is_none(),
+            "a free into the cursor's AA must invalidate it"
+        );
+        let out3 = allocate_vvbns(&mut v, 3, 9, AllocatorMode::CacheGuided).unwrap();
+        assert_eq!(out3.vbns, vec![Vbn(10), Vbn(11), Vbn(12)]);
+        assert_eq!((out3.cursor_hits, out3.cursor_misses), (0, 1));
+    }
+
+    #[test]
+    fn fragmented_drain_reports_per_run_granularity() {
+        let mut v = vol(true);
+        for b in (0..32768u64).step_by(2) {
+            v.bitmap.allocate(Vbn(b)).unwrap();
+        }
+        v.active_aa = Some(AaId(0));
+        let out = allocate_vvbns(&mut v, 10, 3, AllocatorMode::CacheGuided).unwrap();
+        // Every other block free: ten single-block runs, each applied as
+        // its own bulk mutation.
+        assert_eq!(out.runs.len(), 10);
+        assert!(out.runs.iter().all(|&(_, len)| len == 1));
+        assert_eq!(out.vbns.len(), 10);
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub fn clean_top_aas(
                 live.len(),
                 AllocatorMode::CacheGuided,
                 0xC1EA_u64 ^ aa.get() as u64,
+                agg.cfg.pick_audit_sample,
             )?
         };
         if plan.vbns.len() < live.len() {

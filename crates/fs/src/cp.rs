@@ -89,6 +89,11 @@ pub struct CpStats {
     pub delayed_frees_applied: u64,
     /// Metafile pages the delayed-free processor wrote this CP.
     pub delayed_free_pages: u64,
+    /// Volume drains that resumed from a per-AA cursor instead of
+    /// re-walking the AA's allocated prefix.
+    pub cursor_hits: u64,
+    /// Volume drains that started from the AA's first VBN.
+    pub cursor_misses: u64,
 }
 
 impl CpStats {
@@ -268,10 +273,19 @@ impl Aggregate {
         let mut sweep_picks = 0u64;
         let mut batch_sizes: Vec<u64> = Vec::new();
         let mut heap_batch_sizes: Vec<u64> = Vec::new();
+        // Per-volume cursor traffic, kept aside for the vol=<id> labelled
+        // export in step 10 (the outcomes themselves are consumed by the
+        // binding step below).
+        let per_vol_cursor: Vec<(u64, u64)> = vol_outcomes
+            .iter()
+            .map(|out| (out.cursor_hits, out.cursor_misses))
+            .collect();
         for out in &vol_outcomes {
             stats.vol_picks += out.picked.len() as u64;
             stats.replenish_pages += out.replenish_pages;
             stats.blocks_examined += out.blocks_examined;
+            stats.cursor_hits += out.cursor_hits;
+            stats.cursor_misses += out.cursor_misses;
             pick_errors.extend_from_slice(&out.pick_errors);
             sweep_picks += out.sweep_picks;
         }
@@ -290,13 +304,21 @@ impl Aggregate {
         };
         let quotas = self.rg_quotas(n);
         let bitmap = &self.bitmap;
+        let audit_sample = self.cfg.pick_audit_sample;
         let plans: Vec<WaflResult<AllocOutcome>> = self
             .groups
             .par_iter_mut()
             .zip(quotas.par_iter())
             .enumerate()
             .map(|(i, (g, &quota))| {
-                plan_raid_group(g, bitmap, quota, mode, cp_seed ^ (0xABCD + i as u64))
+                plan_raid_group(
+                    g,
+                    bitmap,
+                    quota,
+                    mode,
+                    cp_seed ^ (0xABCD + i as u64),
+                    audit_sample,
+                )
             })
             .collect();
         let plans = plans.into_iter().collect::<WaflResult<Vec<_>>>()?;
@@ -322,8 +344,8 @@ impl Aggregate {
         let mut pvbns: Vec<Vbn> = Vec::with_capacity(n);
         let mut per_rg_vbns: Vec<Vec<Vbn>> = Vec::with_capacity(self.groups.len());
         for plan in &plans {
-            for &vbn in &plan.vbns {
-                self.bitmap.allocate(vbn)?;
+            for &(start, len) in &plan.runs {
+                self.bitmap.allocate_run(start, len)?;
             }
             pvbns.extend_from_slice(&plan.vbns);
             per_rg_vbns.push(plan.vbns.clone());
@@ -354,13 +376,14 @@ impl Aggregate {
                     shortfall,
                     mode,
                     cp_seed ^ (0xF00D + i as u64),
+                    audit_sample,
                 )?;
                 if plan.vbns.is_empty() {
                     continue;
                 }
                 progressed = true;
-                for &vbn in &plan.vbns {
-                    self.bitmap.allocate(vbn)?;
+                for &(start, len) in &plan.runs {
+                    self.bitmap.allocate_run(start, len)?;
                 }
                 shortfall -= plan.vbns.len();
                 stats.agg_picks += plan.picked.len() as u64;
@@ -446,11 +469,7 @@ impl Aggregate {
 
         // ---- 5. delayed frees at the CP boundary (§3.3) ---------------
         for vol in &mut self.vols {
-            for vvbn in std::mem::take(&mut vol.delayed_vvbn_frees) {
-                vol.bitmap.free(vvbn)?;
-                let aa = vol.topology.aa_of_vbn(vvbn)?;
-                vol.batch.record_freed(aa, 1);
-            }
+            vol.flush_delayed_frees()?;
         }
         if let Some(site @ CrashSite::MidFreeLogApply(k)) = crash {
             // The crash interrupts delayed-free application: `k` frees
@@ -626,6 +645,10 @@ impl Aggregate {
                     // list faster than frees re-populate it — or quality
                     // degraded — walk the bitmap and rebuild.
                     let pages = if cache.maybe_replenish(&vol.bitmap)? {
+                        // The rescan re-derived the AA scores; the drain
+                        // cursor's claim of "nothing free behind me" is no
+                        // longer backed by anything.
+                        vol.drain_cursor = None;
                         vol.bitmap.page_count() as u64
                     } else {
                         0
@@ -683,6 +706,8 @@ impl Aggregate {
         self.obs.blocks_examined.inc(stats.blocks_examined);
         self.obs.replenish_pages.inc(stats.replenish_pages);
         self.obs.sweep_fallback_picks.inc(sweep_picks);
+        self.obs.cursor_hits.inc(stats.cursor_hits);
+        self.obs.cursor_misses.inc(stats.cursor_misses);
         for (err, width) in pick_errors {
             self.obs
                 .pick_score_error
@@ -750,6 +775,24 @@ impl Aggregate {
                 .registry()
                 .gauge(&format!("group.{i}.active_aa_score"))
                 .set(active_score as f64);
+        }
+        // Per-volume metrics under the vol=<id> label prefix: cursor
+        // traffic from this CP's drains plus the volume's space gauge.
+        // Name-formatted like the group gauges — CP-boundary only.
+        for (vol, &(hits, misses)) in self.vols.iter().zip(&per_vol_cursor) {
+            if hits > 0 {
+                self.obs
+                    .vol_counter(vol.id, "allocator.cursor_hits")
+                    .inc(hits);
+            }
+            if misses > 0 {
+                self.obs
+                    .vol_counter(vol.id, "allocator.cursor_misses")
+                    .inc(misses);
+            }
+            self.obs
+                .vol_gauge(vol.id, "space.free_fraction")
+                .set(vol.bitmap.free_fraction());
         }
         Ok(CpOutcome::Completed(stats))
     }

@@ -138,17 +138,35 @@ impl DelayedFreeLog {
                 continue; // stale entry from a replenish race
             };
             let count = frees.len() as u32;
+            // Replay idempotence: a crash between a bitmap-page write and
+            // the log absolution leaves entries whose blocks are already
+            // free. Skipping them makes post-crash replay safe instead of
+            // a double-free error. The survivors are sorted and coalesced
+            // so each consecutive run clears with one bulk `free_run` —
+            // one summary update per touched page, not one per block.
+            let mut live: Vec<Vbn> = Vec::with_capacity(frees.len());
             for vbn in frees {
-                // Replay idempotence: a crash between a bitmap-page write
-                // and the log absolution leaves entries whose blocks are
-                // already free. Skipping them makes post-crash replay
-                // safe instead of a double-free error.
-                if bitmap.is_free(vbn)? {
-                    continue;
+                if !bitmap.is_free(vbn)? {
+                    live.push(vbn);
                 }
-                bitmap.free(vbn)?;
-                record(vbn, bitmap)?;
-                stats.frees_applied += 1;
+            }
+            live.sort_unstable();
+            live.dedup();
+            let mut i = 0usize;
+            while i < live.len() {
+                let start = live[i];
+                let mut len = 1u64;
+                while i + (len as usize) < live.len()
+                    && live[i + len as usize].get() == start.get() + len
+                {
+                    len += 1;
+                }
+                bitmap.free_run(start, len)?;
+                for k in 0..len {
+                    record(Vbn(start.get() + k), bitmap)?;
+                }
+                stats.frees_applied += len;
+                i += len as usize;
             }
             self.total_pending -= count as u64;
             self.hbps.untrack(page, AaScore(count))?;

@@ -256,6 +256,7 @@ pub fn repair(agg: &mut Aggregate) -> WaflResult<IronReport> {
                 .collect();
             for v in leaked {
                 vol.bitmap.free(v)?;
+                vol.note_vvbn_freed(v);
                 report.repairs += 1;
             }
         }
@@ -301,6 +302,7 @@ pub fn repair(agg: &mut Aggregate) -> WaflResult<IronReport> {
         if vol.cache.is_some() {
             vol.cache = Some(RaidAgnosticCache::build(vol.topology.clone(), &vol.bitmap)?);
             vol.active_aa = None;
+            vol.invalidate_drain_cursor();
             report.repairs += 1;
         }
     }

@@ -47,6 +47,12 @@ pub struct FsObs {
     /// Chosen-AA score error vs. the true best at pick time, in bin
     /// widths. The §3.3.2 guarantee bounds this below 1.0.
     pub(crate) pick_score_error: Histogram,
+    /// Volume drains that resumed from the per-AA cursor instead of
+    /// re-walking the AA's allocated prefix.
+    pub(crate) cursor_hits: Counter,
+    /// Volume drains that started from the AA's first VBN (no cursor, or
+    /// the cursor was invalidated by frees/quarantine/replenish).
+    pub(crate) cursor_misses: Counter,
 
     // ---- core::hbps (scraped at CP boundaries) --------------------------
     /// HBPS score changes that crossed a bin boundary.
@@ -155,6 +161,8 @@ impl FsObs {
             sweep_fallback_picks: registry.counter("allocator.sweep_fallback_picks"),
             pick_score_error: registry
                 .histogram("allocator.pick_score_error_bin_widths", PICK_ERROR_BOUNDS),
+            cursor_hits: registry.counter("allocator.cursor_hits"),
+            cursor_misses: registry.counter("allocator.cursor_misses"),
             hbps_bin_moves: registry.counter("hbps.bin_moves"),
             hbps_boundary_rotations: registry.counter("hbps.boundary_rotations"),
             hbps_list_inserts: registry.counter("hbps.list_inserts"),
@@ -201,6 +209,25 @@ impl FsObs {
     /// The shared registry backing these handles.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Per-volume metric name under the `vol=<id>` label prefix, so
+    /// multi-volume runs stay attributable per volume in snapshot output.
+    pub fn vol_metric_name(vol: wafl_types::VolumeId, name: &str) -> String {
+        format!("vol={}.{name}", vol.get())
+    }
+
+    /// Counter handle under the volume's `vol=<id>` label prefix. This
+    /// formats the name (and takes the registry lock), so it belongs at
+    /// CP-boundary frequency, never on a per-op path.
+    pub(crate) fn vol_counter(&self, vol: wafl_types::VolumeId, name: &str) -> Counter {
+        self.registry.counter(&Self::vol_metric_name(vol, name))
+    }
+
+    /// Gauge handle under the volume's `vol=<id>` label prefix; same
+    /// CP-boundary-only caveat as [`FsObs::vol_counter`].
+    pub(crate) fn vol_gauge(&self, vol: wafl_types::VolumeId, name: &str) -> Gauge {
+        self.registry.gauge(&Self::vol_metric_name(vol, name))
     }
 
     /// Fold one HBPS maintenance-stats delta into the counters.

@@ -431,6 +431,11 @@ fn quarantine(agg: &mut Aggregate, target: ScrubTarget, diverged: bool) -> u64 {
             if let Some(vol) = agg.vols.get_mut(v) {
                 for aa in aas {
                     if vol.quarantined_aas.insert(aa) {
+                        // The quarantined AA may be the cursor's: the
+                        // allocator must not resume into (or trust) it.
+                        if vol.drain_cursor.map(|(c, _)| c) == Some(aa) {
+                            vol.invalidate_drain_cursor();
+                        }
                         n += 1;
                     }
                 }
@@ -544,6 +549,7 @@ fn repair(agg: &mut Aggregate, target: ScrubTarget) -> WaflResult<u64> {
                         &vol.bitmap,
                     )?);
                     vol.active_aa = None;
+                    vol.invalidate_drain_cursor();
                 }
             }
             Ok(0)

@@ -46,6 +46,12 @@ pub struct FlexVol {
     /// The AA currently being drained (kept across CPs until exhausted,
     /// §3.1 — all free VBNs of a picked AA are assigned in order).
     pub(crate) active_aa: Option<wafl_types::AaId>,
+    /// Resume point for draining the active AA: `(aa, first VBN not yet
+    /// walked)`. Lets repeated drains skip the AA's allocated prefix.
+    /// Purely an accelerator — it must be invalidated (set to `None`)
+    /// whenever a free lands in its AA, the AA is quarantined, or a cache
+    /// replenish rescans the space; a stale cursor would skip free blocks.
+    pub(crate) drain_cursor: Option<(wafl_types::AaId, Vbn)>,
     /// Virtual AAs the runtime scrubber has quarantined: their summary
     /// counters disagreed with the popcount ground truth, so allocation
     /// must not trust (or land on) them until the scheduled repair clears.
@@ -113,6 +119,7 @@ impl FlexVol {
             batch: ScoreDeltaBatch::new(),
             delayed_vvbn_frees: Vec::new(),
             active_aa: None,
+            drain_cursor: None,
             quarantined_aas: std::collections::BTreeSet::new(),
             cache_quarantined: false,
             snapshots: Vec::new(),
@@ -248,6 +255,57 @@ impl FlexVol {
     pub fn used_fraction(&self) -> f64 {
         1.0 - self.bitmap.free_fraction()
     }
+
+    /// Drop the drain-cursor accelerator. Called whenever its resume
+    /// point can no longer be trusted to sit ahead of every free block in
+    /// its AA: quarantine events, cache replenish rescans, repairs.
+    pub(crate) fn invalidate_drain_cursor(&mut self) {
+        self.drain_cursor = None;
+    }
+
+    /// A block was freed at `vvbn` outside the delayed-free path (Iron
+    /// repair, snapshot release): drop the cursor if the free landed in
+    /// its AA, since the freed block may now sit behind the resume point.
+    pub(crate) fn note_vvbn_freed(&mut self, vvbn: Vbn) {
+        if let Some((aa, _)) = self.drain_cursor {
+            if self.topology.aa_of_vbn(vvbn).ok() == Some(aa) {
+                self.drain_cursor = None;
+            }
+        }
+    }
+
+    /// Apply the CP boundary's delayed virtual frees (§3.3) in bulk:
+    /// sort, coalesce into consecutive runs split at AA boundaries, and
+    /// clear each run with one [`Bitmap::free_run`] — one summary update
+    /// per touched page instead of one per block. Invalidates the drain
+    /// cursor for any AA a free lands in. Returns the blocks freed.
+    pub(crate) fn flush_delayed_frees(&mut self) -> WaflResult<u64> {
+        let mut frees = std::mem::take(&mut self.delayed_vvbn_frees);
+        if frees.is_empty() {
+            return Ok(0);
+        }
+        frees.sort_unstable();
+        let total = frees.len() as u64;
+        let mut i = 0usize;
+        while i < frees.len() {
+            let start = frees[i];
+            let aa = self.topology.aa_of_vbn(start)?;
+            let mut len = 1u64;
+            while i + (len as usize) < frees.len()
+                && frees[i + len as usize].get() == start.get() + len
+                && self.topology.aa_of_vbn(frees[i + len as usize])? == aa
+            {
+                len += 1;
+            }
+            self.bitmap.free_run(start, len)?;
+            self.batch.record_freed(aa, len as u32);
+            if self.drain_cursor.map(|(c, _)| c) == Some(aa) {
+                self.drain_cursor = None;
+            }
+            i += len as usize;
+        }
+        Ok(total)
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +357,29 @@ mod tests {
         assert_eq!(v.lookup_logical(0), None);
         assert_eq!(v.lookup_logical(10_000_000), None);
         assert_eq!(v.lookup_vvbn(Vbn(0)), None);
+    }
+
+    #[test]
+    fn flush_delayed_frees_coalesces_and_splits_at_aa_boundaries() {
+        let mut v = vol();
+        // A run straddling the AA 0 / AA 1 boundary, queued in scrambled
+        // order plus a lone block far away.
+        let boundary = RAID_AGNOSTIC_AA_BLOCKS;
+        v.bitmap.allocate_run(Vbn(boundary - 50), 100).unwrap();
+        v.bitmap.allocate(Vbn(7)).unwrap();
+        v.delayed_vvbn_frees = (boundary - 50..boundary + 50).rev().map(Vbn).collect();
+        v.delayed_vvbn_frees.push(Vbn(7));
+        v.drain_cursor = Some((wafl_types::AaId(0), Vbn(100)));
+        assert_eq!(v.flush_delayed_frees().unwrap(), 101);
+        assert!(v.delayed_vvbn_frees.is_empty());
+        assert!(
+            v.drain_cursor.is_none(),
+            "frees into the cursor's AA invalidate it"
+        );
+        assert_eq!(v.bitmap.free_blocks(), v.size_blocks());
+        v.bitmap.verify_summary();
+        // The batch saw both AAs the straddling run touched.
+        assert_eq!(v.batch.touched_aas(), 2);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Allocation-throughput smoke gate: the cache-guided hot path must not
+//! be slower than the cache-less sweep.
+//!
+//! The paper's thesis is that cached AA scores make free-block search
+//! cheap; a regression that drags per-pick scans or per-bit bookkeeping
+//! back onto the hot path shows up here as cache_on/cache_off < 1.0 and
+//! fails CI (`scripts/ci.sh --alloc-smoke`).
+//!
+//! Each arm runs the same overwrite+CP workload as `bench_baseline`'s CP
+//! series, shortened; both arms are measured `TRIALS` times interleaved
+//! and the best (minimum) wall time per arm is kept, damping scheduler
+//! noise on shared runners.
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin alloc_smoke`.
+//! Exits nonzero if cache-guided throughput falls below 1.0x the sweep.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Instant;
+use wafl_fs::{Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_media::MediaProfile;
+use wafl_types::{VolumeId, BITS_PER_BITMAP_BLOCK};
+
+const ROUNDS: u64 = 10;
+const OPS: u64 = 8192;
+const TRIALS: u32 = 3;
+const LOGICAL: u64 = 200_000;
+
+/// Best-of-`TRIALS` wall time for the overwrite+CP workload, seconds.
+fn best_time(caches: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for trial in 0..TRIALS {
+        let mut agg = Aggregate::new(
+            AggregateConfig {
+                raid_aware_cache: caches,
+                ..AggregateConfig::single_group(RaidGroupSpec {
+                    data_devices: 4,
+                    parity_devices: 1,
+                    device_blocks: 64 * 4096,
+                    profile: MediaProfile::hdd(),
+                })
+            },
+            &[(
+                FlexVolConfig {
+                    size_blocks: 16 * BITS_PER_BITMAP_BLOCK,
+                    aa_cache: caches,
+                    aa_blocks: None,
+                },
+                LOGICAL,
+            )],
+            1,
+        )
+        .expect("smoke aggregate");
+        wafl_fs::aging::fill_volume(&mut agg, VolumeId(0), 8192).expect("fill");
+        let mut rng = StdRng::seed_from_u64(2 + trial as u64);
+        let mut round = || {
+            for _ in 0..OPS {
+                agg.client_overwrite(VolumeId(0), rng.random_range(0..LOGICAL))
+                    .expect("overwrite");
+            }
+            agg.run_cp().expect("cp");
+        };
+        // Warm up (primes caches and the page cache), then time.
+        for _ in 0..2 {
+            round();
+        }
+        let start = Instant::now();
+        for _ in 0..ROUNDS {
+            round();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    // Interleaving at the trial level would share thermal state more
+    // evenly, but best-of-N already discards the slow outliers.
+    let on = best_time(true);
+    let off = best_time(false);
+    let ratio = off / on; // >1.0 means cache-guided is faster
+    let ops = (ROUNDS * OPS) as f64;
+    eprintln!(
+        "alloc smoke: cache-guided {:.0} ops/s, sweep {:.0} ops/s, ratio {ratio:.3}",
+        ops / on,
+        ops / off
+    );
+    if ratio < 1.0 {
+        eprintln!(
+            "FAIL: cache-guided throughput is below 1.0x the sweep \
+             (the cache pipeline costs more than it saves)"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("alloc smoke passed: cache-guided allocation beats the sweep.");
+}

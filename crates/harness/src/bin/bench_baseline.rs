@@ -106,6 +106,87 @@ fn bitmap_baseline() -> BitmapBaseline {
 }
 
 #[derive(Serialize)]
+struct AllocSeries {
+    ops_per_second: f64,
+    /// Candidate blocks the allocator examined across the whole series.
+    blocks_examined: u64,
+    cursor_hits: u64,
+    cursor_misses: u64,
+    /// Fraction of volume drains that resumed from the per-AA cursor.
+    cursor_hit_rate: f64,
+}
+
+#[derive(Serialize)]
+struct AllocBaseline {
+    /// Aligned run length for the bulk-vs-per-bit mutator comparison.
+    run_len: u64,
+    /// One allocate_run + free_run cycle of `run_len` blocks (summary
+    /// enabled), mean ns.
+    bulk_cycle_ns: f64,
+    /// The same cycle spelled as `run_len` allocate() + free() calls.
+    per_bit_cycle_ns: f64,
+    /// per_bit_cycle_ns / bulk_cycle_ns — the acceptance gate is >= 5x.
+    bulk_speedup: f64,
+    /// The CP overwrite workload, cache-guided vs sweep, with the
+    /// allocator counters that explain the difference.
+    cache_on: AllocSeries,
+    cache_off: AllocSeries,
+}
+
+/// Pulls `"name":<integer>` out of the registry's snapshot JSON. The
+/// serde_json shim only serializes, so this is a plain string scan over
+/// the compact `{"counters":{"a":1,...}}` layout the registry emits.
+fn counter_of(snapshot: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\":");
+    let Some(at) = snapshot.find(&key) else {
+        return 0;
+    };
+    snapshot[at + key.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+fn alloc_series(cp: &CpSeries, snapshot: &str) -> AllocSeries {
+    let hits = counter_of(snapshot, "allocator.cursor_hits");
+    let misses = counter_of(snapshot, "allocator.cursor_misses");
+    AllocSeries {
+        ops_per_second: cp.ops_per_second,
+        blocks_examined: counter_of(snapshot, "allocator.blocks_examined"),
+        cursor_hits: hits,
+        cursor_misses: misses,
+        cursor_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+    }
+}
+
+/// Bulk mutators versus the per-bit loop on a 64-block aligned run of a
+/// summary-enabled bitmap. Each sample is a full allocate+free cycle so
+/// the bitmap returns to its starting state between iterations.
+fn alloc_run_bench() -> (f64, f64, u64) {
+    const RUN: u64 = 64;
+    let mut bulk = Bitmap::new(4 * BITS_PER_BITMAP_BLOCK);
+    bulk.enable_aa_summary(AA_BLOCKS).unwrap();
+    let start = Vbn(BITS_PER_BITMAP_BLOCK + 512); // word- and AA-interior aligned
+    let bulk_cycle_ns = time_ns(400_000, || {
+        bulk.allocate_run(start, RUN).unwrap();
+        bulk.free_run(start, RUN).unwrap();
+    });
+    let mut per_bit = Bitmap::new(4 * BITS_PER_BITMAP_BLOCK);
+    per_bit.enable_aa_summary(AA_BLOCKS).unwrap();
+    let per_bit_cycle_ns = time_ns(40_000, || {
+        for v in start.get()..start.get() + RUN {
+            per_bit.allocate(Vbn(v)).unwrap();
+        }
+        for v in start.get()..start.get() + RUN {
+            per_bit.free(Vbn(v)).unwrap();
+        }
+    });
+    (bulk_cycle_ns, per_bit_cycle_ns, RUN)
+}
+
+#[derive(Serialize)]
 struct CpSeries {
     rounds: u64,
     ops_per_round: u64,
@@ -199,9 +280,25 @@ fn main() {
         bitmap.speedup_aa_summary,
     );
 
+    eprintln!("measuring bulk-vs-per-bit run mutators...");
+    let (bulk_cycle_ns, per_bit_cycle_ns, run_len) = alloc_run_bench();
+    eprintln!(
+        "  {run_len}-block cycle: bulk {bulk_cycle_ns:.0} ns, per-bit \
+         {per_bit_cycle_ns:.0} ns ({:.1}x)",
+        per_bit_cycle_ns / bulk_cycle_ns
+    );
+
     eprintln!("measuring CP overwrite workload...");
     let (caches_on, obs_snapshot) = cp_series(true);
-    let (caches_off, _) = cp_series(false);
+    let (caches_off, obs_snapshot_off) = cp_series(false);
+    let alloc = AllocBaseline {
+        run_len,
+        bulk_cycle_ns,
+        per_bit_cycle_ns,
+        bulk_speedup: per_bit_cycle_ns / bulk_cycle_ns,
+        cache_on: alloc_series(&caches_on, &obs_snapshot),
+        cache_off: alloc_series(&caches_off, &obs_snapshot_off),
+    };
     let cp = CpBaseline {
         caches_on,
         caches_off,
@@ -210,10 +307,15 @@ fn main() {
         "  caches on: {:.0} ops/s, mean CP flush {:.2} ms",
         cp.caches_on.ops_per_second, cp.caches_on.mean_cp_flush_ms
     );
+    eprintln!(
+        "  caches off: {:.0} ops/s; cursor hit rate (on) {:.2}",
+        cp.caches_off.ops_per_second, alloc.cache_on.cursor_hit_rate
+    );
 
     for (name, json) in [
         ("BENCH_bitmap.json", serde_json::to_string_pretty(&bitmap)),
         ("BENCH_cp.json", serde_json::to_string_pretty(&cp)),
+        ("BENCH_alloc.json", serde_json::to_string_pretty(&alloc)),
         // Allocator-pipeline metrics of the caches-on run, verbatim from
         // the registry (already JSON).
         ("BENCH_obs.json", Ok(obs_snapshot)),

@@ -82,6 +82,9 @@ fn main() {
         "cp.phase.media_us",
         "mount.topaa_seed_hits",
         "iron.audits_run",
+        "allocator.cursor_hits",
+        "allocator.cursor_misses",
+        "vol=0.space.free_fraction",
     ] {
         assert!(
             snapshot.contains(&format!("\"{key}\"")),
@@ -100,6 +103,10 @@ fn main() {
     nonzero("allocator.blocks_examined");
     nonzero("mount.topaa_seed_hits");
     nonzero("iron.audits_run");
+    // Every volume's first drain of an AA is a cursor miss, so traffic
+    // guarantees this one; hits depend on drain interleaving and are
+    // covered by the allocator unit tests instead.
+    nonzero("allocator.cursor_misses");
 
     // The paper's bound: a cache-guided pick is at most one bin width
     // below the true best score. The histogram stores err / bin_width,

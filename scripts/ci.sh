@@ -12,6 +12,7 @@
 #                                 # every criterion bench (compile + run)
 #   scripts/ci.sh --obs-smoke     # the observability smoke check alone
 #   scripts/ci.sh --scrub-smoke   # the scrub smoke check alone
+#   scripts/ci.sh --alloc-smoke   # the allocation-throughput gate alone
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +34,13 @@ scrub_smoke() {
   run cargo run --release -p wafl-harness --bin scrub_smoke >/dev/null
 }
 
+# Allocation-throughput gate: the cache-guided hot path must not fall
+# below 1.0x the cache-less sweep on the overwrite+CP workload
+# (best-of-3 trials per arm to damp scheduler noise).
+alloc_smoke() {
+  run cargo run --release -p wafl-harness --bin alloc_smoke
+}
+
 if [[ "${1:-}" == "--obs-smoke" ]]; then
   obs_smoke
   echo "CI gates passed."
@@ -45,11 +53,18 @@ if [[ "${1:-}" == "--scrub-smoke" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--alloc-smoke" ]]; then
+  alloc_smoke
+  echo "CI gates passed."
+  exit 0
+fi
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test -q
 obs_smoke
 scrub_smoke
+alloc_smoke
 
 if [[ "${1:-}" == "--torture" ]]; then
   run cargo test --release -p wafl-fs --test crash_consistency -- --ignored
