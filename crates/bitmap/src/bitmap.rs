@@ -1,7 +1,8 @@
 //! The whole activemap for one block-number space, with dirty-page
 //! accounting.
 
-use crate::page::BitmapPage;
+use crate::page::{BitmapPage, WORDS_PER_PAGE};
+use rayon::prelude::*;
 use wafl_types::{Vbn, WaflError, WaflResult, BITS_PER_BITMAP_BLOCK};
 
 /// Per-consistency-point accounting of bitmap-metafile I/O.
@@ -371,6 +372,131 @@ impl Bitmap {
         Ok(())
     }
 
+    /// Visit the global word indices and bit masks covering a strictly
+    /// ascending VBN list: `f(word_index, mask)` once per touched word,
+    /// in ascending word order, with every listed bit of that word OR'd
+    /// into one mask.
+    fn for_sorted_word_groups(vbns: &[Vbn], mut f: impl FnMut(usize, u64)) {
+        let mut open = usize::MAX;
+        let mut mask = 0u64;
+        for &v in vbns {
+            let w = (v.get() / 64) as usize;
+            if w != open {
+                if open != usize::MAX {
+                    f(open, mask);
+                }
+                open = w;
+                mask = 0;
+            }
+            mask |= 1u64 << (v.get() % 64);
+        }
+        if open != usize::MAX {
+            f(open, mask);
+        }
+    }
+
+    /// Free a strictly ascending batch of individual VBNs with one masked
+    /// word store per touched 64-bit word — the CP delayed-free fast
+    /// path. Random overwrite traffic frees thousands of *isolated*
+    /// blocks per CP; pushing each through [`Bitmap::free`] (or length-1
+    /// runs through [`Bitmap::mutate_runs_partitioned`]'s segment
+    /// machinery) pays per-call bookkeeping that dwarfs the single bit
+    /// flip. Here neighbours sharing a word collapse into one mask check
+    /// and one store, and every summary counter advances by a popcount
+    /// per word instead of once per block.
+    ///
+    /// Requirements: `vbns` strictly ascending (duplicates are rejected —
+    /// a duplicate is a double free). Atomicity matches [`Bitmap::free`]
+    /// batch-wide: every bit is verified allocated before any bit
+    /// changes, so an error leaves the bitmap untouched. `DirtyStats`
+    /// accounting is identical to calling [`Bitmap::free`] once per VBN.
+    pub fn free_sorted_blocks(&mut self, vbns: &[Vbn]) -> WaflResult<()> {
+        if vbns.is_empty() {
+            return Ok(());
+        }
+        let mut prev = None;
+        for &v in vbns {
+            if v.get() >= self.space_len {
+                return Err(WaflError::VbnOutOfRange {
+                    vbn: v,
+                    space_len: self.space_len,
+                });
+            }
+            if let Some(p) = prev {
+                if v.get() <= p {
+                    return Err(WaflError::InvalidConfig {
+                        reason: format!(
+                            "free_sorted_blocks: VBN {} out of order after {p}",
+                            v.get()
+                        ),
+                    });
+                }
+            }
+            prev = Some(v.get());
+        }
+        // Pass 1: verify every listed bit is allocated, so a double free
+        // mid-batch cannot leave a half-applied mutation.
+        let mut bad = None;
+        Self::for_sorted_word_groups(vbns, |wg, mask| {
+            if bad.is_none() {
+                let free = !self.pages[wg / WORDS_PER_PAGE].words()[wg % WORDS_PER_PAGE] & mask;
+                if free != 0 {
+                    bad = Some(Vbn(wg as u64 * 64 + free.trailing_zeros() as u64));
+                }
+            }
+        });
+        if let Some(vbn) = bad {
+            return Err(WaflError::BitmapStateMismatch {
+                vbn,
+                expected_free: false,
+            });
+        }
+        // Pass 2: apply, one store and one set of counter bumps per word.
+        let Bitmap {
+            pages,
+            dirty,
+            stats,
+            free_blocks,
+            page_free,
+            aa_summary,
+            ..
+        } = self;
+        let mut freed = 0u64;
+        Self::for_sorted_word_groups(vbns, |wg, mask| {
+            let p = wg / WORDS_PER_PAGE;
+            pages[p].clear_word_bits(wg % WORDS_PER_PAGE, mask);
+            let n = mask.count_ones();
+            page_free[p] += n as u16;
+            if !dirty[p] {
+                dirty[p] = true;
+                stats.pages_dirtied += 1;
+            }
+            stats.bits_flipped += n as u64;
+            freed += n as u64;
+            if let Some(sm) = aa_summary.as_mut() {
+                if sm.aa_blocks.is_multiple_of(64) {
+                    // A word never straddles an AA boundary: one bump.
+                    sm.counts[((wg as u64 * 64) / sm.aa_blocks) as usize] += n;
+                } else {
+                    let mut m = mask;
+                    while m != 0 {
+                        let b = m.trailing_zeros() as u64;
+                        sm.counts[((wg as u64 * 64 + b) / sm.aa_blocks) as usize] += 1;
+                        m &= m - 1;
+                    }
+                }
+            }
+        });
+        *free_blocks += freed;
+        if cfg!(debug_assertions) {
+            let first = vbns[0];
+            let last = *vbns.last().expect("non-empty");
+            self.debug_check_counters(first, (first.get() / BITS_PER_BITMAP_BLOCK) as usize);
+            self.debug_check_counters(last, (last.get() / BITS_PER_BITMAP_BLOCK) as usize);
+        }
+        Ok(())
+    }
+
     /// Iterate the maximal runs of consecutive free VBNs in
     /// `start .. start+len` as `(run_start, run_len)` pairs, ascending.
     /// Fully-allocated pages are skipped from their summary counter and
@@ -387,6 +513,212 @@ impl Bitmap {
             next: start.get(),
             end,
         }
+    }
+
+    /// Apply a whole batch of disjoint runs — all allocations or all
+    /// frees — with the word stores fanned out over up to `workers`
+    /// threads. This is the concurrent-apply primitive behind the sharded
+    /// CP pipeline: shards produce runs over disjoint AAs, the runs are
+    /// split at metafile-page boundaries here, and each worker owns a
+    /// contiguous, non-overlapping range of pages (its words, its
+    /// `page_free` counters, its dirty flags), so no two threads ever
+    /// touch the same cache line of bitmap state. The scalar counters
+    /// (`free_blocks`, `DirtyStats`, the per-AA summary) are merged
+    /// serially after the join — they are O(runs), not O(blocks).
+    ///
+    /// Requirements: `runs` must be sorted by start VBN and pairwise
+    /// disjoint (zero-length runs are allowed and skipped). Atomicity
+    /// matches [`Bitmap::allocate_run`]: the whole batch is verified to
+    /// be in the expected state before any bit changes, so an error
+    /// leaves the bitmap untouched.
+    ///
+    /// With `workers <= 1` (or few touched pages) everything runs inline
+    /// on the calling thread; the result is bit-for-bit identical to
+    /// applying each run with [`Bitmap::allocate_run`]/[`Bitmap::free_run`]
+    /// in order, at any worker count.
+    pub fn mutate_runs_partitioned(
+        &mut self,
+        runs: &[(Vbn, u64)],
+        alloc: bool,
+        workers: usize,
+    ) -> WaflResult<()> {
+        // ---- validate shape + expected state (read-only) ---------------
+        let mut prev_end = 0u64;
+        let mut total = 0u64;
+        for (i, &(start, len)) in runs.iter().enumerate() {
+            if len == 0 {
+                continue;
+            }
+            let s = start.get();
+            let end = s.saturating_add(len);
+            if i > 0 && s < prev_end {
+                return Err(WaflError::InvalidConfig {
+                    reason: format!(
+                        "mutate_runs_partitioned: run {i} at {s} overlaps or \
+                         precedes the previous run ending at {prev_end}"
+                    ),
+                });
+            }
+            if s >= self.space_len || end > self.space_len {
+                let vbn = if s >= self.space_len {
+                    start
+                } else {
+                    Vbn(self.space_len)
+                };
+                return Err(WaflError::VbnOutOfRange {
+                    vbn,
+                    space_len: self.space_len,
+                });
+            }
+            prev_end = end;
+            total += len;
+        }
+        if total == 0 {
+            return Ok(());
+        }
+        // Per-page segments, in ascending page order (runs are sorted).
+        // Each segment is one run's overlap with one metafile page.
+        let mut segments: Vec<(usize, u64, u64)> = Vec::with_capacity(runs.len());
+        for &(start, len) in runs {
+            if len == 0 {
+                continue;
+            }
+            let s = start.get();
+            let end = s + len;
+            let mut pos = s;
+            while pos < end {
+                let p = (pos / BITS_PER_BITMAP_BLOCK) as usize;
+                let in_page = pos % BITS_PER_BITMAP_BLOCK;
+                let page_end = ((p as u64 + 1) * BITS_PER_BITMAP_BLOCK).min(end);
+                segments.push((p, in_page, in_page + (page_end - pos)));
+                pos = page_end;
+            }
+        }
+        // State check, so a mismatch mid-batch cannot half-apply it.
+        for &(p, a, b) in &segments {
+            let bad = if alloc {
+                self.pages[p].first_allocated_in(a, b)
+            } else {
+                self.pages[p].first_free_in(a, b)
+            };
+            if let Some(i) = bad {
+                return Err(WaflError::BitmapStateMismatch {
+                    vbn: Vbn(p as u64 * BITS_PER_BITMAP_BLOCK + i),
+                    expected_free: alloc,
+                });
+            }
+        }
+
+        // ---- partition pages across workers, apply ----------------------
+        // Cut the segment list into `workers` spans balanced by segment
+        // count, never splitting a page across two spans; then carve the
+        // page/counter/dirty vectors into matching disjoint `&mut` slices.
+        let workers = workers.clamp(1, segments.len().max(1));
+        struct Shard<'a> {
+            pages: &'a mut [BitmapPage],
+            page_free: &'a mut [u16],
+            dirty: &'a mut [bool],
+            base_page: usize,
+            segments: &'a [(usize, u64, u64)],
+        }
+        let mut shards: Vec<Shard<'_>> = Vec::with_capacity(workers);
+        {
+            let per_worker = segments.len().div_ceil(workers);
+            let mut rest_pages = &mut self.pages[..];
+            let mut rest_free = &mut self.page_free[..];
+            let mut rest_dirty = &mut self.dirty[..];
+            let mut consumed_pages = 0usize;
+            let mut seg_rest = &segments[..];
+            while !seg_rest.is_empty() {
+                let mut cut = per_worker.min(seg_rest.len());
+                // Keep all segments of one page in the same shard.
+                while cut < seg_rest.len() && seg_rest[cut].0 == seg_rest[cut - 1].0 {
+                    cut += 1;
+                }
+                let (mine, rest) = seg_rest.split_at(cut);
+                seg_rest = rest;
+                // Pages `..=last` (relative to what's left) go to this shard.
+                let last_page = mine.last().expect("cut >= 1").0;
+                let split = last_page + 1 - consumed_pages;
+                let (p, rp) = rest_pages.split_at_mut(split);
+                let (f, rf) = rest_free.split_at_mut(split);
+                let (d, rd) = rest_dirty.split_at_mut(split);
+                shards.push(Shard {
+                    pages: p,
+                    page_free: f,
+                    dirty: d,
+                    base_page: consumed_pages,
+                    segments: mine,
+                });
+                rest_pages = rp;
+                rest_free = rf;
+                rest_dirty = rd;
+                consumed_pages = last_page + 1;
+            }
+        }
+        let newly_dirtied: Vec<u64> = shards
+            .into_par_iter()
+            .map(|shard| {
+                let mut dirtied = 0u64;
+                for &(page, a, b) in shard.segments {
+                    let p = page - shard.base_page;
+                    let touched = (b - a) as u16;
+                    if alloc {
+                        shard.pages[p].set_range_allocated(a, b);
+                        shard.page_free[p] -= touched;
+                    } else {
+                        shard.pages[p].set_range_free(a, b);
+                        shard.page_free[p] += touched;
+                    }
+                    if !shard.dirty[p] {
+                        shard.dirty[p] = true;
+                        dirtied += 1;
+                    }
+                }
+                dirtied
+            })
+            .collect();
+
+        // ---- serial merge of the shared counters ------------------------
+        self.stats.pages_dirtied += newly_dirtied.iter().sum::<u64>();
+        self.stats.bits_flipped += total;
+        if alloc {
+            self.free_blocks -= total;
+        } else {
+            self.free_blocks += total;
+        }
+        if let Some(sm) = self.aa_summary.as_mut() {
+            for &(start, len) in runs {
+                if len == 0 {
+                    continue;
+                }
+                let s = start.get();
+                let end = s + len;
+                let first_aa = s / sm.aa_blocks;
+                let last_aa = (end - 1) / sm.aa_blocks;
+                for aa in first_aa..=last_aa {
+                    let aa_start = aa * sm.aa_blocks;
+                    let aa_end = aa_start + sm.aa_blocks;
+                    let overlap = (end.min(aa_end) - s.max(aa_start)) as u32;
+                    if alloc {
+                        sm.counts[aa as usize] -= overlap;
+                    } else {
+                        sm.counts[aa as usize] += overlap;
+                    }
+                }
+            }
+        }
+        if cfg!(debug_assertions) {
+            for &(start, len) in runs.iter().filter(|&&(_, len)| len > 0) {
+                let end = start.get() + len;
+                self.debug_check_counters(start, (start.get() / BITS_PER_BITMAP_BLOCK) as usize);
+                self.debug_check_counters(
+                    Vbn(end - 1),
+                    ((end - 1) / BITS_PER_BITMAP_BLOCK) as usize,
+                );
+            }
+        }
+        Ok(())
     }
 
     /// Debug-build parity check: the mutated page's (and AA's) summary
@@ -894,6 +1226,96 @@ mod tests {
             Err(WaflError::VbnOutOfRange { .. })
         ));
         assert!(bulk.allocate_run(Vbn(0), 0).is_ok());
+    }
+
+    #[test]
+    fn free_sorted_blocks_matches_per_block_free() {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        // An AA size that is not a multiple of 64 exercises the per-bit
+        // summary fallback; a page-sized one exercises the per-word fast
+        // path.
+        for aa_blocks in [1000, BITS_PER_BITMAP_BLOCK] {
+            let space = 3 * BITS_PER_BITMAP_BLOCK;
+            let mut bulk = Bitmap::new(space);
+            bulk.enable_aa_summary(aa_blocks).unwrap();
+            let mut bit = Bitmap::new(space);
+            bit.enable_aa_summary(aa_blocks).unwrap();
+            // Allocate everything, then free a scattered sorted subset
+            // (isolated bits, same-word neighbours, word and page
+            // boundaries all show up at this density).
+            for b in [&mut bulk, &mut bit] {
+                b.mutate_runs_partitioned(&[(Vbn(0), space)], true, 1)
+                    .unwrap();
+            }
+            let mut rng = StdRng::seed_from_u64(aa_blocks);
+            let mut vbns: Vec<Vbn> = (0..space)
+                .filter(|_| rng.random_bool(0.1))
+                .map(Vbn)
+                .collect();
+            for &must in &[
+                0,
+                63,
+                64,
+                BITS_PER_BITMAP_BLOCK - 1,
+                BITS_PER_BITMAP_BLOCK,
+                space - 1,
+            ] {
+                if !vbns.contains(&Vbn(must)) {
+                    vbns.push(Vbn(must));
+                }
+            }
+            vbns.sort_unstable();
+            bulk.free_sorted_blocks(&vbns).unwrap();
+            for &v in &vbns {
+                bit.free(v).unwrap();
+            }
+            assert_eq!(bulk.free_blocks(), bit.free_blocks());
+            assert_eq!(
+                bulk.aa_free_counts(aa_blocks),
+                bit.aa_free_counts(aa_blocks)
+            );
+            for p in 0..bulk.page_count() {
+                assert_eq!(bulk.pages[p].words(), bit.pages[p].words(), "page {p}");
+            }
+            assert_eq!(bulk.take_dirty_stats(), bit.take_dirty_stats());
+            bulk.verify_summary();
+        }
+    }
+
+    #[test]
+    fn free_sorted_blocks_is_atomic_and_validates_input() {
+        let mut b = Bitmap::new(2 * BITS_PER_BITMAP_BLOCK);
+        b.enable_aa_summary(BITS_PER_BITMAP_BLOCK).unwrap();
+        b.allocate_run(Vbn(100), 50).unwrap();
+        let stats_before = b.stats;
+        // VBN 200 is already free: the whole batch must bounce untouched,
+        // naming the offending VBN.
+        let err = b
+            .free_sorted_blocks(&[Vbn(100), Vbn(101), Vbn(200)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            WaflError::BitmapStateMismatch { vbn, expected_free: false } if vbn == Vbn(200)
+        ));
+        assert!(!b.is_free(Vbn(100)).unwrap());
+        assert_eq!(b.free_blocks(), 2 * BITS_PER_BITMAP_BLOCK - 50);
+        assert_eq!(b.stats, stats_before, "failed batch left no dirty marks");
+        // Duplicates are double frees; unsorted input is rejected too.
+        assert!(matches!(
+            b.free_sorted_blocks(&[Vbn(100), Vbn(100)]),
+            Err(WaflError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            b.free_sorted_blocks(&[Vbn(101), Vbn(100)]),
+            Err(WaflError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            b.free_sorted_blocks(&[Vbn(2 * BITS_PER_BITMAP_BLOCK)]),
+            Err(WaflError::VbnOutOfRange { .. })
+        ));
+        assert!(b.free_sorted_blocks(&[]).is_ok());
+        b.verify_summary();
     }
 
     #[test]

@@ -209,6 +209,14 @@ impl BitmapPage {
         });
     }
 
+    /// Clear every bit of `mask` in word `wi`. The caller must have
+    /// verified those bits are all set (see
+    /// [`BitmapPage::first_allocated_in`]); this does not re-check.
+    #[inline]
+    pub fn clear_word_bits(&mut self, wi: usize, mask: u64) {
+        self.words[wi] &= !mask;
+    }
+
     /// Iterate maximal runs of consecutive free bits as `(start, len)`
     /// pairs, in ascending order.
     pub fn free_runs(&self) -> FreeRuns<'_> {

@@ -13,16 +13,25 @@ use crate::bitmap::Bitmap;
 use rayon::prelude::*;
 use wafl_types::{AaId, AaScore};
 
+/// Minimum AA count before [`scores_par`] actually fans out over rayon.
+/// Below this the per-task dispatch overhead exceeds the range counts
+/// themselves (each AA is a handful of summary-counter reads), so
+/// [`scores_generic`] cuts over to the sequential walk and `scores_par`
+/// degenerates to [`scores_seq`]. Output is identical either way.
+pub const PAR_SCAN_MIN_AAS: u64 = 64;
+
 /// The one score-computation body behind [`scores_seq`] and
-/// [`scores_par`], so the summary fast path can never diverge between
-/// them:
+/// [`scores_par`], so the fast paths can never diverge between them:
 ///
 /// 1. a matching per-AA summary ([`Bitmap::aa_free_counts`]) turns the
 ///    whole rebuild into a sequential counter copy — O(1) per AA, no
-///    bitmap words touched (parallelism would only add overhead);
+///    bitmap words touched (parallelism would only add overhead, so the
+///    `parallel` flag is ignored here);
 /// 2. otherwise each AA is a [`Bitmap::free_count_range`], which answers
 ///    fully-covered pages from the per-page counters and popcounts only
-///    the partial edges, fanned out over rayon when `parallel`.
+///    the partial edges — fanned out over rayon when `parallel` is set
+///    *and* there are at least [`PAR_SCAN_MIN_AAS`] AAs to amortise the
+///    dispatch; smaller scans run sequentially regardless.
 fn scores_generic(bitmap: &Bitmap, aa_blocks: u64, parallel: bool) -> Vec<(AaId, AaScore)> {
     assert!(aa_blocks > 0, "aa_blocks must be positive");
     if let Some(counts) = bitmap.aa_free_counts(aa_blocks) {
@@ -38,7 +47,7 @@ fn scores_generic(bitmap: &Bitmap, aa_blocks: u64, parallel: bool) -> Vec<(AaId,
         let score = bitmap.free_count_range(start, aa_blocks);
         (AaId(aa as u32), AaScore(score))
     };
-    if parallel {
+    if parallel && aa_count >= PAR_SCAN_MIN_AAS {
         (0..aa_count).into_par_iter().map(score_one).collect()
     } else {
         (0..aa_count).map(score_one).collect()
@@ -50,18 +59,21 @@ fn scores_generic(bitmap: &Bitmap, aa_blocks: u64, parallel: bool) -> Vec<(AaId,
 /// included; its score reflects only in-range blocks because the bitmap
 /// pads its tail with allocated bits.
 ///
-/// Runs sequentially; see [`scores_par`] for the rayon version used by
-/// background rebuilds. Both answer from the free-count summary where one
+/// Always runs sequentially; see [`scores_par`] for the variant that may
+/// fan out over rayon. Both answer from the free-count summary where one
 /// is available (see [`scores_popcount`] for the raw-walk ground truth).
 pub fn scores_seq(bitmap: &Bitmap, aa_blocks: u64) -> Vec<(AaId, AaScore)> {
     scores_generic(bitmap, aa_blocks, false)
 }
 
-/// Parallel version of [`scores_seq`]. Identical output.
+/// Parallel version of [`scores_seq`], used by background rebuilds.
+/// Identical output; both share [`scores_generic`], so the summary fast
+/// path and the [`PAR_SCAN_MIN_AAS`] cutover (below which this runs
+/// sequentially too) can never make the two disagree.
 ///
-/// When `aa_blocks` is a multiple of the page size (the RAID-agnostic
-/// default is exactly one page), each task reduces whole pages and never
-/// shares a cache line with its neighbour.
+/// When it does fan out and `aa_blocks` is a multiple of the page size
+/// (the RAID-agnostic default is exactly one page), each task reduces
+/// whole pages and never shares a cache line with its neighbour.
 pub fn scores_par(bitmap: &Bitmap, aa_blocks: u64) -> Vec<(AaId, AaScore)> {
     scores_generic(bitmap, aa_blocks, true)
 }
@@ -172,6 +184,15 @@ mod tests {
         assert_eq!(seq.len(), 100_000_usize.div_ceil(12_345));
         let total: u64 = seq.iter().map(|&(_, s)| s.get() as u64).sum();
         assert_eq!(total, b.free_blocks());
+    }
+
+    #[test]
+    fn par_cutover_agrees_above_threshold() {
+        let b = aged_bitmap(100_000, 0.3, 11);
+        let aa_blocks = 1000;
+        // 100 AAs >= PAR_SCAN_MIN_AAS, so scores_par takes the rayon path.
+        assert!(100_000u64.div_ceil(aa_blocks) >= PAR_SCAN_MIN_AAS);
+        assert_eq!(scores_par(&b, aa_blocks), scores_seq(&b, aa_blocks));
     }
 
     #[test]

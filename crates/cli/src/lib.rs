@@ -249,6 +249,10 @@ pub struct SimulateReport {
     pub iron: Option<wafl_fs::iron::IronReport>,
     /// Runtime health and scrub metrics, when `--check` was given.
     pub health: Option<HealthReport>,
+    /// Measured wall-clock phase ratios versus the simulated cost
+    /// model's, when `--check` was given (absent if the window measured
+    /// no CPs).
+    pub wall_overlay: Option<wafl_fs::WallClockOverlay>,
 }
 
 /// Aggregate health summary printed by `--check`: the scrubber's state
@@ -387,6 +391,11 @@ pub fn run_simulate(o: &SimulateOpts) -> WaflResult<SimulateReport> {
         None
     };
     let health = o.check.then(|| health_report(&agg));
+    let wall_overlay = if o.check {
+        wafl_fs::WallClockOverlay::from_window(&stats.cp, stats.cps, &agg.config().cpu)
+    } else {
+        None
+    };
     Ok(SimulateReport {
         ops: o.ops,
         cps: stats.cps,
@@ -400,6 +409,7 @@ pub fn run_simulate(o: &SimulateOpts) -> WaflResult<SimulateReport> {
         smr_interventions: agg.groups().iter().map(|g| g.smr_interventions()).sum(),
         iron: iron_report,
         health,
+        wall_overlay,
     })
 }
 
@@ -465,6 +475,26 @@ impl SimulateReport {
                 "delayed-free backlog   {:>12}",
                 h.delayed_free_backlog as u64
             );
+        }
+        if let Some(w) = &self.wall_overlay {
+            let _ = writeln!(s, "wall µs / CP           {:>12.1}", w.wall_us_per_cp);
+            let _ = writeln!(s, "model µs / CP          {:>12.1}", w.model_us_per_cp);
+            let _ = writeln!(s, "wall / model ratio     {:>12.3}", w.total_ratio);
+            let _ = writeln!(
+                s,
+                "max phase drift        {:>11.1}%",
+                w.max_abs_drift * 100.0
+            );
+            for p in &w.phases {
+                let _ = writeln!(
+                    s,
+                    "  {:<20} wall {:>5.1}%  model {:>5.1}%  drift {:>+5.1}%",
+                    p.phase,
+                    p.wall_fraction * 100.0,
+                    p.model_fraction * 100.0,
+                    p.drift * 100.0
+                );
+            }
         }
         s
     }
@@ -579,10 +609,18 @@ mod tests {
             "--check JSON must carry per-volume vol=<id> labels: {json}"
         );
         assert!(json.contains("\"vol=0.allocator.cursor_misses\""));
+        let overlay = r
+            .wall_overlay
+            .as_ref()
+            .expect("--check builds the wall overlay");
+        assert!(overlay.wall_us_per_cp > 0.0);
+        assert!(overlay.model_us_per_cp > 0.0);
+        assert_eq!(overlay.phases.len(), 5);
         let text = r.to_text();
         assert!(text.contains("write amplification"));
         assert!(text.contains("clean"));
         assert!(text.contains("health"));
+        assert!(text.contains("wall / model ratio"));
     }
 
     #[test]

@@ -172,6 +172,55 @@ impl AaTopology {
         }
     }
 
+    /// The AA containing `vbn`, plus the end (exclusive) of the maximal
+    /// run of consecutive VBNs from `vbn` that stay inside that AA. Bulk
+    /// paths that walk sorted VBN lists (the CP delayed-free coalescers)
+    /// use the span end to tag whole runs with one lookup instead of one
+    /// `aa_of_vbn` per block: within `vbn..end` the AA cannot change.
+    ///
+    /// For RAID-aware topologies the span ends where the device's current
+    /// stripe band does (an AA is one VBN run *per device*); for RAID-
+    /// agnostic topologies it ends at the AA boundary itself.
+    pub fn aa_span_of_vbn(&self, vbn: Vbn) -> WaflResult<(AaId, Vbn)> {
+        match self {
+            AaTopology::RaidAware {
+                geometry,
+                stripes_per_aa,
+            } => {
+                let base = geometry.base_vbn.get();
+                let data_span = geometry.data_devices as u64 * geometry.device_blocks;
+                if vbn.get() < base || vbn.get() >= base + data_span {
+                    return Err(WaflError::VbnOutOfRange {
+                        vbn,
+                        space_len: base + data_span,
+                    });
+                }
+                let offset = vbn.get() - base;
+                let dev = offset / geometry.device_blocks;
+                let t = offset % geometry.device_blocks;
+                let aa = t / stripes_per_aa;
+                let band_end = ((aa + 1) * stripes_per_aa).min(geometry.device_blocks);
+                Ok((
+                    AaId(aa as u32),
+                    Vbn(base + dev * geometry.device_blocks + band_end),
+                ))
+            }
+            AaTopology::RaidAgnostic {
+                space_len,
+                aa_blocks,
+            } => {
+                if vbn.get() >= *space_len {
+                    return Err(WaflError::VbnOutOfRange {
+                        vbn,
+                        space_len: *space_len,
+                    });
+                }
+                let aa = vbn.get() / aa_blocks;
+                Ok((AaId(aa as u32), Vbn(((aa + 1) * aa_blocks).min(*space_len))))
+            }
+        }
+    }
+
     /// The AA containing `vbn`.
     pub fn aa_of_vbn(&self, vbn: Vbn) -> WaflResult<AaId> {
         match self {
@@ -254,6 +303,43 @@ mod tests {
         assert!(
             AaTopology::raid_agnostic(1 << 20, AaSizingPolicy::Stripes { stripes: 4096 }).is_err()
         );
+    }
+
+    #[test]
+    fn aa_span_agrees_with_per_vbn_lookup() {
+        // A base offset plus a trailing short AA on the RAID-aware side; a
+        // short trailing AA on the agnostic side. Every VBN's span must
+        // start in its own AA and cover exactly the same-AA suffix.
+        let g = RaidGeometry::new(RaidGroupId(0), 3, 1, 1000, Vbn(5000)).unwrap();
+        let topos = [
+            AaTopology::raid_aware(g, AaSizingPolicy::Stripes { stripes: 300 }).unwrap(),
+            AaTopology::raid_agnostic(
+                2 * RAID_AGNOSTIC_AA_BLOCKS + 100,
+                AaSizingPolicy::raid_agnostic(),
+            )
+            .unwrap(),
+        ];
+        for t in &topos {
+            let (lo, hi) = match t {
+                AaTopology::RaidAware { geometry, .. } => (
+                    geometry.base_vbn.get(),
+                    geometry.base_vbn.get() + geometry.data_devices as u64 * geometry.device_blocks,
+                ),
+                AaTopology::RaidAgnostic { space_len, .. } => (0, *space_len),
+            };
+            assert!(t.aa_span_of_vbn(Vbn(hi)).is_err());
+            let mut vbn = lo;
+            while vbn < hi {
+                let (aa, end) = t.aa_span_of_vbn(Vbn(vbn)).unwrap();
+                assert_eq!(aa, t.aa_of_vbn(Vbn(vbn)).unwrap());
+                assert!(end.get() > vbn && end.get() <= hi);
+                // Everything in the span shares the AA; the span is maximal
+                // (the next VBN, if in range, is in a different AA or a
+                // different device run).
+                assert_eq!(t.aa_of_vbn(Vbn(end.get() - 1)).unwrap(), aa);
+                vbn = end.get();
+            }
+        }
     }
 
     #[test]

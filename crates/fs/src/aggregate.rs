@@ -5,7 +5,6 @@ use crate::delayed_free::DelayedFreeLog;
 use crate::obs::FsObs;
 use crate::scrub::{HealthState, ScrubState, ScrubStatus};
 use crate::volume::FlexVol;
-use std::collections::HashSet;
 use wafl_bitmap::Bitmap;
 use wafl_core::{AaTopology, Hbps, HbpsConfig, RaidAwareCache, ScoreDeltaBatch};
 use wafl_media::{HddModel, MediaProfile, ObjectStoreModel, SmrModel, SsdFtl};
@@ -202,8 +201,16 @@ pub struct Aggregate {
     pub(crate) vols: Vec<FlexVol>,
     /// Client writes since the last CP, in arrival order, deduplicated
     /// (WAFL coalesces repeated overwrites of a block within one CP).
+    /// Dedup rides per-volume epoch stamps (`FlexVol::dirty_stamp` vs
+    /// `cp_epoch`), not a hash set: one indexed load per overwrite, and
+    /// the CP boundary invalidates every stamp by bumping the epoch.
     pub(crate) dirty: Vec<DirtyBlock>,
-    pub(crate) dirty_set: HashSet<DirtyBlock>,
+    /// Current dirty epoch; a logical block is dirty iff its stamp
+    /// equals this epoch's byte ([`Aggregate::epoch_stamp`]). Bumped at
+    /// every CP start and on volatile-state loss via
+    /// [`Aggregate::bump_epoch`], which also zeroes every stamp array
+    /// each time the byte wraps.
+    pub(crate) cp_epoch: u64,
     /// Deletions queued for the next CP (logical blocks to unmap).
     pub(crate) pending_deletes: Vec<DirtyBlock>,
     /// PVBNs freed by overwrites, applied at the CP boundary (§3.3's
@@ -357,19 +364,23 @@ impl Aggregate {
             .collect::<WaflResult<Vec<_>>>()?;
         let space = bitmap.space_len() as usize;
         let scrub = ScrubState::new(cfg.scrub_pages_per_cp);
+        let mut obs = FsObs::default();
+        if cfg.write_shards > 1 {
+            obs.register_shards(cfg.write_shards);
+        }
         Ok(Aggregate {
             cfg,
             bitmap,
             groups,
             vols,
             dirty: Vec::new(),
-            dirty_set: HashSet::new(),
+            cp_epoch: 1,
             pending_deletes: Vec::new(),
             delayed_pvbn_frees: Vec::new(),
             pvbn_owner: vec![OWNER_NONE; space],
             free_log: DelayedFreeLog::new(),
             cp_count: 0,
-            obs: FsObs::default(),
+            obs,
             scrub,
         })
     }
@@ -482,11 +493,34 @@ impl Aggregate {
                 space_len: v.logical_blocks(),
             });
         }
-        let d = DirtyBlock { vol, logical };
-        if self.dirty_set.insert(d) {
-            self.dirty.push(d);
+        let epoch = Self::epoch_stamp(self.cp_epoch);
+        let stamp = &mut self.vols[vol.index()].dirty_stamp[logical as usize];
+        if *stamp != epoch {
+            *stamp = epoch;
+            self.dirty.push(DirtyBlock { vol, logical });
         }
         Ok(())
+    }
+
+    /// The one-byte stamp value marking a block dirty in `epoch`: `0` is
+    /// reserved for "cleared", so the byte cycles through `1..=255`.
+    #[inline]
+    pub(crate) fn epoch_stamp(epoch: u64) -> u8 {
+        1 + (epoch % 255) as u8
+    }
+
+    /// Advance the dirty epoch. Stamps from earlier epochs read as clean
+    /// immediately; each time the epoch byte completes a cycle, every
+    /// volume's stamp array is zeroed so a 255-epoch-old stamp cannot
+    /// alias the fresh epoch byte (a 200k-block volume zeroes 200 KB
+    /// every 255 CPs — noise next to one CP, let alone 255).
+    pub(crate) fn bump_epoch(&mut self) {
+        self.cp_epoch += 1;
+        if self.cp_epoch.is_multiple_of(255) {
+            for v in &mut self.vols {
+                v.dirty_stamp.fill(0);
+            }
+        }
     }
 
     /// Queue a deletion of `logical` in `vol`: the block's virtual and
@@ -675,7 +709,7 @@ impl Aggregate {
     /// maps, owner map, the delayed-free *log*) survives.
     pub(crate) fn lose_volatile_state(&mut self) {
         self.dirty.clear();
-        self.dirty_set.clear();
+        self.bump_epoch();
         self.pending_deletes.clear();
         self.delayed_pvbn_frees.clear();
         for v in &mut self.vols {

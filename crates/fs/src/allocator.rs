@@ -88,7 +88,7 @@ impl AaBitset {
 
 /// Drain free VBNs of `aa` from `bitmap` (read-only) in write order, up to
 /// `quota` total in `out`. Returns whether the AA was exhausted.
-fn drain_ranges(
+pub(crate) fn drain_ranges(
     ranges: &[(Vbn, u64)],
     bitmap: &wafl_bitmap::Bitmap,
     quota: usize,
@@ -125,7 +125,11 @@ fn drain_ranges(
 /// summary-accelerated score paths. The quarantine machinery uses this:
 /// when summaries (or the cache built from them) are suspect, the raw
 /// bitmap words are the only state still trusted.
-fn popcount_score(topology: &wafl_core::AaTopology, bitmap: &wafl_bitmap::Bitmap, aa: AaId) -> u32 {
+pub(crate) fn popcount_score(
+    topology: &wafl_core::AaTopology,
+    bitmap: &wafl_bitmap::Bitmap,
+    aa: AaId,
+) -> u32 {
     topology
         .aa_vbn_ranges(aa)
         .iter()

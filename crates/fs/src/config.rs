@@ -76,6 +76,17 @@ pub struct AggregateConfig {
     pub pick_audit_sample: u32,
     /// CPU cost model for the per-op overhead accounting (§4.1.2).
     pub cpu: CpuModel,
+    /// Worker shards for the CP write pipeline. AAs are the sharding
+    /// unit: each shard leases disjoint AAs from the TopAA ranking and
+    /// drains them with no shared state on the per-block path; leases
+    /// return (re-ranked) at the CP boundary. `1` — the default — runs
+    /// the sharded pipeline single-threaded and fully deterministically;
+    /// values above 1 fan planning, binding, and the bulk bitmap applies
+    /// out over that many workers (capped by the host's cores). `0`
+    /// selects the pre-sharding legacy pipeline (per-block bind and
+    /// frees), kept as the parity/benchmark reference. See
+    /// `docs/perf.md` ("Sharded write allocation").
+    pub write_shards: usize,
 }
 
 impl AggregateConfig {
@@ -95,6 +106,7 @@ impl AggregateConfig {
             scrub_pages_per_cp: 0,
             pick_audit_sample: 64,
             cpu: CpuModel::default(),
+            write_shards: 1,
         }
     }
 

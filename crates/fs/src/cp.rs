@@ -7,10 +7,14 @@ use crate::allocator::{allocate_vvbns, plan_raid_group, AllocOutcome, AllocatorM
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wafl_faults::{CrashSite, FaultSession};
-use wafl_raid::analyze_cp_write;
+use wafl_raid::{analyze_cp_write, analyze_cp_write_runs};
 use wafl_types::{ChecksumStyle, Vbn, WaflError, WaflResult, AZCS_DATA_BLOCKS, AZCS_REGION_BLOCKS};
 
 /// How a faulted consistency point ended.
+// `Completed` carries the full per-CP stats inline: CPs run at hertz, not
+// megahertz, so the variant-size asymmetry costs nothing measurable and a
+// `Box` would only push the stats behind a pointer for every reader.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum CpOutcome {
     /// The CP ran to completion.
@@ -45,6 +49,178 @@ pub struct RgCpStats {
     /// Media time for this group (max across its devices — they operate
     /// in parallel), µs.
     pub media_us: f64,
+}
+
+/// Measured wall-clock time of one CP's pipeline phases, µs.
+///
+/// Every completed CP records these from a monotonic clock around each
+/// pipeline section — the only real-time measurement below the harness
+/// layer (the simulated cost model behind [`CpStats::cpu_us`] never
+/// reads a clock). About ten `Instant` reads per multi-millisecond CP,
+/// so the overlay itself is measurement noise. `simulate --check`
+/// compares these against the cost model's per-phase terms and reports
+/// the ratio drift (see [`WallClockOverlay`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpWallClock {
+    /// Virtual (per-volume) allocation planning.
+    pub plan_virtual_us: f64,
+    /// Physical (per-group) allocation planning, including quota
+    /// computation and any shortfall re-planning rounds.
+    pub plan_physical_us: f64,
+    /// Applying planned allocation runs to the bitmaps, plus the
+    /// metafile dirty-page accounting.
+    pub apply_us: f64,
+    /// Logical→virtual→physical binding and queued deletions.
+    pub bind_us: f64,
+    /// Delayed-free flush: virtual frees, then physical frees.
+    pub frees_us: f64,
+    /// Per-group media costing.
+    pub costing_us: f64,
+    /// CP-boundary cache rebalance (batch application + replenish).
+    pub rebalance_us: f64,
+    /// The whole CP pipeline, entry to completion.
+    pub total_us: f64,
+}
+
+impl CpWallClock {
+    /// Merge another CP's wall clock into an accumulator.
+    pub fn accumulate(&mut self, other: &CpWallClock) {
+        self.plan_virtual_us += other.plan_virtual_us;
+        self.plan_physical_us += other.plan_physical_us;
+        self.apply_us += other.apply_us;
+        self.bind_us += other.bind_us;
+        self.frees_us += other.frees_us;
+        self.costing_us += other.costing_us;
+        self.rebalance_us += other.rebalance_us;
+        self.total_us += other.total_us;
+    }
+
+    /// Sum of the individually timed phases (excludes pipeline glue that
+    /// only `total_us` covers).
+    pub fn phase_sum_us(&self) -> f64 {
+        self.plan_virtual_us
+            + self.plan_physical_us
+            + self.apply_us
+            + self.bind_us
+            + self.frees_us
+            + self.costing_us
+            + self.rebalance_us
+    }
+}
+
+/// Advance a lap timer: elapsed µs since the last mark, then re-mark.
+fn lap_us(mark: &mut std::time::Instant) -> f64 {
+    let us = mark.elapsed().as_secs_f64() * 1e6;
+    *mark = std::time::Instant::now();
+    us
+}
+
+/// One phase's wall-vs-model comparison inside a [`WallClockOverlay`].
+#[derive(Clone, Debug, Serialize)]
+pub struct PhaseDrift {
+    /// Phase label (see [`WallClockOverlay::from_window`] for the
+    /// wall↔model phase mapping).
+    pub phase: String,
+    /// This phase's fraction of the measured wall-clock phase time.
+    pub wall_fraction: f64,
+    /// This phase's fraction of the modelled CPU time.
+    pub model_fraction: f64,
+    /// `wall_fraction - model_fraction`.
+    pub drift: f64,
+}
+
+/// Wall-clock overlay over a measurement window: how the CP pipeline's
+/// *measured* phase ratios compare with the simulated cost model's — the
+/// ROADMAP item "validate the model's phase ratios against real
+/// execution time". Built from an accumulated [`CpStats`] window; the
+/// model terms are re-derived from the window's counters and the
+/// [`CpuModel`](crate::CpuModel) exactly as the CP engine computed them.
+#[derive(Clone, Debug, Serialize)]
+pub struct WallClockOverlay {
+    /// Mean measured pipeline time per CP, µs.
+    pub wall_us_per_cp: f64,
+    /// Mean modelled CPU time per CP, µs.
+    pub model_us_per_cp: f64,
+    /// `wall_us_per_cp / model_us_per_cp` — how much real time a unit of
+    /// modelled time took on this host (hardware-dependent; the *ratios*
+    /// below are the portable signal).
+    pub total_ratio: f64,
+    /// Per-phase fractions and their drift.
+    pub phases: Vec<PhaseDrift>,
+    /// Largest absolute per-phase drift.
+    pub max_abs_drift: f64,
+}
+
+impl WallClockOverlay {
+    /// Build the overlay from an accumulated window of `cps` consistency
+    /// points. Phase mapping (wall ↔ model):
+    ///
+    /// | label | wall phases | model terms |
+    /// |---|---|---|
+    /// | `allocation` | plan_virtual + plan_physical | alloc-candidate scan |
+    /// | `metafile_apply` | apply + frees | metafile page updates |
+    /// | `binding` | bind | per-op base + per-block |
+    /// | `cache_maintenance` | rebalance | cache ops + replenish scans |
+    /// | `costing` | costing | — (the model itself; no model term) |
+    ///
+    /// Returns `None` for an empty window (no completed CPs).
+    pub fn from_window(
+        stats: &CpStats,
+        cps: u64,
+        cpu: &crate::config::CpuModel,
+    ) -> Option<WallClockOverlay> {
+        if cps == 0 {
+            return None;
+        }
+        let w = &stats.wall;
+        let wall_sum = w.phase_sum_us();
+        let model_client = stats.ops as f64 * cpu.base_us_per_op;
+        let model_metafile = stats.metafile_pages as f64 * cpu.us_per_metafile_page;
+        let model_blocks = stats.blocks_written as f64 * cpu.us_per_block;
+        let model_alloc = stats.blocks_examined as f64 * cpu.us_per_alloc_candidate;
+        let model_cache = stats.cache_maintenance_us;
+        let model_replenish = stats.replenish_pages as f64 * cpu.us_per_scan_page;
+        let model_sum = stats.cpu_us;
+        if wall_sum <= 0.0 || model_sum <= 0.0 {
+            return None;
+        }
+        let pairs = [
+            (
+                "allocation",
+                w.plan_virtual_us + w.plan_physical_us,
+                model_alloc,
+            ),
+            ("metafile_apply", w.apply_us + w.frees_us, model_metafile),
+            ("binding", w.bind_us, model_client + model_blocks),
+            (
+                "cache_maintenance",
+                w.rebalance_us,
+                model_cache + model_replenish,
+            ),
+            ("costing", w.costing_us, 0.0),
+        ];
+        let phases: Vec<PhaseDrift> = pairs
+            .iter()
+            .map(|&(name, wall, model)| {
+                let wall_fraction = wall / wall_sum;
+                let model_fraction = model / model_sum;
+                PhaseDrift {
+                    phase: name.to_string(),
+                    wall_fraction,
+                    model_fraction,
+                    drift: wall_fraction - model_fraction,
+                }
+            })
+            .collect();
+        let max_abs_drift = phases.iter().map(|p| p.drift.abs()).fold(0.0, f64::max);
+        Some(WallClockOverlay {
+            wall_us_per_cp: w.total_us / cps as f64,
+            model_us_per_cp: model_sum / cps as f64,
+            total_ratio: w.total_us / model_sum,
+            phases,
+            max_abs_drift,
+        })
+    }
 }
 
 /// Results of one consistency point.
@@ -94,6 +270,9 @@ pub struct CpStats {
     pub cursor_hits: u64,
     /// Volume drains that started from the AA's first VBN.
     pub cursor_misses: u64,
+    /// Measured wall-clock phase times of the CP pipeline (the overlay;
+    /// all other durations in this struct are simulated).
+    pub wall: CpWallClock,
 }
 
 impl CpStats {
@@ -144,6 +323,9 @@ impl CpStats {
         self.replenish_pages += other.replenish_pages;
         self.delayed_frees_applied += other.delayed_frees_applied;
         self.delayed_free_pages += other.delayed_free_pages;
+        self.cursor_hits += other.cursor_hits;
+        self.cursor_misses += other.cursor_misses;
+        self.wall.accumulate(&other.wall);
         if self.per_rg.len() < other.per_rg.len() {
             self.per_rg.resize(other.per_rg.len(), RgCpStats::default());
         }
@@ -219,7 +401,9 @@ impl Aggregate {
             crate::scrub::run_step(self, faults)?;
         }
         let dirty = std::mem::take(&mut self.dirty);
-        self.dirty_set.clear();
+        // Invalidate every volume's dirty stamps in O(1): stamps from
+        // earlier epochs read as clean.
+        self.bump_epoch();
         let n = dirty.len();
         let mut stats = CpStats {
             cp_index: self.cp_count,
@@ -249,6 +433,9 @@ impl Aggregate {
         }
 
         // ---- 2. virtual allocation, parallel across volumes -----------
+        let cp_t0 = std::time::Instant::now();
+        let mut mark = cp_t0;
+        let mut wall = CpWallClock::default();
         let cp_seed = self.cp_count.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let vol_outcomes: Vec<WaflResult<AllocOutcome>> = self
             .vols
@@ -267,7 +454,7 @@ impl Aggregate {
                 allocate_vvbns(vol, logicals.len(), cp_seed ^ i as u64, mode)
             })
             .collect();
-        let mut vol_outcomes = vol_outcomes.into_iter().collect::<WaflResult<Vec<_>>>()?;
+        let vol_outcomes = vol_outcomes.into_iter().collect::<WaflResult<Vec<_>>>()?;
         // Observability accumulators (exported after the CP commits).
         let mut pick_errors: Vec<(u32, u32)> = Vec::new();
         let mut sweep_picks = 0u64;
@@ -296,6 +483,8 @@ impl Aggregate {
             }
         }
 
+        wall.plan_virtual_us += lap_us(&mut mark);
+
         // ---- 3. physical allocation: quotas, then parallel plans ------
         let mode = if self.cfg.raid_aware_cache {
             AllocatorMode::CacheGuided
@@ -305,23 +494,35 @@ impl Aggregate {
         let quotas = self.rg_quotas(n);
         let bitmap = &self.bitmap;
         let audit_sample = self.cfg.pick_audit_sample;
-        let plans: Vec<WaflResult<AllocOutcome>> = self
+        let shards = self.cfg.write_shards;
+        let plans: Vec<WaflResult<(AllocOutcome, crate::sharded::ShardStats)>> = self
             .groups
             .par_iter_mut()
             .zip(quotas.par_iter())
             .enumerate()
             .map(|(i, (g, &quota))| {
-                plan_raid_group(
+                crate::sharded::plan_raid_group_sharded(
                     g,
                     bitmap,
                     quota,
                     mode,
                     cp_seed ^ (0xABCD + i as u64),
                     audit_sample,
+                    shards,
                 )
             })
             .collect();
-        let plans = plans.into_iter().collect::<WaflResult<Vec<_>>>()?;
+        let mut shard_stats = crate::sharded::ShardStats::default();
+        let plans: Vec<AllocOutcome> = plans
+            .into_iter()
+            .map(|r| {
+                r.map(|(out, s)| {
+                    shard_stats.accumulate(&s);
+                    out
+                })
+            })
+            .collect::<WaflResult<_>>()?;
+        wall.plan_physical_us += lap_us(&mut mark);
         // Apply the plans to the shared bitmap (serial, cheap bit sets).
         if let Some(site @ CrashSite::AfterBlockWrites(limit)) = crash {
             // Power loss after `limit` physical block writes hit stable
@@ -343,12 +544,33 @@ impl Aggregate {
         }
         let mut pvbns: Vec<Vbn> = Vec::with_capacity(n);
         let mut per_rg_vbns: Vec<Vec<Vbn>> = Vec::with_capacity(self.groups.len());
-        for plan in &plans {
-            for &(start, len) in &plan.runs {
-                self.bitmap.allocate_run(start, len)?;
+        // The sharded pipeline costs media per run instead of per block
+        // (step 7); it carries runs forward, the legacy pipeline blocks.
+        let mut per_rg_runs: Vec<Vec<(Vbn, u64)>> = Vec::with_capacity(self.groups.len());
+        if shards == 0 {
+            for plan in &plans {
+                for &(start, len) in &plan.runs {
+                    self.bitmap.allocate_run(start, len)?;
+                }
+                pvbns.extend_from_slice(&plan.vbns);
+                per_rg_vbns.push(plan.vbns.clone());
+                per_rg_runs.push(Vec::new());
             }
-            pvbns.extend_from_slice(&plan.vbns);
-            per_rg_vbns.push(plan.vbns.clone());
+        } else {
+            // Sharded pipeline: every group's runs are disjoint (groups
+            // own disjoint VBN ranges; within a group, shards drained
+            // disjoint AAs), so the whole CP applies as one sorted,
+            // page-partitioned bulk mutation.
+            let mut all_runs: Vec<(Vbn, u64)> =
+                plans.iter().flat_map(|p| p.runs.iter().copied()).collect();
+            all_runs.sort_unstable_by_key(|&(start, _)| start.get());
+            self.bitmap
+                .mutate_runs_partitioned(&all_runs, true, shards)?;
+            for plan in &plans {
+                pvbns.extend_from_slice(&plan.vbns);
+                per_rg_vbns.push(Vec::new());
+                per_rg_runs.push(plan.runs.clone());
+            }
         }
         for (g, plan) in self.groups.iter().zip(&plans) {
             stats.agg_picks += plan.picked.len() as u64;
@@ -361,6 +583,7 @@ impl Aggregate {
                 stats.agg_pick_free_sum += score.get() as f64 / max.max(1.0);
             }
         }
+        wall.apply_us += lap_us(&mut mark);
         // Shortfall: serial second round against the updated bitmap.
         let mut drained_late: Vec<(usize, wafl_types::AaId)> = Vec::new();
         let mut shortfall = n.saturating_sub(pvbns.len());
@@ -396,7 +619,11 @@ impl Aggregate {
                     stats.agg_pick_free_sum += score.get() as f64 / max.max(1.0);
                 }
                 pvbns.extend_from_slice(&plan.vbns);
-                per_rg_vbns[i].extend_from_slice(&plan.vbns);
+                if shards == 0 {
+                    per_rg_vbns[i].extend_from_slice(&plan.vbns);
+                } else {
+                    per_rg_runs[i].extend_from_slice(&plan.runs);
+                }
                 for &aa in &plan.drained {
                     drained_late.push((i, aa));
                 }
@@ -432,19 +659,59 @@ impl Aggregate {
             }
         }
 
+        wall.plan_physical_us += lap_us(&mut mark);
+
         // ---- 4. bind logical -> virtual -> physical; collect frees ----
-        let mut pvbn_iter = pvbns.iter().copied();
-        for (vol_idx, logicals) in per_vol.iter().enumerate() {
-            let outcome = std::mem::take(&mut vol_outcomes[vol_idx]);
-            let vol = &mut self.vols[vol_idx];
-            debug_assert_eq!(outcome.vbns.len(), logicals.len());
-            for (&logical, &vvbn) in logicals.iter().zip(&outcome.vbns) {
-                let pvbn = pvbn_iter.next().expect("pvbn count == vvbn count");
-                self.pvbn_owner[pvbn.index()] = pack_owner(vol.id, vvbn);
-                if let Some((old_v, old_p)) = vol.remap(logical, vvbn, pvbn) {
-                    vol.delayed_vvbn_frees.push(old_v);
-                    self.delayed_pvbn_frees.push(old_p);
+        if shards == 0 {
+            let mut pvbn_iter = pvbns.iter().copied();
+            for (vol_idx, logicals) in per_vol.iter().enumerate() {
+                let outcome = &vol_outcomes[vol_idx];
+                let vol = &mut self.vols[vol_idx];
+                debug_assert_eq!(outcome.vbns.len(), logicals.len());
+                for (&logical, &vvbn) in logicals.iter().zip(&outcome.vbns) {
+                    let pvbn = pvbn_iter.next().expect("pvbn count == vvbn count");
+                    self.pvbn_owner[pvbn.index()] = pack_owner(vol.id, vvbn);
+                    if let Some((old_v, old_p)) = vol.remap(logical, vvbn, pvbn) {
+                        vol.delayed_vvbn_frees.push(old_v);
+                        self.delayed_pvbn_frees.push(old_p);
+                    }
                 }
+            }
+        } else {
+            // Each volume's pvbns occupy one contiguous chunk (allocation
+            // filled `pvbns` in `per_vol` order), so the volume-local part
+            // of the bind — the logical and vvbn map updates — fans out
+            // over volumes with no shared state. The aggregate-side owner
+            // table and delayed-free list update serially after, in the
+            // same volume order as the legacy loop.
+            let mut chunks: Vec<&[Vbn]> = Vec::with_capacity(per_vol.len());
+            let mut off = 0usize;
+            for logicals in &per_vol {
+                chunks.push(&pvbns[off..off + logicals.len()]);
+                off += logicals.len();
+            }
+            let items: Vec<(&Vec<u64>, &AllocOutcome, &[Vbn])> = per_vol
+                .iter()
+                .zip(vol_outcomes.iter())
+                .zip(chunks.iter())
+                .map(|((l, o), c)| (l, o, *c))
+                .collect();
+            let freed_per_vol: Vec<Vec<Vbn>> = self
+                .vols
+                .par_iter_mut()
+                .zip(items.into_par_iter())
+                .map(|(vol, (logicals, outcome, chunk))| {
+                    debug_assert_eq!(outcome.vbns.len(), logicals.len());
+                    vol.remap_batch(logicals, &outcome.vbns, chunk)
+                })
+                .collect();
+            for ((vol, chunk), outcome) in self.vols.iter().zip(&chunks).zip(&vol_outcomes) {
+                for (&pvbn, &vvbn) in chunk.iter().zip(&outcome.vbns) {
+                    self.pvbn_owner[pvbn.index()] = pack_owner(vol.id, vvbn);
+                }
+            }
+            for freed in freed_per_vol {
+                self.delayed_pvbn_frees.extend(freed);
             }
         }
 
@@ -467,9 +734,16 @@ impl Aggregate {
             return Ok(CpOutcome::Crashed(site));
         }
 
+        wall.bind_us += lap_us(&mut mark);
+
         // ---- 5. delayed frees at the CP boundary (§3.3) ---------------
-        for vol in &mut self.vols {
-            vol.flush_delayed_frees()?;
+        let flush_results: Vec<WaflResult<u64>> = self
+            .vols
+            .par_iter_mut()
+            .map(|vol| vol.flush_delayed_frees())
+            .collect();
+        for r in flush_results {
+            r?;
         }
         if let Some(site @ CrashSite::MidFreeLogApply(k)) = crash {
             // The crash interrupts delayed-free application: `k` frees
@@ -535,7 +809,7 @@ impl Aggregate {
             })?;
             stats.delayed_frees_applied = dstats.frees_applied;
             stats.delayed_free_pages = dstats.pages_processed;
-        } else {
+        } else if shards == 0 {
             for pvbn in std::mem::take(&mut self.delayed_pvbn_frees) {
                 self.bitmap.free(pvbn)?;
                 self.pvbn_owner[pvbn.index()] = OWNER_NONE;
@@ -553,7 +827,57 @@ impl Aggregate {
                     }
                 }
             }
+        } else {
+            // Sharded pipeline: sort, walk the batch once for owner,
+            // trim, and per-AA score accounting (the groups go by
+            // monotonically — they are ordered by base VBN), then clear
+            // every bit with the word-masked batch free instead of one
+            // bit flip per block. The score deltas commute, so the
+            // reordering is state-neutral.
+            let mut frees = std::mem::take(&mut self.delayed_pvbn_frees);
+            if !frees.is_empty() {
+                frees.sort_unstable();
+                let mut gi = 0usize;
+                // Sorted input means whole AA spans go by between
+                // topology lookups: one aa_span_of_vbn call per span
+                // crossed, not one aa_of_vbn per block — and one
+                // record_freed per span rather than per block, so the
+                // score batch sees a handful of AA entries instead of
+                // thousands of single-block updates.
+                let mut span_aa = wafl_types::AaId(0);
+                let mut span_end = Vbn(0);
+                let mut span_gi = 0usize;
+                let mut span_freed: u32 = 0;
+                for &pvbn in &frees {
+                    self.pvbn_owner[pvbn.index()] = OWNER_NONE;
+                    while !self.groups[gi].geometry.contains(pvbn) {
+                        gi += 1;
+                    }
+                    if pvbn >= span_end {
+                        if span_freed > 0 {
+                            self.groups[span_gi].batch.record_freed(span_aa, span_freed);
+                        }
+                        (span_aa, span_end) = self.groups[gi].topology.aa_span_of_vbn(pvbn)?;
+                        span_gi = gi;
+                        span_freed = 0;
+                    }
+                    span_freed += 1;
+                    if trim {
+                        let g = &mut self.groups[gi];
+                        let loc = g.geometry.vbn_to_loc(pvbn)?;
+                        if let DeviceMedia::Ssd(ftl) = &mut g.media[loc.device.index()] {
+                            ftl.trim(loc.dbn.get() as u32)?;
+                        }
+                    }
+                }
+                if span_freed > 0 {
+                    self.groups[span_gi].batch.record_freed(span_aa, span_freed);
+                }
+                self.bitmap.free_sorted_blocks(&frees)?;
+            }
         }
+
+        wall.frees_us += lap_us(&mut mark);
 
         // ---- 6. metafile I/O accounting (§2.5) -------------------------
         let mut pages = self.bitmap.take_dirty_stats().pages_dirtied;
@@ -561,15 +885,26 @@ impl Aggregate {
             pages += vol.bitmap.take_dirty_stats().pages_dirtied;
         }
         stats.metafile_pages = pages;
+        wall.apply_us += lap_us(&mut mark);
 
         // ---- 7. media costing, parallel per group ----------------------
+        // Legacy pipeline: per-block analysis (the parity oracle). Sharded
+        // pipeline: run-interval analysis — same numbers (equivalence is
+        // tested at both layers), a fraction of the work.
         let checksum = self.cfg.checksum;
-        let rg_stats: Vec<WaflResult<RgCpStats>> = self
-            .groups
-            .par_iter_mut()
-            .zip(per_rg_vbns.par_iter())
-            .map(|(g, vbns)| cost_raid_group(g, vbns, checksum))
-            .collect();
+        let rg_stats: Vec<WaflResult<RgCpStats>> = if shards == 0 {
+            self.groups
+                .par_iter_mut()
+                .zip(per_rg_vbns.par_iter())
+                .map(|(g, vbns)| cost_raid_group(g, vbns, checksum))
+                .collect()
+        } else {
+            self.groups
+                .par_iter_mut()
+                .zip(per_rg_runs.par_iter())
+                .map(|(g, runs)| cost_raid_group_runs(g, runs, checksum))
+                .collect()
+        };
         let mut cache_ops = 0u64;
         for rg in rg_stats {
             let rg = rg?;
@@ -577,6 +912,7 @@ impl Aggregate {
             stats.media_us_total += rg.media_us;
             stats.per_rg.push(rg);
         }
+        wall.costing_us += lap_us(&mut mark);
 
         // ---- 8. CP-boundary cache rebalance (§3.3) ----------------------
         let bitmap_ref = &self.bitmap;
@@ -668,6 +1004,7 @@ impl Aggregate {
                 batch_sizes.push(touched);
             }
         }
+        wall.rebalance_us += lap_us(&mut mark);
 
         // ---- 9. CPU model (§4.1.2) --------------------------------------
         // The per-phase terms below come from the simulated cost model
@@ -686,6 +1023,10 @@ impl Aggregate {
             + alloc_scan_us
             + stats.cache_maintenance_us
             + replenish_us;
+
+        wall.total_us = cp_t0.elapsed().as_secs_f64() * 1e6;
+
+        stats.wall = wall;
 
         self.cp_count += 1;
         stats.cp_index = self.cp_count - 1;
@@ -728,6 +1069,31 @@ impl Aggregate {
             .observe(stats.cache_maintenance_us);
         self.obs.cp_phase_replenish_us.observe(replenish_us);
         self.obs.cp_phase_media_us.observe(stats.media_us);
+        self.obs.cp_wall_total_us.observe(wall.total_us);
+        self.obs
+            .cp_wall_plan_virtual_us
+            .observe(wall.plan_virtual_us);
+        self.obs
+            .cp_wall_plan_physical_us
+            .observe(wall.plan_physical_us);
+        self.obs.cp_wall_apply_us.observe(wall.apply_us);
+        self.obs.cp_wall_bind_us.observe(wall.bind_us);
+        self.obs.cp_wall_frees_us.observe(wall.frees_us);
+        self.obs.cp_wall_costing_us.observe(wall.costing_us);
+        self.obs.cp_wall_rebalance_us.observe(wall.rebalance_us);
+        // Per-shard lease traffic (registered only when write_shards > 1;
+        // the fallback paths report empty stats).
+        for (i, (&leases, &steals)) in shard_stats
+            .leases
+            .iter()
+            .zip(&shard_stats.steals)
+            .enumerate()
+        {
+            if let Some(shard_obs) = self.obs.shard.get(i) {
+                shard_obs.leases.inc(leases);
+                shard_obs.steals.inc(steals);
+            }
+        }
         // Delta-scrape the maintenance counters of every cache structure
         // (plain u64s in wafl-core; this is their only reader).
         let free_log_delta = self.free_log.take_hbps_stats();
@@ -953,6 +1319,85 @@ fn cost_raid_group(
         Some(DeviceMedia::Hdd(h)) => h.random_read_cost_us(analysis.parity_reads),
         // Batched parity reads pipeline across the SSD's channels like
         // programs do; single-read latency (client_read) stays undivided.
+        Some(DeviceMedia::Ssd(s)) => {
+            s.random_read_cost_us(analysis.parity_reads) / s.channels.max(1.0)
+        }
+        Some(DeviceMedia::Smr(s)) => analysis.parity_reads as f64 * (s.position_us + s.transfer_us),
+        Some(DeviceMedia::Object(o)) => o.random_read_cost_us(analysis.parity_reads),
+        None => 0.0,
+    };
+    rg.media_us = dev_times.iter().copied().fold(0.0, f64::max) + parity_read_us;
+    Ok(rg)
+}
+
+/// [`cost_raid_group`] over allocation runs: identical numbers (the run
+/// analyzer is equivalence-tested against the per-block one, and the
+/// media models see the same sorted chain/DBN sequences), but the hot
+/// path scales with run count, not block count. The sharded CP pipeline
+/// uses this; the legacy pipeline keeps the per-block path as the oracle.
+fn cost_raid_group_runs(
+    g: &mut crate::aggregate::RaidGroupState,
+    runs: &[(Vbn, u64)],
+    checksum: ChecksumStyle,
+) -> WaflResult<RgCpStats> {
+    let rw = analyze_cp_write_runs(&g.geometry, runs)?;
+    let analysis = &rw.analysis;
+    let mut rg = RgCpStats {
+        blocks: analysis.data_blocks,
+        tetrises: analysis.tetrises,
+        full_stripes: analysis.full_stripes,
+        partial_stripes: analysis.partial_stripes,
+        parity_reads: analysis.parity_reads,
+        parity_writes: analysis.parity_writes,
+        per_device_blocks: analysis.per_device_blocks.clone(),
+        per_device_chains: analysis.per_device_chains.clone(),
+        media_us: 0.0,
+    };
+    if analysis.data_blocks == 0 {
+        return Ok(rg);
+    }
+    let d = g.geometry.data_devices as usize;
+    let mut dev_times: Vec<f64> = Vec::with_capacity(g.media.len());
+    let azcs_next = &mut g.azcs_next;
+    for (i, media) in g.media.iter_mut().enumerate() {
+        // Data devices write their merged chains; each parity device
+        // writes one block per written stripe — the stripe union.
+        let chains: &[(u64, u64)] = if i < d {
+            &rw.device_chains[i]
+        } else {
+            &rw.stripe_intervals
+        };
+        if chains.is_empty() {
+            dev_times.push(0.0);
+            continue;
+        }
+        let us = match media {
+            DeviceMedia::Hdd(h) => {
+                let blocks: u64 = chains.iter().map(|&(_, l)| l).sum();
+                h.write_cost_us(chains.len() as u64, blocks)
+            }
+            DeviceMedia::Ssd(ftl) => ftl.write_batch(
+                chains
+                    .iter()
+                    .flat_map(|&(s, l)| (s..s + l).map(|b| b as u32)),
+            )?,
+            DeviceMedia::Smr(smr) => {
+                let phys = match checksum {
+                    ChecksumStyle::Azcs => azcs_physical_chains(&mut azcs_next[i], chains),
+                    ChecksumStyle::Sector520 => chains.to_vec(),
+                };
+                let mut t = 0.0;
+                for (start, len) in phys {
+                    t += smr.write_chain(start, len)?;
+                }
+                t
+            }
+            DeviceMedia::Object(o) => o.write_cost_us(chains),
+        };
+        dev_times.push(us);
+    }
+    let parity_read_us = match g.media.first() {
+        Some(DeviceMedia::Hdd(h)) => h.random_read_cost_us(analysis.parity_reads),
         Some(DeviceMedia::Ssd(s)) => {
             s.random_read_cost_us(analysis.parity_reads) / s.channels.max(1.0)
         }

@@ -38,13 +38,15 @@ pub mod delayed_free;
 pub mod iron;
 pub mod mount;
 pub mod obs;
+mod paged_map;
 pub mod scrub;
+pub mod sharded;
 pub mod snapshot;
 mod volume;
 
 pub use aggregate::{Aggregate, RaidGroupState};
 pub use allocator::AllocatorMode;
 pub use config::{AggregateConfig, CpuModel, FlexVolConfig, RaidGroupSpec};
-pub use cp::{CpOutcome, CpStats};
+pub use cp::{CpOutcome, CpStats, CpWallClock, PhaseDrift, WallClockOverlay};
 pub use scrub::{HealthState, ScrubStatus};
 pub use volume::FlexVol;

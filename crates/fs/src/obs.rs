@@ -6,9 +6,12 @@
 //! construction and bumps an atomic. `docs/observability.md` catalogs every
 //! metric, its unit, and its emitting site.
 //!
-//! Durations recorded here come exclusively from the CP engine's simulated
-//! cost model ([`CpuModel`](crate::CpuModel) and the media models) — no
-//! `std::time` is read anywhere below the harness layer.
+//! Durations under `cp.phase.*` come exclusively from the CP engine's
+//! simulated cost model ([`CpuModel`](crate::CpuModel) and the media
+//! models). The `cp.wall.*` family is the one exception: it carries the
+//! CP pipeline's *measured* wall-clock phase times, recorded by the
+//! monotonic-clock overlay so `simulate --check` can report how far the
+//! model's phase ratios drift from real execution time.
 
 use wafl_core::{HbpsStats, HeapCacheStats};
 use wafl_obs::{Counter, Gauge, Histogram, Registry};
@@ -95,6 +98,30 @@ pub struct FsObs {
     pub(crate) cp_phase_replenish_us: Histogram,
     /// Simulated media time for the CP's device writes (slowest device).
     pub(crate) cp_phase_media_us: Histogram,
+    /// Measured wall-clock time of the whole CP pipeline.
+    pub(crate) cp_wall_total_us: Histogram,
+    /// Measured wall clock: virtual (per-volume) allocation planning.
+    pub(crate) cp_wall_plan_virtual_us: Histogram,
+    /// Measured wall clock: physical (per-group) allocation planning.
+    pub(crate) cp_wall_plan_physical_us: Histogram,
+    /// Measured wall clock: applying planned runs to the bitmaps.
+    pub(crate) cp_wall_apply_us: Histogram,
+    /// Measured wall clock: logical→virtual→physical binding.
+    pub(crate) cp_wall_bind_us: Histogram,
+    /// Measured wall clock: delayed-free flush (virtual + physical).
+    pub(crate) cp_wall_frees_us: Histogram,
+    /// Measured wall clock: per-group media costing.
+    pub(crate) cp_wall_costing_us: Histogram,
+    /// Measured wall clock: CP-boundary cache rebalance.
+    pub(crate) cp_wall_rebalance_us: Histogram,
+
+    // ---- fs::sharded (per-shard lease traffic, exported per CP) ---------
+    /// Per-shard lease/steal counters (`allocator.shard.{i}.*`), present
+    /// when the aggregate was configured with `write_shards > 1`. Worker
+    /// shards never touch these mid-CP: they tally plain integers in
+    /// their private outcomes, and the CP boundary folds the totals in
+    /// through these lock-free handles.
+    pub(crate) shard: Vec<ShardObs>,
 
     // ---- fs::mount ------------------------------------------------------
     /// Structures (groups + volumes) fast-pathed from a TopAA seed.
@@ -182,6 +209,16 @@ impl FsObs {
             cp_phase_replenish_us: registry
                 .histogram("cp.phase.replenish_scan_us", PHASE_US_BOUNDS),
             cp_phase_media_us: registry.histogram("cp.phase.media_us", PHASE_US_BOUNDS),
+            cp_wall_total_us: registry.histogram("cp.wall.total_us", PHASE_US_BOUNDS),
+            cp_wall_plan_virtual_us: registry.histogram("cp.wall.plan_virtual_us", PHASE_US_BOUNDS),
+            cp_wall_plan_physical_us: registry
+                .histogram("cp.wall.plan_physical_us", PHASE_US_BOUNDS),
+            cp_wall_apply_us: registry.histogram("cp.wall.apply_us", PHASE_US_BOUNDS),
+            cp_wall_bind_us: registry.histogram("cp.wall.bind_us", PHASE_US_BOUNDS),
+            cp_wall_frees_us: registry.histogram("cp.wall.frees_us", PHASE_US_BOUNDS),
+            cp_wall_costing_us: registry.histogram("cp.wall.costing_us", PHASE_US_BOUNDS),
+            cp_wall_rebalance_us: registry.histogram("cp.wall.rebalance_us", PHASE_US_BOUNDS),
+            shard: Vec::new(),
             mount_seed_hits: registry.counter("mount.topaa_seed_hits"),
             mount_degradations: registry.counter("mount.degradation_events"),
             mount_cold_pages: registry.counter("mount.cold_scan_pages"),
@@ -209,6 +246,23 @@ impl FsObs {
     /// The shared registry backing these handles.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Pre-register the `allocator.shard.{i}.*` lease-traffic counters
+    /// for `n` worker shards. Called once at aggregate construction when
+    /// sharded write allocation is configured; idempotent per name (the
+    /// registry returns the existing handle on re-registration).
+    pub(crate) fn register_shards(&mut self, n: usize) {
+        self.shard = (0..n)
+            .map(|i| ShardObs {
+                leases: self
+                    .registry
+                    .counter(&format!("allocator.shard.{i}.leases")),
+                steals: self
+                    .registry
+                    .counter(&format!("allocator.shard.{i}.steals")),
+            })
+            .collect();
     }
 
     /// Per-volume metric name under the `vol=<id>` label prefix, so
@@ -251,6 +305,17 @@ impl Default for FsObs {
     fn default() -> FsObs {
         FsObs::new(Registry::new())
     }
+}
+
+/// One worker shard's lease-traffic counters.
+#[derive(Clone, Debug)]
+pub(crate) struct ShardObs {
+    /// AAs this shard leased from the shared ranking (initial grants plus
+    /// re-leases after its AA ran dry).
+    pub(crate) leases: Counter,
+    /// AAs this shard stole from a sibling's pending lease queue after
+    /// the shared ranking ran dry.
+    pub(crate) steals: Counter,
 }
 
 #[cfg(test)]

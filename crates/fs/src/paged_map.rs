@@ -1,0 +1,184 @@
+//! A paged, direct-indexed `u64 -> u64` map for the CP bind path.
+//!
+//! The virtual→physical VBN map is the hottest structure in a CP: every
+//! written block inserts one entry and (on copy-on-write) removes the old
+//! one. A `HashMap` spends most of that time hashing; at ~8 Ki blocks per
+//! CP the hashing alone dominated the bind phase (see `docs/perf.md`).
+//!
+//! Keys here are virtual VBNs, bounded by the volume's configured virtual
+//! space, so the map can be *direct-indexed*: fixed-size pages of slots,
+//! allocated lazily the first time a key lands in them. Lookup, insert,
+//! and remove are a shift, a bounds-checked page deref, and a slot store —
+//! no hashing, no probing. Memory stays proportional to the *touched*
+//! regions of the space (thin-provisioned volumes never fault in pages for
+//! VBN ranges they never map), and because the allocator assigns VBNs in
+//! AA-dense order, touched pages run nearly full in practice.
+
+/// Slots per page. One page covers 4 Ki keys and costs 32 KiB — the same
+/// granularity as a bitmap metafile block, and small enough that sparse
+/// workloads waste little.
+const PAGE: usize = 4096;
+
+/// Slot sentinel for "no mapping". `u64::MAX` is never a valid physical
+/// VBN (spaces are far smaller), enforced by a debug assert on insert.
+const EMPTY: u64 = u64::MAX;
+
+/// Paged direct-indexed map; see the module docs.
+pub(crate) struct PagedMap {
+    pages: Vec<Option<Box<[u64; PAGE]>>>,
+    len: u64,
+}
+
+impl PagedMap {
+    /// An empty map for keys in `0..key_space`.
+    pub(crate) fn new(key_space: u64) -> PagedMap {
+        PagedMap {
+            pages: vec![None; (key_space as usize).div_ceil(PAGE)],
+            len: 0,
+        }
+    }
+
+    /// Number of mappings.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Value mapped to `key`, if any.
+    #[inline]
+    pub(crate) fn get(&self, key: u64) -> Option<u64> {
+        let page = self.pages.get(key as usize / PAGE)?.as_ref()?;
+        let v = page[key as usize % PAGE];
+        (v != EMPTY).then_some(v)
+    }
+
+    /// Map `key` to `value`, returning the previous value if present.
+    /// Panics if `key` is outside the map's key space.
+    #[inline]
+    pub(crate) fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        debug_assert_ne!(value, EMPTY, "PagedMap value sentinel collision");
+        let slot_page = &mut self.pages[key as usize / PAGE];
+        let page = slot_page.get_or_insert_with(|| Box::new([EMPTY; PAGE]));
+        let slot = &mut page[key as usize % PAGE];
+        let old = *slot;
+        *slot = value;
+        if old == EMPTY {
+            self.len += 1;
+            None
+        } else {
+            Some(old)
+        }
+    }
+
+    /// Remove `key`, returning its value if it was mapped.
+    #[inline]
+    pub(crate) fn remove(&mut self, key: u64) -> Option<u64> {
+        let page = self.pages.get_mut(key as usize / PAGE)?.as_mut()?;
+        let slot = &mut page[key as usize % PAGE];
+        let old = *slot;
+        if old == EMPTY {
+            return None;
+        }
+        *slot = EMPTY;
+        self.len -= 1;
+        Some(old)
+    }
+
+    /// Mutable access to `key`'s value, if mapped.
+    #[inline]
+    pub(crate) fn get_mut(&mut self, key: u64) -> Option<&mut u64> {
+        let page = self.pages.get_mut(key as usize / PAGE)?.as_mut()?;
+        let slot = &mut page[key as usize % PAGE];
+        (*slot != EMPTY).then_some(slot)
+    }
+
+    /// All `(key, value)` pairs in ascending key order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.pages.iter().enumerate().flat_map(|(pi, page)| {
+            page.iter().flat_map(move |p| {
+                p.iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v != EMPTY)
+                    .map(move |(si, &v)| ((pi * PAGE + si) as u64, v))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = PagedMap::new(100_000);
+        assert_eq!(m.get(42), None);
+        assert_eq!(m.insert(42, 7), None);
+        assert_eq!(m.insert(42, 8), Some(7));
+        assert_eq!(m.get(42), Some(8));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(42), Some(8));
+        assert_eq!(m.remove(42), None);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn pages_fault_in_lazily() {
+        let mut m = PagedMap::new(10 * PAGE as u64);
+        m.insert(5, 1);
+        m.insert(9 * PAGE as u64 + 3, 2);
+        assert_eq!(m.pages.iter().filter(|p| p.is_some()).count(), 2);
+        assert_eq!(m.get(5), Some(1));
+        assert_eq!(m.get(9 * PAGE as u64 + 3), Some(2));
+        assert_eq!(m.get(5 * PAGE as u64), None);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let mut m = PagedMap::new(3 * PAGE as u64);
+        for k in [7u64, 2, PAGE as u64 + 1, 2 * PAGE as u64] {
+            m.insert(k, k * 10);
+        }
+        let got: Vec<_> = m.iter().collect();
+        assert_eq!(
+            got,
+            vec![
+                (2, 20),
+                (7, 70),
+                (PAGE as u64 + 1, (PAGE as u64 + 1) * 10),
+                (2 * PAGE as u64, 2 * PAGE as u64 * 10),
+            ]
+        );
+    }
+
+    #[test]
+    fn get_mut_edits_in_place() {
+        let mut m = PagedMap::new(1000);
+        m.insert(1, 10);
+        *m.get_mut(1).unwrap() = 11;
+        assert_eq!(m.get(1), Some(11));
+        assert_eq!(m.get_mut(999), None);
+    }
+
+    #[test]
+    fn matches_hashmap_reference() {
+        use std::collections::HashMap;
+        let mut m = PagedMap::new(4096 * 4);
+        let mut r: HashMap<u64, u64> = HashMap::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 33) % (4096 * 4);
+            let val = state & 0xffff_ffff;
+            match state % 3 {
+                0 => assert_eq!(m.insert(key, val), r.insert(key, val)),
+                1 => assert_eq!(m.remove(key), r.remove(&key)),
+                _ => assert_eq!(m.get(key), r.get(&key).copied()),
+            }
+        }
+        assert_eq!(m.len(), r.len() as u64);
+        let mut pairs: Vec<_> = r.into_iter().collect();
+        pairs.sort_unstable();
+        assert_eq!(m.iter().collect::<Vec<_>>(), pairs);
+    }
+}

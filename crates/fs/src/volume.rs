@@ -2,6 +2,7 @@
 //! and the volume's RAID-agnostic AA cache.
 
 use crate::config::FlexVolConfig;
+use crate::paged_map::PagedMap;
 use crate::snapshot::{Snapshot, SnapshotId};
 use std::collections::{HashMap, HashSet};
 use wafl_bitmap::Bitmap;
@@ -35,10 +36,23 @@ pub struct FlexVol {
     pub(crate) cache: Option<RaidAgnosticCache>,
     /// Logical block → virtual VBN.
     logical_map: Vec<u64>,
-    /// Virtual VBN → physical VBN. Sparse: virtual spaces are thin-
-    /// provisioned and can dwarf the live data, so this maps only mapped
-    /// VBNs (memory proportional to live blocks, not volume size).
-    vvbn_map: HashMap<u64, u64>,
+    /// Dirty-epoch stamp per logical block: the block is queued for the
+    /// next CP iff its stamp equals the aggregate's current epoch byte
+    /// (`1 + cp_epoch % 255`; `0` = never stamped). Replaces a
+    /// per-overwrite hash-set membership test with an indexed load; the
+    /// CP boundary "clears" every stamp by bumping the epoch. One byte
+    /// per block keeps the whole array cache-resident on the overwrite
+    /// hot path (a `u64` stamp array is 8x the footprint for the same
+    /// information); the aggregate zeroes it every 255 epochs so a stale
+    /// stamp can never alias the current epoch byte after wraparound.
+    pub(crate) dirty_stamp: Vec<u8>,
+    /// Virtual VBN → physical VBN. Paged and direct-indexed: virtual
+    /// spaces are thin-provisioned and can dwarf the live data, so the
+    /// map faults in fixed-size pages on first touch (memory proportional
+    /// to touched regions, not volume size) — while the bind path, which
+    /// hits this once or twice per written block every CP, pays an index
+    /// computation instead of a hash (see `docs/perf.md`).
+    vvbn_map: PagedMap,
     /// Score deltas accumulated during the current CP.
     pub(crate) batch: ScoreDeltaBatch,
     /// Virtual VBNs freed by overwrites, applied at the CP boundary.
@@ -115,7 +129,8 @@ impl FlexVol {
             topology,
             cache,
             logical_map: vec![UNMAPPED; logical_blocks as usize],
-            vvbn_map: HashMap::new(),
+            dirty_stamp: vec![0; logical_blocks as usize],
+            vvbn_map: PagedMap::new(cfg.size_blocks),
             batch: ScoreDeltaBatch::new(),
             delayed_vvbn_frees: Vec::new(),
             active_aa: None,
@@ -169,7 +184,7 @@ impl FlexVol {
 
     /// Physical VBN backing a virtual VBN.
     pub fn lookup_vvbn(&self, vvbn: Vbn) -> Option<Vbn> {
-        self.vvbn_map.get(&vvbn.get()).map(|&p| Vbn(p))
+        self.vvbn_map.get(vvbn.get()).map(Vbn)
     }
 
     /// Record that `logical` now lives at (`vvbn`, `pvbn`). Returns the
@@ -187,6 +202,31 @@ impl FlexVol {
         self.release_or_detach(Vbn(old_v))
     }
 
+    /// CP bind for one volume's whole write set: record that each
+    /// `logicals[i]` now lives at (`vvbns[i]`, `pvbns[i]`), queue freed
+    /// old virtual VBNs on the volume's delayed-free list, and return the
+    /// freed *physical* VBNs for the aggregate's delayed-free path.
+    /// Semantically [`FlexVol::remap`] in a loop; shaped as a batch so
+    /// the CP engine can fan whole volumes out across worker shards —
+    /// every structure touched here belongs to this volume alone.
+    pub(crate) fn remap_batch(
+        &mut self,
+        logicals: &[u64],
+        vvbns: &[Vbn],
+        pvbns: &[Vbn],
+    ) -> Vec<Vbn> {
+        debug_assert_eq!(logicals.len(), vvbns.len());
+        debug_assert_eq!(logicals.len(), pvbns.len());
+        let mut freed_pvbns = Vec::with_capacity(logicals.len());
+        for ((&logical, &vvbn), &pvbn) in logicals.iter().zip(vvbns).zip(pvbns) {
+            if let Some((old_v, old_p)) = self.remap(logical, vvbn, pvbn) {
+                self.delayed_vvbn_frees.push(old_v);
+                freed_pvbns.push(old_p);
+            }
+        }
+        freed_pvbns
+    }
+
     /// Remove `logical`'s mapping entirely (file deletion / hole punch),
     /// returning the freed (vvbn, pvbn) pair for the delayed-free path
     /// (or `None` when a snapshot pins it).
@@ -202,27 +242,30 @@ impl FlexVol {
     /// The active file system no longer references `old_v`: free it now,
     /// or keep it (detached) for the snapshots that pin it.
     fn release_or_detach(&mut self, old_v: Vbn) -> Option<(Vbn, Vbn)> {
-        if self.vvbn_pinned(old_v) {
+        // `snap_refs` is only populated while snapshots exist; skipping
+        // the pin lookup when it is empty keeps the common no-snapshot
+        // bind path to pure map traffic.
+        if !self.snap_refs.is_empty() && self.vvbn_pinned(old_v) {
             self.detach_pinned(old_v);
             return None;
         }
         let old_p = self
             .vvbn_map
-            .remove(&old_v.get())
+            .remove(old_v.get())
             .expect("mapped vvbn lacked a pvbn");
         Some((old_v, Vbn(old_p)))
     }
 
     /// Remove and return `vvbn`'s physical mapping (snapshot release).
     pub(crate) fn take_vvbn_mapping(&mut self, vvbn: Vbn) -> Option<Vbn> {
-        self.vvbn_map.remove(&vvbn.get()).map(Vbn)
+        self.vvbn_map.remove(vvbn.get()).map(Vbn)
     }
 
     /// All referenced (vvbn, pvbn) pairs: the active file system plus
     /// snapshot-pinned blocks. This is what the aggregate's owner map
     /// mirrors.
     pub(crate) fn vvbn_entries(&self) -> impl Iterator<Item = (Vbn, Vbn)> + '_ {
-        self.vvbn_map.iter().map(|(&v, &p)| (Vbn(v), Vbn(p)))
+        self.vvbn_map.iter().map(|(v, p)| (Vbn(v), Vbn(p)))
     }
 
     /// Point an existing virtual VBN at a new physical location (segment
@@ -231,7 +274,7 @@ impl FlexVol {
     pub(crate) fn redirect_vvbn(&mut self, vvbn: Vbn, new_pvbn: Vbn) {
         let slot = self
             .vvbn_map
-            .get_mut(&vvbn.get())
+            .get_mut(vvbn.get())
             .expect("redirected vvbn must be mapped");
         *slot = new_pvbn.get();
     }
@@ -275,10 +318,10 @@ impl FlexVol {
     }
 
     /// Apply the CP boundary's delayed virtual frees (§3.3) in bulk:
-    /// sort, coalesce into consecutive runs split at AA boundaries, and
-    /// clear each run with one [`Bitmap::free_run`] — one summary update
-    /// per touched page instead of one per block. Invalidates the drain
-    /// cursor for any AA a free lands in. Returns the blocks freed.
+    /// sort, then clear the whole batch with
+    /// [`Bitmap::free_sorted_blocks`] — one masked word store per
+    /// touched word instead of one bit flip per block. Invalidates the
+    /// drain cursor for any AA a free lands in. Returns the blocks freed.
     pub(crate) fn flush_delayed_frees(&mut self) -> WaflResult<u64> {
         let mut frees = std::mem::take(&mut self.delayed_vvbn_frees);
         if frees.is_empty() {
@@ -286,24 +329,35 @@ impl FlexVol {
         }
         frees.sort_unstable();
         let total = frees.len() as u64;
-        let mut i = 0usize;
-        while i < frees.len() {
-            let start = frees[i];
-            let aa = self.topology.aa_of_vbn(start)?;
-            let mut len = 1u64;
-            while i + (len as usize) < frees.len()
-                && frees[i + len as usize].get() == start.get() + len
-                && self.topology.aa_of_vbn(frees[i + len as usize])? == aa
-            {
-                len += 1;
+        // Sorted input: one aa_span_of_vbn lookup per AA span crossed
+        // instead of one aa_of_vbn per block, one record_freed per span
+        // rather than per block, and one word-masked bitmap store per
+        // touched word via the batch free — random overwrites free
+        // thousands of isolated blocks, so per-block bookkeeping is the
+        // cost that matters here.
+        let mut span_aa = wafl_types::AaId(0);
+        let mut span_end = Vbn(0);
+        let mut span_freed: u32 = 0;
+        for &vbn in &frees {
+            if vbn >= span_end {
+                if span_freed > 0 {
+                    self.batch.record_freed(span_aa, span_freed);
+                    if self.drain_cursor.map(|(c, _)| c) == Some(span_aa) {
+                        self.drain_cursor = None;
+                    }
+                }
+                (span_aa, span_end) = self.topology.aa_span_of_vbn(vbn)?;
+                span_freed = 0;
             }
-            self.bitmap.free_run(start, len)?;
-            self.batch.record_freed(aa, len as u32);
-            if self.drain_cursor.map(|(c, _)| c) == Some(aa) {
+            span_freed += 1;
+        }
+        if span_freed > 0 {
+            self.batch.record_freed(span_aa, span_freed);
+            if self.drain_cursor.map(|(c, _)| c) == Some(span_aa) {
                 self.drain_cursor = None;
             }
-            i += len as usize;
         }
+        self.bitmap.free_sorted_blocks(&frees)?;
         Ok(total)
     }
 }
@@ -360,7 +414,7 @@ mod tests {
     }
 
     #[test]
-    fn flush_delayed_frees_coalesces_and_splits_at_aa_boundaries() {
+    fn flush_delayed_frees_splits_accounting_at_aa_boundaries() {
         let mut v = vol();
         // A run straddling the AA 0 / AA 1 boundary, queued in scrambled
         // order plus a lone block far away.

@@ -1,8 +1,10 @@
 //! Records the free-count-summary performance baseline: whole-bitmap
 //! score rebuild (summary versus the retained popcount walk) at 1 Mi
-//! blocks, summary-accelerated range counts, and the CP overwrite
-//! workload — written as `BENCH_bitmap.json` and `BENCH_cp.json` for the
-//! repo record (see `docs/perf.md`).
+//! blocks, summary-accelerated range counts, the CP overwrite workload,
+//! and the sharded-pipeline shard sweep — written as
+//! `BENCH_bitmap.json`, `BENCH_cp.json`, `BENCH_alloc.json`,
+//! `BENCH_parallel.json`, and `BENCH_obs.json` for the repo record (see
+//! `docs/perf.md`).
 //!
 //! Usage: `cargo run --release -p wafl-harness --bin bench_baseline
 //!         [--out-dir <dir>]` (default: current directory). Run via
@@ -205,12 +207,15 @@ struct CpBaseline {
 /// re-measured here so CP latency is part of the recorded baseline.
 /// Also returns the aggregate's observability snapshot so the allocator
 /// pipeline's counters land in the baseline record (`BENCH_obs.json`).
-fn cp_series(caches: bool) -> (CpSeries, String) {
+/// `shards` selects the CP pipeline: 0 = legacy pre-sharding, 1 = the
+/// sharded pipeline single-threaded (the default), >1 = fanned out.
+fn cp_series(caches: bool, shards: usize) -> (CpSeries, String) {
     const ROUNDS: u64 = 24;
     const OPS: u64 = 8192;
     let mut agg = Aggregate::new(
         AggregateConfig {
             raid_aware_cache: caches,
+            write_shards: shards,
             ..AggregateConfig::single_group(RaidGroupSpec {
                 data_devices: 4,
                 parity_devices: 1,
@@ -260,6 +265,62 @@ fn cp_series(caches: bool) -> (CpSeries, String) {
     (series, agg.obs().snapshot_json())
 }
 
+/// One shard-count sample of the CP workload.
+#[derive(Serialize)]
+struct ParallelSeries {
+    write_shards: usize,
+    ops_per_second: f64,
+    mean_round_ms: f64,
+    mean_cp_flush_ms: f64,
+}
+
+/// The sharded-pipeline record (`BENCH_parallel.json`): the caches-on CP
+/// workload across shard counts, against both the live legacy pipeline
+/// and the committed pre-sharding baseline.
+#[derive(Serialize)]
+struct ParallelBaseline {
+    /// The committed pre-sharding caches-on baseline (`BENCH_cp.json` as
+    /// recorded by the cache-guided allocation PR).
+    reference_ops_per_second: f64,
+    /// The legacy pipeline (`write_shards: 0`) measured on this host now.
+    legacy: ParallelSeries,
+    /// The sharded pipeline at increasing shard counts.
+    series: Vec<ParallelSeries>,
+    /// 4-shard ops/s over the committed reference — the acceptance gate
+    /// is >= 2.0.
+    speedup_4_shards_vs_reference: f64,
+    /// 4-shard ops/s over the live legacy run.
+    speedup_4_shards_vs_legacy: f64,
+}
+
+/// Caches-on CP-round throughput of the legacy pipeline and the sharded
+/// pipeline at 1/2/4/8 shards.
+fn parallel_baseline(reference_ops_per_second: f64) -> ParallelBaseline {
+    let sample = |shards: usize| {
+        let (s, _) = cp_series(true, shards);
+        ParallelSeries {
+            write_shards: shards,
+            ops_per_second: s.ops_per_second,
+            mean_round_ms: s.mean_round_ms,
+            mean_cp_flush_ms: s.mean_cp_flush_ms,
+        }
+    };
+    let legacy = sample(0);
+    let series: Vec<ParallelSeries> = [1, 2, 4, 8].into_iter().map(sample).collect();
+    let at4 = series
+        .iter()
+        .find(|s| s.write_shards == 4)
+        .map(|s| s.ops_per_second)
+        .unwrap_or(0.0);
+    ParallelBaseline {
+        reference_ops_per_second,
+        speedup_4_shards_vs_reference: at4 / reference_ops_per_second,
+        speedup_4_shards_vs_legacy: at4 / legacy.ops_per_second,
+        legacy,
+        series,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_dir = args
@@ -289,8 +350,8 @@ fn main() {
     );
 
     eprintln!("measuring CP overwrite workload...");
-    let (caches_on, obs_snapshot) = cp_series(true);
-    let (caches_off, obs_snapshot_off) = cp_series(false);
+    let (caches_on, obs_snapshot) = cp_series(true, 1);
+    let (caches_off, obs_snapshot_off) = cp_series(false, 1);
     let alloc = AllocBaseline {
         run_len,
         bulk_cycle_ns,
@@ -312,10 +373,31 @@ fn main() {
         cp.caches_off.ops_per_second, alloc.cache_on.cursor_hit_rate
     );
 
+    eprintln!("measuring sharded CP pipeline (shards = 0/1/2/4/8)...");
+    // The committed pre-sharding caches-on baseline (BENCH_cp.json).
+    let parallel = parallel_baseline(1_839_272.0);
+    eprintln!(
+        "  legacy {:.0} ops/s; 4 shards {:.0} ops/s \
+         ({:.2}x vs reference, {:.2}x vs legacy)",
+        parallel.legacy.ops_per_second,
+        parallel
+            .series
+            .iter()
+            .find(|s| s.write_shards == 4)
+            .map(|s| s.ops_per_second)
+            .unwrap_or(0.0),
+        parallel.speedup_4_shards_vs_reference,
+        parallel.speedup_4_shards_vs_legacy,
+    );
+
     for (name, json) in [
         ("BENCH_bitmap.json", serde_json::to_string_pretty(&bitmap)),
         ("BENCH_cp.json", serde_json::to_string_pretty(&cp)),
         ("BENCH_alloc.json", serde_json::to_string_pretty(&alloc)),
+        (
+            "BENCH_parallel.json",
+            serde_json::to_string_pretty(&parallel),
+        ),
         // Allocator-pipeline metrics of the caches-on run, verbatim from
         // the registry (already JSON).
         ("BENCH_obs.json", Ok(obs_snapshot)),

@@ -1,0 +1,203 @@
+//! Sharded write-allocation smoke gate: the sharded CP pipeline must
+//! beat the legacy single-threaded pipeline, and must agree with it.
+//!
+//! Two arms run the same overwrite+CP workload:
+//!
+//! * **legacy** — `write_shards: 0`, the pre-sharding pipeline (per-block
+//!   binds and frees), kept as the parity oracle;
+//! * **sharded** — `write_shards: 4`, the lease-based sharded planner
+//!   with partitioned bitmap applies.
+//!
+//! The gate (`scripts/ci.sh --par-smoke`) fails unless:
+//!
+//! 1. sharded *CP-pipeline* throughput ≥ 1.3x legacy (per-round minima
+//!    across `TRIALS` interleaved trials, damping scheduler noise — see
+//!    `fold_min`). The timed region is
+//!    the `run_cp` calls — write allocation, bind, delayed frees, and
+//!    costing, i.e. exactly the pipeline this gate covers; the client
+//!    ingest loop that queues the overwrites is byte-identical code in
+//!    both arms and would only dilute the comparison with its noise. The
+//!    sharded pipeline's structural wins (seq-merged lease plans, run-
+//!    based costing, word-masked batch frees) must hold even on a
+//!    single-core host where thread fan-out adds nothing;
+//! 2. zero parity diffs: identical aggregate free space, per-volume free
+//!    space, and logical→virtual mappings after the full workload.
+//!
+//! End-to-end throughput (client ingest + CP) is printed alongside for
+//! context but is not gated.
+//!
+//! Usage: `cargo run --release -p wafl-harness --bin par_smoke`.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Instant;
+use wafl_fs::{Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_media::MediaProfile;
+use wafl_types::{VolumeId, BITS_PER_BITMAP_BLOCK};
+
+const ROUNDS: u64 = 10;
+const OPS: u64 = 8192;
+const TRIALS: u32 = 5;
+const LOGICAL: u64 = 200_000;
+const MIN_SPEEDUP: f64 = 1.3;
+const SHARDS: usize = 4;
+
+fn build(shards: usize) -> Aggregate {
+    let mut agg = Aggregate::new(
+        AggregateConfig {
+            write_shards: shards,
+            ..AggregateConfig::single_group(RaidGroupSpec {
+                data_devices: 4,
+                parity_devices: 1,
+                device_blocks: 64 * 4096,
+                profile: MediaProfile::hdd(),
+            })
+        },
+        &[(
+            FlexVolConfig {
+                size_blocks: 16 * BITS_PER_BITMAP_BLOCK,
+                aa_cache: true,
+                aa_blocks: None,
+            },
+            LOGICAL,
+        )],
+        1,
+    )
+    .expect("aggregate");
+    wafl_fs::aging::fill_volume(&mut agg, VolumeId(0), 8192).expect("fill");
+    agg
+}
+
+/// Everything the two pipelines must agree on after the workload.
+#[derive(PartialEq, Debug)]
+struct Digest {
+    agg_free: u64,
+    vol_free: u64,
+    /// logical → vvbn for every logical block (placement-independent).
+    vvbn_map: Vec<Option<u64>>,
+}
+
+fn digest(agg: &Aggregate) -> Digest {
+    let vol = &agg.volumes()[0];
+    Digest {
+        agg_free: agg.bitmap().free_blocks(),
+        vol_free: vol.free_blocks(),
+        vvbn_map: (0..LOGICAL)
+            .map(|l| vol.lookup_logical(l).map(|v| v.get()))
+            .collect(),
+    }
+}
+
+/// One timed run: per-round CP-pipeline wall seconds, end-to-end wall
+/// seconds, and the end-state digest (identical op sequence per call —
+/// same seed).
+fn run_arm(shards: usize) -> (Vec<f64>, f64, Digest) {
+    let mut agg = build(shards);
+    let mut rng = StdRng::seed_from_u64(13);
+    let start = Instant::now();
+    let mut cp_secs = Vec::with_capacity(ROUNDS as usize);
+    for _ in 0..ROUNDS {
+        for _ in 0..OPS {
+            agg.client_overwrite(VolumeId(0), rng.random_range(0..LOGICAL))
+                .expect("overwrite");
+        }
+        let cp = Instant::now();
+        agg.run_cp().expect("cp");
+        cp_secs.push(cp.elapsed().as_secs_f64());
+    }
+    let total_secs = start.elapsed().as_secs_f64();
+    (cp_secs, total_secs, digest(&agg))
+}
+
+/// Fold a trial's per-round times into the running per-round minima.
+/// Round `r`'s workload is identical across trials (same seed), so the
+/// elementwise minimum is a composite best run: each round at the least
+/// interference any trial saw — a far tighter noise-floor estimate on a
+/// shared host than best-of-trials on whole-run sums, while preserving
+/// the workload's round-to-round shape (the mapped set, and with it the
+/// delayed-free volume, grows every round).
+fn fold_min(acc: &mut Vec<f64>, trial: &[f64]) {
+    if acc.is_empty() {
+        acc.extend_from_slice(trial);
+    } else {
+        for (a, &t) in acc.iter_mut().zip(trial) {
+            *a = a.min(t);
+        }
+    }
+}
+
+fn main() {
+    let mut legacy_rounds: Vec<f64> = Vec::new();
+    let mut sharded_rounds: Vec<f64> = Vec::new();
+    let mut best_legacy_e2e = f64::INFINITY;
+    let mut best_sharded_e2e = f64::INFINITY;
+    let mut parity: Option<(Digest, Digest)> = None;
+    for trial in 0..TRIALS {
+        let (cp_legacy, e2e_legacy, d_legacy) = run_arm(0);
+        let (cp_sharded, e2e_sharded, d_sharded) = run_arm(SHARDS);
+        fold_min(&mut legacy_rounds, &cp_legacy);
+        fold_min(&mut sharded_rounds, &cp_sharded);
+        best_legacy_e2e = best_legacy_e2e.min(e2e_legacy);
+        best_sharded_e2e = best_sharded_e2e.min(e2e_sharded);
+        eprintln!(
+            "trial {trial}: CP pipeline legacy {:.0} ops/s, sharded {:.0} ops/s \
+             (end-to-end {:.0} / {:.0})",
+            (ROUNDS * OPS) as f64 / cp_legacy.iter().sum::<f64>(),
+            (ROUNDS * OPS) as f64 / cp_sharded.iter().sum::<f64>(),
+            (ROUNDS * OPS) as f64 / e2e_legacy,
+            (ROUNDS * OPS) as f64 / e2e_sharded,
+        );
+        if parity.is_none() {
+            parity = Some((d_legacy, d_sharded));
+        }
+    }
+    let best_legacy: f64 = legacy_rounds.iter().sum();
+    let best_sharded: f64 = sharded_rounds.iter().sum();
+    let (d_legacy, d_sharded) = parity.expect("at least one trial");
+
+    let mut diffs = 0u64;
+    if d_legacy.agg_free != d_sharded.agg_free {
+        eprintln!(
+            "PARITY DIFF: aggregate free {} (legacy) vs {} (sharded)",
+            d_legacy.agg_free, d_sharded.agg_free
+        );
+        diffs += 1;
+    }
+    if d_legacy.vol_free != d_sharded.vol_free {
+        eprintln!(
+            "PARITY DIFF: volume free {} (legacy) vs {} (sharded)",
+            d_legacy.vol_free, d_sharded.vol_free
+        );
+        diffs += 1;
+    }
+    let map_diffs = d_legacy
+        .vvbn_map
+        .iter()
+        .zip(&d_sharded.vvbn_map)
+        .filter(|(a, b)| a != b)
+        .count() as u64;
+    if map_diffs > 0 {
+        eprintln!("PARITY DIFF: {map_diffs} logical→virtual mappings diverge");
+        diffs += map_diffs;
+    }
+
+    let speedup = best_legacy / best_sharded;
+    println!(
+        "par_smoke: CP pipeline sharded {:.0} ops/s vs legacy {:.0} ops/s \
+         ({speedup:.2}x, gate >= {MIN_SPEEDUP}x); end-to-end sharded {:.0} \
+         vs legacy {:.0} ops/s ({:.2}x); parity diffs {diffs}",
+        (ROUNDS * OPS) as f64 / best_sharded,
+        (ROUNDS * OPS) as f64 / best_legacy,
+        (ROUNDS * OPS) as f64 / best_sharded_e2e,
+        (ROUNDS * OPS) as f64 / best_legacy_e2e,
+        best_legacy_e2e / best_sharded_e2e,
+    );
+    if diffs > 0 {
+        eprintln!("FAIL: sharded pipeline diverged from the legacy oracle");
+        std::process::exit(1);
+    }
+    if speedup < MIN_SPEEDUP {
+        eprintln!("FAIL: sharded/legacy speedup {speedup:.2}x below the {MIN_SPEEDUP}x gate");
+        std::process::exit(1);
+    }
+}

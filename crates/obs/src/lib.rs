@@ -14,7 +14,11 @@
 //! Instruments are cheap handles (an `Arc` around atomics) that can be
 //! cloned out of the registry once and bumped from hot paths without a
 //! lock; the registry mutex is touched only at registration and snapshot
-//! time. [`Registry::snapshot_json`] renders everything as one
+//! time. All updates are relaxed atomic read-modify-writes, so handles
+//! are safe to bump concurrently from the sharded CP pipeline's worker
+//! threads — no increment is ever lost, though cross-instrument
+//! ordering is unspecified mid-CP (snapshots are taken at CP
+//! boundaries, after the workers have joined). [`Registry::snapshot_json`] renders everything as one
 //! deterministic JSON object so harness reports and CI smoke checks can
 //! embed or parse a metrics block.
 //!
@@ -430,5 +434,34 @@ mod tests {
         assert_send_sync::<Counter>();
         assert_send_sync::<Gauge>();
         assert_send_sync::<Histogram>();
+    }
+
+    /// Shard-safety: concurrent increments from worker threads (the
+    /// sharded CP pipeline's usage) lose nothing.
+    #[test]
+    fn counters_survive_contended_increments() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 10_000;
+        let reg = Registry::new();
+        let c = reg.counter("contended.events");
+        let h = reg.histogram("contended.lat", &[10.0]);
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let (c, h) = (c.clone(), h.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        c.inc(1);
+                        h.observe(1.0);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(c.get(), THREADS * PER_THREAD);
+        assert_eq!(h.count(), THREADS * PER_THREAD);
+        assert_eq!(h.sum(), (THREADS * PER_THREAD) as f64);
+        assert_eq!(h.bucket_counts(), vec![THREADS * PER_THREAD, 0]);
     }
 }

@@ -22,4 +22,6 @@ mod geometry;
 mod write_analysis;
 
 pub use geometry::{DeviceLoc, RaidGeometry};
-pub use write_analysis::{analyze_cp_write, CpWriteAnalysis};
+pub use write_analysis::{
+    analyze_cp_write, analyze_cp_write_runs, CpWriteAnalysis, RunWriteAnalysis,
+};

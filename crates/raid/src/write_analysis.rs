@@ -141,6 +141,144 @@ pub fn analyze_cp_write(geometry: &RaidGeometry, blocks: &[Vbn]) -> WaflResult<C
     Ok(analysis)
 }
 
+/// [`analyze_cp_write`] in interval form, for run-based plans.
+///
+/// Carries the per-device write chains and the union of written stripes
+/// as intervals so the media costing never has to materialize per-block
+/// lists (the sharded CP pipeline hands over a few hundred runs where
+/// the block list would be tens of thousands of VBNs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunWriteAnalysis {
+    /// The same classification [`analyze_cp_write`] produces.
+    pub analysis: CpWriteAnalysis,
+    /// Maximal write chains per data device: sorted, disjoint `(dbn, len)`.
+    pub device_chains: Vec<Vec<(u64, u64)>>,
+    /// Union of written stripes as sorted, disjoint `(stripe, len)`
+    /// intervals — exactly the blocks each parity device writes.
+    pub stripe_intervals: Vec<(u64, u64)>,
+}
+
+/// Analyze one CP's writes given as allocation runs instead of blocks.
+///
+/// Equivalent to expanding `runs` and calling [`analyze_cp_write`] (the
+/// equivalence is tested below), but costs O(runs log runs): stripe
+/// classification is a coverage sweep over run endpoints, so a thousand
+/// multi-block runs never touch per-block state. Runs may cross device
+/// boundaries; overlapping runs are an upstream error, debug-asserted
+/// here like duplicate blocks are in [`analyze_cp_write`].
+pub fn analyze_cp_write_runs(
+    geometry: &RaidGeometry,
+    runs: &[(Vbn, u64)],
+) -> WaflResult<RunWriteAnalysis> {
+    let d = geometry.data_devices as usize;
+    let p = geometry.parity_devices as u64;
+
+    // Split runs at device boundaries into per-device DBN intervals.
+    let mut per_dev: Vec<Vec<(u64, u64)>> = vec![Vec::new(); d];
+    let mut data_blocks = 0u64;
+    for &(start, len) in runs {
+        let mut vbn = start;
+        let mut rem = len;
+        while rem > 0 {
+            let loc = geometry.vbn_to_loc(vbn)?;
+            let in_dev = (geometry.device_blocks - loc.dbn.get()).min(rem);
+            per_dev[loc.device.index()].push((loc.dbn.get(), in_dev));
+            data_blocks += in_dev;
+            vbn = Vbn(vbn.get() + in_dev);
+            rem -= in_dev;
+        }
+    }
+
+    // Merge per-device intervals into maximal chains.
+    let mut out = RunWriteAnalysis {
+        analysis: CpWriteAnalysis {
+            data_blocks,
+            per_device_blocks: vec![0; d],
+            per_device_chains: vec![0; d],
+            ..CpWriteAnalysis::default()
+        },
+        device_chains: Vec::with_capacity(d),
+        stripe_intervals: Vec::new(),
+    };
+    for (dev, mut ivals) in per_dev.into_iter().enumerate() {
+        ivals.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ivals.len());
+        for (s, l) in ivals {
+            out.analysis.per_device_blocks[dev] += l;
+            match merged.last_mut() {
+                Some(&mut (ms, ref mut ml)) if ms + *ml >= s => {
+                    debug_assert!(ms + *ml == s, "overlapping runs on device {dev}");
+                    *ml += l;
+                }
+                _ => merged.push((s, l)),
+            }
+        }
+        out.analysis.per_device_chains[dev] = merged.len() as u64;
+        out.device_chains.push(merged);
+    }
+
+    // Stripe classification: sweep the chain endpoints, tracking how many
+    // devices cover each stripe span. Between consecutive endpoints the
+    // coverage `k` is constant, so a whole span of stripes classifies at
+    // once.
+    let mut events: Vec<(u64, i8)> = Vec::new();
+    for chains in &out.device_chains {
+        for &(s, l) in chains {
+            events.push((s, 1));
+            events.push((s + l, -1));
+        }
+    }
+    events.sort_unstable();
+    let mut k = 0u64;
+    let mut prev_pos = 0u64;
+    let mut open = 0u64;
+    let mut idx = 0;
+    while idx < events.len() {
+        let pos = events[idx].0;
+        if k > 0 {
+            let width = pos - prev_pos;
+            if k == d as u64 {
+                out.analysis.full_stripes += width;
+            } else {
+                out.analysis.partial_stripes += width;
+                // Per stripe: RMW reads k old-data + p old-parity,
+                // reconstruct reads the d-k untouched blocks; cheaper wins.
+                out.analysis.parity_reads += width * (k + p).min(d as u64 - k);
+            }
+            out.analysis.parity_writes += width * p;
+        }
+        let was = k;
+        while idx < events.len() && events[idx].0 == pos {
+            match events[idx].1 {
+                1 => k += 1,
+                _ => k -= 1,
+            }
+            idx += 1;
+        }
+        if was == 0 && k > 0 {
+            open = pos;
+        }
+        if was > 0 && k == 0 {
+            out.stripe_intervals.push((open, pos - open));
+        }
+        prev_pos = pos;
+    }
+
+    // Tetrises touched: count tetris ids covered by the stripe union,
+    // deduplicating the id shared by adjacent intervals.
+    let mut prev_last: Option<u64> = None;
+    for &(s, l) in &out.stripe_intervals {
+        let first = s / TETRIS_STRIPES;
+        let last = (s + l - 1) / TETRIS_STRIPES;
+        out.analysis.tetrises += last - first + 1;
+        if prev_last == Some(first) {
+            out.analysis.tetrises -= 1;
+        }
+        prev_last = Some(last);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +398,84 @@ mod tests {
     fn out_of_group_vbn_is_error() {
         let g = g();
         assert!(analyze_cp_write(&g, &[Vbn(40_000 * 2)]).is_err());
+    }
+
+    /// Expand runs to blocks and check both analyzers agree exactly.
+    fn assert_runs_equivalent(geometry: &RaidGeometry, runs: &[(Vbn, u64)]) {
+        let blocks: Vec<Vbn> = runs
+            .iter()
+            .flat_map(|&(s, l)| (0..l).map(move |i| Vbn(s.get() + i)))
+            .collect();
+        let per_block = analyze_cp_write(geometry, &blocks).unwrap();
+        let by_runs = analyze_cp_write_runs(geometry, runs).unwrap();
+        assert_eq!(by_runs.analysis, per_block, "runs {runs:?}");
+        // The interval outputs must agree with the per-block counts too.
+        for (dev, chains) in by_runs.device_chains.iter().enumerate() {
+            assert_eq!(chains.len() as u64, per_block.per_device_chains[dev]);
+            assert_eq!(
+                chains.iter().map(|&(_, l)| l).sum::<u64>(),
+                per_block.per_device_blocks[dev]
+            );
+        }
+        let stripes: u64 = by_runs.stripe_intervals.iter().map(|&(_, l)| l).sum();
+        assert_eq!(stripes, per_block.full_stripes + per_block.partial_stripes);
+    }
+
+    #[test]
+    fn run_analysis_matches_per_block_on_crafted_patterns() {
+        let g = g();
+        let v = |dev: u32, dbn: u64| vbn(&g, dev, dbn);
+        // Empty, one block, one full device-crossing run (10_000 blocks per
+        // device means a run off device 0's end continues on device 1),
+        // a full stripe built from four single-block runs, a dense AA-style
+        // drain, and ragged partial coverage around a tetris boundary.
+        assert_runs_equivalent(&g, &[]);
+        assert_runs_equivalent(&g, &[(v(0, 7), 1)]);
+        assert_runs_equivalent(&g, &[(v(0, 9_990), 25)]);
+        assert_runs_equivalent(
+            &g,
+            &[(v(0, 42), 1), (v(1, 42), 1), (v(2, 42), 1), (v(3, 42), 1)],
+        );
+        assert_runs_equivalent(
+            &g,
+            &[
+                (v(0, 100), 64),
+                (v(1, 100), 64),
+                (v(2, 100), 64),
+                (v(3, 100), 64),
+            ],
+        );
+        assert_runs_equivalent(
+            &g,
+            &[
+                (v(0, 60), 10),
+                (v(1, 62), 3),
+                (v(2, 63), 2),
+                (v(3, 64), 1),
+                (v(0, 127), 2),
+            ],
+        );
+    }
+
+    #[test]
+    fn run_analysis_matches_per_block_on_random_workloads() {
+        use rand::prelude::*;
+        let g = g();
+        for seed in 0..20 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            // Disjoint runs over the whole group VBN space: random gaps and
+            // lengths, so runs cross devices and tetrises arbitrarily.
+            let mut runs: Vec<(Vbn, u64)> = Vec::new();
+            let space = 4 * 10_000u64;
+            let mut pos = rng.random_range(0u64..100);
+            while pos < space {
+                let len = rng.random_range(1u64..=80).min(space - pos);
+                runs.push((Vbn(pos), len));
+                pos += len + rng.random_range(1u64..500);
+            }
+            // Scrambled order: neither analyzer may depend on sortedness.
+            runs.shuffle(&mut rng);
+            assert_runs_equivalent(&g, &runs);
+        }
     }
 }

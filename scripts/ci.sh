@@ -13,6 +13,7 @@
 #   scripts/ci.sh --obs-smoke     # the observability smoke check alone
 #   scripts/ci.sh --scrub-smoke   # the scrub smoke check alone
 #   scripts/ci.sh --alloc-smoke   # the allocation-throughput gate alone
+#   scripts/ci.sh --par-smoke     # the sharded-pipeline gate alone
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +42,13 @@ alloc_smoke() {
   run cargo run --release -p wafl-harness --bin alloc_smoke
 }
 
+# Sharded-pipeline gate: the sharded CP front end (write_shards=4) must
+# run >= 1.3x the legacy single-threaded pipeline (write_shards=0) on
+# the overwrite+CP workload with zero parity diffs against it.
+par_smoke() {
+  run cargo run --release -p wafl-harness --bin par_smoke
+}
+
 if [[ "${1:-}" == "--obs-smoke" ]]; then
   obs_smoke
   echo "CI gates passed."
@@ -59,12 +67,19 @@ if [[ "${1:-}" == "--alloc-smoke" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--par-smoke" ]]; then
+  par_smoke
+  echo "CI gates passed."
+  exit 0
+fi
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test -q
 obs_smoke
 scrub_smoke
 alloc_smoke
+par_smoke
 
 if [[ "${1:-}" == "--torture" ]]; then
   run cargo test --release -p wafl-fs --test crash_consistency -- --ignored

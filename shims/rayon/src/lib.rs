@@ -1,64 +1,146 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by real OS threads.
 //!
 //! Exposes the parallel-iterator API subset the workspace uses —
 //! `par_iter`, `par_iter_mut`, `into_par_iter`, and the `map`/`zip`/
-//! `enumerate`/`reduce`/`collect` combinators — but executes
-//! sequentially. Results are identical to rayon's (the workspace only
-//! uses order-preserving adapters and associative reductions); only
-//! wall-clock parallelism is lost, which the simulator's cost model
-//! does not depend on.
+//! `enumerate`/`reduce`/`collect`/`for_each` combinators. Unlike the
+//! original sequential shim, `map` and `for_each` now fan their items
+//! out over scoped OS threads when the host offers more than one core
+//! (`std::thread::available_parallelism`, overridable with the
+//! `RAYON_NUM_THREADS` environment variable rayon itself honours).
+//! On a single-core host everything runs inline: no threads are
+//! spawned and no overhead is paid.
+//!
+//! The execution model is eager: a parallel iterator materializes its
+//! items up front, `map` splits them into one ordered chunk per worker,
+//! and results are reassembled in input order. Results are therefore
+//! identical to rayon's for the order-preserving adapters and
+//! associative reductions the workspace uses, on any thread count.
 
-/// A "parallel" iterator: a plain iterator wrapped so that rayon's
-/// combinator signatures (notably the two-argument `reduce`) resolve.
-pub struct Par<I>(I);
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-impl<I: Iterator> Par<I> {
-    /// Map each item.
-    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
+/// Worker threads a parallel stage may use. Resolved once per process:
+/// `RAYON_NUM_THREADS` if set and positive, otherwise the host's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Apply `f` to every item on up to [`current_num_threads`] scoped
+/// threads, preserving input order in the output. Runs inline when one
+/// worker (or one item) makes threads pure overhead. Worker panics
+/// propagate to the caller, like rayon's.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = current_num_threads().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let (base, extra) = (n / workers, n % workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut iter = items.into_iter();
+    for w in 0..workers {
+        let take = base + usize::from(w < extra);
+        chunks.push(iter.by_ref().take(take).collect());
+    }
+    let results: Vec<Result<Vec<R>, _>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for r in results {
+        match r {
+            Ok(part) => out.extend(part),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// A parallel iterator: the materialized items of the source, consumed
+/// by an eager combinator chain.
+pub struct Par<T>(Vec<T>);
+
+impl<T: Send> Par<T> {
+    /// Map each item, fanned out across worker threads.
+    pub fn map<R, F>(self, f: F) -> Par<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        Par(parallel_map(self.0, &f))
     }
 
-    /// Pair items with another parallel iterator.
-    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
-        Par(self.0.zip(other.0))
+    /// Run `f` on every item, fanned out across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map(self.0, &|item| f(item));
+    }
+
+    /// Pair items with another parallel iterator (stops at the shorter).
+    pub fn zip<U: Send>(self, other: Par<U>) -> Par<(T, U)> {
+        Par(self.0.into_iter().zip(other.0).collect())
     }
 
     /// Pair items with their index.
-    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
+    pub fn enumerate(self) -> Par<(usize, T)> {
+        Par(self.0.into_iter().enumerate().collect())
     }
 
-    /// Rayon-style reduction: `identity` seeds each (here: the single)
-    /// chunk, `op` combines.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Rayon-style reduction: `identity` seeds each chunk, `op`
+    /// combines. The items were already computed by the upstream stages,
+    /// so the fold itself is a cheap sequential pass.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
     {
-        self.0.fold(identity(), op)
+        self.0.into_iter().fold(identity(), op)
     }
 
     /// Collect into any `FromIterator` container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.0.into_iter().collect()
     }
 }
 
 /// `into_par_iter()` for owned collections and ranges.
 pub trait IntoParallelIterator {
     /// Item type of the resulting iterator.
-    type Item;
-    /// Underlying sequential iterator.
-    type Iter: Iterator<Item = Self::Item>;
+    type Item: Send;
     /// Convert into a parallel iterator.
-    fn into_par_iter(self) -> Par<Self::Iter>;
+    fn into_par_iter(self) -> Par<Self::Item>;
 }
 
-impl<T> IntoParallelIterator for Vec<T> {
+impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> Par<Self::Iter> {
-        Par(self.into_iter())
+    fn into_par_iter(self) -> Par<T> {
+        Par(self)
     }
 }
 
@@ -66,9 +148,8 @@ macro_rules! impl_into_par_range {
     ($($t:ty),*) => {$(
         impl IntoParallelIterator for std::ops::Range<$t> {
             type Item = $t;
-            type Iter = std::ops::Range<$t>;
-            fn into_par_iter(self) -> Par<Self::Iter> {
-                Par(self)
+            fn into_par_iter(self) -> Par<$t> {
+                Par(self.collect())
             }
         }
     )*};
@@ -79,36 +160,30 @@ impl_into_par_range!(u32, u64, usize, i32, i64);
 /// `par_iter()` for shared slices (and, via deref, vecs and arrays).
 pub trait IntoParallelRefIterator<'a> {
     /// Element type.
-    type Item: 'a;
-    /// Underlying sequential iterator.
-    type Iter: Iterator<Item = &'a Self::Item>;
+    type Item: Sync + 'a;
     /// Borrowing parallel iterator.
-    fn par_iter(&'a self) -> Par<Self::Iter>;
+    fn par_iter(&'a self) -> Par<&'a Self::Item>;
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = T;
-    type Iter = std::slice::Iter<'a, T>;
-    fn par_iter(&'a self) -> Par<Self::Iter> {
-        Par(self.iter())
+    fn par_iter(&'a self) -> Par<&'a T> {
+        Par(self.iter().collect())
     }
 }
 
 /// `par_iter_mut()` for unique slices (and, via deref, vecs).
 pub trait IntoParallelRefMutIterator<'a> {
     /// Element type.
-    type Item: 'a;
-    /// Underlying sequential iterator.
-    type Iter: Iterator<Item = &'a mut Self::Item>;
+    type Item: Send + 'a;
     /// Mutably borrowing parallel iterator.
-    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+    fn par_iter_mut(&'a mut self) -> Par<&'a mut Self::Item>;
 }
 
-impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
     type Item = T;
-    type Iter = std::slice::IterMut<'a, T>;
-    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
-        Par(self.iter_mut())
+    fn par_iter_mut(&'a mut self) -> Par<&'a mut T> {
+        Par(self.iter_mut().collect())
     }
 }
 
@@ -161,5 +236,29 @@ mod tests {
         let configs = [(true, true), (false, true)];
         let n: Vec<usize> = configs.par_iter().enumerate().map(|(i, _)| i).collect();
         assert_eq!(n, vec![0, 1]);
+    }
+
+    #[test]
+    fn order_preserved_at_any_item_count() {
+        // Exercises the chunk split/reassembly (multiple items per worker,
+        // uneven remainders) regardless of the host's core count.
+        for n in [0usize, 1, 2, 3, 7, 64, 1000] {
+            let v: Vec<usize> = (0..n)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|x| x)
+                .collect();
+            assert_eq!(v, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (0u64..100).into_par_iter().for_each(|x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
     }
 }
