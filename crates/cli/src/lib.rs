@@ -55,6 +55,9 @@ pub struct SimulateOpts {
     pub json: bool,
     /// Online-scrub budget: verification units per CP (0 disables).
     pub scrub: u64,
+    /// CP write-pipeline shards. `None` keeps the detected default
+    /// (the host's available parallelism); `Some(n)` overrides it.
+    pub write_shards: Option<usize>,
 }
 
 impl Default for SimulateOpts {
@@ -76,6 +79,7 @@ impl Default for SimulateOpts {
             check: false,
             json: false,
             scrub: 0,
+            write_shards: None,
         }
     }
 }
@@ -89,6 +93,8 @@ pub struct MountBenchOpts {
     pub vol_blocks: u64,
     /// Blocks per device of the (HDD) RAID group.
     pub device_blocks: u64,
+    /// CP write-pipeline shards (`None` = detected default).
+    pub write_shards: Option<usize>,
 }
 
 impl Default for MountBenchOpts {
@@ -97,6 +103,7 @@ impl Default for MountBenchOpts {
             vols: 10,
             vol_blocks: 8 * 32768,
             device_blocks: 64 * 4096,
+            write_shards: None,
         }
     }
 }
@@ -183,6 +190,12 @@ pub fn parse(args: &[String]) -> Command {
                 o.check = kv.contains_key("check");
                 o.json = kv.contains_key("json");
                 o.scrub = get(&kv, "scrub", o.scrub)?;
+                if let Some(v) = kv.get("write-shards") {
+                    o.write_shards = Some(
+                        v.parse()
+                            .map_err(|_| format!("--write-shards: cannot parse '{v}'"))?,
+                    );
+                }
                 if !["overwrite", "oltp", "sequential", "churn"].contains(&o.workload.as_str()) {
                     return Err(format!("unknown workload '{}'", o.workload));
                 }
@@ -194,6 +207,12 @@ pub fn parse(args: &[String]) -> Command {
                 o.vols = get(&kv, "vols", o.vols)?;
                 o.vol_blocks = get(&kv, "vol-blocks", o.vol_blocks)?;
                 o.device_blocks = get(&kv, "device-blocks", o.device_blocks)?;
+                if let Some(v) = kv.get("write-shards") {
+                    o.write_shards = Some(
+                        v.parse()
+                            .map_err(|_| format!("--write-shards: cannot parse '{v}'"))?,
+                    );
+                }
                 Ok(Command::MountBench(o))
             }
             "help" | "--help" | "-h" => Ok(Command::Help(None)),
@@ -217,9 +236,13 @@ USAGE:
                     [--ops N] [--ops-per-cp N]
                     [--no-agg-cache] [--no-vol-cache]
                     [--batched-frees] [--trim] [--check] [--json]
-                    [--scrub UNITS_PER_CP]
+                    [--scrub UNITS_PER_CP] [--write-shards N]
   wafl-sim mount-bench [--vols N] [--vol-blocks N] [--device-blocks N]
+                       [--write-shards N]
   wafl-sim help
+
+--write-shards overrides the CP write pipeline's detected default
+(the host's available parallelism); N must be >= 1.
 ";
 
 /// Results of a `simulate` run (also the JSON shape).
@@ -337,13 +360,16 @@ pub fn run_simulate(o: &SimulateOpts) -> WaflResult<SimulateReport> {
         profile,
     };
     let agg_blocks = spec.data_blocks();
-    let cfg = AggregateConfig {
+    let mut cfg = AggregateConfig {
         raid_aware_cache: !o.no_agg_cache,
         batched_frees: o.batched_frees,
         trim_on_free: o.trim,
         scrub_pages_per_cp: o.scrub,
         ..AggregateConfig::single_group(spec)
     };
+    if let Some(shards) = o.write_shards {
+        cfg.write_shards = shards;
+    }
     let working = ((agg_blocks as f64 * o.fill) as u64).max(1024);
     let vol_blocks = (working * 2).div_ceil(32768) * 32768;
     let mut agg = Aggregate::new(
@@ -486,9 +512,15 @@ impl SimulateReport {
                 w.max_abs_drift * 100.0
             );
             for p in &w.phases {
+                // Zero-model phases (`costing`; empty-CP windows) have no
+                // meaningful quotient — print the absolute-µs drift.
+                let ratio = match p.ratio {
+                    Some(r) => format!("ratio {r:>8.3}"),
+                    None => format!("drift {:>+7.1}µs", p.drift_us),
+                };
                 let _ = writeln!(
                     s,
-                    "  {:<20} wall {:>5.1}%  model {:>5.1}%  drift {:>+5.1}%",
+                    "  {:<20} wall {:>5.1}%  model {:>5.1}%  drift {:>+5.1}%  {ratio}",
                     p.phase,
                     p.wall_fraction * 100.0,
                     p.model_fraction * 100.0,
@@ -520,7 +552,11 @@ pub fn run_mount_bench(o: &MountBenchOpts) -> WaflResult<(mount::MountStats, mou
             )
         })
         .collect();
-    let mut agg = Aggregate::new(AggregateConfig::single_group(spec), &vols, 1)?;
+    let mut cfg = AggregateConfig::single_group(spec);
+    if let Some(shards) = o.write_shards {
+        cfg.write_shards = shards;
+    }
+    let mut agg = Aggregate::new(cfg, &vols, 1)?;
     let image = mount::save_topaa(&agg);
     mount::crash(&mut agg);
     let fast = mount::mount_with_topaa(&mut agg, &image)?;
@@ -550,11 +586,13 @@ mod tests {
         let Command::Simulate(o) = parse(&args(
             "simulate --media hdd --devices 6 --parity 2 --device-blocks 8192 \
              --fill 0.8 --churn 0 --workload oltp --ops 1000 --ops-per-cp 128 \
-             --no-vol-cache --batched-frees --check --json --scrub 4",
+             --no-vol-cache --batched-frees --check --json --scrub 4 \
+             --write-shards 3",
         )) else {
             panic!("expected simulate");
         };
         assert_eq!(o.scrub, 4);
+        assert_eq!(o.write_shards, Some(3));
         assert_eq!(o.media, MediaType::Hdd);
         assert_eq!(o.devices, 6);
         assert_eq!(o.parity, 2);
@@ -578,6 +616,10 @@ mod tests {
         assert!(matches!(parse(&args("frobnicate")), Command::Help(Some(_))));
         assert!(matches!(
             parse(&args("simulate --ops")),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&args("simulate --write-shards many")),
             Command::Help(Some(_))
         ));
         assert!(matches!(parse(&[]), Command::Help(None)));
@@ -624,6 +666,25 @@ mod tests {
     }
 
     #[test]
+    fn write_shards_override_applies_and_zero_is_rejected() {
+        let o = SimulateOpts {
+            device_blocks: 512 * 40,
+            ops: 2_000,
+            churn: 0.0,
+            write_shards: Some(2),
+            ..SimulateOpts::default()
+        };
+        let r = run_simulate(&o).unwrap();
+        assert_eq!(r.ops, 2_000);
+        // The retired legacy pipeline's shard count must not build.
+        let bad = SimulateOpts {
+            write_shards: Some(0),
+            ..o
+        };
+        assert!(run_simulate(&bad).is_err());
+    }
+
+    #[test]
     fn simulate_runs_each_workload_and_media() {
         for (media, workload) in [
             ("hdd", "oltp"),
@@ -648,6 +709,7 @@ mod tests {
             vols: 3,
             vol_blocks: 2 * 32768,
             device_blocks: 8 * 4096,
+            write_shards: None,
         })
         .unwrap();
         assert_eq!(fast.metafile_blocks_read, 1 + 3 * 2);

@@ -285,6 +285,13 @@ impl Aggregate {
                 reason: "aggregate needs at least one RAID group".into(),
             });
         }
+        if cfg.write_shards == 0 {
+            return Err(WaflError::InvalidConfig {
+                reason: "write_shards must be >= 1: the legacy shards=0 pipeline moved to the \
+                         test-only wafl-oracle crate"
+                    .into(),
+            });
+        }
         let mut groups = Vec::with_capacity(cfg.raid_groups.len());
         let mut base = 0u64;
         for (i, spec) in cfg.raid_groups.iter().enumerate() {

@@ -79,14 +79,25 @@ pub struct AggregateConfig {
     /// Worker shards for the CP write pipeline. AAs are the sharding
     /// unit: each shard leases disjoint AAs from the TopAA ranking and
     /// drains them with no shared state on the per-block path; leases
-    /// return (re-ranked) at the CP boundary. `1` — the default — runs
-    /// the sharded pipeline single-threaded and fully deterministically;
-    /// values above 1 fan planning, binding, and the bulk bitmap applies
-    /// out over that many workers (capped by the host's cores). `0`
-    /// selects the pre-sharding legacy pipeline (per-block bind and
-    /// frees), kept as the parity/benchmark reference. See
+    /// return (re-ranked) at the CP boundary. `1` runs the sharded
+    /// pipeline single-threaded and fully deterministically; values
+    /// above 1 fan planning, binding, and the bulk bitmap applies out
+    /// over that many workers (capped by the host's cores). The default
+    /// — [`default_write_shards`] — is the host's detected parallelism.
+    /// `0` is rejected: the pre-sharding legacy pipeline it used to
+    /// select now lives in the test-only `wafl-oracle` crate. See
     /// `docs/perf.md` ("Sharded write allocation").
     pub write_shards: usize,
+}
+
+/// The detected default for [`AggregateConfig::write_shards`]: the
+/// host's available parallelism, 1 if detection fails. Every shard
+/// count produces the same observable file-system state (pinned by the
+/// parity suites), so the config can safely follow the hardware.
+pub fn default_write_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl AggregateConfig {
@@ -106,7 +117,7 @@ impl AggregateConfig {
             scrub_pages_per_cp: 0,
             pick_audit_sample: 64,
             cpu: CpuModel::default(),
-            write_shards: 1,
+            write_shards: default_write_shards(),
         }
     }
 

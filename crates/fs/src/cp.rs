@@ -7,7 +7,7 @@ use crate::allocator::{allocate_vvbns, plan_raid_group, AllocOutcome, AllocatorM
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wafl_faults::{CrashSite, FaultSession};
-use wafl_raid::{analyze_cp_write, analyze_cp_write_runs};
+use wafl_raid::analyze_cp_write_runs;
 use wafl_types::{ChecksumStyle, Vbn, WaflError, WaflResult, AZCS_DATA_BLOCKS, AZCS_REGION_BLOCKS};
 
 /// How a faulted consistency point ended.
@@ -127,6 +127,18 @@ pub struct PhaseDrift {
     pub model_fraction: f64,
     /// `wall_fraction - model_fraction`.
     pub drift: f64,
+    /// Measured wall time in this phase over the window, µs.
+    pub wall_us: f64,
+    /// Modelled cost mapped to this phase over the window, µs.
+    pub model_us: f64,
+    /// `wall_us - model_us` — the absolute drift. This is the signal to
+    /// read for phases the model prices at zero (`costing` always; any
+    /// phase over a window of empty CPs), where a wall/model quotient
+    /// would be infinite or NaN.
+    pub drift_us: f64,
+    /// `wall_us / model_us`, or `None` when the modelled cost is zero —
+    /// never NaN/inf, so the JSON health report stays finite.
+    pub ratio: Option<f64>,
 }
 
 /// Wall-clock overlay over a measurement window: how the CP pipeline's
@@ -181,7 +193,7 @@ impl WallClockOverlay {
         let model_cache = stats.cache_maintenance_us;
         let model_replenish = stats.replenish_pages as f64 * cpu.us_per_scan_page;
         let model_sum = stats.cpu_us;
-        if wall_sum <= 0.0 || model_sum <= 0.0 {
+        if wall_sum <= 0.0 {
             return None;
         }
         let pairs = [
@@ -203,12 +215,22 @@ impl WallClockOverlay {
             .iter()
             .map(|&(name, wall, model)| {
                 let wall_fraction = wall / wall_sum;
-                let model_fraction = model / model_sum;
+                // A window of empty CPs models zero cost everywhere;
+                // 0/0 fractions must not poison the report with NaN.
+                let model_fraction = if model_sum > 0.0 {
+                    model / model_sum
+                } else {
+                    0.0
+                };
                 PhaseDrift {
                     phase: name.to_string(),
                     wall_fraction,
                     model_fraction,
                     drift: wall_fraction - model_fraction,
+                    wall_us: wall,
+                    model_us: model,
+                    drift_us: wall - model,
+                    ratio: (model > 0.0).then(|| wall / model),
                 }
             })
             .collect();
@@ -216,7 +238,11 @@ impl WallClockOverlay {
         Some(WallClockOverlay {
             wall_us_per_cp: w.total_us / cps as f64,
             model_us_per_cp: model_sum / cps as f64,
-            total_ratio: w.total_us / model_sum,
+            total_ratio: if model_sum > 0.0 {
+                w.total_us / model_sum
+            } else {
+                0.0
+            },
             phases,
             max_abs_drift,
         })
@@ -543,34 +569,20 @@ impl Aggregate {
             return Ok(CpOutcome::Crashed(site));
         }
         let mut pvbns: Vec<Vbn> = Vec::with_capacity(n);
-        let mut per_rg_vbns: Vec<Vec<Vbn>> = Vec::with_capacity(self.groups.len());
-        // The sharded pipeline costs media per run instead of per block
-        // (step 7); it carries runs forward, the legacy pipeline blocks.
+        // Media costing (step 7) works per run; carry each group's runs
+        // forward.
         let mut per_rg_runs: Vec<Vec<(Vbn, u64)>> = Vec::with_capacity(self.groups.len());
-        if shards == 0 {
-            for plan in &plans {
-                for &(start, len) in &plan.runs {
-                    self.bitmap.allocate_run(start, len)?;
-                }
-                pvbns.extend_from_slice(&plan.vbns);
-                per_rg_vbns.push(plan.vbns.clone());
-                per_rg_runs.push(Vec::new());
-            }
-        } else {
-            // Sharded pipeline: every group's runs are disjoint (groups
-            // own disjoint VBN ranges; within a group, shards drained
-            // disjoint AAs), so the whole CP applies as one sorted,
-            // page-partitioned bulk mutation.
-            let mut all_runs: Vec<(Vbn, u64)> =
-                plans.iter().flat_map(|p| p.runs.iter().copied()).collect();
-            all_runs.sort_unstable_by_key(|&(start, _)| start.get());
-            self.bitmap
-                .mutate_runs_partitioned(&all_runs, true, shards)?;
-            for plan in &plans {
-                pvbns.extend_from_slice(&plan.vbns);
-                per_rg_vbns.push(Vec::new());
-                per_rg_runs.push(plan.runs.clone());
-            }
+        // Every group's runs are disjoint (groups own disjoint VBN
+        // ranges; within a group, shards drained disjoint AAs), so the
+        // whole CP applies as one sorted, page-partitioned bulk mutation.
+        let mut all_runs: Vec<(Vbn, u64)> =
+            plans.iter().flat_map(|p| p.runs.iter().copied()).collect();
+        all_runs.sort_unstable_by_key(|&(start, _)| start.get());
+        self.bitmap
+            .mutate_runs_partitioned(&all_runs, true, shards)?;
+        for plan in &plans {
+            pvbns.extend_from_slice(&plan.vbns);
+            per_rg_runs.push(plan.runs.clone());
         }
         for (g, plan) in self.groups.iter().zip(&plans) {
             stats.agg_picks += plan.picked.len() as u64;
@@ -619,11 +631,7 @@ impl Aggregate {
                     stats.agg_pick_free_sum += score.get() as f64 / max.max(1.0);
                 }
                 pvbns.extend_from_slice(&plan.vbns);
-                if shards == 0 {
-                    per_rg_vbns[i].extend_from_slice(&plan.vbns);
-                } else {
-                    per_rg_runs[i].extend_from_slice(&plan.runs);
-                }
+                per_rg_runs[i].extend_from_slice(&plan.runs);
                 for &aa in &plan.drained {
                     drained_late.push((i, aa));
                 }
@@ -662,28 +670,13 @@ impl Aggregate {
         wall.plan_physical_us += lap_us(&mut mark);
 
         // ---- 4. bind logical -> virtual -> physical; collect frees ----
-        if shards == 0 {
-            let mut pvbn_iter = pvbns.iter().copied();
-            for (vol_idx, logicals) in per_vol.iter().enumerate() {
-                let outcome = &vol_outcomes[vol_idx];
-                let vol = &mut self.vols[vol_idx];
-                debug_assert_eq!(outcome.vbns.len(), logicals.len());
-                for (&logical, &vvbn) in logicals.iter().zip(&outcome.vbns) {
-                    let pvbn = pvbn_iter.next().expect("pvbn count == vvbn count");
-                    self.pvbn_owner[pvbn.index()] = pack_owner(vol.id, vvbn);
-                    if let Some((old_v, old_p)) = vol.remap(logical, vvbn, pvbn) {
-                        vol.delayed_vvbn_frees.push(old_v);
-                        self.delayed_pvbn_frees.push(old_p);
-                    }
-                }
-            }
-        } else {
-            // Each volume's pvbns occupy one contiguous chunk (allocation
-            // filled `pvbns` in `per_vol` order), so the volume-local part
-            // of the bind — the logical and vvbn map updates — fans out
-            // over volumes with no shared state. The aggregate-side owner
-            // table and delayed-free list update serially after, in the
-            // same volume order as the legacy loop.
+        // Each volume's pvbns occupy one contiguous chunk (allocation
+        // filled `pvbns` in `per_vol` order), so the volume-local part
+        // of the bind — the logical and vvbn map updates — fans out
+        // over volumes with no shared state. The aggregate-side owner
+        // table and delayed-free list update serially after, in volume
+        // order (the same visit order a fully serial bind would use).
+        {
             let mut chunks: Vec<&[Vbn]> = Vec::with_capacity(per_vol.len());
             let mut off = 0usize;
             for logicals in &per_vol {
@@ -809,31 +802,13 @@ impl Aggregate {
             })?;
             stats.delayed_frees_applied = dstats.frees_applied;
             stats.delayed_free_pages = dstats.pages_processed;
-        } else if shards == 0 {
-            for pvbn in std::mem::take(&mut self.delayed_pvbn_frees) {
-                self.bitmap.free(pvbn)?;
-                self.pvbn_owner[pvbn.index()] = OWNER_NONE;
-                let g = self
-                    .groups
-                    .iter_mut()
-                    .find(|g| g.geometry.contains(pvbn))
-                    .expect("freed pvbn belongs to a group");
-                let aa = g.topology.aa_of_vbn(pvbn)?;
-                g.batch.record_freed(aa, 1);
-                if trim {
-                    let loc = g.geometry.vbn_to_loc(pvbn)?;
-                    if let DeviceMedia::Ssd(ftl) = &mut g.media[loc.device.index()] {
-                        ftl.trim(loc.dbn.get() as u32)?;
-                    }
-                }
-            }
         } else {
-            // Sharded pipeline: sort, walk the batch once for owner,
-            // trim, and per-AA score accounting (the groups go by
-            // monotonically — they are ordered by base VBN), then clear
-            // every bit with the word-masked batch free instead of one
-            // bit flip per block. The score deltas commute, so the
-            // reordering is state-neutral.
+            // Sort, walk the batch once for owner, trim, and per-AA
+            // score accounting (the groups go by monotonically — they
+            // are ordered by base VBN), then clear every bit with the
+            // word-masked batch free instead of one bit flip per block.
+            // The score deltas commute, so the reordering is
+            // state-neutral.
             let mut frees = std::mem::take(&mut self.delayed_pvbn_frees);
             if !frees.is_empty() {
                 frees.sort_unstable();
@@ -888,23 +863,16 @@ impl Aggregate {
         wall.apply_us += lap_us(&mut mark);
 
         // ---- 7. media costing, parallel per group ----------------------
-        // Legacy pipeline: per-block analysis (the parity oracle). Sharded
-        // pipeline: run-interval analysis — same numbers (equivalence is
-        // tested at both layers), a fraction of the work.
+        // Run-interval analysis — same numbers as the per-block analysis
+        // `wafl-oracle` preserves (equivalence is pinned by the parity
+        // suites), a fraction of the work.
         let checksum = self.cfg.checksum;
-        let rg_stats: Vec<WaflResult<RgCpStats>> = if shards == 0 {
-            self.groups
-                .par_iter_mut()
-                .zip(per_rg_vbns.par_iter())
-                .map(|(g, vbns)| cost_raid_group(g, vbns, checksum))
-                .collect()
-        } else {
-            self.groups
-                .par_iter_mut()
-                .zip(per_rg_runs.par_iter())
-                .map(|(g, runs)| cost_raid_group_runs(g, runs, checksum))
-                .collect()
-        };
+        let rg_stats: Vec<WaflResult<RgCpStats>> = self
+            .groups
+            .par_iter_mut()
+            .zip(per_rg_runs.par_iter())
+            .map(|(g, runs)| cost_raid_group_runs(g, runs, checksum))
+            .collect();
         let mut cache_ops = 0u64;
         for rg in rg_stats {
             let rg = rg?;
@@ -1232,109 +1200,11 @@ impl Aggregate {
     }
 }
 
-/// Cost one CP's writes to a group against its media models.
-fn cost_raid_group(
-    g: &mut crate::aggregate::RaidGroupState,
-    vbns: &[Vbn],
-    checksum: ChecksumStyle,
-) -> WaflResult<RgCpStats> {
-    let analysis = analyze_cp_write(&g.geometry, vbns)?;
-    let mut rg = RgCpStats {
-        blocks: analysis.data_blocks,
-        tetrises: analysis.tetrises,
-        full_stripes: analysis.full_stripes,
-        partial_stripes: analysis.partial_stripes,
-        parity_reads: analysis.parity_reads,
-        parity_writes: analysis.parity_writes,
-        per_device_blocks: analysis.per_device_blocks.clone(),
-        per_device_chains: analysis.per_device_chains.clone(),
-        media_us: 0.0,
-    };
-    if vbns.is_empty() {
-        return Ok(rg);
-    }
-    // Per-device DBN lists.
-    let d = g.geometry.data_devices as usize;
-    let mut per_device: Vec<Vec<u64>> = vec![Vec::new(); d];
-    for &vbn in vbns {
-        let loc = g.geometry.vbn_to_loc(vbn)?;
-        per_device[loc.device.index()].push(loc.dbn.get());
-    }
-    for dev in per_device.iter_mut() {
-        dev.sort_unstable();
-    }
-    // Written stripes, for parity-device traffic.
-    let mut stripes: Vec<u64> = vbns
-        .iter()
-        .map(|&v| g.geometry.vbn_to_loc(v).map(|l| l.dbn.get()))
-        .collect::<WaflResult<_>>()?;
-    stripes.sort_unstable();
-    stripes.dedup();
-
-    let parity_per_dev = if g.geometry.parity_devices > 0 {
-        // Each parity device writes one block per written stripe.
-        stripes.clone()
-    } else {
-        Vec::new()
-    };
-
-    let mut dev_times: Vec<f64> = Vec::with_capacity(g.media.len());
-    let azcs_next = &mut g.azcs_next;
-    for (i, media) in g.media.iter_mut().enumerate() {
-        let dbns: &[u64] = if i < d {
-            &per_device[i]
-        } else {
-            &parity_per_dev
-        };
-        if dbns.is_empty() {
-            dev_times.push(0.0);
-            continue;
-        }
-        let chains = dbns_to_chains(dbns);
-        let us = match media {
-            DeviceMedia::Hdd(h) => {
-                let blocks: u64 = chains.iter().map(|&(_, l)| l).sum();
-                h.write_cost_us(chains.len() as u64, blocks)
-            }
-            DeviceMedia::Ssd(ftl) => ftl.write_batch(dbns.iter().map(|&b| b as u32))?,
-            DeviceMedia::Smr(smr) => {
-                let phys = match checksum {
-                    ChecksumStyle::Azcs => azcs_physical_chains(&mut azcs_next[i], &chains),
-                    ChecksumStyle::Sector520 => chains.clone(),
-                };
-                let mut t = 0.0;
-                for (start, len) in phys {
-                    t += smr.write_chain(start, len)?;
-                }
-                t
-            }
-            DeviceMedia::Object(o) => o.write_cost_us(&chains),
-        };
-        dev_times.push(us);
-    }
-    // Parity reads hit the devices too; charge them to the slowest device
-    // as random reads (a simplification that keeps the penalty monotone in
-    // partial-stripe count).
-    let parity_read_us = match g.media.first() {
-        Some(DeviceMedia::Hdd(h)) => h.random_read_cost_us(analysis.parity_reads),
-        // Batched parity reads pipeline across the SSD's channels like
-        // programs do; single-read latency (client_read) stays undivided.
-        Some(DeviceMedia::Ssd(s)) => {
-            s.random_read_cost_us(analysis.parity_reads) / s.channels.max(1.0)
-        }
-        Some(DeviceMedia::Smr(s)) => analysis.parity_reads as f64 * (s.position_us + s.transfer_us),
-        Some(DeviceMedia::Object(o)) => o.random_read_cost_us(analysis.parity_reads),
-        None => 0.0,
-    };
-    rg.media_us = dev_times.iter().copied().fold(0.0, f64::max) + parity_read_us;
-    Ok(rg)
-}
-
-/// [`cost_raid_group`] over allocation runs: identical numbers (the run
-/// analyzer is equivalence-tested against the per-block one, and the
-/// media models see the same sorted chain/DBN sequences), but the hot
-/// path scales with run count, not block count. The sharded CP pipeline
-/// uses this; the legacy pipeline keeps the per-block path as the oracle.
+/// Cost one CP's writes to a group over allocation runs. The retired
+/// per-block costing path lives on in `wafl-oracle`; its numbers are
+/// identical (the run analyzer is equivalence-tested against the
+/// per-block one, and the media models see the same sorted chain/DBN
+/// sequences), but this hot path scales with run count, not block count.
 fn cost_raid_group_runs(
     g: &mut crate::aggregate::RaidGroupState,
     runs: &[(Vbn, u64)],
@@ -1407,27 +1277,6 @@ fn cost_raid_group_runs(
     };
     rg.media_us = dev_times.iter().copied().fold(0.0, f64::max) + parity_read_us;
     Ok(rg)
-}
-
-/// Collapse a sorted DBN list into maximal `(start, len)` chains.
-fn dbns_to_chains(dbns: &[u64]) -> Vec<(u64, u64)> {
-    let mut chains = Vec::new();
-    let mut iter = dbns.iter().copied();
-    let Some(first) = iter.next() else {
-        return chains;
-    };
-    let (mut start, mut len) = (first, 1u64);
-    for dbn in iter {
-        if dbn == start + len {
-            len += 1;
-        } else {
-            chains.push((start, len));
-            start = dbn;
-            len = 1;
-        }
-    }
-    chains.push((start, len));
-    chains
 }
 
 /// No open AZCS stream on the device.
@@ -1644,16 +1493,6 @@ mod tests {
     }
 
     #[test]
-    fn dbn_chain_collapse() {
-        assert_eq!(dbns_to_chains(&[]), vec![]);
-        assert_eq!(dbns_to_chains(&[5]), vec![(5, 1)]);
-        assert_eq!(
-            dbns_to_chains(&[1, 2, 3, 7, 8, 20]),
-            vec![(1, 3), (7, 2), (20, 1)]
-        );
-    }
-
-    #[test]
     fn azcs_chain_translation() {
         let mut st = AZCS_IDLE;
         // A chain covering exactly one region (63 data blocks from 0):
@@ -1693,6 +1532,66 @@ mod tests {
         assert_eq!(acc.ops, 300);
         assert_eq!(acc.blocks_written, 300);
         assert!(acc.cpu_us > 0.0);
+    }
+
+    /// Every number in the drift overlay must stay finite even when the
+    /// model prices a phase at zero — `costing` always, and every phase
+    /// over a window of empty CPs. The zero-model phases report `ratio:
+    /// None` (serialised as JSON `null`) and carry the signal in
+    /// `drift_us` instead of an inf/NaN quotient.
+    #[test]
+    fn drift_overlay_stays_finite_with_zero_model_phases() {
+        let cpu = crate::config::CpuModel::default();
+
+        // A normal window: `costing` has wall time but a zero model term.
+        let mut acc = CpStats::default();
+        let mut a = agg(true, true);
+        for l in 0..500 {
+            a.client_overwrite(VolumeId(0), l).unwrap();
+        }
+        acc.accumulate(&a.run_cp().unwrap());
+        let overlay = WallClockOverlay::from_window(&acc, 1, &cpu).unwrap();
+        assert_eq!(overlay.phases.len(), 5);
+        let costing = overlay
+            .phases
+            .iter()
+            .find(|p| p.phase == "costing")
+            .unwrap();
+        assert_eq!(costing.model_us, 0.0);
+        assert!(costing.ratio.is_none(), "zero-model phase must not divide");
+        assert!(costing.drift_us.is_finite());
+        assert_eq!(costing.drift_us, costing.wall_us);
+        for p in &overlay.phases {
+            assert!(p.wall_us.is_finite() && p.model_us.is_finite());
+            assert!(p.drift_us.is_finite() && p.drift.is_finite());
+            if let Some(r) = p.ratio {
+                assert!(r.is_finite(), "{}: ratio {r}", p.phase);
+            }
+        }
+        let json = serde_json::to_string(&overlay).unwrap();
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        assert!(json.contains("\"ratio\":null"), "{json}");
+
+        // An all-empty window: wall time accrues (the pipeline still
+        // runs) but the model prices the whole window at zero. The
+        // overlay must still appear, with absolute-µs drift and no
+        // NaN/inf anywhere.
+        let mut empty = CpStats::default();
+        let mut b = agg(true, true);
+        for _ in 0..3 {
+            empty.accumulate(&b.run_cp().unwrap());
+        }
+        assert_eq!(empty.cpu_us, 0.0);
+        if empty.wall.phase_sum_us() > 0.0 {
+            let overlay = WallClockOverlay::from_window(&empty, 3, &cpu).unwrap();
+            assert_eq!(overlay.total_ratio, 0.0);
+            for p in &overlay.phases {
+                assert!(p.ratio.is_none());
+                assert!(p.drift_us.is_finite() && p.model_fraction == 0.0);
+            }
+            let json = serde_json::to_string(&overlay).unwrap();
+            assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        }
     }
 }
 

@@ -46,7 +46,7 @@ mod volume;
 
 pub use aggregate::{Aggregate, RaidGroupState};
 pub use allocator::AllocatorMode;
-pub use config::{AggregateConfig, CpuModel, FlexVolConfig, RaidGroupSpec};
+pub use config::{default_write_shards, AggregateConfig, CpuModel, FlexVolConfig, RaidGroupSpec};
 pub use cp::{CpOutcome, CpStats, CpWallClock, PhaseDrift, WallClockOverlay};
 pub use scrub::{HealthState, ScrubStatus};
 pub use volume::FlexVol;

@@ -308,13 +308,19 @@ impl Default for FsObs {
 }
 
 /// One worker shard's lease-traffic counters.
+///
+/// The unit of both counters is a *lease* — one batch of AA ranges
+/// handed out by the lease manager — not an individual AA (a single
+/// lease typically spans several AA ranges).
 #[derive(Clone, Debug)]
 pub(crate) struct ShardObs {
-    /// AAs this shard leased from the shared ranking (initial grants plus
-    /// re-leases after its AA ran dry).
+    /// Lease batches this shard drew from its own pre-partitioned queue
+    /// (the rank-ordered drain prefix is dealt round-robin into
+    /// per-shard queues up front).
     pub(crate) leases: Counter,
-    /// AAs this shard stole from a sibling's pending lease queue after
-    /// the shared ranking ran dry.
+    /// Lease batches this shard stole after its *own* queue ran dry:
+    /// the most recently queued lease (`pop_back`) of the most-loaded
+    /// sibling. Attributed to the stealing shard, not the victim.
     pub(crate) steals: Counter,
 }
 

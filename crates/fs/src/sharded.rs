@@ -485,8 +485,9 @@ mod tests {
     }
 
     /// Drive one aggregate for `rounds` CPs of random overwrites and
-    /// return a digest of the physical and virtual state.
-    fn drive(mut agg: Aggregate, rounds: usize) -> (u64, u64, Vec<u32>) {
+    /// return a digest of the physical and virtual state: free counts
+    /// plus the exact per-page physical layout.
+    fn drive(mut agg: Aggregate, rounds: usize) -> (u64, u64, Vec<u16>) {
         use rand::prelude::*;
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for _ in 0..rounds {
@@ -497,12 +498,46 @@ mod tests {
             agg.run_cp().unwrap();
         }
         let bm = agg.bitmap();
-        let aa_counts = bm
-            .aa_summary_blocks()
-            .and_then(|ab| bm.aa_free_counts(ab))
-            .map(<[u32]>::to_vec)
-            .unwrap_or_default();
-        (bm.free_blocks(), agg.volumes()[0].free_blocks(), aa_counts)
+        (
+            bm.free_blocks(),
+            agg.volumes()[0].free_blocks(),
+            bm.page_free_counts().to_vec(),
+        )
+    }
+
+    /// [`drive`] for the sequential reference planner: same workload,
+    /// same digest shape.
+    fn drive_oracle(rounds: usize) -> (u64, u64, Vec<u16>) {
+        use rand::prelude::*;
+        let mut orc = wafl_oracle::OracleAggregate::new(
+            &[wafl_oracle::OracleRaidGroupSpec {
+                data_devices: 4,
+                parity_devices: 1,
+                device_blocks: 16 * 4096,
+            }],
+            &[(
+                wafl_oracle::OracleVolSpec {
+                    size_blocks: 8 * 32768,
+                    aa_blocks: None,
+                },
+                50_000,
+            )],
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..rounds {
+            for _ in 0..2000 {
+                orc.client_overwrite(VolumeId(0), rng.random_range(0..50_000))
+                    .unwrap();
+            }
+            orc.run_cp().unwrap();
+        }
+        let bm = orc.bitmap();
+        (
+            bm.free_blocks(),
+            orc.volumes()[0].free_blocks(),
+            bm.page_free_counts().to_vec(),
+        )
     }
 
     /// Build a LeaseManager with `n` single-range leases of `take` blocks
@@ -587,37 +622,52 @@ mod tests {
     }
 
     #[test]
-    fn one_shard_matches_legacy_pipeline_state() {
-        // The sharded pipeline at shards=1 and the legacy pipeline
-        // (write_shards=0) must produce identical space accounting on
-        // the same op sequence.
-        let (free_new, vfree_new, aas_new) = drive(agg(1), 8);
-        let (free_old, vfree_old, aas_old) = drive(agg(0), 8);
+    fn one_shard_matches_oracle_state() {
+        // The sharded pipeline at shards=1 must reproduce the sequential
+        // reference planner's state bit for bit — one shard drains in
+        // exact rank order, like the retired legacy pipeline the oracle
+        // preserves.
+        let (free_new, vfree_new, pages_new) = drive(agg(1), 8);
+        let (free_old, vfree_old, pages_old) = drive_oracle(8);
         assert_eq!(free_new, free_old);
         assert_eq!(vfree_new, vfree_old);
-        assert_eq!(aas_new, aas_old);
+        assert_eq!(pages_new, pages_old);
     }
 
     #[test]
-    fn sharded_block_set_matches_legacy_rank_order_drain() {
+    fn sharded_block_set_matches_oracle_rank_order_drain() {
         // Stronger than virtual-state parity: the sharded plan's *physical*
-        // block set is the same rank-order write-order prefix the legacy
-        // planner drains, so even the aggregate's per-AA free counts match
+        // block set is the same rank-order write-order prefix the reference
+        // planner drains, so even the per-page physical free counts match
         // block for block.
-        let (_, _, aas_new) = drive(agg(4), 8);
-        let (_, _, aas_old) = drive(agg(0), 8);
-        assert_eq!(aas_new, aas_old);
+        let (_, _, pages_new) = drive(agg(4), 8);
+        let (_, _, pages_old) = drive_oracle(8);
+        assert_eq!(pages_new, pages_old);
     }
 
     #[test]
     fn run_based_costing_matches_per_block_costing() {
-        // The sharded pipeline costs media from run intervals, the legacy
-        // one from block lists. Same workload, same physical block set
-        // (rank-order parity), so every per-group stat — including the
-        // f64 media time — must be bit-identical.
+        // The sharded pipeline costs media from run intervals, the
+        // reference planner from block lists. Same workload, same physical
+        // block set (rank-order parity), so every per-group stat —
+        // including the f64 media time — must be bit-identical.
         use rand::prelude::*;
         let mut a = agg(4);
-        let mut b = agg(0);
+        let mut b = wafl_oracle::OracleAggregate::new(
+            &[wafl_oracle::OracleRaidGroupSpec {
+                data_devices: 4,
+                parity_devices: 1,
+                device_blocks: 16 * 4096,
+            }],
+            &[(
+                wafl_oracle::OracleVolSpec {
+                    size_blocks: 8 * 32768,
+                    aa_blocks: None,
+                },
+                50_000,
+            )],
+        )
+        .unwrap();
         let mut ra = rand::rngs::StdRng::seed_from_u64(5);
         let mut rb = rand::rngs::StdRng::seed_from_u64(5);
         for round in 0..6 {
@@ -629,7 +679,18 @@ mod tests {
             }
             let sa = a.run_cp().unwrap();
             let sb = b.run_cp().unwrap();
-            assert_eq!(sa.per_rg, sb.per_rg, "round {round}");
+            assert_eq!(sa.per_rg.len(), sb.per_rg.len(), "round {round}");
+            for (x, y) in sa.per_rg.iter().zip(&sb.per_rg) {
+                assert_eq!(x.blocks, y.blocks, "round {round}");
+                assert_eq!(x.tetrises, y.tetrises, "round {round}");
+                assert_eq!(x.full_stripes, y.full_stripes, "round {round}");
+                assert_eq!(x.partial_stripes, y.partial_stripes, "round {round}");
+                assert_eq!(x.parity_reads, y.parity_reads, "round {round}");
+                assert_eq!(x.parity_writes, y.parity_writes, "round {round}");
+                assert_eq!(x.per_device_blocks, y.per_device_blocks, "round {round}");
+                assert_eq!(x.per_device_chains, y.per_device_chains, "round {round}");
+                assert_eq!(x.media_us.to_bits(), y.media_us.to_bits(), "round {round}");
+            }
         }
     }
 
@@ -649,6 +710,50 @@ mod tests {
         assert!(leftover.is_empty());
         assert_eq!(stats.leases, vec![2, 0]);
         assert_eq!(stats.steals, vec![1, 0]);
+    }
+
+    /// Pin the steal policy precisely, so the module docs, the metric
+    /// semantics (`allocator.shard.{i}.steals`), and the code can't
+    /// silently drift apart again: a shard whose *own* queue is dry takes
+    /// the *last*-queued lease (`pop_back`) of the *most-loaded* sibling
+    /// — ties resolved to the highest shard index (`max_by_key` keeps the
+    /// last maximum) — and the steal is counted against the *stealer*.
+    #[test]
+    fn steal_policy_victim_order_and_attribution() {
+        let mut cache = RaidAwareCache::new_full(vec![AaScore(100); 9], vec![32_768; 9]).unwrap();
+        let quarantined = BTreeSet::new();
+        // 9 leases round-robin over 3 shards: every queue holds seqs
+        // {i, i+3, i+6} front-to-back.
+        let mgr = queued_manager(&mut cache, &quarantined, 3, 9, 10);
+
+        // Drain shard 0's own queue in FIFO order: 0, 3, 6.
+        let own: Vec<usize> = (0..3).map(|_| mgr.lease(0).unwrap().seq).collect();
+        assert_eq!(own, vec![0, 3, 6], "own queue drains front-first");
+
+        // First steal: shards 1 and 2 both hold 3 leases — the tie goes
+        // to the LAST maximal index (shard 2), and the victim loses its
+        // last-queued lease (seq 8), not the seq-2 front it drains next.
+        assert_eq!(
+            mgr.lease(0).unwrap().seq,
+            8,
+            "tie → highest index, pop_back"
+        );
+        // Now shard 1 (3 leases) is strictly more loaded than shard 2
+        // (2 leases): steal its back (seq 7).
+        assert_eq!(mgr.lease(0).unwrap().seq, 7, "most-loaded victim, pop_back");
+
+        // Victims still drain their own fronts untouched.
+        assert_eq!(mgr.lease(1).unwrap().seq, 1);
+        assert_eq!(mgr.lease(2).unwrap().seq, 2);
+
+        let (leftover, _, stats) = mgr.into_parts();
+        // Leases 4 and 5 remain queued (shard 1 and 2 backs).
+        let left: Vec<usize> = leftover.iter().map(|l| l.seq).collect();
+        assert_eq!(left, vec![4, 5]);
+        // Every grant — own or stolen — counts as a lease for the shard
+        // that received it; steals are attributed to the stealer only.
+        assert_eq!(stats.leases, vec![5, 1, 1]);
+        assert_eq!(stats.steals, vec![2, 0, 0]);
     }
 
     /// Contention stress for the lease handoff: real OS threads hammer

@@ -14,9 +14,11 @@
 //! * the Iron audit is clean, so summaries, owners, and caches are
 //!   internally consistent at every shard count.
 //!
-//! Shards=1 versus the legacy pipeline (`write_shards: 0`) is stricter —
-//! identical per-AA physical counts — because one shard drains in exact
-//! rank order, like the legacy planner.
+//! Shards=1 versus the sequential reference planner (the test-only
+//! `wafl-oracle` crate, which preserves the retired `write_shards: 0`
+//! pipeline) is stricter — identical per-page physical counts — because
+//! one shard drains in exact rank order, like the legacy planner; see
+//! `oracle_parity.rs`.
 
 use proptest::prelude::*;
 use rand::prelude::*;

@@ -6,7 +6,7 @@
 //! `BENCH_parallel.json`, and `BENCH_obs.json` for the repo record (see
 //! `docs/perf.md`).
 //!
-//! Usage: `cargo run --release -p wafl-harness --bin bench_baseline
+//! Usage: `cargo run --release -p wafl-harness --example bench_baseline
 //!         [--out-dir <dir>]` (default: current directory). Run via
 //! `scripts/bench_baseline.sh` so the JSONs land at the repo root.
 
@@ -18,6 +18,7 @@ use std::time::Instant;
 use wafl_bitmap::{scan, Bitmap};
 use wafl_fs::{Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
 use wafl_media::MediaProfile;
+use wafl_oracle::{OracleAggregate, OracleRaidGroupSpec, OracleVolSpec};
 use wafl_types::{Vbn, VolumeId, BITS_PER_BITMAP_BLOCK};
 
 /// 1 Mi blocks = 32 bitmap pages = a 4 GiB space at 4 KiB blocks.
@@ -207,8 +208,9 @@ struct CpBaseline {
 /// re-measured here so CP latency is part of the recorded baseline.
 /// Also returns the aggregate's observability snapshot so the allocator
 /// pipeline's counters land in the baseline record (`BENCH_obs.json`).
-/// `shards` selects the CP pipeline: 0 = legacy pre-sharding, 1 = the
-/// sharded pipeline single-threaded (the default), >1 = fanned out.
+/// `shards` selects the CP pipeline fan-out: 1 = single-threaded, >1 =
+/// fanned out (the retired `shards == 0` legacy pipeline lives in
+/// `wafl-oracle`; see [`oracle_series`]).
 fn cp_series(caches: bool, shards: usize) -> (CpSeries, String) {
     const ROUNDS: u64 = 24;
     const OPS: u64 = 8192;
@@ -268,55 +270,131 @@ fn cp_series(caches: bool, shards: usize) -> (CpSeries, String) {
 /// One shard-count sample of the CP workload.
 #[derive(Serialize)]
 struct ParallelSeries {
+    /// Which planner produced this sample — pins the baseline to the
+    /// `wafl-oracle` crate by name, so a config mix-up can't silently
+    /// measure the candidate against itself.
+    planner: String,
     write_shards: usize,
     ops_per_second: f64,
     mean_round_ms: f64,
     mean_cp_flush_ms: f64,
 }
 
+/// The `cp_series(true, ..)` workload replayed on the `wafl-oracle`
+/// sequential planner — the frozen transcription of the retired
+/// `write_shards: 0` pipeline, which is the baseline arm of
+/// `BENCH_parallel.json`.
+fn oracle_series() -> ParallelSeries {
+    const ROUNDS: u64 = 24;
+    const OPS: u64 = 8192;
+    const LOGICAL: u64 = 200_000;
+    let mut orc = OracleAggregate::new(
+        &[OracleRaidGroupSpec {
+            data_devices: 4,
+            parity_devices: 1,
+            device_blocks: 64 * 4096,
+        }],
+        &[(
+            OracleVolSpec {
+                size_blocks: 16 * BITS_PER_BITMAP_BLOCK,
+                aa_blocks: None,
+            },
+            LOGICAL,
+        )],
+    )
+    .unwrap();
+    // Same prefill as `aging::fill_volume(.., 8192)`.
+    let mut l = 0u64;
+    while l < LOGICAL {
+        let end = (l + 8192).min(LOGICAL);
+        for b in l..end {
+            orc.client_overwrite(VolumeId(0), b).unwrap();
+        }
+        orc.run_cp().unwrap();
+        l = end;
+    }
+    let mut rng = StdRng::seed_from_u64(2);
+    let round = |orc: &mut OracleAggregate, rng: &mut StdRng| {
+        for _ in 0..OPS {
+            orc.client_overwrite(VolumeId(0), rng.random_range(0..LOGICAL))
+                .unwrap();
+        }
+        let cp = Instant::now();
+        orc.run_cp().unwrap();
+        cp.elapsed()
+    };
+    for _ in 0..4 {
+        round(&mut orc, &mut rng);
+    }
+    let start = Instant::now();
+    let mut cp_total = 0.0f64;
+    for _ in 0..ROUNDS {
+        cp_total += round(&mut orc, &mut rng).as_secs_f64();
+    }
+    let total = start.elapsed().as_secs_f64();
+    ParallelSeries {
+        planner: "wafl-oracle/sequential".into(),
+        write_shards: 0,
+        ops_per_second: (ROUNDS * OPS) as f64 / total,
+        mean_round_ms: total * 1e3 / ROUNDS as f64,
+        mean_cp_flush_ms: cp_total * 1e3 / ROUNDS as f64,
+    }
+}
+
 /// The sharded-pipeline record (`BENCH_parallel.json`): the caches-on CP
-/// workload across shard counts, against both the live legacy pipeline
-/// and the committed pre-sharding baseline.
+/// workload across shard counts, against both the sequential reference
+/// planner (`wafl-oracle`) and the committed pre-sharding baseline.
 #[derive(Serialize)]
 struct ParallelBaseline {
+    /// `std::thread::available_parallelism()` of the measuring host —
+    /// the shard-count speedups only separate when this exceeds the
+    /// shard counts (see the multi-core caveat in `docs/perf.md`).
+    host_parallelism: usize,
     /// The committed pre-sharding caches-on baseline (`BENCH_cp.json` as
     /// recorded by the cache-guided allocation PR).
     reference_ops_per_second: f64,
-    /// The legacy pipeline (`write_shards: 0`) measured on this host now.
-    legacy: ParallelSeries,
+    /// The retired sequential pipeline, replayed from its `wafl-oracle`
+    /// transcription on this host now.
+    baseline: ParallelSeries,
     /// The sharded pipeline at increasing shard counts.
     series: Vec<ParallelSeries>,
     /// 4-shard ops/s over the committed reference — the acceptance gate
     /// is >= 2.0.
     speedup_4_shards_vs_reference: f64,
-    /// 4-shard ops/s over the live legacy run.
-    speedup_4_shards_vs_legacy: f64,
+    /// 4-shard ops/s over the live wafl-oracle baseline run.
+    speedup_4_shards_vs_baseline: f64,
 }
 
-/// Caches-on CP-round throughput of the legacy pipeline and the sharded
-/// pipeline at 1/2/4/8 shards.
+/// Caches-on CP-round throughput of the wafl-oracle baseline and the
+/// sharded pipeline at 1/2/4/8 shards.
 fn parallel_baseline(reference_ops_per_second: f64) -> ParallelBaseline {
     let sample = |shards: usize| {
         let (s, _) = cp_series(true, shards);
         ParallelSeries {
+            planner: format!("wafl-fs/sharded({shards})"),
             write_shards: shards,
             ops_per_second: s.ops_per_second,
             mean_round_ms: s.mean_round_ms,
             mean_cp_flush_ms: s.mean_cp_flush_ms,
         }
     };
-    let legacy = sample(0);
+    let baseline = oracle_series();
     let series: Vec<ParallelSeries> = [1, 2, 4, 8].into_iter().map(sample).collect();
+    assert!(
+        series.iter().all(|s| s.planner != baseline.planner),
+        "baseline and candidate resolved to the same planner"
+    );
     let at4 = series
         .iter()
         .find(|s| s.write_shards == 4)
         .map(|s| s.ops_per_second)
         .unwrap_or(0.0);
     ParallelBaseline {
+        host_parallelism: wafl_fs::default_write_shards(),
         reference_ops_per_second,
         speedup_4_shards_vs_reference: at4 / reference_ops_per_second,
-        speedup_4_shards_vs_legacy: at4 / legacy.ops_per_second,
-        legacy,
+        speedup_4_shards_vs_baseline: at4 / baseline.ops_per_second,
+        baseline,
         series,
     }
 }
@@ -373,13 +451,14 @@ fn main() {
         cp.caches_off.ops_per_second, alloc.cache_on.cursor_hit_rate
     );
 
-    eprintln!("measuring sharded CP pipeline (shards = 0/1/2/4/8)...");
+    eprintln!("measuring sharded CP pipeline (wafl-oracle baseline + shards = 1/2/4/8)...");
     // The committed pre-sharding caches-on baseline (BENCH_cp.json).
     let parallel = parallel_baseline(1_839_272.0);
     eprintln!(
-        "  legacy {:.0} ops/s; 4 shards {:.0} ops/s \
-         ({:.2}x vs reference, {:.2}x vs legacy)",
-        parallel.legacy.ops_per_second,
+        "  {} {:.0} ops/s; 4 shards {:.0} ops/s \
+         ({:.2}x vs reference, {:.2}x vs baseline; host parallelism {})",
+        parallel.baseline.planner,
+        parallel.baseline.ops_per_second,
         parallel
             .series
             .iter()
@@ -387,7 +466,8 @@ fn main() {
             .map(|s| s.ops_per_second)
             .unwrap_or(0.0),
         parallel.speedup_4_shards_vs_reference,
-        parallel.speedup_4_shards_vs_legacy,
+        parallel.speedup_4_shards_vs_baseline,
+        parallel.host_parallelism,
     );
 
     for (name, json) in [

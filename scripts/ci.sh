@@ -14,6 +14,7 @@
 #   scripts/ci.sh --scrub-smoke   # the scrub smoke check alone
 #   scripts/ci.sh --alloc-smoke   # the allocation-throughput gate alone
 #   scripts/ci.sh --par-smoke     # the sharded-pipeline gate alone
+#   scripts/ci.sh --oracle-parity # the wafl-oracle parity sweep alone
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,10 +44,20 @@ alloc_smoke() {
 }
 
 # Sharded-pipeline gate: the sharded CP front end (write_shards=4) must
-# run >= 1.3x the legacy single-threaded pipeline (write_shards=0) on
-# the overwrite+CP workload with zero parity diffs against it.
+# run >= 1.3x the sequential reference planner (the test-only
+# wafl-oracle crate, which preserves the retired write_shards=0
+# pipeline) on the overwrite+CP workload with zero parity diffs against
+# it. The gate itself fails if both arms resolve to the same planner.
 par_smoke() {
-  run cargo run --release -p wafl-harness --bin par_smoke
+  run cargo run --release -p wafl-harness --example par_smoke
+}
+
+# Oracle-parity gate: the release-mode seed x shard-count sweep pinning
+# the sharded pipeline to the wafl-oracle sequential planner — physical
+# and virtual layout page-exact, mappings identical, per-group costing
+# f64-bit-identical. Zero plan diffs allowed.
+oracle_parity() {
+  run cargo test --release -p wafl-fs --test oracle_parity -- --ignored
 }
 
 if [[ "${1:-}" == "--obs-smoke" ]]; then
@@ -73,6 +84,12 @@ if [[ "${1:-}" == "--par-smoke" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--oracle-parity" ]]; then
+  oracle_parity
+  echo "CI gates passed."
+  exit 0
+fi
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test -q
@@ -80,6 +97,7 @@ obs_smoke
 scrub_smoke
 alloc_smoke
 par_smoke
+oracle_parity
 
 if [[ "${1:-}" == "--torture" ]]; then
   run cargo test --release -p wafl-fs --test crash_consistency -- --ignored
