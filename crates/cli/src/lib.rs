@@ -5,7 +5,13 @@
 //!
 //! * `simulate` — build an aggregate, age it, run a workload, and print
 //!   the §4-style measurements (pick quality, write amplification,
-//!   metafile pages per op, full-stripe fraction, per-op CPU).
+//!   metafile pages per op, full-stripe fraction, per-op CPU). With
+//!   `--trace FILE` the measured window is journaled by the flight
+//!   recorder and exported as Chrome trace-event JSON plus a per-CP
+//!   time-series table.
+//! * `trace-report` — re-read an exported trace file, validate it, and
+//!   print per-phase latency quantiles, shard utilization, steal rate,
+//!   and the quarantine/health timeline.
 //! * `mount-bench` — the Figure 10 comparison for one configuration.
 //! * `help` — usage.
 //!
@@ -14,10 +20,12 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use wafl_fs::{aging, iron, mount, Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
 use wafl_media::MediaProfile;
-use wafl_types::{MediaType, VolumeId, WaflResult};
+use wafl_obs::trace::{chrome_trace_json, parse_chrome_trace, validate_chrome_trace, ParsedEvent};
+use wafl_obs::Registry;
+use wafl_types::{MediaType, VolumeId, WaflError, WaflResult};
 use wafl_workloads::{FileChurn, OltpMix, RandomOverwrite, SequentialWrite, Workload};
 
 /// Parsed options for the `simulate` subcommand.
@@ -58,6 +66,13 @@ pub struct SimulateOpts {
     /// CP write-pipeline shards. `None` keeps the detected default
     /// (the host's available parallelism); `Some(n)` overrides it.
     pub write_shards: Option<usize>,
+    /// Write a Chrome trace-event journal of the measured window to this
+    /// path (plus `<path>.series.json` / `<path>.series.csv` for the
+    /// per-CP time series). Tracing stays off when absent.
+    pub trace: Option<String>,
+    /// Flight-recorder ring capacity in events (only meaningful with
+    /// `--trace`).
+    pub trace_capacity: usize,
 }
 
 impl Default for SimulateOpts {
@@ -80,6 +95,8 @@ impl Default for SimulateOpts {
             json: false,
             scrub: 0,
             write_shards: None,
+            trace: None,
+            trace_capacity: 65_536,
         }
     }
 }
@@ -108,11 +125,22 @@ impl Default for MountBenchOpts {
     }
 }
 
+/// Parsed options for `trace-report`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceReportOpts {
+    /// Path of the exported Chrome trace file to analyse.
+    pub path: String,
+    /// Fail unless the file carries exactly this many shard tracks.
+    pub expect_shards: Option<usize>,
+}
+
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     /// `simulate` with options.
     Simulate(SimulateOpts),
+    /// `trace-report` with options.
+    TraceReport(TraceReportOpts),
     /// `mount-bench` with options.
     MountBench(MountBenchOpts),
     /// `help` (or parse failure, with the message to show).
@@ -196,10 +224,35 @@ pub fn parse(args: &[String]) -> Command {
                             .map_err(|_| format!("--write-shards: cannot parse '{v}'"))?,
                     );
                 }
+                o.trace = kv.get("trace").cloned();
+                o.trace_capacity = get(&kv, "trace-capacity", o.trace_capacity)?;
+                if o.trace_capacity == 0 {
+                    return Err("--trace-capacity must be >= 1".to_string());
+                }
                 if !["overwrite", "oltp", "sequential", "churn"].contains(&o.workload.as_str()) {
                     return Err(format!("unknown workload '{}'", o.workload));
                 }
                 Ok(Command::Simulate(o))
+            }
+            "trace-report" => {
+                let Some((path, flags)) = rest.split_first() else {
+                    return Err("trace-report needs a trace file path".to_string());
+                };
+                if path.starts_with("--") {
+                    return Err("trace-report needs the trace file path first".to_string());
+                }
+                let kv = parse_kv(flags)?;
+                let mut o = TraceReportOpts {
+                    path: path.clone(),
+                    expect_shards: None,
+                };
+                if let Some(v) = kv.get("expect-shards") {
+                    o.expect_shards = Some(
+                        v.parse()
+                            .map_err(|_| format!("--expect-shards: cannot parse '{v}'"))?,
+                    );
+                }
+                Ok(Command::TraceReport(o))
             }
             "mount-bench" => {
                 let kv = parse_kv(rest)?;
@@ -237,12 +290,23 @@ USAGE:
                     [--no-agg-cache] [--no-vol-cache]
                     [--batched-frees] [--trim] [--check] [--json]
                     [--scrub UNITS_PER_CP] [--write-shards N]
+                    [--trace FILE] [--trace-capacity EVENTS]
+  wafl-sim trace-report FILE [--expect-shards N]
   wafl-sim mount-bench [--vols N] [--vol-blocks N] [--device-blocks N]
                        [--write-shards N]
   wafl-sim help
 
 --write-shards overrides the CP write pipeline's detected default
 (the host's available parallelism); N must be >= 1.
+
+--trace journals the measured window in the flight recorder and writes
+Chrome trace-event JSON (chrome://tracing / Perfetto) to FILE, plus the
+per-CP time series to FILE.series.json and FILE.series.csv. The ring
+holds --trace-capacity events (default 65536); overflow drops events
+and counts them in trace.dropped_events. trace-report re-reads an
+exported FILE, validates it (balanced spans, CP-ordered tracks), and
+prints per-phase p50/p99, shard utilization, steal rate, and the
+quarantine timeline.
 ";
 
 /// Results of a `simulate` run (also the JSON shape).
@@ -276,6 +340,30 @@ pub struct SimulateReport {
     /// model's, when `--check` was given (absent if the window measured
     /// no CPs).
     pub wall_overlay: Option<wafl_fs::WallClockOverlay>,
+    /// Median measured CP wall time (µs) from the `cp.wall.total_us`
+    /// histogram, when `--check` was given.
+    pub wall_p50_us: Option<f64>,
+    /// 99th-percentile measured CP wall time (µs), when `--check`.
+    pub wall_p99_us: Option<f64>,
+    /// Flight-recorder artifacts written, when `--trace` was given.
+    pub trace: Option<TraceArtifacts>,
+}
+
+/// Files written by `simulate --trace`, plus journal accounting.
+#[derive(Debug, serde::Serialize)]
+pub struct TraceArtifacts {
+    /// Chrome trace-event JSON path.
+    pub path: String,
+    /// Per-CP time-series JSON path.
+    pub series_json: String,
+    /// Per-CP time-series CSV path.
+    pub series_csv: String,
+    /// Events captured in the journal.
+    pub events: usize,
+    /// Events dropped by ring overflow.
+    pub dropped: u64,
+    /// Shard tracks in the export (the configured `write_shards`).
+    pub shard_tracks: usize,
 }
 
 /// Aggregate health summary printed by `--check`: the scrubber's state
@@ -370,6 +458,9 @@ pub fn run_simulate(o: &SimulateOpts) -> WaflResult<SimulateReport> {
     if let Some(shards) = o.write_shards {
         cfg.write_shards = shards;
     }
+    if o.trace.is_some() {
+        cfg.trace_events = o.trace_capacity;
+    }
     let working = ((agg_blocks as f64 * o.fill) as u64).max(1024);
     let vol_blocks = (working * 2).div_ceil(32768) * 32768;
     let mut agg = Aggregate::new(
@@ -422,6 +513,19 @@ pub fn run_simulate(o: &SimulateOpts) -> WaflResult<SimulateReport> {
     } else {
         None
     };
+    let (wall_p50_us, wall_p99_us) = if o.check {
+        let wall = agg
+            .obs()
+            .histogram_handle("cp.wall.total_us")
+            .expect("FsObs pre-registers the CP wall histogram");
+        (Some(wall.quantile(0.50)), Some(wall.quantile(0.99)))
+    } else {
+        (None, None)
+    };
+    let trace = match &o.trace {
+        Some(path) => Some(write_trace_artifacts(&agg, path)?),
+        None => None,
+    };
     Ok(SimulateReport {
         ops: o.ops,
         cps: stats.cps,
@@ -436,6 +540,41 @@ pub fn run_simulate(o: &SimulateOpts) -> WaflResult<SimulateReport> {
         iron: iron_report,
         health,
         wall_overlay,
+        wall_p50_us,
+        wall_p99_us,
+        trace,
+    })
+}
+
+fn write_file(path: &str, contents: &str) -> WaflResult<()> {
+    std::fs::write(path, contents).map_err(|e| WaflError::TransientIo {
+        reason: format!("write {path}: {e}"),
+    })
+}
+
+/// Export the aggregate's trace journal: Chrome trace JSON to `path`,
+/// the per-CP series next to it.
+fn write_trace_artifacts(agg: &Aggregate, path: &str) -> WaflResult<TraceArtifacts> {
+    let tracer = agg
+        .tracer()
+        .expect("simulate enables tracing before the run when --trace is given");
+    let events = tracer.events();
+    let shard_tracks = agg.config().write_shards;
+    write_file(path, &chrome_trace_json(&events, shard_tracks))?;
+    let series = agg
+        .cp_series()
+        .expect("the per-CP series is enabled together with the tracer");
+    let series_json = format!("{path}.series.json");
+    let series_csv = format!("{path}.series.csv");
+    write_file(&series_json, &series.to_json())?;
+    write_file(&series_csv, &series.to_csv())?;
+    Ok(TraceArtifacts {
+        path: path.to_string(),
+        series_json,
+        series_csv,
+        events: events.len(),
+        dropped: tracer.dropped(),
+        shard_tracks,
     })
 }
 
@@ -502,6 +641,16 @@ impl SimulateReport {
                 h.delayed_free_backlog as u64
             );
         }
+        if let (Some(p50), Some(p99)) = (self.wall_p50_us, self.wall_p99_us) {
+            let _ = writeln!(s, "CP wall p50            {:>10.1}µs", p50);
+            let _ = writeln!(s, "CP wall p99            {:>10.1}µs", p99);
+        }
+        if let Some(t) = &self.trace {
+            let _ = writeln!(s, "trace events           {:>12}", t.events);
+            let _ = writeln!(s, "trace dropped          {:>12}", t.dropped);
+            let _ = writeln!(s, "trace written          {}", t.path);
+            let _ = writeln!(s, "series written         {}", t.series_json);
+        }
         if let Some(w) = &self.wall_overlay {
             let _ = writeln!(s, "wall µs / CP           {:>12.1}", w.wall_us_per_cp);
             let _ = writeln!(s, "model µs / CP          {:>12.1}", w.model_us_per_cp);
@@ -526,6 +675,276 @@ impl SimulateReport {
                     p.model_fraction * 100.0,
                     p.drift * 100.0
                 );
+            }
+        }
+        s
+    }
+}
+
+/// Half-decade µs bucket ladder for `trace-report` latency quantiles.
+const REPORT_US_BOUNDS: &[f64] = &[
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    50_000.0,
+    100_000.0,
+    250_000.0,
+    500_000.0,
+    1_000_000.0,
+];
+
+/// Latency quantiles for one span name in a trace file.
+#[derive(Debug, serde::Serialize)]
+pub struct PhaseQuantiles {
+    /// Span name, e.g. `cp.bind` or `shard.drain`.
+    pub phase: String,
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Median wall duration, µs (bucket-interpolated).
+    pub p50_us: f64,
+    /// 99th-percentile wall duration, µs.
+    pub p99_us: f64,
+}
+
+/// One shard track's drain activity over the whole trace.
+#[derive(Debug, serde::Serialize)]
+pub struct ShardUtilization {
+    /// Shard index (track `tid - 1`).
+    pub shard: usize,
+    /// Total `shard.drain` wall time, µs.
+    pub busy_us: f64,
+    /// Lease grants recorded on this track.
+    pub leases: u64,
+    /// Grants that were steals from a sibling's queue.
+    pub steals: u64,
+    /// `busy_us` over the engine track's total `cp` span time.
+    pub utilization: f64,
+}
+
+/// Everything `trace-report` derives from an exported trace file.
+#[derive(Debug, serde::Serialize)]
+pub struct TraceReport {
+    /// Events in the file (including metadata).
+    pub events: usize,
+    /// Matched begin/end span pairs.
+    pub spans: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Shard tracks named in the file.
+    pub shard_tracks: usize,
+    /// CPs covered (`max cp + 1`, 0 when the file has no CP-keyed events).
+    pub cps: u64,
+    /// Per-phase latency quantiles, sorted by name.
+    pub phases: Vec<PhaseQuantiles>,
+    /// Per-shard drain activity.
+    pub shards: Vec<ShardUtilization>,
+    /// Busiest shard's drain time over the mean (1.0 = perfectly even,
+    /// 0.0 when no shard recorded work).
+    pub imbalance: f64,
+    /// Stolen leases over all leases (0.0 when no leases).
+    pub steal_rate: f64,
+    /// Quarantine / release / health-transition events, file order.
+    pub timeline: Vec<String>,
+}
+
+/// Run the `trace-report` subcommand over an exported trace file.
+pub fn run_trace_report(o: &TraceReportOpts) -> Result<TraceReport, String> {
+    let text = std::fs::read_to_string(&o.path).map_err(|e| format!("read {}: {e}", o.path))?;
+    let parsed = parse_chrome_trace(&text)?;
+    let stats = validate_chrome_trace(&parsed, o.expect_shards)?;
+    Ok(analyze_trace(&parsed, &stats))
+}
+
+fn analyze_trace(parsed: &[ParsedEvent], stats: &wafl_obs::trace::ChromeTraceStats) -> TraceReport {
+    let (events, spans, instants, shard_tracks) = (
+        stats.events,
+        stats.spans,
+        stats.instants,
+        stats.shard_tracks,
+    );
+    // Per-phase latency histograms over the end events' wall_us arg
+    // (span ends carry the unclipped duration).
+    let reg = Registry::new();
+    let mut phases: BTreeMap<String, wafl_obs::Histogram> = BTreeMap::new();
+    let mut shard_busy: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut shard_leases: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+    let mut engine_cp_us = 0.0;
+    let mut timeline = Vec::new();
+    for ev in parsed {
+        match ev.ph.as_str() {
+            "E" => {
+                let wall = ev
+                    .args
+                    .get("wall_us")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0);
+                phases
+                    .entry(ev.name.clone())
+                    .or_insert_with(|| reg.histogram(&ev.name, REPORT_US_BOUNDS))
+                    .observe(wall);
+                if ev.name == "shard.drain" && ev.tid >= 1 {
+                    *shard_busy.entry(ev.tid as usize - 1).or_default() += wall;
+                } else if ev.name == "cp" && ev.tid == 0 {
+                    engine_cp_us += wall;
+                }
+            }
+            "i" => match ev.name.as_str() {
+                "alloc.lease" if ev.tid >= 1 => {
+                    let entry = shard_leases.entry(ev.tid as usize - 1).or_default();
+                    entry.0 += 1;
+                    if ev.args.get("stolen").and_then(|v| v.as_f64()) == Some(1.0) {
+                        entry.1 += 1;
+                    }
+                }
+                "scrub.quarantine" | "scrub.release" => {
+                    let units = ev.args.get("units").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                    timeline.push(format!(
+                        "cp {:>5}  ts {:>12.0}µs  {:<16} units={units}",
+                        ev.cp.unwrap_or(0),
+                        ev.ts,
+                        ev.name
+                    ));
+                }
+                "health.state" => {
+                    let get = |k| ev.args.get(k).and_then(|v| v.as_f64()).unwrap_or(-1.0);
+                    timeline.push(format!(
+                        "cp {:>5}  ts {:>12.0}µs  {:<16} {} -> {}",
+                        ev.cp.unwrap_or(0),
+                        ev.ts,
+                        ev.name,
+                        get("from"),
+                        get("to")
+                    ));
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    let phases: Vec<PhaseQuantiles> = phases
+        .into_iter()
+        .map(|(phase, h)| PhaseQuantiles {
+            phase,
+            count: h.count(),
+            p50_us: h.quantile(0.50),
+            p99_us: h.quantile(0.99),
+        })
+        .collect();
+    let shards: Vec<ShardUtilization> = (0..shard_tracks)
+        .map(|i| {
+            let busy_us = shard_busy.get(&i).copied().unwrap_or(0.0);
+            let (leases, steals) = shard_leases.get(&i).copied().unwrap_or((0, 0));
+            ShardUtilization {
+                shard: i,
+                busy_us,
+                leases,
+                steals,
+                utilization: if engine_cp_us > 0.0 {
+                    busy_us / engine_cp_us
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    let mean_busy = if shards.is_empty() {
+        0.0
+    } else {
+        shards.iter().map(|s| s.busy_us).sum::<f64>() / shards.len() as f64
+    };
+    let max_busy = shards.iter().map(|s| s.busy_us).fold(0.0, f64::max);
+    let (total_leases, total_steals) = shards
+        .iter()
+        .fold((0u64, 0u64), |(l, s), sh| (l + sh.leases, s + sh.steals));
+    TraceReport {
+        events,
+        spans,
+        instants,
+        shard_tracks,
+        cps: parsed
+            .iter()
+            .filter_map(|e| e.cp)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0),
+        phases,
+        shards,
+        imbalance: if mean_busy > 0.0 {
+            max_busy / mean_busy
+        } else {
+            0.0
+        },
+        steal_rate: if total_leases > 0 {
+            total_steals as f64 / total_leases as f64
+        } else {
+            0.0
+        },
+        timeline,
+    }
+}
+
+impl TraceReport {
+    /// Render as aligned text.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        use std::fmt::Write;
+        let _ = writeln!(
+            s,
+            "events {}  spans {}  instants {}  shard tracks {}  CPs {}",
+            self.events, self.spans, self.instants, self.shard_tracks, self.cps
+        );
+        let _ = writeln!(s, "\nphase latencies (wall µs)");
+        let _ = writeln!(
+            s,
+            "  {:<20} {:>8} {:>12} {:>12}",
+            "phase", "count", "p50", "p99"
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                s,
+                "  {:<20} {:>8} {:>12.1} {:>12.1}",
+                p.phase, p.count, p.p50_us, p.p99_us
+            );
+        }
+        if !self.shards.is_empty() {
+            let _ = writeln!(
+                s,
+                "\nshard utilization (steal rate {:.1}%)",
+                self.steal_rate * 100.0
+            );
+            let _ = writeln!(
+                s,
+                "  {:<8} {:>12} {:>8} {:>8} {:>12}",
+                "shard", "busy µs", "leases", "steals", "utilization"
+            );
+            for sh in &self.shards {
+                let _ = writeln!(
+                    s,
+                    "  {:<8} {:>12.1} {:>8} {:>8} {:>11.1}%",
+                    sh.shard,
+                    sh.busy_us,
+                    sh.leases,
+                    sh.steals,
+                    sh.utilization * 100.0
+                );
+            }
+            let _ = writeln!(s, "  imbalance (max/mean busy) {:>6.2}", self.imbalance);
+        }
+        if !self.timeline.is_empty() {
+            let _ = writeln!(s, "\nquarantine / health timeline");
+            for line in &self.timeline {
+                let _ = writeln!(s, "  {line}");
             }
         }
         s
@@ -701,6 +1120,94 @@ mod tests {
             let r = run_simulate(&o).unwrap_or_else(|e| panic!("{media}/{workload} failed: {e}"));
             assert_eq!(r.ops, 2000);
         }
+    }
+
+    #[test]
+    fn parse_trace_flags_and_trace_report() {
+        let Command::Simulate(o) =
+            parse(&args("simulate --trace /tmp/t.json --trace-capacity 1024"))
+        else {
+            panic!("expected simulate");
+        };
+        assert_eq!(o.trace.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(o.trace_capacity, 1024);
+        let Command::TraceReport(r) = parse(&args("trace-report /tmp/t.json --expect-shards 4"))
+        else {
+            panic!("expected trace-report");
+        };
+        assert_eq!(r.path, "/tmp/t.json");
+        assert_eq!(r.expect_shards, Some(4));
+        assert!(matches!(
+            parse(&args("trace-report")),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&args("trace-report --expect-shards 4")),
+            Command::Help(Some(_))
+        ));
+        assert!(matches!(
+            parse(&args("simulate --trace-capacity 0")),
+            Command::Help(Some(_))
+        ));
+    }
+
+    #[test]
+    fn simulate_trace_exports_and_reports() {
+        let dir = std::env::temp_dir().join("wafl_cli_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json").to_str().unwrap().to_string();
+        let o = SimulateOpts {
+            device_blocks: 512 * 40,
+            ops: 5_000,
+            churn: 0.2,
+            check: true,
+            write_shards: Some(4),
+            trace: Some(path.clone()),
+            ..SimulateOpts::default()
+        };
+        let r = run_simulate(&o).unwrap();
+        let t = r.trace.as_ref().expect("--trace records artifacts");
+        assert!(t.events > 0);
+        assert_eq!(t.dropped, 0, "default ring holds a small run");
+        assert_eq!(t.shard_tracks, 4);
+        assert!(r.wall_p50_us.unwrap() > 0.0);
+        assert!(r.wall_p99_us.unwrap() >= r.wall_p50_us.unwrap());
+        let text = r.to_text();
+        assert!(text.contains("CP wall p50"));
+        assert!(text.contains("trace written"));
+
+        let report = run_trace_report(&TraceReportOpts {
+            path: path.clone(),
+            expect_shards: Some(4),
+        })
+        .expect("exported trace validates");
+        assert_eq!(report.shard_tracks, 4);
+        assert!(report.cps > 0, "aging and measured CPs are journaled");
+        assert!(report
+            .phases
+            .iter()
+            .any(|p| p.phase == "cp.bind" && p.count > 0 && p.p99_us >= p.p50_us));
+        assert!(report.phases.iter().any(|p| p.phase == "shard.drain"));
+        assert_eq!(report.shards.len(), 4);
+        assert!(
+            report.shards.iter().map(|s| s.leases).sum::<u64>() > 0,
+            "lease instants are attributed to shard tracks"
+        );
+        let rendered = report.to_text();
+        assert!(rendered.contains("phase latencies"));
+        assert!(rendered.contains("shard utilization"));
+        // Wrong track-count expectations fail loudly.
+        assert!(run_trace_report(&TraceReportOpts {
+            path: path.clone(),
+            expect_shards: Some(3),
+        })
+        .is_err());
+        // The series artifacts parse as JSON / start with the CSV header.
+        let sj = std::fs::read_to_string(&t.series_json).unwrap();
+        assert!(wafl_obs::trace::json::parse(&sj).is_ok());
+        assert!(std::fs::read_to_string(&t.series_csv)
+            .unwrap()
+            .starts_with("cp,"));
     }
 
     #[test]

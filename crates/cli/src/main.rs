@@ -1,6 +1,6 @@
 //! `wafl-sim` binary entry point.
 
-use wafl_cli::{parse, run_mount_bench, run_simulate, Command, USAGE};
+use wafl_cli::{parse, run_mount_bench, run_simulate, run_trace_report, Command, USAGE};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +30,13 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("simulate failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        Command::TraceReport(opts) => match run_trace_report(&opts) {
+            Ok(report) => print!("{}", report.to_text()),
+            Err(e) => {
+                eprintln!("trace-report failed: {e}");
                 std::process::exit(1);
             }
         },

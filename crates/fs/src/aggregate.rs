@@ -375,6 +375,9 @@ impl Aggregate {
         if cfg.write_shards > 1 {
             obs.register_shards(cfg.write_shards);
         }
+        if cfg.trace_events > 0 {
+            obs.enable_tracing(cfg.trace_events);
+        }
         Ok(Aggregate {
             cfg,
             bitmap,
@@ -699,6 +702,20 @@ impl Aggregate {
     /// `Registry::snapshot_json` exports everything as one JSON object.
     pub fn obs(&self) -> &wafl_obs::Registry {
         self.obs.registry()
+    }
+
+    /// The flight-recorder trace journal, when the aggregate was
+    /// configured with `trace_events > 0`. Snapshot with
+    /// [`wafl_obs::trace::Tracer::events`] and export with
+    /// [`wafl_obs::trace::chrome_trace_json`].
+    pub fn tracer(&self) -> Option<&wafl_obs::trace::Tracer> {
+        self.obs.tracer.as_ref()
+    }
+
+    /// The per-CP time series sampled at every completed CP, when
+    /// tracing is enabled.
+    pub fn cp_series(&self) -> Option<&wafl_obs::trace::PerCpSeries> {
+        self.obs.cp_series.as_ref()
     }
 
     /// Reset AA-cache pick statistics on all volumes (post-aging).

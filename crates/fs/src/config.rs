@@ -88,6 +88,14 @@ pub struct AggregateConfig {
     /// select now lives in the test-only `wafl-oracle` crate. See
     /// `docs/perf.md` ("Sharded write allocation").
     pub write_shards: usize,
+    /// Flight-recorder journal capacity in events; `0` (the default)
+    /// disables tracing entirely. When set, the aggregate journals CP
+    /// phase spans, shard lease traffic, scrub/health transitions, and
+    /// mount phases into a bounded ring (overflow drops events and bumps
+    /// `trace.dropped_events` — the hot path never blocks), and samples a
+    /// per-CP time series of registry deltas. See `docs/observability.md`
+    /// ("Flight recorder").
+    pub trace_events: usize,
 }
 
 /// The detected default for [`AggregateConfig::write_shards`]: the
@@ -118,6 +126,7 @@ impl AggregateConfig {
             pick_audit_sample: 64,
             cpu: CpuModel::default(),
             write_shards: default_write_shards(),
+            trace_events: 0,
         }
     }
 

@@ -7,6 +7,7 @@ use crate::allocator::{allocate_vvbns, plan_raid_group, AllocOutcome, AllocatorM
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use wafl_faults::{CrashSite, FaultSession};
+use wafl_obs::trace::TraceData;
 use wafl_raid::analyze_cp_write_runs;
 use wafl_types::{ChecksumStyle, Vbn, WaflError, WaflResult, AZCS_DATA_BLOCKS, AZCS_REGION_BLOCKS};
 
@@ -459,6 +460,13 @@ impl Aggregate {
         }
 
         // ---- 2. virtual allocation, parallel across volumes -----------
+        // Flight recorder epoch: the engine-track phase spans are
+        // synthesized at step 10 from the wall-clock laps, anchored here.
+        // The tracer rides into the rayon closures as a clone (the ring
+        // is shared behind an Arc), leaving `self` free for par_iter_mut.
+        let trace_t0 = self.obs.trace_now_us();
+        let tracer = self.obs.tracer.clone();
+        let trace_cp = stats.cp_index;
         let cp_t0 = std::time::Instant::now();
         let mut mark = cp_t0;
         let mut wall = CpWallClock::default();
@@ -535,6 +543,8 @@ impl Aggregate {
                     cp_seed ^ (0xABCD + i as u64),
                     audit_sample,
                     shards,
+                    tracer.as_ref(),
+                    trace_cp,
                 )
             })
             .collect();
@@ -953,6 +963,16 @@ impl Aggregate {
                         // cursor's claim of "nothing free behind me" is no
                         // longer backed by anything.
                         vol.drain_cursor = None;
+                        if let Some(t) = &tracer {
+                            t.emit(
+                                trace_cp,
+                                None,
+                                TraceData::CursorInvalidated {
+                                    vol: vol.id.0,
+                                    reason: "replenish",
+                                },
+                            );
+                        }
                         vol.bitmap.page_count() as u64
                     } else {
                         0
@@ -1049,6 +1069,61 @@ impl Aggregate {
         self.obs.cp_wall_frees_us.observe(wall.frees_us);
         self.obs.cp_wall_costing_us.observe(wall.costing_us);
         self.obs.cp_wall_rebalance_us.observe(wall.rebalance_us);
+        // Flight recorder: synthesize the CP-engine track from the wall
+        // laps. Spans are journaled whole (start + duration), so the
+        // exported begin/end pairs stay balanced even when the ring
+        // drops events. Phases are laid out sequentially from the CP's
+        // anchor — the same order the pipeline accumulates them — under
+        // one enclosing `cp` span; each carries the cost-model term the
+        // drift overlay maps to it.
+        if let Some(t0) = trace_t0 {
+            let cp = stats.cp_index;
+            self.obs.trace_at(
+                t0,
+                cp,
+                None,
+                TraceData::Span {
+                    name: "cp",
+                    dur_us: wall.total_us,
+                    model_us: stats.cpu_us,
+                },
+            );
+            let phases = [
+                ("cp.plan_virtual", wall.plan_virtual_us, 0.0),
+                ("cp.plan_physical", wall.plan_physical_us, alloc_scan_us),
+                ("cp.apply", wall.apply_us, metafile_us),
+                ("cp.bind", wall.bind_us, client_us + blocks_us),
+                ("cp.frees", wall.frees_us, 0.0),
+                ("cp.costing", wall.costing_us, 0.0),
+                (
+                    "cp.rebalance",
+                    wall.rebalance_us,
+                    stats.cache_maintenance_us + replenish_us,
+                ),
+            ];
+            let mut ts = t0;
+            for (name, dur_us, model_us) in phases {
+                self.obs.trace_at(
+                    ts,
+                    cp,
+                    None,
+                    TraceData::Span {
+                        name,
+                        dur_us,
+                        model_us,
+                    },
+                );
+                ts += dur_us;
+            }
+            if sweep_picks > 0 {
+                self.obs.trace_at(
+                    t0,
+                    cp,
+                    None,
+                    TraceData::SweepFallback { picks: sweep_picks },
+                );
+            }
+        }
         // Per-shard lease traffic (registered only when write_shards > 1;
         // the fallback paths report empty stats).
         for (i, (&leases, &steals)) in shard_stats
@@ -1128,6 +1203,9 @@ impl Aggregate {
                 .vol_gauge(vol.id, "space.free_fraction")
                 .set(vol.bitmap.free_fraction());
         }
+        // One time-series row per completed CP (no-op when tracing is
+        // off): the registry deltas since the previous sample.
+        self.obs.sample_cp_series(stats.cp_index);
         Ok(CpOutcome::Completed(stats))
     }
 

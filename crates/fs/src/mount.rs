@@ -12,7 +12,26 @@ use crate::aggregate::{Aggregate, GroupCache};
 use serde::{Deserialize, Serialize};
 use wafl_core::{topaa, Hbps, RaidAgnosticCache, RaidAwareCache};
 use wafl_faults::{FaultPlan, FaultSession, PageSel, ReadOutcome, StructureId};
+use wafl_obs::trace::TraceData;
 use wafl_types::{AaId, RetryPolicy, WaflError, WaflResult, BITS_PER_BITMAP_BLOCK, BLOCK_SIZE};
+
+/// Journal a mount-path span on the engine track: real wall duration from
+/// `t0` (a [`crate::obs::FsObs::trace_now_us`] stamp taken at entry),
+/// modeled time = the path's first-CP-ready cost.
+fn trace_mount_span(agg: &Aggregate, name: &'static str, t0: Option<f64>, model_us: f64) {
+    if let (Some(t0), Some(now)) = (t0, agg.obs.trace_now_us()) {
+        agg.obs.trace_at(
+            t0,
+            agg.cp_count,
+            None,
+            TraceData::Span {
+                name,
+                dur_us: now - t0,
+                model_us,
+            },
+        );
+    }
+}
 
 /// Persisted form of one physical range's AA cache.
 #[allow(clippy::large_enum_variant)] // both variants are page images
@@ -147,6 +166,7 @@ pub fn crash(agg: &mut Aggregate) {
 /// max-heaps start partial and [`complete_background_rebuild`] finishes
 /// them later.
 pub fn mount_with_topaa(agg: &mut Aggregate, image: &TopAaImage) -> WaflResult<MountStats> {
+    let t0 = agg.obs.trace_now_us();
     let cpu = agg.config().cpu;
     let mut blocks_read = 0u64;
     let mut seed_hits = 0u64;
@@ -187,7 +207,7 @@ pub fn mount_with_topaa(agg: &mut Aggregate, image: &TopAaImage) -> WaflResult<M
         // HBPS restores complete — no background debt for volumes.
     }
     agg.obs.mount_seed_hits.inc(seed_hits);
-    Ok(MountStats {
+    let stats = MountStats {
         metafile_blocks_read: blocks_read,
         first_cp_ready_us: blocks_read as f64 * (cpu.us_per_metafile_read + cpu.us_per_scan_page),
         // The background walk owes a pass over the physical bitmap only
@@ -200,7 +220,9 @@ pub fn mount_with_topaa(agg: &mut Aggregate, image: &TopAaImage) -> WaflResult<M
         },
         transient_retries: 0,
         degraded: Vec::new(),
-    })
+    };
+    trace_mount_span(agg, "mount.topaa", t0, stats.first_cp_ready_us);
+    Ok(stats)
 }
 
 /// Apply a fault plan's scribbles to a persisted TopAA image — the damage
@@ -260,6 +282,7 @@ pub fn mount_auto_with(
     faults: &mut FaultSession<'_>,
     retry: RetryPolicy,
 ) -> MountStats {
+    let t0 = agg.obs.trace_now_us();
     let cpu = agg.config().cpu;
     let mut stats = MountStats::default();
     let mut seed_hits = 0u64;
@@ -376,6 +399,7 @@ pub fn mount_auto_with(
     // scrub-state fix: a degraded mount used to report Healthy until the
     // first scrub step happened to run).
     crate::scrub::refresh_health(agg);
+    trace_mount_span(agg, "mount.auto", t0, stats.first_cp_ready_us);
     stats
 }
 
@@ -401,6 +425,7 @@ fn faulted_read(
 /// aggregate and of every volume to compute all AA scores (§3.4's
 /// "linear walk of the bitmap metafiles ... may take multiple seconds").
 pub fn mount_cold(agg: &mut Aggregate) -> WaflResult<MountStats> {
+    let t0 = agg.obs.trace_now_us();
     let cpu = agg.config().cpu;
     let mut pages = agg.bitmap.page_count() as u64;
     for i in 0..agg.groups.len() {
@@ -411,13 +436,15 @@ pub fn mount_cold(agg: &mut Aggregate) -> WaflResult<MountStats> {
         v.cache = Some(RaidAgnosticCache::build(v.topology.clone(), &v.bitmap)?);
     }
     agg.obs.mount_cold_pages.inc(pages);
-    Ok(MountStats {
+    let stats = MountStats {
         metafile_blocks_read: pages,
         first_cp_ready_us: pages as f64 * (cpu.us_per_metafile_read + cpu.us_per_scan_page),
         background_pages_remaining: 0,
         transient_retries: 0,
         degraded: Vec::new(),
-    })
+    };
+    trace_mount_span(agg, "mount.cold", t0, stats.first_cp_ready_us);
+    Ok(stats)
 }
 
 /// Finish a TopAA-seeded mount: the background walk that completes every

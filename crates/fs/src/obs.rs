@@ -14,6 +14,7 @@
 //! model's phase ratios drift from real execution time.
 
 use wafl_core::{HbpsStats, HeapCacheStats};
+use wafl_obs::trace::{PerCpSeries, TraceData, Tracer};
 use wafl_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Bucket bounds for the chosen-AA score error, in bin widths. The HBPS
@@ -176,6 +177,16 @@ pub struct FsObs {
     pub(crate) gauge_free_fraction: Gauge,
     /// Delayed-free log backlog in blocks (0 unless `batched_frees`).
     pub(crate) gauge_delayed_free_backlog: Gauge,
+
+    // ---- flight recorder (optional) -------------------------------------
+    /// Trace journal, present when the aggregate was configured with
+    /// `trace_events > 0`. Emission through [`FsObs::trace`] costs one
+    /// `Option` check when tracing is off; the handle itself is safe to
+    /// share with rayon workers.
+    pub(crate) tracer: Option<Tracer>,
+    /// Per-CP time series sampled at the end of CP step 10, enabled
+    /// together with the tracer.
+    pub(crate) cp_series: Option<PerCpSeries>,
 }
 
 impl FsObs {
@@ -239,6 +250,8 @@ impl FsObs {
             gauge_pending_repairs: registry.gauge("health.pending_repairs"),
             gauge_free_fraction: registry.gauge("space.free_fraction"),
             gauge_delayed_free_backlog: registry.gauge("delayed_free.backlog_blocks"),
+            tracer: None,
+            cp_series: None,
             registry,
         }
     }
@@ -263,6 +276,76 @@ impl FsObs {
                     .counter(&format!("allocator.shard.{i}.steals")),
             })
             .collect();
+    }
+
+    /// Switch on the flight recorder: a bounded trace journal with room
+    /// for `capacity` events plus the per-CP time series. Called once at
+    /// aggregate construction, after [`FsObs::register_shards`] so the
+    /// series can track the per-shard lease counters.
+    pub(crate) fn enable_tracing(&mut self, capacity: usize) {
+        let mut counters: Vec<String> = [
+            "cp.completed",
+            "allocator.aas_claimed",
+            "allocator.blocks_examined",
+            "allocator.cursor_hits",
+            "allocator.cursor_misses",
+            "allocator.sweep_fallback_picks",
+            "scrub.faults_detected",
+            "scrub.aas_quarantined",
+            "scrub.released",
+            wafl_obs::trace::DROPPED_EVENTS,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        for i in 0..self.shard.len() {
+            counters.push(format!("allocator.shard.{i}.leases"));
+            counters.push(format!("allocator.shard.{i}.steals"));
+        }
+        let counter_refs: Vec<&str> = counters.iter().map(|s| s.as_str()).collect();
+        self.cp_series = Some(PerCpSeries::new(
+            &self.registry,
+            &counter_refs,
+            &["cp.wall.total_us", "cp.phase.media_us"],
+            &[
+                "space.free_fraction",
+                "health.state",
+                "health.quarantined_aas",
+                "delayed_free.backlog_blocks",
+            ],
+        ));
+        self.tracer = Some(Tracer::new(capacity, &self.registry));
+    }
+
+    /// Append a trace event stamped now; a no-op costing one `Option`
+    /// check when tracing is off.
+    #[inline]
+    pub(crate) fn trace(&self, cp: u64, shard: Option<u32>, data: TraceData) {
+        if let Some(t) = &self.tracer {
+            t.emit(cp, shard, data);
+        }
+    }
+
+    /// Append a trace event with an explicit timestamp (the CP engine's
+    /// reconstructed phase timeline).
+    #[inline]
+    pub(crate) fn trace_at(&self, ts_us: f64, cp: u64, shard: Option<u32>, data: TraceData) {
+        if let Some(t) = &self.tracer {
+            t.emit_at(ts_us, cp, shard, data);
+        }
+    }
+
+    /// µs since the tracer's epoch, when tracing is on.
+    #[inline]
+    pub(crate) fn trace_now_us(&self) -> Option<f64> {
+        self.tracer.as_ref().map(|t| t.now_us())
+    }
+
+    /// Record one per-CP series row, when tracing is on.
+    pub(crate) fn sample_cp_series(&mut self, cp: u64) {
+        if let Some(series) = &mut self.cp_series {
+            series.sample(cp);
+        }
     }
 
     /// Per-volume metric name under the `vol=<id>` label prefix, so

@@ -47,6 +47,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use wafl_core::RaidAgnosticCache;
 use wafl_faults::{FaultSession, ReadOutcome, RuntimeTarget, StructureId};
+use wafl_obs::trace::TraceData;
 use wafl_types::{AaId, AaScore, RetryPolicy, Vbn, WaflError, WaflResult, BITS_PER_BITMAP_BLOCK};
 
 /// Aggregate health as driven by the runtime scrubber.
@@ -657,6 +658,7 @@ pub(crate) fn status(agg: &Aggregate) -> ScrubStatus {
 /// hysteresis — used at mount (degradations quarantine structures before
 /// any scrub step runs) and after a full Iron repair.
 pub(crate) fn refresh_health(agg: &mut Aggregate) {
+    let before = agg.scrub.health;
     let pending = pending_count(agg);
     if pending == 0 {
         agg.scrub.health = HealthState::Healthy;
@@ -665,7 +667,19 @@ pub(crate) fn refresh_health(agg: &mut Aggregate) {
         agg.scrub.health = HealthState::Degraded(pending);
     }
     agg.scrub.clean_cps = 0;
+    trace_health_change(agg, before);
     export_gauges(agg);
+}
+
+/// Journal a health transition if the state machine moved (the flight
+/// recorder's `health.state` instants; `Degraded(n)` collapses to its
+/// gauge encoding — different `n` is not a transition).
+fn trace_health_change(agg: &Aggregate, before: HealthState) {
+    let (from, to) = (before.as_gauge() as u8, agg.scrub.health.as_gauge() as u8);
+    if from != to {
+        agg.obs
+            .trace(agg.cp_count, None, TraceData::HealthChange { from, to });
+    }
 }
 
 /// Clear every quarantine and ticket (a full Iron repair rebuilt all the
@@ -760,6 +774,7 @@ pub(crate) fn run_step(
 ) -> WaflResult<()> {
     let cp = agg.cp_count;
     let policy = agg.scrub.policy;
+    let health_before = agg.scrub.health;
 
     // ---- 1. due repair tickets -------------------------------------
     let mut tickets = std::mem::take(&mut agg.scrub.tickets);
@@ -793,6 +808,10 @@ pub(crate) fn run_step(
                 let released = release(agg, ticket.target, &tickets);
                 agg.obs.scrub_released.inc(released);
                 agg.obs.scrub_repairs_succeeded.inc(1);
+                if released > 0 {
+                    agg.obs
+                        .trace(cp, None, TraceData::Release { units: released });
+                }
                 // `i` stays: the next ticket shifted into this slot.
             }
             Err(e) => {
@@ -834,6 +853,13 @@ pub(crate) fn run_step(
                 agg.obs.scrub_faults_detected.inc(1);
                 let quarantined = quarantine(agg, target, diverged);
                 agg.obs.scrub_aas_quarantined.inc(quarantined);
+                agg.obs.trace(
+                    cp,
+                    None,
+                    TraceData::Quarantine {
+                        units: quarantined.max(1), // structure quarantines fence 1 unit
+                    },
+                );
                 agg.scrub.tickets.push(RepairTicket {
                     target,
                     attempts: 0,
@@ -848,10 +874,12 @@ pub(crate) fn run_step(
                     ScrubTarget::GroupCache(gi) if agg.groups[gi].cache_quarantined => {
                         agg.groups[gi].cache_quarantined = false;
                         agg.obs.scrub_released.inc(1);
+                        agg.obs.trace(cp, None, TraceData::Release { units: 1 });
                     }
                     ScrubTarget::VolCache(v) if agg.vols[v].cache_quarantined => {
                         agg.vols[v].cache_quarantined = false;
                         agg.obs.scrub_released.inc(1);
+                        agg.obs.trace(cp, None, TraceData::Release { units: 1 });
                     }
                     _ => {}
                 }
@@ -873,6 +901,7 @@ pub(crate) fn run_step(
             agg.scrub.health = HealthState::Degraded(pending);
         }
     }
+    trace_health_change(agg, health_before);
     export_gauges(agg);
     Ok(())
 }

@@ -53,6 +53,7 @@ use std::collections::{BTreeSet, VecDeque};
 use std::sync::Mutex;
 use wafl_bitmap::Bitmap;
 use wafl_core::RaidAwareCache;
+use wafl_obs::trace::{TraceData, Tracer};
 use wafl_types::{AaId, AaScore, Vbn, WaflResult};
 
 /// Per-shard lease traffic from one plan call, for the
@@ -168,12 +169,14 @@ impl<'a> LeaseManager<'a> {
 
     /// Next lease for `shard`: its own queue first, then a steal of the
     /// most-loaded sibling's last-queued lease. `None` when every queue
-    /// is empty — the plan's work is fully handed out.
-    fn lease(&self, shard: usize) -> Option<RangeLease> {
+    /// is empty — the plan's work is fully handed out. The flag reports
+    /// whether the grant was a steal (for the flight recorder; the
+    /// counters aggregate the same fact).
+    fn lease(&self, shard: usize) -> Option<(RangeLease, bool)> {
         let mut state = self.state.lock().expect("lease manager poisoned");
         if let Some(lease) = state.pending[shard].pop_front() {
             state.stats.leases[shard] += 1;
-            return Some(lease);
+            return Some((lease, false));
         }
         let victim = (0..state.pending.len()).max_by_key(|&i| state.pending[i].len());
         if let Some(v) = victim {
@@ -182,7 +185,7 @@ impl<'a> LeaseManager<'a> {
             if let Some(lease) = state.pending[v].pop_back() {
                 state.stats.leases[shard] += 1;
                 state.stats.steals[shard] += 1;
-                return Some(lease);
+                return Some((lease, true));
             }
         }
         None
@@ -234,6 +237,12 @@ struct RangeJob {
 /// Reads the shared physical bitmap snapshot; mutates only group-local
 /// state. The returned VBNs/runs are applied to the bitmap afterwards
 /// (see [`wafl_bitmap::Bitmap::mutate_runs_partitioned`]).
+///
+/// With a live `tracer`, every lease grant is journaled as an event on
+/// its shard's track (tagged `cp`) and each worker's drain as a span —
+/// the raw material for the trace-report utilization and steal-rate
+/// numbers.
+#[allow(clippy::too_many_arguments)] // internal call site; a ctx struct would just rename the list
 pub(crate) fn plan_raid_group_sharded(
     g: &mut RaidGroupState,
     bitmap: &Bitmap,
@@ -242,6 +251,8 @@ pub(crate) fn plan_raid_group_sharded(
     seed: u64,
     pick_audit_sample: u32,
     shards: usize,
+    tracer: Option<&Tracer>,
+    cp: u64,
 ) -> WaflResult<(AllocOutcome, ShardStats)> {
     let shardable = shards > 1
         && mode == AllocatorMode::CacheGuided
@@ -379,11 +390,23 @@ pub(crate) fn plan_raid_group_sharded(
             .collect::<Vec<_>>()
             .into_par_iter()
             .map(|shard| {
+                let drain_t0 = tracer.map(|t| t.now_us());
                 let mut plan = ShardPlan {
                     out: AllocOutcome::default(),
                     segments: Vec::new(),
                 };
-                while let Some(lease) = mgr.lease(shard) {
+                while let Some((lease, stolen)) = mgr.lease(shard) {
+                    if let Some(t) = tracer {
+                        t.emit(
+                            cp,
+                            Some(shard as u32),
+                            TraceData::Lease {
+                                aa: lease.aa.0,
+                                take: lease.take,
+                                stolen,
+                            },
+                        );
+                    }
                     let (vbn_lo, run_lo) = (plan.out.vbns.len(), plan.out.runs.len());
                     let quota_here = vbn_lo + lease.take as usize;
                     drain_ranges(&lease.ranges, bitmap, quota_here, &mut plan.out);
@@ -400,6 +423,21 @@ pub(crate) fn plan_raid_group_sharded(
                         vbn_lo,
                         run_lo,
                     });
+                }
+                if let (Some(t), Some(t0)) = (tracer, drain_t0) {
+                    // Real-timestamp worker span: the utilization signal
+                    // is how long each shard actually spent draining
+                    // within its CP, stolen leases included.
+                    t.emit_at(
+                        t0,
+                        cp,
+                        Some(shard as u32),
+                        TraceData::Span {
+                            name: "shard.drain",
+                            dur_us: t.now_us() - t0,
+                            model_us: 0.0,
+                        },
+                    );
                 }
                 Ok(plan)
             })
@@ -702,9 +740,10 @@ mod tests {
             RaidAwareCache::new_full(vec![AaScore(100), AaScore(90)], vec![32_768; 2]).unwrap();
         let quarantined = BTreeSet::new();
         let mgr = queued_manager(&mut cache, &quarantined, 2, 2, 10);
-        assert!(mgr.lease(0).is_some(), "own queue");
-        let stolen = mgr.lease(0);
-        assert!(stolen.is_some(), "steal from shard 1");
+        let (_, stolen) = mgr.lease(0).expect("own queue");
+        assert!(!stolen, "own-queue grant is not a steal");
+        let (_, stolen) = mgr.lease(0).expect("steal from shard 1");
+        assert!(stolen, "cross-queue grant reports the steal");
         assert!(mgr.lease(1).is_none(), "nothing left anywhere");
         let (leftover, _, stats) = mgr.into_parts();
         assert!(leftover.is_empty());
@@ -727,24 +766,24 @@ mod tests {
         let mgr = queued_manager(&mut cache, &quarantined, 3, 9, 10);
 
         // Drain shard 0's own queue in FIFO order: 0, 3, 6.
-        let own: Vec<usize> = (0..3).map(|_| mgr.lease(0).unwrap().seq).collect();
+        let own: Vec<usize> = (0..3).map(|_| mgr.lease(0).unwrap().0.seq).collect();
         assert_eq!(own, vec![0, 3, 6], "own queue drains front-first");
 
         // First steal: shards 1 and 2 both hold 3 leases — the tie goes
         // to the LAST maximal index (shard 2), and the victim loses its
         // last-queued lease (seq 8), not the seq-2 front it drains next.
-        assert_eq!(
-            mgr.lease(0).unwrap().seq,
-            8,
-            "tie → highest index, pop_back"
-        );
+        let (lease, stolen) = mgr.lease(0).unwrap();
+        assert_eq!(lease.seq, 8, "tie → highest index, pop_back");
+        assert!(stolen);
         // Now shard 1 (3 leases) is strictly more loaded than shard 2
         // (2 leases): steal its back (seq 7).
-        assert_eq!(mgr.lease(0).unwrap().seq, 7, "most-loaded victim, pop_back");
+        let (lease, stolen) = mgr.lease(0).unwrap();
+        assert_eq!(lease.seq, 7, "most-loaded victim, pop_back");
+        assert!(stolen);
 
         // Victims still drain their own fronts untouched.
-        assert_eq!(mgr.lease(1).unwrap().seq, 1);
-        assert_eq!(mgr.lease(2).unwrap().seq, 2);
+        assert_eq!(mgr.lease(1).unwrap().0.seq, 1);
+        assert_eq!(mgr.lease(2).unwrap().0.seq, 2);
 
         let (leftover, _, stats) = mgr.into_parts();
         // Leases 4 and 5 remain queued (shard 1 and 2 backs).
@@ -775,7 +814,7 @@ mod tests {
                     let mgr = &mgr;
                     s.spawn(move || {
                         let mut got = Vec::new();
-                        while let Some(lease) = mgr.lease(shard) {
+                        while let Some((lease, _)) = mgr.lease(shard) {
                             got.push(lease.aa);
                             std::thread::yield_now();
                         }

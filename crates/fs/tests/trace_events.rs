@@ -1,0 +1,196 @@
+//! End-to-end flight-recorder coverage: a sharded aggregate with tracing
+//! enabled journals CP phase spans, shard lease traffic, and allocator
+//! events; the Chrome-trace export validates (balanced spans, per-track
+//! CP ordering, the expected track set); and the per-CP series carries
+//! one row per completed CP.
+
+use wafl_fs::{Aggregate, AggregateConfig, FlexVolConfig, RaidGroupSpec};
+use wafl_media::MediaProfile;
+use wafl_obs::trace::{
+    chrome_trace_json, parse_chrome_trace, validate_chrome_trace, TraceData, TraceEvent,
+};
+use wafl_types::VolumeId;
+
+const SHARDS: usize = 4;
+
+fn traced_agg(trace_events: usize) -> Aggregate {
+    Aggregate::new(
+        AggregateConfig {
+            write_shards: SHARDS,
+            trace_events,
+            ..AggregateConfig::single_group(RaidGroupSpec {
+                data_devices: 4,
+                parity_devices: 1,
+                device_blocks: 16 * 4096,
+                profile: MediaProfile::hdd(),
+            })
+        },
+        &[(
+            FlexVolConfig {
+                size_blocks: 8 * 32768,
+                aa_cache: true,
+                aa_blocks: None,
+            },
+            50_000,
+        )],
+        42,
+    )
+    .unwrap()
+}
+
+fn churn(a: &mut Aggregate, rounds: usize) {
+    use rand::prelude::*;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    for _ in 0..rounds {
+        for _ in 0..2000 {
+            a.client_overwrite(VolumeId(0), rng.random_range(0..50_000))
+                .unwrap();
+        }
+        a.run_cp().unwrap();
+    }
+}
+
+#[test]
+fn tracing_off_journals_nothing() {
+    let mut a = traced_agg(0);
+    churn(&mut a, 2);
+    assert!(a.tracer().is_none());
+    assert!(a.cp_series().is_none());
+    assert!(a.obs().counter_value("trace.dropped_events").is_none());
+}
+
+#[test]
+fn sharded_cps_journal_phase_spans_and_lease_events() {
+    let mut a = traced_agg(65_536);
+    churn(&mut a, 4);
+    let tracer = a.tracer().expect("tracing enabled");
+    assert_eq!(tracer.dropped(), 0, "ring sized well above the event count");
+    let events = tracer.events();
+    assert!(!events.is_empty());
+
+    // Every CP emitted its engine-track phase timeline...
+    let phase_names = [
+        "cp",
+        "cp.plan_virtual",
+        "cp.plan_physical",
+        "cp.apply",
+        "cp.bind",
+        "cp.frees",
+        "cp.costing",
+        "cp.rebalance",
+    ];
+    for name in phase_names {
+        let count = events
+            .iter()
+            .filter(
+                |e| matches!(e.data, TraceData::Span { name: n, .. } if n == name && e.shard.is_none()),
+            )
+            .count();
+        assert_eq!(count, 4, "span {name} once per CP");
+    }
+    // ...and the shard workers their lease grants and drain spans.
+    let leases = events
+        .iter()
+        .filter(|e| matches!(e.data, TraceData::Lease { .. }))
+        .count();
+    assert!(leases > 0, "sharded CPs must journal lease grants");
+    for e in &events {
+        if let TraceData::Lease { take, .. } = e.data {
+            let shard = e.shard.expect("lease events ride shard tracks") as usize;
+            assert!(shard < SHARDS);
+            assert!(take > 0);
+        }
+    }
+    let drains = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.data,
+                TraceData::Span {
+                    name: "shard.drain",
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(drains, 4 * SHARDS, "one drain span per shard per CP");
+
+    // CP sequence numbers cover exactly the completed CPs.
+    let max_cp = events.iter().map(|e| e.cp).max().unwrap();
+    assert_eq!(max_cp, 3);
+}
+
+#[test]
+fn chrome_export_of_a_real_run_validates() {
+    let mut a = traced_agg(65_536);
+    churn(&mut a, 3);
+    let events: Vec<TraceEvent> = a.tracer().unwrap().events();
+    let json = chrome_trace_json(&events, SHARDS);
+    let parsed = parse_chrome_trace(&json).expect("exporter output parses");
+    let stats = validate_chrome_trace(&parsed, Some(SHARDS)).expect("trace validates");
+    assert_eq!(stats.shard_tracks, SHARDS);
+    assert!(stats.engine_track);
+    assert!(stats.spans > 0);
+    assert_eq!(stats.max_cp, 2);
+}
+
+#[test]
+fn per_cp_series_has_one_row_per_cp() {
+    let mut a = traced_agg(65_536);
+    churn(&mut a, 5);
+    let series = a.cp_series().expect("series sampled when tracing is on");
+    let rows = series.rows();
+    assert_eq!(rows.len(), 5, "one sample per completed CP");
+    let columns = series.columns();
+    let cp_completed = columns
+        .iter()
+        .position(|c| c == "cp.completed")
+        .expect("series tracks cp.completed");
+    let wall = columns
+        .iter()
+        .position(|c| c == "cp.wall.total_us.sum")
+        .expect("series tracks the wall histogram sum");
+    // Column 0 is "cp"; a row's `values` start at column 1.
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.cp, i as u64, "cp column is the CP sequence");
+        assert_eq!(
+            row.values[cp_completed - 1],
+            1.0,
+            "each row is one CP's delta"
+        );
+        assert!(row.values[wall - 1] > 0.0, "wall time accrues every CP");
+    }
+    // Per-shard lease counters are present and saw traffic overall.
+    let lease_cols: Vec<usize> = (0..SHARDS)
+        .map(|i| {
+            columns
+                .iter()
+                .position(|c| c == &format!("allocator.shard.{i}.leases"))
+                .expect("shard lease columns registered")
+        })
+        .collect();
+    let total: f64 = rows
+        .iter()
+        .flat_map(|r| lease_cols.iter().map(|&c| r.values[c - 1]))
+        .sum();
+    assert!(total > 0.0, "lease traffic shows up in the series");
+}
+
+#[test]
+fn ring_overflow_drops_and_counts_but_cps_still_complete() {
+    let mut a = traced_agg(8); // absurdly small ring
+    churn(&mut a, 3);
+    let tracer = a.tracer().unwrap();
+    assert_eq!(tracer.recorded(), 8);
+    assert!(tracer.dropped() > 0);
+    assert_eq!(
+        a.obs().counter_value("trace.dropped_events"),
+        Some(tracer.dropped())
+    );
+    // Dropped spans never unbalance the export: spans are journaled
+    // whole, so begin/end pairs are synthesized only for survivors.
+    let events = tracer.events();
+    let json = chrome_trace_json(&events, SHARDS);
+    let parsed = parse_chrome_trace(&json).unwrap();
+    validate_chrome_trace(&parsed, None).expect("partial journal still balances");
+}

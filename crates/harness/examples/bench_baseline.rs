@@ -4,7 +4,9 @@
 //! and the sharded-pipeline shard sweep — written as
 //! `BENCH_bitmap.json`, `BENCH_cp.json`, `BENCH_alloc.json`,
 //! `BENCH_parallel.json`, and `BENCH_obs.json` for the repo record (see
-//! `docs/perf.md`).
+//! `docs/perf.md`). `BENCH_obs.json` also records the flight recorder's
+//! tracing-on versus tracing-off throughput (the overhead target is
+//! < 2 %) and the traced run's per-CP time series.
 //!
 //! Usage: `cargo run --release -p wafl-harness --example bench_baseline
 //!         [--out-dir <dir>]` (default: current directory). Run via
@@ -210,14 +212,21 @@ struct CpBaseline {
 /// pipeline's counters land in the baseline record (`BENCH_obs.json`).
 /// `shards` selects the CP pipeline fan-out: 1 = single-threaded, >1 =
 /// fanned out (the retired `shards == 0` legacy pipeline lives in
-/// `wafl-oracle`; see [`oracle_series`]).
-fn cp_series(caches: bool, shards: usize) -> (CpSeries, String) {
+/// `wafl-oracle`; see [`oracle_series`]). `trace_events > 0` switches on
+/// the flight recorder with that ring capacity; the third return is then
+/// the traced run's per-CP series JSON.
+fn cp_series(
+    caches: bool,
+    shards: usize,
+    trace_events: usize,
+) -> (CpSeries, String, Option<String>) {
     const ROUNDS: u64 = 24;
     const OPS: u64 = 8192;
     let mut agg = Aggregate::new(
         AggregateConfig {
             raid_aware_cache: caches,
             write_shards: shards,
+            trace_events,
             ..AggregateConfig::single_group(RaidGroupSpec {
                 data_devices: 4,
                 parity_devices: 1,
@@ -264,7 +273,24 @@ fn cp_series(caches: bool, shards: usize) -> (CpSeries, String) {
         mean_round_ms: total * 1e3 / ROUNDS as f64,
         mean_cp_flush_ms: cp_total * 1e3 / ROUNDS as f64,
     };
-    (series, agg.obs().snapshot_json())
+    let per_cp = agg.cp_series().map(|s| s.to_json());
+    (series, agg.obs().snapshot_json(), per_cp)
+}
+
+/// The flight recorder's cost on the sharded CP workload: the same
+/// caches-on 4-shard series with tracing off and on, best-of-5 trials
+/// per arm with the arms interleaved (off, on, off, on, ...) so
+/// host-frequency drift hits both equally — run-to-run variance on a
+/// loaded host easily exceeds the effect being measured, which is one
+/// relaxed `fetch_add` plus an uncontended slot write per event.
+#[derive(Serialize)]
+struct TraceOverhead {
+    trace_capacity: usize,
+    trials_per_arm: u32,
+    ops_per_second_off: f64,
+    ops_per_second_on: f64,
+    /// `1 - on/off`; the acceptance target is < 0.02.
+    overhead_fraction: f64,
 }
 
 /// One shard-count sample of the CP workload.
@@ -369,7 +395,7 @@ struct ParallelBaseline {
 /// sharded pipeline at 1/2/4/8 shards.
 fn parallel_baseline(reference_ops_per_second: f64) -> ParallelBaseline {
     let sample = |shards: usize| {
-        let (s, _) = cp_series(true, shards);
+        let (s, _, _) = cp_series(true, shards, 0);
         ParallelSeries {
             planner: format!("wafl-fs/sharded({shards})"),
             write_shards: shards,
@@ -428,8 +454,8 @@ fn main() {
     );
 
     eprintln!("measuring CP overwrite workload...");
-    let (caches_on, obs_snapshot) = cp_series(true, 1);
-    let (caches_off, obs_snapshot_off) = cp_series(false, 1);
+    let (caches_on, obs_snapshot, _) = cp_series(true, 1, 0);
+    let (caches_off, obs_snapshot_off, _) = cp_series(false, 1, 0);
     let alloc = AllocBaseline {
         run_len,
         bulk_cycle_ns,
@@ -470,6 +496,42 @@ fn main() {
         parallel.host_parallelism,
     );
 
+    eprintln!("measuring flight-recorder overhead (4 shards, tracing off/on, best of 5)...");
+    const TRACE_CAPACITY: usize = 65_536;
+    const TRIALS: u32 = 5;
+    let mut off_best = 0.0f64;
+    let mut on_best = 0.0f64;
+    let mut per_cp = None;
+    for _ in 0..TRIALS {
+        off_best = off_best.max(cp_series(true, 4, 0).0.ops_per_second);
+        let (s, _, p) = cp_series(true, 4, TRACE_CAPACITY);
+        if s.ops_per_second > on_best {
+            on_best = s.ops_per_second;
+            per_cp = p;
+        }
+    }
+    let trace = TraceOverhead {
+        trace_capacity: TRACE_CAPACITY,
+        trials_per_arm: TRIALS,
+        ops_per_second_off: off_best,
+        ops_per_second_on: on_best,
+        overhead_fraction: 1.0 - on_best / off_best,
+    };
+    eprintln!(
+        "  tracing off {:.0} ops/s, on {:.0} ops/s ({:+.2}% overhead)",
+        trace.ops_per_second_off,
+        trace.ops_per_second_on,
+        trace.overhead_fraction * 100.0,
+    );
+    // Hand-assembled wrapper: the serde shim would re-escape the
+    // registry snapshot and the per-CP series, which are already JSON.
+    let obs_record = format!(
+        "{{\n\"trace\": {},\n\"per_cp_series\": {},\n\"registry\": {}\n}}\n",
+        serde_json::to_string_pretty(&trace).expect("serialize"),
+        per_cp.expect("the traced arm samples the per-CP series"),
+        obs_snapshot,
+    );
+
     for (name, json) in [
         ("BENCH_bitmap.json", serde_json::to_string_pretty(&bitmap)),
         ("BENCH_cp.json", serde_json::to_string_pretty(&cp)),
@@ -478,9 +540,9 @@ fn main() {
             "BENCH_parallel.json",
             serde_json::to_string_pretty(&parallel),
         ),
-        // Allocator-pipeline metrics of the caches-on run, verbatim from
-        // the registry (already JSON).
-        ("BENCH_obs.json", Ok(obs_snapshot)),
+        // Flight-recorder overhead + the traced run's per-CP series +
+        // the caches-on run's registry snapshot (already JSON).
+        ("BENCH_obs.json", Ok(obs_record)),
     ] {
         let path = format!("{out_dir}/{name}");
         std::fs::write(&path, json.expect("serialize")).expect("write baseline json");

@@ -4,8 +4,11 @@
 //!
 //! Invariants checked (the CI `--obs-smoke` contract):
 //!
-//! - the snapshot covers allocator, HBPS, CP, and mount metric families;
-//! - the headline counters are nonzero after real work;
+//! - the snapshot covers allocator, HBPS, CP (model and `cp.wall.*`
+//!   measured), per-shard lease (`allocator.shard.{i}.*`), and mount
+//!   metric families;
+//! - the headline counters are nonzero after real work, including the
+//!   sharded pipeline's lease traffic;
 //! - every cache-guided pick's score error stays within one HBPS bin
 //!   width of the true best AA (the paper's 3.125 % bound, §2.3).
 //!
@@ -23,6 +26,9 @@ fn smoke_aggregate() -> Aggregate {
     Aggregate::new(
         AggregateConfig {
             raid_aware_cache: true,
+            // Explicit: the host may detect one core, and the per-shard
+            // metric family only registers when write_shards > 1.
+            write_shards: 4,
             ..AggregateConfig::single_group(RaidGroupSpec {
                 data_devices: 4,
                 parity_devices: 1,
@@ -80,6 +86,12 @@ fn main() {
         "cp.completed",
         "cp.phase.client_ops_us",
         "cp.phase.media_us",
+        "cp.wall.total_us",
+        "cp.wall.plan_physical_us",
+        "cp.wall.rebalance_us",
+        "allocator.shard.0.leases",
+        "allocator.shard.0.steals",
+        "allocator.shard.3.leases",
         "mount.topaa_seed_hits",
         "iron.audits_run",
         "allocator.cursor_hits",
@@ -107,6 +119,23 @@ fn main() {
     // guarantees this one; hits depend on drain interleaving and are
     // covered by the allocator unit tests instead.
     nonzero("allocator.cursor_misses");
+    // The sharded pipeline leased ranges to its workers; which shard got
+    // them is scheduling-dependent, so gate on the total.
+    let leases: u64 = (0..4)
+        .map(|i| {
+            obs.counter_value(&format!("allocator.shard.{i}.leases"))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(leases > 0, "sharded CPs must record lease traffic");
+    // Wall-clock phase histograms accrue on every CP.
+    let wall = obs
+        .histogram_handle("cp.wall.total_us")
+        .expect("wall histogram registered");
+    assert!(
+        wall.count() > 0 && wall.sum() > 0.0,
+        "cp.wall.total_us empty"
+    );
 
     // The paper's bound: a cache-guided pick is at most one bin width
     // below the true best score. The histogram stores err / bin_width,

@@ -11,7 +11,7 @@
 //!    over a seed range, counting crash sites, degradations, and repair
 //!    outcomes. Every round must end audited-clean.
 
-use crate::report::{markdown_table, metrics_block};
+use crate::report::{markdown_table, metrics_block, per_cp_series_block};
 use crate::Scale;
 use serde::{Deserialize, Serialize};
 use wafl_faults::{FaultPlan, PageSel, StructureId};
@@ -52,6 +52,9 @@ pub struct RecoveryResult {
     /// Observability snapshot of the torture aggregate after the last
     /// round (`wafl_obs::Registry::snapshot_json`).
     pub metrics_json: String,
+    /// Per-CP time series of the torture aggregate
+    /// (`wafl_obs::trace::PerCpSeries::to_csv`).
+    pub series_csv: String,
 }
 
 fn aged(groups: usize, vols: usize, scale: Scale) -> WaflResult<Aggregate> {
@@ -65,6 +68,9 @@ fn aged(groups: usize, vols: usize, scale: Scale) -> WaflResult<Aggregate> {
     for _ in 1..groups {
         cfg.raid_groups.push(spec.clone());
     }
+    // Flight recorder on: the torture aggregate's per-CP series rides
+    // along in the report next to the metrics snapshot.
+    cfg.trace_events = 4096;
     let written = scale.ops(4096, 16384);
     let vol_cfgs: Vec<(FlexVolConfig, u64)> = (0..vols)
         .map(|_| {
@@ -141,6 +147,7 @@ pub fn run(scale: Scale) -> WaflResult<RecoveryResult> {
         rounds_repaired: 0,
         transient_retries: 0,
         metrics_json: String::new(),
+        series_csv: String::new(),
     };
     for seed in 0..rounds {
         let round = torture_round(&mut agg, &mut workload, ops_per_round, seed)?;
@@ -156,6 +163,10 @@ pub fn run(scale: Scale) -> WaflResult<RecoveryResult> {
         }
     }
     result.metrics_json = agg.obs().snapshot_json();
+    result.series_csv = agg
+        .cp_series()
+        .map(|s| s.to_csv())
+        .expect("aged() aggregates run with the flight recorder on");
     Ok(result)
 }
 
@@ -177,7 +188,7 @@ impl RecoveryResult {
         format!(
             "## Recovery — degraded-mount cost and torture summary\n\n{}\n\
              Torture: {} rounds, {} crashed, {} degraded, {} repaired, \
-             {} transient retries absorbed; all rounds audited clean.\n\n{}",
+             {} transient retries absorbed; all rounds audited clean.\n\n{}\n{}",
             markdown_table(
                 &["mount path", "blocks read", "first-CP µs", "degraded"],
                 &rows
@@ -188,6 +199,7 @@ impl RecoveryResult {
             self.rounds_repaired,
             self.transient_retries,
             metrics_block(&self.metrics_json),
+            per_cp_series_block(&self.series_csv),
         )
     }
 }
@@ -216,5 +228,9 @@ mod tests {
         assert!(r.metrics_json.contains("mount.topaa_seed_hits"));
         assert!(r.metrics_json.contains("iron.audits_run"));
         assert!(r.to_markdown().contains("### Metrics"));
+        // ... and so does the flight recorder's per-CP series.
+        assert!(r.series_csv.starts_with("cp,"));
+        assert!(r.series_csv.lines().count() > 1, "series must have rows");
+        assert!(r.to_markdown().contains("### Per-CP series"));
     }
 }

@@ -41,6 +41,16 @@ pub fn metrics_block(snapshot_json: &str) -> String {
     format!("### Metrics\n\n```json\n{snapshot_json}\n```\n")
 }
 
+/// Render a flight-recorder per-CP time series (the CSV from
+/// `wafl_obs::trace::PerCpSeries::to_csv`) as a fenced markdown block,
+/// for embedding in experiment reports next to [`metrics_block`].
+pub fn per_cp_series_block(series_csv: &str) -> String {
+    format!(
+        "### Per-CP series\n\n```csv\n{}\n```\n",
+        series_csv.trim_end()
+    )
+}
+
 /// Format a ratio as a signed percentage, e.g. `+24.0 %`.
 pub fn pct(x: f64) -> String {
     format!("{:+.1} %", x * 100.0)
@@ -71,6 +81,15 @@ mod tests {
         assert_eq!(pct(0.24), "+24.0 %");
         assert_eq!(pct(-0.186), "-18.6 %");
         assert_eq!(frac(0.615), "61.5 %");
+    }
+
+    #[test]
+    fn fenced_blocks() {
+        let m = metrics_block("{\"counters\": {}}");
+        assert!(m.starts_with("### Metrics\n\n```json\n"));
+        let s = per_cp_series_block("cp,cp.wall.total_us\n0,12.5\n");
+        assert!(s.starts_with("### Per-CP series\n\n```csv\ncp,"));
+        assert!(s.ends_with("0,12.5\n```\n"));
     }
 
     #[test]

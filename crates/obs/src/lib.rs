@@ -22,15 +22,25 @@
 //! deterministic JSON object so harness reports and CI smoke checks can
 //! embed or parse a metrics block.
 //!
-//! Nothing here reads a clock: durations recorded through this crate come
-//! from the workspace's simulated cost model, never `std::time`, so hot
-//! paths stay deterministic and wall-clock-free.
+//! Nothing in the metrics layer reads a clock: durations recorded through
+//! counters/gauges/histograms come from the workspace's simulated cost
+//! model, never `std::time`, so hot paths stay deterministic and
+//! wall-clock-free. The [`trace`] flight recorder is the one deliberate
+//! exception: it stamps journal events from a monotonic clock anchored at
+//! tracer creation, purely for export — trace timestamps never feed back
+//! into the simulation.
 
 #![warn(missing_docs)]
+
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Registry-wide counter of NaN observations dropped by
+/// [`Histogram::observe`] (see the skip-and-count note there).
+pub const NAN_OBSERVATIONS: &str = "obs.nan_observations";
 
 /// A monotonically increasing event counter.
 ///
@@ -79,6 +89,9 @@ struct HistogramInner {
     sum_bits: AtomicU64,
     /// Largest observation so far, stored as `f64` bits (CAS loop).
     max_bits: AtomicU64,
+    /// The registry-wide [`NAN_OBSERVATIONS`] counter, bumped for every
+    /// dropped NaN observation.
+    nan: Counter,
 }
 
 /// A fixed-bucket histogram over `f64` observations.
@@ -92,7 +105,7 @@ struct HistogramInner {
 pub struct Histogram(Arc<HistogramInner>);
 
 impl Histogram {
-    fn new(bounds: &[f64]) -> Histogram {
+    fn new(bounds: &[f64], nan: Counter) -> Histogram {
         let mut b: Vec<f64> = bounds.iter().copied().filter(|x| x.is_finite()).collect();
         b.sort_by(|x, y| x.partial_cmp(y).expect("finite bounds"));
         b.dedup();
@@ -103,12 +116,28 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            nan,
         }))
     }
 
     /// Record one observation.
+    ///
+    /// NaN observations are skipped and counted instead of recorded: a
+    /// single NaN would fail every bound comparison (landing in the
+    /// overflow bucket) and then permanently poison `sum`/`mean` through
+    /// the CAS loop — `NaN + x` is NaN forever after. Dropped NaNs bump
+    /// the registry-wide [`NAN_OBSERVATIONS`] counter first and
+    /// `debug_assert!` so debug builds surface the emitting call site.
     pub fn observe(&self, v: f64) {
         let inner = &*self.0;
+        if v.is_nan() {
+            inner.nan.inc(1);
+            debug_assert!(
+                false,
+                "NaN histogram observation dropped ({NAN_OBSERVATIONS})"
+            );
+            return;
+        }
         let idx = inner
             .bounds
             .iter()
@@ -162,6 +191,42 @@ impl Histogram {
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Bucket-interpolated quantile estimate (Prometheus-style).
+    ///
+    /// Walks the cumulative bucket counts to the bucket containing rank
+    /// `q * count` and interpolates linearly inside it, taking `0.0` as
+    /// the lower edge of the first bucket (every histogram in this
+    /// workspace observes non-negative µs/count/width values). Ranks that
+    /// land in the unbounded overflow bucket report [`Histogram::max`],
+    /// the only upper edge that bucket has. Returns `0.0` when empty;
+    /// `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let bounds = self.bounds();
+        let mut cum = 0u64;
+        for (i, c) in self.bucket_counts().into_iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if next as f64 >= rank {
+                if i >= bounds.len() {
+                    return self.max();
+                }
+                let lo = if i == 0 { 0.0 } else { bounds[i - 1] };
+                let hi = bounds[i];
+                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+            cum = next;
+        }
+        self.max()
+    }
 }
 
 /// Relaxed CAS-loop read-modify-write on an `f64` stored as bits.
@@ -214,12 +279,21 @@ impl Registry {
 
     /// Get or create the histogram named `name` with the given bucket
     /// upper bounds (ignored if the histogram already exists).
+    ///
+    /// Creating the first histogram also registers the shared
+    /// [`NAN_OBSERVATIONS`] counter every histogram reports dropped NaN
+    /// observations to.
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
         let mut inner = self.inner.lock().expect("obs registry poisoned");
+        let nan = inner
+            .counters
+            .entry(NAN_OBSERVATIONS.to_string())
+            .or_default()
+            .clone();
         inner
             .histograms
             .entry(name.to_string())
-            .or_insert_with(|| Histogram::new(bounds))
+            .or_insert_with(|| Histogram::new(bounds, nan))
             .clone()
     }
 
@@ -246,7 +320,8 @@ impl Registry {
     /// ```json
     /// {"counters":{..},"gauges":{..},
     ///  "histograms":{"name":{"bounds":[..],"counts":[..],
-    ///                        "count":n,"sum":s,"max":m,"mean":a}}}
+    ///                        "count":n,"sum":s,"max":m,"mean":a,
+    ///                        "p50":q,"p95":q,"p99":q}}}
     /// ```
     ///
     /// Keys are sorted (BTreeMap order); floats render via `to_string`,
@@ -286,6 +361,12 @@ impl Registry {
             push_f64(out, h.max());
             out.push_str(",\"mean\":");
             push_f64(out, h.mean());
+            out.push_str(",\"p50\":");
+            push_f64(out, h.quantile(0.50));
+            out.push_str(",\"p95\":");
+            push_f64(out, h.quantile(0.95));
+            out.push_str(",\"p99\":");
+            push_f64(out, h.quantile(0.99));
             out.push('}');
         });
         out.push_str("}}");
@@ -310,7 +391,7 @@ fn push_entries<'a, T: 'a>(
     }
 }
 
-fn push_f64(out: &mut String, v: f64) {
+pub(crate) fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&v.to_string());
     } else {
@@ -318,7 +399,7 @@ fn push_f64(out: &mut String, v: f64) {
     }
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -411,10 +492,11 @@ mod tests {
         let json = reg.snapshot_json();
         assert_eq!(
             json,
-            "{\"counters\":{\"a.first\":1,\"b.second\":2},\
+            "{\"counters\":{\"a.first\":1,\"b.second\":2,\"obs.nan_observations\":0},\
              \"gauges\":{\"g\":1.5},\
              \"histograms\":{\"h\":{\"bounds\":[1,2],\"counts\":[1,0,1],\
-             \"count\":2,\"sum\":3.5,\"max\":3,\"mean\":1.75}}}"
+             \"count\":2,\"sum\":3.5,\"max\":3,\"mean\":1.75,\
+             \"p50\":1,\"p95\":3,\"p99\":3}}}"
         );
         assert_eq!(json, reg.snapshot_json());
     }
@@ -463,5 +545,65 @@ mod tests {
         assert_eq!(h.count(), THREADS * PER_THREAD);
         assert_eq!(h.sum(), (THREADS * PER_THREAD) as f64);
         assert_eq!(h.bucket_counts(), vec![THREADS * PER_THREAD, 0]);
+    }
+
+    /// Regression: a NaN observation used to land in the overflow bucket
+    /// and poison `sum`/`mean` permanently through the CAS loop. It is
+    /// now skipped and counted (and asserts in debug builds so the
+    /// emitting site is findable).
+    #[test]
+    fn nan_observation_is_skipped_and_counted() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_us", &[1.0, 10.0]);
+        h.observe(0.5);
+        let observe_nan = {
+            let h = h.clone();
+            move || h.observe(f64::NAN)
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(observe_nan));
+        // The debug_assert fires in debug builds; release builds drop the
+        // observation silently. The counter is bumped before the assert,
+        // so state is identical either way.
+        assert_eq!(outcome.is_err(), cfg!(debug_assertions));
+        assert_eq!(reg.counter_value(NAN_OBSERVATIONS), Some(1));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 0.5);
+        assert_eq!(h.max(), 0.5);
+        assert_eq!(h.bucket_counts(), vec![1, 0, 0]);
+        // Later observations still work: the histogram was not poisoned.
+        h.observe(2.0);
+        assert_eq!(h.sum(), 2.5);
+        assert!((h.mean() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("q", &[10.0, 100.0]);
+        assert_eq!(h.quantile(0.5), 0.0); // empty
+        for _ in 0..90 {
+            h.observe(5.0); // bucket [0, 10]
+        }
+        for _ in 0..10 {
+            h.observe(50.0); // bucket (10, 100]
+        }
+        // p50: rank 50 inside the first bucket -> 10 * 50/90.
+        assert!((h.quantile(0.50) - 10.0 * (50.0 / 90.0)).abs() < 1e-9);
+        // p95: rank 95, 5 observations into the second bucket of 10.
+        assert!((h.quantile(0.95) - (10.0 + 90.0 * 0.5)).abs() < 1e-9);
+        // p90 boundary lands exactly on the first bucket's upper edge.
+        assert!((h.quantile(0.90) - 10.0).abs() < 1e-9);
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_reports_max() {
+        let reg = Registry::new();
+        let h = reg.histogram("q", &[1.0]);
+        h.observe(0.5);
+        h.observe(250.0);
+        h.observe(500.0);
+        assert_eq!(h.quantile(0.99), 500.0);
+        assert!((h.quantile(0.30) - 0.9).abs() < 1e-9); // rank 0.9 of 1 obs in [0,1]
     }
 }

@@ -15,6 +15,7 @@
 #   scripts/ci.sh --alloc-smoke   # the allocation-throughput gate alone
 #   scripts/ci.sh --par-smoke     # the sharded-pipeline gate alone
 #   scripts/ci.sh --oracle-parity # the wafl-oracle parity sweep alone
+#   scripts/ci.sh --trace-smoke   # the flight-recorder export gate alone
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,6 +61,20 @@ oracle_parity() {
   run cargo test --release -p wafl-fs --test oracle_parity -- --ignored
 }
 
+# Flight-recorder gate: a small sharded simulate with --trace must write
+# Chrome trace JSON that re-parses and validates — balanced begin/end
+# spans, CP-ordered tracks, one track per write shard — and trace-report
+# must render its quantile/utilization summary from the file.
+trace_smoke() {
+  local out
+  out="$(mktemp -d)/trace.json"
+  run cargo run --release -p wafl-cli --bin wafl-sim -- simulate \
+    --device-blocks 20480 --ops 5000 --churn 0.2 --write-shards 4 \
+    --trace "$out" >/dev/null
+  run cargo run --release -p wafl-cli --bin wafl-sim -- trace-report \
+    "$out" --expect-shards 4 >/dev/null
+}
+
 if [[ "${1:-}" == "--obs-smoke" ]]; then
   obs_smoke
   echo "CI gates passed."
@@ -90,6 +105,12 @@ if [[ "${1:-}" == "--oracle-parity" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--trace-smoke" ]]; then
+  trace_smoke
+  echo "CI gates passed."
+  exit 0
+fi
+
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test -q
@@ -98,6 +119,7 @@ scrub_smoke
 alloc_smoke
 par_smoke
 oracle_parity
+trace_smoke
 
 if [[ "${1:-}" == "--torture" ]]; then
   run cargo test --release -p wafl-fs --test crash_consistency -- --ignored
